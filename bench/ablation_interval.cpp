@@ -1,0 +1,104 @@
+// Ablation — checkpoint-interval choice. The paper checkpoints "per 10
+// minutes" against daily-failure systems (Blue Waters/Titan are cited as
+// failing every day); this bench grounds that choice: it measures the
+// REAL self-checkpoint commit cost on the simulated machine, feeds it into
+// Young/Daly, and validates the optimum with the seeded discrete-event
+// simulator.
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ckpt/self_checkpoint.hpp"
+#include "model/interval.hpp"
+
+using namespace skt;
+
+namespace {
+
+/// Measure one real self-checkpoint commit (8 ranks, 4 MiB/process).
+double measure_commit_cost() {
+  double cost = 0.0;
+  bench::ClusterSpec spec;
+  spec.ranks = 8;
+  spec.spares = 0;
+  (void)bench::run_job(spec, [&](mpi::Comm& world) {
+    ckpt::SelfCheckpoint proto({.key_prefix = "intv", .data_bytes = 4u << 20});
+    ckpt::CommCtx ctx{world, world};
+    proto.open(ctx);
+    std::memset(proto.data().data(), 0x77, proto.data().size());
+    proto.commit(ctx);  // warm-up
+    double total = 0.0;
+    for (int i = 0; i < 3; ++i) total += proto.commit(ctx).total_s();
+    if (world.rank() == 0) cost = total / 3.0;
+  });
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "checkpoint interval: Young/Daly vs simulation");
+
+  const double c = measure_commit_cost();
+  // A paper-scale scenario: the commit cost scales with memory/bandwidth;
+  // the paper measured 16 s per checkpoint at 24,576 ranks. Use both.
+  struct Scenario {
+    const char* name;
+    double ckpt_s;
+    double restart_s;
+    double mtbf_s;
+    double work_s;
+  };
+  const std::vector<Scenario> scenarios{
+      {"this machine (measured commit)", c, 10 * c, 1800.0, 4 * 3600.0},
+      {"paper scale (16 s ckpt, daily failures)", 16.0, 102.0, 86400.0, 24 * 3600.0},
+  };
+
+  bool ok = true;
+  for (const Scenario& s : scenarios) {
+    const double young = model::young_interval(s.ckpt_s, s.mtbf_s);
+    const double daly = model::daly_interval(s.ckpt_s, s.mtbf_s);
+    const double numeric =
+        model::optimal_interval_numeric(s.work_s, s.ckpt_s, s.restart_s, s.mtbf_s);
+
+    std::printf("\nscenario: %s  (C=%s, R=%s, MTBF=%s)\n", s.name,
+                util::format_seconds(s.ckpt_s).c_str(),
+                util::format_seconds(s.restart_s).c_str(),
+                util::format_seconds(s.mtbf_s).c_str());
+    util::Table table({"interval", "expected runtime (Daly)", "simulated mean (200 trials)"});
+    double best_sim = 1e300;
+    double best_sim_tau = 0.0;
+    for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const double tau = daly * factor;
+      const double analytic =
+          model::expected_runtime(s.work_s, tau, s.ckpt_s, s.restart_s, s.mtbf_s);
+      const double sim =
+          model::simulate_mean(s.work_s, tau, s.ckpt_s, s.restart_s, s.mtbf_s, 200);
+      if (sim < best_sim) {
+        best_sim = sim;
+        best_sim_tau = tau;
+      }
+      table.add_row({util::format_seconds(tau) + (factor == 1.0 ? "  (Daly)" : ""),
+                     util::format_seconds(analytic), util::format_seconds(sim)});
+    }
+    table.print();
+    std::printf("Young: %s   Daly: %s   numeric optimum: %s\n",
+                util::format_seconds(young).c_str(), util::format_seconds(daly).c_str(),
+                util::format_seconds(numeric).c_str());
+
+    ok &= bench::shape_check("numeric optimum within 25% of Daly's closed form",
+                             std::abs(numeric - daly) < 0.25 * daly + s.ckpt_s);
+    ok &= bench::shape_check(
+        "simulation picks an interval within 4x of Daly's (U-shaped curve)",
+        best_sim_tau > daly / 4.0 && best_sim_tau < daly * 4.0);
+  }
+
+  // The paper's choice in Table 3: checkpoint every 10 minutes on a local
+  // cluster whose checkpoints cost ~6 s — close to Young's optimum for an
+  // MTBF of roughly half a day.
+  const double implied_mtbf = 600.0 * 600.0 / (2.0 * 6.21);
+  std::printf("\nthe paper's 10-min interval with its 6.21 s SKT checkpoint is Young-optimal "
+              "for MTBF ~ %s — a plausible stress-test assumption.\n",
+              util::format_seconds(implied_mtbf).c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+// Ablation — the Section 3.3 process-mapping trade-off, which the paper
+// describes but leaves unexplored ("Exploring more mapping strategies
+// within one group is left for future work"):
+//
+//  * NEIGHBOR mapping groups nearby nodes: encoding traffic stays inside a
+//    rack (lower switch latency) but a rack/switch failure can take out a
+//    whole group — unrecoverable for a single-erasure code.
+//  * SPREAD mapping strides groups across racks: encoding pays inter-rack
+//    latency, but a full rack loss costs each group at most one member.
+//
+// This bench measures both sides: per-checkpoint encode network time under
+// each mapping, and end-to-end survival of a whole-rack power-off
+// (both nodes of rack 0 die in the same instant).
+#include <cstring>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "ckpt/factory.hpp"
+#include "ckpt/grouping.hpp"
+
+using namespace skt;
+
+namespace {
+
+constexpr int kRanks = 8;
+constexpr int kGroup = 2;         // buddy groups, the Zheng-style extreme
+constexpr int kNodesPerRack = 2;  // 4 racks
+constexpr std::size_t kDataBytes = 1u << 20;
+
+using IterHook = std::function<void(mpi::Comm&, std::uint64_t)>;
+
+void checkpointed_loop(mpi::Comm& world, ckpt::Mapping mapping, int iterations,
+                       double* encode_virtual, int* min_racks,
+                       const IterHook& hook = {}) {
+  std::vector<int> nodes(static_cast<std::size_t>(world.size()));
+  std::vector<int> racks(static_cast<std::size_t>(world.size()));
+  for (int r = 0; r < world.size(); ++r) {
+    const int node_id = world.node_id_of(r);
+    nodes[static_cast<std::size_t>(r)] = node_id;
+    racks[static_cast<std::size_t>(r)] = world.runtime().cluster().node(node_id).rack();
+  }
+  const ckpt::GroupAssignment assignment =
+      ckpt::plan_groups(world.size(), kGroup, nodes, racks, mapping);
+  if (world.rank() == 0 && min_racks != nullptr) {
+    int lo = 1 << 30;
+    for (int g = 0; g < assignment.num_groups; ++g) {
+      lo = std::min(lo, ckpt::racks_spanned(assignment, g, racks));
+    }
+    *min_racks = lo;
+  }
+  mpi::Comm group = ckpt::make_group_comm(world, assignment);
+  ckpt::CommCtx ctx{world, group};
+
+  ckpt::FactoryParams params;
+  params.key_prefix = "abl";
+  params.data_bytes = kDataBytes;
+  auto protocol = ckpt::make_protocol(ckpt::Strategy::kSelf, params);
+  const bool restored = protocol->open(ctx);
+  auto* iter = reinterpret_cast<std::uint64_t*>(protocol->user_state().data());
+  if (restored) {
+    protocol->restore(ctx);
+  } else {
+    *iter = 0;
+    std::memset(protocol->data().data(), 0x3c, protocol->data().size());
+  }
+  double virt = 0.0;
+  int commits = 0;
+  while (*iter < static_cast<std::uint64_t>(iterations)) {
+    world.failpoint("abl.work");
+    if (hook) hook(world, *iter);
+    *iter += 1;
+    const ckpt::CommitStats stats = protocol->commit(ctx);
+    virt += stats.encode_virtual_s;
+    ++commits;
+  }
+  if (world.rank() == 0 && encode_virtual != nullptr && commits > 0) {
+    *encode_virtual = virt / commits;
+  }
+}
+
+/// Fault-free pass: encode network cost + rack footprint of the mapping.
+void measure_encoding(ckpt::Mapping mapping, double* encode_s, int* min_racks) {
+  sim::Cluster cluster(
+      {.num_nodes = kRanks, .spare_nodes = 0, .nodes_per_rack = kNodesPerRack});
+  mpi::LauncherConfig launcher_config;
+  launcher_config.max_restarts = 0;
+  launcher_config.runtime.model_network = true;
+  mpi::JobLauncher launcher(cluster, nullptr, launcher_config);
+  (void)launcher.run(kRanks, [&](mpi::Comm& w) {
+    checkpointed_loop(w, mapping, 6, encode_s, min_racks);
+  });
+}
+
+/// Failure pass: BOTH nodes of rack 0 die at the same instant — a
+/// switch/rack failure, pulled by rank 0's iteration hook after two
+/// checkpoints exist. The guard (both target nodes still in rack 0) keeps
+/// post-restart replacements, which live on spare nodes in another rack,
+/// from re-triggering. Returns whether the job finished.
+bool survives_rack_loss(ckpt::Mapping mapping) {
+  sim::Cluster cluster({.num_nodes = kRanks, .spare_nodes = kNodesPerRack,
+                        .nodes_per_rack = kNodesPerRack});
+  mpi::JobLauncher launcher(cluster, nullptr, {.max_restarts = 3});
+  const auto result = launcher.run(kRanks, [&](mpi::Comm& w) {
+    checkpointed_loop(w, mapping, 6, nullptr, nullptr,
+                      [](mpi::Comm& world, std::uint64_t iter) {
+                        if (iter != 2 || world.rank() != 0) return;
+                        sim::Cluster& cl = world.runtime().cluster();
+                        const int node0 = world.node_id_of(0);
+                        const int node1 = world.node_id_of(1);
+                        if (cl.node(node0).rack() != 0 || cl.node(node1).rack() != 0) return;
+                        cl.power_off(node1, "rack 0 switch failure");
+                        cl.power_off(node0, "rack 0 switch failure");
+                        throw mpi::JobAborted("rack 0 lost");
+                      });
+  });
+  return result.success;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "group mapping strategies (Section 3.3)");
+
+  double neighbor_encode = 0.0;
+  double spread_encode = 0.0;
+  int neighbor_racks = 0;
+  int spread_racks = 0;
+  measure_encoding(ckpt::Mapping::kNeighbor, &neighbor_encode, &neighbor_racks);
+  measure_encoding(ckpt::Mapping::kSpread, &spread_encode, &spread_racks);
+  const bool neighbor_survives = survives_rack_loss(ckpt::Mapping::kNeighbor);
+  const bool spread_survives = survives_rack_loss(ckpt::Mapping::kSpread);
+
+  util::Table table({"mapping", "min racks per group", "encode network time",
+                     "survives whole-rack loss"});
+  table.add_row({"neighbor (paper default)", std::to_string(neighbor_racks),
+                 util::format_seconds(neighbor_encode), neighbor_survives ? "yes" : "NO"});
+  table.add_row({"spread", std::to_string(spread_racks),
+                 util::format_seconds(spread_encode), spread_survives ? "yes" : "NO"});
+  table.print();
+  std::printf(
+      "\nthe paper prioritizes performance (neighbor) because real-system failure\n"
+      "logs show rack/switch failures are rare next to single-node failures.\n");
+
+  bool ok = true;
+  ok &= bench::shape_check(
+      "neighbor groups stay within one rack; spread groups span racks",
+      neighbor_racks == 1 && spread_racks >= 2);
+  ok &= bench::shape_check(
+      "neighbor mapping encodes faster (intra-rack latency)",
+      neighbor_encode < spread_encode);
+  ok &= bench::shape_check(
+      "only the spread mapping survives a whole-rack failure",
+      !neighbor_survives && spread_survives);
+  return ok ? 0 : 1;
+}

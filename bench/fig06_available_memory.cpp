@@ -1,0 +1,52 @@
+// Figure 6 — available application memory (%) for single-, self- and
+// double-checkpoint at group sizes {2, 3, 4, 8, 16, 32}, from the paper's
+// closed forms (Eqs. 2-4) and cross-checked against planner output.
+#include "bench_common.hpp"
+#include "ckpt/plan.hpp"
+
+using namespace skt;
+
+int main() {
+  bench::print_header("Figure 6", "available memory vs group size per strategy");
+
+  util::Table table({"group size", "single-checkpoint", "self-checkpoint",
+                     "double-checkpoint"});
+  bool ordering_ok = true;
+  for (const int n : {2, 3, 4, 8, 16, 32}) {
+    const double single = ckpt::available_fraction(ckpt::Strategy::kSingle, n);
+    const double self = ckpt::available_fraction(ckpt::Strategy::kSelf, n);
+    const double dbl = ckpt::available_fraction(ckpt::Strategy::kDouble, n);
+    ordering_ok &= single > self && self > dbl;
+    table.add_row({std::to_string(n), util::format("{:.1%}", single),
+                   util::format("{:.1%}", self), util::format("{:.1%}", dbl)});
+  }
+  table.print();
+
+  // Planner cross-check at a concrete capacity.
+  const std::size_t capacity = 64ull << 20;
+  bool planner_ok = true;
+  for (const int n : {2, 3, 4, 8, 16, 32}) {
+    for (const auto s :
+         {ckpt::Strategy::kSingle, ckpt::Strategy::kSelf, ckpt::Strategy::kDouble}) {
+      const ckpt::MemoryPlan plan = ckpt::plan_memory(s, capacity, n);
+      planner_ok &= plan.total_bytes() <= capacity;
+      planner_ok &= std::abs(plan.fraction() - ckpt::available_fraction(s, n)) < 1e-6;
+    }
+  }
+
+  bool ok = true;
+  ok &= bench::shape_check("single > self > double at every group size", ordering_ok);
+  ok &= bench::shape_check("planner allocations realize the closed forms within budget",
+                           planner_ok);
+  ok &= bench::shape_check(
+      "self-checkpoint at N=16 frees 47% (the paper's configuration)",
+      std::abs(ckpt::available_fraction(ckpt::Strategy::kSelf, 16) - 0.469) < 0.005);
+  ok &= bench::shape_check(
+      "self approaches the 50% bound from below as N grows",
+      ckpt::available_fraction(ckpt::Strategy::kSelf, 1024) > 0.499 &&
+          ckpt::available_fraction(ckpt::Strategy::kSelf, 1024) < 0.5);
+  ok &= bench::shape_check(
+      "double-checkpoint stays below 1/3",
+      ckpt::available_fraction(ckpt::Strategy::kDouble, 1024) < 1.0 / 3.0);
+  return ok ? 0 : 1;
+}

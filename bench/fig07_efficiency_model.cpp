@@ -1,0 +1,62 @@
+// Figure 7 — HPL efficiency vs memory per rank, fitted with the model
+// E(N) = N / (aN + b) (Eq. 5). The paper fits 192-rank measurements on a
+// local cluster; here the same sweep runs on the simulated machine and the
+// same inverse-linear fit is applied.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "model/efficiency.hpp"
+
+using namespace skt;
+
+int main() {
+  bench::print_header("Figure 7", "HPL efficiency vs memory per rank + model fit");
+  std::printf("calibrated GEMM peak: %.2f GFLOP/s\n", bench::peak_gflops());
+
+  const bench::Geometry geom{2, 4, 32};
+  std::vector<double> sizes;
+  std::vector<double> efficiencies;
+  std::vector<double> mem_per_rank_mib;
+
+  util::Table table({"memory/rank", "problem size N", "GFLOP/s", "efficiency"});
+  for (const std::size_t mib : {1, 2, 4, 8, 16, 24}) {
+    const std::int64_t n = bench::fit_n(geom, mib << 20);
+    bench::ClusterSpec spec;
+    spec.ranks = geom.ranks();
+    spec.profile = bench::bench_network_profile(60.0e6);
+    spec.model_network = true;
+    const auto config =
+        bench::make_config(geom, n, ckpt::Strategy::kNone, 4, 0);
+    const bench::HplRun run = bench::run_hpl_job(spec, config);
+    if (!run.ok) {
+      std::printf("run failed at %zu MiB\n", mib);
+      return 1;
+    }
+    sizes.push_back(static_cast<double>(n));
+    efficiencies.push_back(run.efficiency);
+    mem_per_rank_mib.push_back(static_cast<double>(mib));
+    table.add_row({util::format("{} MiB", static_cast<std::int64_t>(mib)),
+                   std::to_string(n), util::format("{:.2f}", run.gflops),
+                   util::format("{:.1%}", run.efficiency)});
+  }
+  table.print();
+
+  const model::EfficiencyModel fit = model::fit_efficiency(sizes, efficiencies);
+  std::printf("\nmodel fit: E(N) = N / (%.4f N + %.1f), r^2 = %.4f\n", fit.a, fit.b, fit.r2);
+  util::Table fitted({"N", "measured", "model"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    fitted.add_row({std::to_string(static_cast<std::int64_t>(sizes[i])),
+                    util::format("{:.1%}", efficiencies[i]),
+                    util::format("{:.1%}", fit.efficiency(sizes[i]))});
+  }
+  fitted.print();
+
+  bool ok = true;
+  ok &= bench::shape_check(
+      "efficiency rises substantially from the smallest to the largest problem",
+      efficiencies.back() > efficiencies.front() + 0.05);
+  ok &= bench::shape_check("inverse-linear fit explains the sweep (r^2 > 0.8)",
+                           fit.r2 > 0.8);
+  ok &= bench::shape_check("fitted a > 1 (efficiency asymptote below 100%)", fit.a > 1.0);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// Figure 8 — modeled HPL efficiency of the top-10 TOP500 systems when only
+// half (k = 1/2, what self-checkpoint leaves) or a third (k = 1/3, what
+// double-checkpoint leaves) of memory is available, using the Eq. 8 lower
+// bound against each machine's officially reported efficiency.
+#include "bench_common.hpp"
+#include "model/efficiency.hpp"
+#include "model/top500.hpp"
+
+using namespace skt;
+
+int main() {
+  bench::print_header("Figure 8",
+                      "modeled efficiency of the TOP500 top-10 at k = 1, 1/2, 1/3");
+
+  util::Table table({"system", "reported", "k = 1/2 (self)", "k = 1/3 (double)",
+                     "gain of 1/2 over 1/3"});
+  double total_gain = 0.0;
+  bool monotone = true;
+  for (const auto& sys : model::top10_nov2016()) {
+    const double e1 = sys.efficiency();
+    const double half = model::efficiency_lower_bound(e1, 0.5);
+    const double third = model::efficiency_lower_bound(e1, 1.0 / 3.0);
+    monotone &= e1 > half && half > third;
+    const double gain = (half - third) / third;
+    total_gain += gain;
+    table.add_row({std::string(sys.name), util::format("{:.1%}", e1),
+                   util::format("{:.1%}", half), util::format("{:.1%}", third),
+                   util::format("{:.1%}", gain)});
+  }
+  table.print();
+  const double avg_gain = total_gain / 10.0;
+  std::printf("\naverage efficiency gain from 1/3 to 1/2 of memory: %.2f%%\n",
+              avg_gain * 100.0);
+  std::printf("(paper reports 11.96%% average improvement for the same projection)\n");
+
+  bool ok = true;
+  ok &= bench::shape_check("efficiency strictly decreases with memory fraction", monotone);
+  ok &= bench::shape_check("average gain from 1/3 to 1/2 of memory is ~12% (8-16%)",
+                           avg_gain > 0.08 && avg_gain < 0.16);
+  return ok ? 0 : 1;
+}

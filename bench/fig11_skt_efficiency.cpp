@@ -1,0 +1,86 @@
+// Figure 11 — efficiency of the original HPL (full memory) vs SKT-HPL
+// (roughly half the memory, no checkpoint written) on the two simulated
+// systems of Table 2. The paper measures 97.81% of original on Tianhe-1A
+// (group 16) and 95.79% on Tianhe-2 (group 8).
+#include "bench_common.hpp"
+#include "model/systems.hpp"
+
+using namespace skt;
+
+namespace {
+
+struct SystemRun {
+  std::string name;
+  double original_eff = 0.0;
+  double skt_eff = 0.0;
+  [[nodiscard]] double relative() const { return skt_eff / original_eff; }
+};
+
+SystemRun run_system(const model::SystemProfile& system, int group,
+                     std::size_t capacity_per_rank) {
+  SystemRun out;
+  out.name = std::string(system.name);
+  const bench::Geometry geom{4, 4, 32};
+
+  // One rank per simulated node so groups of up to 16 can satisfy the
+  // distinct-node constraint; the system's NIC *sharing* (12 vs 24 ranks
+  // per port, the Table 2 difference) is carried by profile.ranks_per_port
+  // inside the network model.
+  bench::ClusterSpec spec;
+  spec.ranks = geom.ranks();
+  spec.profile = system.node;
+  spec.model_network = true;
+
+  // Original HPL: full memory.
+  {
+    const std::int64_t n = bench::fit_n(geom, capacity_per_rank);
+    const auto config = bench::make_config(geom, n, ckpt::Strategy::kNone, group, 0);
+    const bench::HplRun run = bench::run_hpl_job_median(spec, config, 3);
+    out.original_eff = run.ok ? run.efficiency : 0.0;
+  }
+  // SKT-HPL: the self-checkpoint memory fraction, no checkpoints written
+  // (ckpt_every = 0), exactly the Fig. 11 configuration.
+  {
+    const double fraction = ckpt::available_fraction(ckpt::Strategy::kSelf, group);
+    const std::int64_t n =
+        bench::fit_n(geom, static_cast<std::size_t>(capacity_per_rank * fraction));
+    const auto config = bench::make_config(geom, n, ckpt::Strategy::kSelf, group, 0);
+    const bench::HplRun run = bench::run_hpl_job_median(spec, config, 3);
+    out.skt_eff = run.ok ? run.efficiency : 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 11", "original HPL vs SKT-HPL efficiency on both systems");
+  std::printf("calibrated GEMM peak: %.2f GFLOP/s\n\n", bench::peak_gflops());
+
+  // Tianhe-1A: 4 GB/core and one NIC port per 12 ranks -> scaled to
+  // 12 MiB/rank; Tianhe-2: 2.67 GB/core, port per 24 ranks -> 8 MiB/rank.
+  // Group sizes are the paper's (16 on Tianhe-1A, 8 on Tianhe-2).
+  const SystemRun t1 = run_system(bench::bench_system(model::tianhe1a()), 16, 12u << 20);
+  const SystemRun t2 = run_system(bench::bench_system(model::tianhe2()), 8, 8u << 20);
+
+  util::Table table({"system", "original HPL eff.", "SKT-HPL eff. (no ckpt)",
+                     "SKT / original", "paper"});
+  table.add_row({t1.name, util::format("{:.1%}", t1.original_eff),
+                 util::format("{:.1%}", t1.skt_eff), util::format("{:.1%}", t1.relative()),
+                 "97.81%"});
+  table.add_row({t2.name, util::format("{:.1%}", t2.original_eff),
+                 util::format("{:.1%}", t2.skt_eff), util::format("{:.1%}", t2.relative()),
+                 "95.79%"});
+  table.print();
+
+  bool ok = true;
+  ok &= bench::shape_check(
+      "SKT-HPL reaches > 85% of the original on both systems (paper: 95.8-97.8% "
+      "at its far larger problem sizes)",
+      t1.relative() > 0.85 && t2.relative() > 0.85);
+  ok &= bench::shape_check("memory reduction costs more on Tianhe-2 than Tianhe-1A",
+                           t1.relative() >= t2.relative() - 0.02);
+  ok &= bench::shape_check("original HPL efficiency is below 100% of peak on both",
+                           t1.original_eff < 1.0 && t2.original_eff < 1.0);
+  return ok ? 0 : 1;
+}

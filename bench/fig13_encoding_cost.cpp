@@ -1,0 +1,98 @@
+// Figure 13 — checkpoint size and encoding (checksum) time vs group size
+// {4, 8, 16} on the two simulated systems.
+//
+// Two shapes from the paper:
+//  * checkpoint size barely moves with group size (it is ~half of memory
+//    either way; only the checksum shrinks as 1/(N-1));
+//  * encoding time grows slowly with group size, and Tianhe-2 encodes
+//    SLOWER than Tianhe-1A despite the faster NIC, because one Tianhe-2
+//    port is shared by 24 ranks vs 12 — per-rank bandwidth is lower. The
+//    virtual network model reproduces that inversion deterministically
+//    (the wall-clock component is identical hardware for both systems, so
+//    the network share is compared on the modeled charge).
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "model/systems.hpp"
+
+using namespace skt;
+
+namespace {
+
+struct Point {
+  double encode_wall_s = 0.0;     ///< mean wall time per encode
+  double encode_network_s = 0.0;  ///< mean modeled network time per encode
+  std::size_t ckpt_bytes = 0;
+  [[nodiscard]] double total() const { return encode_wall_s + encode_network_s; }
+};
+
+Point measure(const model::SystemProfile& system, int group) {
+  const bench::Geometry geom{4, 4, 32};
+  // One rank per simulated node (distinct-node constraint for group 16);
+  // NIC port sharing comes from profile.ranks_per_port.
+  bench::ClusterSpec spec;
+  spec.ranks = geom.ranks();
+  spec.profile = system.node;
+  spec.model_network = true;
+
+  const double fraction = ckpt::available_fraction(ckpt::Strategy::kSelf, group);
+  const std::int64_t n = bench::fit_n(geom, static_cast<std::size_t>((8u << 20) * fraction));
+  const std::int64_t nblk = (n + geom.nb - 1) / geom.nb;
+  // Several checkpoints so the per-encode means are stable.
+  auto config = bench::make_config(geom, n, ckpt::Strategy::kSelf, group,
+                                   std::max<std::int64_t>(1, nblk / 5));
+
+  Point point;
+  (void)bench::run_job(spec, [&](mpi::Comm& world) {
+    const hpl::SktHplResult r = hpl::run_skt_hpl(world, config);
+    if (world.rank() == 0 && r.checkpoints > 0) {
+      point.encode_wall_s = r.encode_total_s / r.checkpoints;
+      point.encode_network_s = r.encode_virtual_total_s / r.checkpoints;
+      point.ckpt_bytes = r.ckpt_bytes;
+    }
+  });
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 13", "encoding time and checkpoint size vs group size");
+
+  const std::vector<int> groups{4, 8, 16};
+  std::map<int, Point> t1;
+  std::map<int, Point> t2;
+  for (const int g : groups) {
+    t1[g] = measure(bench::bench_system(model::tianhe1a()), g);
+    t2[g] = measure(bench::bench_system(model::tianhe2()), g);
+  }
+
+  util::Table table({"group size", "T1A ckpt size/proc", "T2 ckpt size/proc",
+                     "T1A encode (wall+net)", "T2 encode (wall+net)", "T1A net share",
+                     "T2 net share"});
+  for (const int g : groups) {
+    table.add_row({std::to_string(g), util::format_bytes(t1[g].ckpt_bytes),
+                   util::format_bytes(t2[g].ckpt_bytes),
+                   util::format_seconds(t1[g].total()), util::format_seconds(t2[g].total()),
+                   util::format_seconds(t1[g].encode_network_s),
+                   util::format_seconds(t2[g].encode_network_s)});
+  }
+  table.print();
+
+  bool ok = true;
+  const double size_spread =
+      static_cast<double>(t1[4].ckpt_bytes) / static_cast<double>(t1[16].ckpt_bytes);
+  ok &= bench::shape_check(
+      "checkpoint size is not very sensitive to group size (< 1.4x across 4..16)",
+      size_spread < 1.4 && size_spread > 0.7);
+  ok &= bench::shape_check(
+      "network encode time grows with group size on both systems",
+      t1[16].encode_network_s > t1[4].encode_network_s &&
+          t2[16].encode_network_s > t2[4].encode_network_s);
+  ok &= bench::shape_check(
+      "Tianhe-2 encodes slower than Tianhe-1A (NIC port shared by 2x the ranks)",
+      t2[8].encode_network_s > t1[8].encode_network_s &&
+          t2[16].encode_network_s > t1[16].encode_network_s);
+  return ok ? 0 : 1;
+}

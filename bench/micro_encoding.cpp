@@ -1,0 +1,142 @@
+// Microbenchmarks (google-benchmark) for the encoding substrate: XOR and
+// SUM lane accumulation, GF(2^8) multiply-accumulate, Reed-Solomon encode
+// and reconstruct, and the checkpoint flush memcpy.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "encoding/codec.hpp"
+#include "encoding/gf256.hpp"
+#include "encoding/reed_solomon.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace skt;
+
+std::vector<std::byte> random_buffer(std::size_t size, std::uint64_t seed) {
+  std::vector<std::byte> buf(size);
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i + 8 <= size; i += 8) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(buf.data() + i, &v, 8);
+  }
+  return buf;
+}
+
+void BM_XorAccumulate(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  auto acc = random_buffer(size, 1);
+  const auto in = random_buffer(size, 2);
+  for (auto _ : state) {
+    enc::accumulate(enc::CodecKind::kXor, acc, in);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_XorAccumulate)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+void BM_SumAccumulate(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<double> accv(size / 8, 1.5);
+  std::vector<double> inv(size / 8, 0.25);
+  auto acc = std::as_writable_bytes(std::span<double>(accv));
+  const auto in = std::as_bytes(std::span<const double>(inv));
+  for (auto _ : state) {
+    enc::accumulate(enc::CodecKind::kSum, acc, in);
+    benchmark::DoNotOptimize(accv.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_SumAccumulate)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+void BM_Gf256MulAcc(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> out(size, 3);
+  std::vector<std::uint8_t> in(size, 7);
+  for (auto _ : state) {
+    enc::gf256::mul_acc(out, in, 0x1d);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Gf256MulAcc)->Arg(4 << 10)->Arg(256 << 10);
+
+void BM_ReedSolomonEncode(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const std::size_t shard = 64 << 10;
+  const enc::ReedSolomon rs(k, m);
+  std::vector<std::vector<std::uint8_t>> data(static_cast<std::size_t>(k));
+  std::vector<std::vector<std::uint8_t>> parity(static_cast<std::size_t>(m));
+  std::vector<std::span<const std::uint8_t>> dv;
+  std::vector<std::span<std::uint8_t>> pv;
+  for (auto& d : data) {
+    d.assign(shard, 0x5c);
+    dv.emplace_back(d);
+  }
+  for (auto& p : parity) {
+    p.assign(shard, 0);
+    pv.emplace_back(p);
+  }
+  for (auto _ : state) {
+    rs.encode(dv, pv);
+    benchmark::DoNotOptimize(parity[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shard) * k);
+}
+BENCHMARK(BM_ReedSolomonEncode)->Args({4, 2})->Args({8, 2})->Args({15, 3});
+
+void BM_ReedSolomonReconstruct(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const std::size_t shard = 64 << 10;
+  const enc::ReedSolomon rs(k, m);
+  std::vector<std::vector<std::uint8_t>> shards(static_cast<std::size_t>(k + m));
+  std::vector<std::span<const std::uint8_t>> dv;
+  std::vector<std::span<std::uint8_t>> pv;
+  for (int i = 0; i < k; ++i) {
+    shards[static_cast<std::size_t>(i)].assign(shard, static_cast<std::uint8_t>(i + 1));
+    dv.emplace_back(shards[static_cast<std::size_t>(i)]);
+  }
+  for (int j = 0; j < m; ++j) {
+    shards[static_cast<std::size_t>(k + j)].assign(shard, 0);
+    pv.emplace_back(shards[static_cast<std::size_t>(k + j)]);
+  }
+  rs.encode(dv, pv);
+  const auto golden = shards;
+  std::vector<bool> present(static_cast<std::size_t>(k + m), true);
+  present[0] = false;
+  present[1] = false;
+  for (auto _ : state) {
+    auto work = golden;
+    std::vector<std::span<std::uint8_t>> views;
+    for (auto& s : work) views.emplace_back(s);
+    benchmark::DoNotOptimize(rs.reconstruct(views, present));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shard) * 2);
+}
+BENCHMARK(BM_ReedSolomonReconstruct)->Args({8, 2})->Args({15, 3});
+
+void BM_CheckpointFlushMemcpy(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const auto src = random_buffer(size, 5);
+  std::vector<std::byte> dst(size);
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), size);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_CheckpointFlushMemcpy)->Arg(1 << 20)->Arg(16 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

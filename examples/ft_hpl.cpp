@@ -1,0 +1,86 @@
+// Fault-tolerant HPL (SKT-HPL) demo: run a distributed Linpack solve with
+// self-checkpointing and power off a compute node in the middle — the run
+// recovers from in-memory checkpoints and still passes HPL verification.
+//
+//   ./ft_hpl [--n 384] [--nb 32] [--p 2] [--q 2] [--group 4]
+//            [--strategy self|double|single|blcr] [--ckpt-every 2]
+//            [--kill-panel 4] [--no-kill]
+#include <cstdio>
+#include <string>
+
+#include "hpl/skt_hpl.hpp"
+#include "mpi/launcher.hpp"
+#include "storage/device.hpp"
+#include "util/log.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace skt;
+
+namespace {
+
+ckpt::Strategy parse_strategy(const std::string& name) {
+  if (name == "self") return ckpt::Strategy::kSelf;
+  if (name == "double") return ckpt::Strategy::kDouble;
+  if (name == "single") return ckpt::Strategy::kSingle;
+  if (name == "blcr") return ckpt::Strategy::kBlcr;
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  util::set_log_level(opts.get("log", "info"));
+
+  hpl::SktHplConfig config;
+  config.hpl.n = opts.get_int("n", 384);
+  config.hpl.nb = opts.get_int("nb", 32);
+  config.hpl.grid_p = static_cast<int>(opts.get_int("p", 2));
+  config.hpl.grid_q = static_cast<int>(opts.get_int("q", 2));
+  config.group_size = static_cast<int>(opts.get_int("group", 4));
+  config.ckpt_every_panels = opts.get_int("ckpt-every", 2);
+  config.strategy = parse_strategy(opts.get("strategy", "self"));
+
+  storage::SnapshotVault vault;
+  config.vault = &vault;
+  config.device = storage::ssd_profile();
+
+  const int ranks = config.hpl.grid_p * config.hpl.grid_q;
+  sim::Cluster cluster({.num_nodes = ranks, .spare_nodes = 2, .nodes_per_rack = 4});
+  sim::FailureInjector injector;
+  if (!opts.get_bool("no-kill", false)) {
+    const int kill_panel = static_cast<int>(opts.get_int("kill-panel", 4));
+    injector.add_rule(
+        {.point = "hpl.panel", .world_rank = 1, .hit = kill_panel, .repeat = false});
+    std::printf("will power off rank 1's node at elimination panel %d\n", kill_panel);
+  }
+
+  mpi::JobLauncher launcher(cluster, &injector, {.max_restarts = 3, .detect_delay_s = 3.0});
+  hpl::SktHplResult last{};
+  const mpi::LaunchResult result = launcher.run(ranks, [&](mpi::Comm& world) {
+    const hpl::SktHplResult r = hpl::run_skt_hpl(world, config);
+    if (world.rank() == 0) last = r;
+  });
+
+  std::printf("\n=== SKT-HPL (%s) ===\n", std::string(ckpt::to_string(config.strategy)).c_str());
+  util::Table table({"metric", "value"});
+  table.add_row({"problem size N", std::to_string(config.hpl.n)});
+  table.add_row({"grid", std::to_string(config.hpl.grid_p) + " x " +
+                             std::to_string(config.hpl.grid_q)});
+  table.add_row({"completed", result.success ? "yes" : "NO"});
+  table.add_row({"restarts (node losses survived)", std::to_string(result.restarts)});
+  table.add_row({"resumed from checkpoint", last.restored ? "yes" : "no"});
+  table.add_row({"checkpoints in final attempt", std::to_string(last.checkpoints)});
+  table.add_row({"checkpoint size/process", util::format_bytes(last.ckpt_bytes)});
+  table.add_row({"checksum size/process", util::format_bytes(last.checksum_bytes)});
+  table.add_row({"GFLOP/s (final attempt)",
+                 util::format("{:.2f}", last.hpl.gflops)});
+  table.add_row({"residual (scaled)", util::format("{:.3e}", last.hpl.residual.scaled)});
+  table.add_row({"HPL verification", last.hpl.residual.pass ? "PASSED" : "FAILED"});
+  table.add_row({"total wall time", util::format_seconds(result.total_real_s)});
+  table.print();
+
+  if (!result.success) std::printf("failure: %s\n", result.failure.c_str());
+  return result.success && last.hpl.residual.pass ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+#include "ckpt/blcr_checkpoint.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/clock.hpp"
+
+namespace skt::ckpt {
+
+BlcrCheckpoint::BlcrCheckpoint(Params params)
+    : params_(std::move(params)), device_(params_.device) {
+  if (params_.data_bytes == 0) throw std::invalid_argument("BlcrCheckpoint: data_bytes == 0");
+  if (params_.user_bytes == 0) throw std::invalid_argument("BlcrCheckpoint: user_bytes == 0");
+  if (params_.vault == nullptr) throw std::invalid_argument("BlcrCheckpoint: vault required");
+  app_.assign(params_.data_bytes, std::byte{0});
+  user_.assign(params_.user_bytes, std::byte{0});
+}
+
+std::string BlcrCheckpoint::image_key(std::uint64_t epoch) const {
+  return params_.key_prefix + ".r" + std::to_string(world_rank_) + ".blcr.img.e" +
+         std::to_string(epoch);
+}
+
+void BlcrCheckpoint::require_open() const {
+  if (world_rank_ < 0) throw std::logic_error("BlcrCheckpoint: open() has not been called");
+}
+
+bool BlcrCheckpoint::open(CommCtx ctx) {
+  world_rank_ = ctx.group.world_rank();
+  // Find this rank's newest image on disk (disk survives node loss).
+  epoch_ = 0;
+  for (std::uint64_t e = 1;; ++e) {
+    if (!params_.vault->exists(image_key(e))) break;
+    epoch_ = e;
+  }
+  const std::uint64_t newest = ctx.world.allreduce_value<std::uint64_t>(epoch_, mpi::Max{});
+  return newest >= 1;
+}
+
+std::span<std::byte> BlcrCheckpoint::data() {
+  require_open();
+  return app_;
+}
+
+std::span<std::byte> BlcrCheckpoint::user_state() { return user_; }
+
+CommitStats BlcrCheckpoint::commit(CommCtx ctx) {
+  require_open();
+  ctx.group.failpoint("ckpt.begin");
+  ctx.world.barrier();
+
+  CommitStats stats;
+  stats.epoch = epoch_ + 1;
+
+  std::vector<std::byte> image(app_.size() + user_.size());
+  std::memcpy(image.data(), app_.data(), app_.size());
+  std::memcpy(image.data() + app_.size(), user_.data(), user_.size());
+  ctx.group.failpoint("ckpt.mid_update");
+
+  util::WallTimer timer;
+  params_.vault->put(image_key(stats.epoch), image);
+  stats.device_s = device_.write_seconds(image.size());
+  ctx.group.charge_virtual(stats.device_s);
+  stats.flush_s = timer.seconds();
+  ctx.group.failpoint("ckpt.flushed");
+
+  // Garbage-collect the grandparent image; parent is kept so a failure
+  // during the next write still has a complete fallback.
+  if (stats.epoch >= 2) params_.vault->remove(image_key(stats.epoch - 2));
+
+  epoch_ = stats.epoch;
+  stats.checkpoint_bytes = image.size();
+  ctx.group.record_time("checkpoint", stats.device_s + stats.flush_s);
+  ctx.world.barrier();
+  return stats;
+}
+
+RestoreStats BlcrCheckpoint::restore(CommCtx ctx) {
+  require_open();
+  ctx.group.failpoint("ckpt.restore");
+
+  // The restart set is the newest epoch every rank has on disk.
+  const std::uint64_t target = ctx.world.allreduce_value<std::uint64_t>(epoch_, mpi::Min{});
+  if (target == 0) {
+    throw Unrecoverable("blcr: some rank has no checkpoint image on disk");
+  }
+
+  RestoreStats stats;
+  stats.epoch = target;
+  util::WallTimer timer;
+  const auto image = params_.vault->get(image_key(target));
+  if (!image.has_value() || image->size() != app_.size() + user_.size()) {
+    throw Unrecoverable("blcr: image for epoch " + std::to_string(target) + " missing/corrupt");
+  }
+  const double read_s = device_.read_seconds(image->size());
+  ctx.group.charge_virtual(read_s);
+  std::memcpy(app_.data(), image->data(), app_.size());
+  std::memcpy(user_.data(), image->data() + app_.size(), user_.size());
+  epoch_ = target;
+
+  stats.rebuild_s = timer.seconds() + read_s;
+  ctx.group.record_time("recover", stats.rebuild_s);
+  ctx.world.barrier();
+  return stats;
+}
+
+std::size_t BlcrCheckpoint::memory_bytes() const {
+  return app_.size() + user_.size();  // images live on disk
+}
+
+std::uint64_t BlcrCheckpoint::committed_epoch() const { return epoch_; }
+
+}  // namespace skt::ckpt

@@ -1,0 +1,53 @@
+// BLCR-style full-image checkpoint to a storage device (Table 3 baselines
+// BLCR+HDD and BLCR+SSD).
+//
+// Every commit serializes [A|A2] into the SnapshotVault — the simulation's
+// durable disk — and charges the device's transfer time to the rank's
+// virtual clock. Two image generations are retained so a failure during a
+// write always leaves a complete previous image, and restore() agrees on
+// the newest epoch present on every rank.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ckpt/protocol.hpp"
+#include "storage/device.hpp"
+#include "storage/snapshot_vault.hpp"
+
+namespace skt::ckpt {
+
+class BlcrCheckpoint final : public CheckpointProtocol {
+ public:
+  struct Params {
+    std::string key_prefix = "skt";
+    std::size_t data_bytes = 0;
+    std::size_t user_bytes = 64;
+    storage::SnapshotVault* vault = nullptr;  ///< required
+    storage::DeviceProfile device;            ///< e.g. hdd_profile(ranks_per_node)
+  };
+
+  explicit BlcrCheckpoint(Params params);
+
+  bool open(CommCtx ctx) override;
+  [[nodiscard]] std::span<std::byte> data() override;
+  [[nodiscard]] std::span<std::byte> user_state() override;
+  CommitStats commit(CommCtx ctx) override;
+  RestoreStats restore(CommCtx ctx) override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] Strategy strategy() const override { return Strategy::kBlcr; }
+  [[nodiscard]] std::uint64_t committed_epoch() const override;
+
+ private:
+  [[nodiscard]] std::string image_key(std::uint64_t epoch) const;
+  void require_open() const;
+
+  Params params_;
+  storage::Device device_;
+  std::vector<std::byte> app_;
+  std::vector<std::byte> user_;
+  int world_rank_ = -1;
+  std::uint64_t epoch_ = 0;  ///< newest image this rank has written/read
+};
+
+}  // namespace skt::ckpt

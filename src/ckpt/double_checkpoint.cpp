@@ -1,0 +1,195 @@
+#include "ckpt/double_checkpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "ckpt/epoch.hpp"
+#include "util/clock.hpp"
+
+namespace skt::ckpt {
+
+DoubleCheckpoint::DoubleCheckpoint(Params params) : params_(std::move(params)) {
+  if (params_.data_bytes == 0) throw std::invalid_argument("DoubleCheckpoint: data_bytes == 0");
+  if (params_.user_bytes == 0) throw std::invalid_argument("DoubleCheckpoint: user_bytes == 0");
+  combined_bytes_ = params_.data_bytes + params_.user_bytes;
+  app_.assign(params_.data_bytes, std::byte{0});
+  user_.assign(params_.user_bytes, std::byte{0});
+}
+
+std::string DoubleCheckpoint::key(const char* part, int pair) const {
+  return params_.key_prefix + ".r" + std::to_string(world_rank_) + ".double." + part +
+         std::to_string(pair);
+}
+
+std::string DoubleCheckpoint::key(const char* part) const {
+  return params_.key_prefix + ".r" + std::to_string(world_rank_) + ".double." + part;
+}
+
+void DoubleCheckpoint::require_open() const {
+  if (!ckpt_[0]) throw std::logic_error("DoubleCheckpoint: open() has not been called");
+}
+
+bool DoubleCheckpoint::open(CommCtx ctx) {
+  world_rank_ = ctx.group.world_rank();
+  codec_.emplace(params_.codec, combined_bytes_, ctx.group.size());
+
+  sim::PersistentStore& store = ctx.group.store();
+  const std::string hdr_key = key("hdr");
+  survivor_ = false;
+  if (sim::SegmentPtr existing = store.attach(hdr_key); existing != nullptr) {
+    if (load_header(existing).valid()) survivor_ = true;
+  }
+
+  for (int p = 0; p < 2; ++p) {
+    ckpt_[p] = store.create(key("B", p), codec_->padded_bytes());
+    check_[p] = store.create(key("C", p), codec_->checksum_bytes());
+  }
+  header_ = store.create(hdr_key, sizeof(Header));
+
+  const Header mine = load_header(header_);
+  const EpochSummary global =
+      summarize_epochs(ctx.world, survivor_, mine.bc_epoch, mine.d_epoch);
+  if (!global.any_survivor) {
+    store_header(header_, load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                                       static_cast<std::uint32_t>(ctx.group.size()),
+                                       static_cast<std::uint32_t>(params_.codec)));
+    survivor_ = true;
+    return false;
+  }
+  return global.bc_max >= 1 || global.d_max >= 1;
+}
+
+std::span<std::byte> DoubleCheckpoint::data() {
+  require_open();
+  return app_;
+}
+
+std::span<std::byte> DoubleCheckpoint::user_state() { return user_; }
+
+CommitStats DoubleCheckpoint::commit(CommCtx ctx) {
+  require_open();
+  Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                          static_cast<std::uint32_t>(ctx.group.size()),
+                          static_cast<std::uint32_t>(params_.codec));
+  // Globally agreed epoch (see the note in SelfCheckpoint::commit).
+  const std::uint64_t next = ctx.world.allreduce_value<std::uint64_t>(
+                                 std::max(h.bc_epoch, h.d_epoch), mpi::Max{}) +
+                             1;
+  // Alternate targets: epoch e lives in pair e % 2, so the commit always
+  // overwrites the older pair and the newer one stays intact throughout.
+  const int target = static_cast<int>(next % 2);
+
+  ctx.group.failpoint("ckpt.begin");
+  ctx.world.barrier();
+
+  CommitStats stats;
+  stats.epoch = next;
+  util::WallTimer flush_timer;
+  std::memcpy(ckpt_[target]->bytes().data(), app_.data(), app_.size());
+  std::memcpy(ckpt_[target]->bytes().data() + app_.size(), user_.data(), user_.size());
+  stats.flush_s = flush_timer.seconds();
+  ctx.group.failpoint("ckpt.mid_update");
+
+  const double encode_virtual_before = ctx.group.virtual_seconds();
+  util::WallTimer encode_timer;
+  codec_->encode(ctx.group, ckpt_[target]->bytes(), check_[target]->bytes());
+  stats.encode_s = encode_timer.seconds();
+  stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
+  ctx.group.failpoint("ckpt.encode_done");
+
+  // Global barrier before publication: no rank may declare the new pair
+  // committed until every rank finished writing it.
+  ctx.world.barrier();
+  if (target == 0) {
+    h.bc_epoch = next;
+  } else {
+    h.d_epoch = next;
+  }
+  store_header(header_, h);
+  ctx.group.failpoint("ckpt.flushed");
+  ctx.world.barrier();
+
+  stats.checkpoint_bytes = ckpt_[target]->size();
+  stats.checksum_bytes = check_[target]->size();
+  ctx.group.record_time("checkpoint", stats.total_s());
+  return stats;
+}
+
+RestoreStats DoubleCheckpoint::restore(CommCtx ctx) {
+  require_open();
+  ctx.group.failpoint("ckpt.restore");
+
+  const Header mine = load_header(header_);
+  const EpochSummary global =
+      summarize_epochs(ctx.world, survivor_, mine.bc_epoch, mine.d_epoch);
+  const std::vector<int> missing = missing_members(ctx.group, survivor_);
+  if (missing.size() > 1) {
+    throw Unrecoverable("double-checkpoint: multiple members lost in one group");
+  }
+
+  // A pair is usable when its epoch is uniform across survivors (a pair
+  // under active overwrite at failure time has mixed epochs). Choose the
+  // newest usable one.
+  const bool pair0_ok = global.bc_min == global.bc_max && global.bc_min >= 1;
+  const bool pair1_ok = global.d_min == global.d_max && global.d_min >= 1;
+  int pair = -1;
+  std::uint64_t target = 0;
+  if (pair0_ok && global.bc_min > target) {
+    pair = 0;
+    target = global.bc_min;
+  }
+  if (pair1_ok && global.d_min > target) {
+    pair = 1;
+    target = global.d_min;
+  }
+  if (pair < 0) {
+    throw Unrecoverable("double-checkpoint: no complete pair to restore");
+  }
+
+  RestoreStats stats;
+  stats.epoch = target;
+  util::WallTimer timer;
+
+  if (!missing.empty()) {
+    codec_->rebuild(ctx.group, missing.front(), ckpt_[pair]->bytes(), check_[pair]->bytes());
+  }
+  std::memcpy(app_.data(), ckpt_[pair]->bytes().data(), app_.size());
+  std::memcpy(user_.data(), ckpt_[pair]->bytes().data() + app_.size(), user_.size());
+
+  // Re-sync the header. A rebuilt member only holds the restored pair; its
+  // other pair reads epoch 0 until the next commit overwrites it, which the
+  // newest-usable-pair rule tolerates.
+  Header h = load_header(header_);
+  h.magic = Header::kMagic;
+  h.data_bytes = params_.data_bytes;
+  h.user_bytes = params_.user_bytes;
+  h.group_size = static_cast<std::uint32_t>(ctx.group.size());
+  h.codec = static_cast<std::uint32_t>(params_.codec);
+  if (!survivor_) {
+    h.bc_epoch = pair == 0 ? target : 0;
+    h.d_epoch = pair == 1 ? target : 0;
+  }
+  store_header(header_, h);
+  survivor_ = true;
+
+  stats.rebuild_s = timer.seconds();
+  stats.rebuilt_member = !missing.empty() && missing.front() == ctx.group.rank();
+  ctx.group.record_time("recover", stats.rebuild_s);
+  ctx.world.barrier();
+  return stats;
+}
+
+std::size_t DoubleCheckpoint::memory_bytes() const {
+  if (!ckpt_[0]) return 0;
+  return app_.size() + user_.size() + ckpt_[0]->size() + ckpt_[1]->size() + check_[0]->size() +
+         check_[1]->size() + sizeof(Header);
+}
+
+std::uint64_t DoubleCheckpoint::committed_epoch() const {
+  if (!header_) return 0;
+  const Header h = load_header(header_);
+  return h.valid() ? std::max(h.bc_epoch, h.d_epoch) : 0;
+}
+
+}  // namespace skt::ckpt

@@ -1,0 +1,57 @@
+// Double in-memory checkpoint (Fig. 3) — the state-of-the-art baseline
+// (SCR's in-memory level; Zheng et al.'s buddy scheme generalized to
+// groups). Two (checkpoint, checksum) pairs alternate as commit targets,
+// so one complete pair always exists; the price is a second full copy,
+// leaving less than 1/3 of memory for the application (Eq. 3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/header.hpp"
+#include "ckpt/protocol.hpp"
+#include "encoding/group_codec.hpp"
+
+namespace skt::ckpt {
+
+class DoubleCheckpoint final : public CheckpointProtocol {
+ public:
+  struct Params {
+    std::string key_prefix = "skt";
+    std::size_t data_bytes = 0;
+    std::size_t user_bytes = 64;
+    enc::CodecKind codec = enc::CodecKind::kXor;
+  };
+
+  explicit DoubleCheckpoint(Params params);
+
+  bool open(CommCtx ctx) override;
+  [[nodiscard]] std::span<std::byte> data() override;
+  [[nodiscard]] std::span<std::byte> user_state() override;
+  CommitStats commit(CommCtx ctx) override;
+  RestoreStats restore(CommCtx ctx) override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] Strategy strategy() const override { return Strategy::kDouble; }
+  [[nodiscard]] std::uint64_t committed_epoch() const override;
+
+ private:
+  [[nodiscard]] std::string key(const char* part, int pair) const;
+  [[nodiscard]] std::string key(const char* part) const;
+  void require_open() const;
+
+  Params params_;
+  std::size_t combined_bytes_ = 0;
+  std::optional<enc::GroupCodec> codec_;
+
+  std::vector<std::byte> app_;
+  std::vector<std::byte> user_;
+
+  int world_rank_ = -1;
+  bool survivor_ = false;
+  sim::SegmentPtr ckpt_[2];   // B, b
+  sim::SegmentPtr check_[2];  // C, c
+  sim::SegmentPtr header_;    // bc_epoch = pair 0's epoch, d_epoch = pair 1's
+};
+
+}  // namespace skt::ckpt

@@ -1,0 +1,76 @@
+// Epoch agreement helpers shared by the in-memory strategies.
+//
+// After a restart, every rank reports whether it still holds checkpoint
+// state (survivor) and at which epochs. The side/epoch decision must be
+// global — the commit state machine is globally barriered — while member
+// rebuild happens per encoding group.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ckpt/protocol.hpp"
+#include "mpi/comm.hpp"
+
+namespace skt::ckpt {
+
+/// Global min/max of the two header epochs across surviving ranks.
+struct EpochSummary {
+  bool any_survivor = false;
+  std::uint64_t bc_min = 0;
+  std::uint64_t bc_max = 0;
+  std::uint64_t d_min = 0;
+  std::uint64_t d_max = 0;
+};
+
+/// Collective over `world`. Ranks with has == false (blank replacement
+/// nodes) contribute neutral elements.
+inline EpochSummary summarize_epochs(mpi::Comm& world, bool has, std::uint64_t bc,
+                                     std::uint64_t d) {
+  constexpr std::uint64_t kHuge = std::numeric_limits<std::uint64_t>::max();
+  struct Payload {
+    std::uint64_t survivors;
+    std::uint64_t bc_min, bc_max, d_min, d_max;
+  };
+  const Payload mine{has ? 1ull : 0ull, has ? bc : kHuge, has ? bc : 0, has ? d : kHuge,
+                     has ? d : 0};
+  Payload out{};
+  // One allgather instead of five allreduces keeps the round count low.
+  struct Entry {
+    Payload p;
+  };
+  const std::vector<Entry> all = world.allgather<Entry>(
+      std::span<const Entry>(reinterpret_cast<const Entry*>(&mine), 1));
+  out = Payload{0, kHuge, 0, kHuge, 0};
+  for (const Entry& e : all) {
+    out.survivors += e.p.survivors;
+    out.bc_min = std::min(out.bc_min, e.p.bc_min);
+    out.bc_max = std::max(out.bc_max, e.p.bc_max);
+    out.d_min = std::min(out.d_min, e.p.d_min);
+    out.d_max = std::max(out.d_max, e.p.d_max);
+  }
+  EpochSummary s;
+  s.any_survivor = out.survivors > 0;
+  if (s.any_survivor) {
+    s.bc_min = out.bc_min;
+    s.bc_max = out.bc_max;
+    s.d_min = out.d_min;
+    s.d_max = out.d_max;
+  }
+  return s;
+}
+
+/// Collective over `group`: ranks of this group that lost their state.
+inline std::vector<int> missing_members(mpi::Comm& group, bool has) {
+  const std::uint8_t mine = has ? 1 : 0;
+  const std::vector<std::uint8_t> flags =
+      group.allgather<std::uint8_t>(std::span<const std::uint8_t>(&mine, 1));
+  std::vector<int> missing;
+  for (int r = 0; r < group.size(); ++r) {
+    if (flags[static_cast<std::size_t>(r)] == 0) missing.push_back(r);
+  }
+  return missing;
+}
+
+}  // namespace skt::ckpt

@@ -1,0 +1,32 @@
+// Strategy factory: one place that maps a Strategy enum plus common
+// parameters onto a concrete CheckpointProtocol.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ckpt/protocol.hpp"
+#include "encoding/codec.hpp"
+#include "storage/device.hpp"
+#include "storage/snapshot_vault.hpp"
+
+namespace skt::ckpt {
+
+struct FactoryParams {
+  std::string key_prefix = "skt";
+  std::size_t data_bytes = 0;
+  std::size_t user_bytes = 64;
+  enc::CodecKind codec = enc::CodecKind::kXor;
+  /// Self-checkpoint only: 1 = single-erasure (paper default), 2 = the
+  /// RAID-6-style dual-erasure extension.
+  int parity_degree = 1;
+  /// BLCR only:
+  storage::SnapshotVault* vault = nullptr;
+  storage::DeviceProfile device;
+};
+
+/// Strategy::kNone is rejected (there is no protocol object for it).
+[[nodiscard]] std::unique_ptr<CheckpointProtocol> make_protocol(Strategy strategy,
+                                                                const FactoryParams& params);
+
+}  // namespace skt::ckpt

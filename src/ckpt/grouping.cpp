@@ -1,0 +1,106 @@
+#include "ckpt/grouping.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace skt::ckpt {
+
+GroupAssignment plan_groups(int world_size, int group_size, const std::vector<int>& node_ids,
+                            const std::vector<int>& rack_ids, Mapping mapping) {
+  if (group_size < 2) throw std::invalid_argument("plan_groups: group_size must be >= 2");
+  if (world_size % group_size != 0) {
+    throw std::invalid_argument("plan_groups: world size must be a multiple of group size");
+  }
+  if (static_cast<int>(node_ids.size()) != world_size ||
+      static_cast<int>(rack_ids.size()) != world_size) {
+    throw std::invalid_argument("plan_groups: node/rack arrays must have world size entries");
+  }
+
+  GroupAssignment assignment;
+  assignment.group_size = group_size;
+  assignment.num_groups = world_size / group_size;
+  assignment.color.assign(static_cast<std::size_t>(world_size), -1);
+
+  if (mapping == Mapping::kNeighbor) {
+    // Consecutive ranks form a group. With k ranks per node and ranks laid
+    // out node-major, group g takes ranks [g*G, (g+1)*G) — but consecutive
+    // ranks can share a node, so interleave: rank r joins group
+    // (r / k) % num_groups where k = ranks per node... Instead of guessing
+    // the layout, greedily pack ranks into the lowest-numbered group that
+    // has room and no member on the same node. For the common node-major
+    // layouts this reproduces the neighbor mapping.
+    std::vector<int> fill(static_cast<std::size_t>(assignment.num_groups), 0);
+    std::vector<std::set<int>> nodes_in(static_cast<std::size_t>(assignment.num_groups));
+    for (int r = 0; r < world_size; ++r) {
+      int chosen = -1;
+      for (int g = 0; g < assignment.num_groups; ++g) {
+        if (fill[static_cast<std::size_t>(g)] == group_size) continue;
+        if (nodes_in[static_cast<std::size_t>(g)].contains(node_ids[static_cast<std::size_t>(r)]))
+          continue;
+        chosen = g;
+        break;
+      }
+      if (chosen < 0) {
+        throw std::invalid_argument(
+            "plan_groups: cannot satisfy distinct-node constraint (too few nodes for this "
+            "group size)");
+      }
+      assignment.color[static_cast<std::size_t>(r)] = chosen;
+      ++fill[static_cast<std::size_t>(chosen)];
+      nodes_in[static_cast<std::size_t>(chosen)].insert(node_ids[static_cast<std::size_t>(r)]);
+    }
+  } else {
+    // Spread: stride by num_groups so each group's members land far apart
+    // (across racks when racks are contiguous node ranges).
+    std::vector<int> fill(static_cast<std::size_t>(assignment.num_groups), 0);
+    std::vector<std::set<int>> nodes_in(static_cast<std::size_t>(assignment.num_groups));
+    for (int r = 0; r < world_size; ++r) {
+      const int preferred = r % assignment.num_groups;
+      int chosen = -1;
+      for (int probe = 0; probe < assignment.num_groups; ++probe) {
+        const int g = (preferred + probe) % assignment.num_groups;
+        if (fill[static_cast<std::size_t>(g)] == group_size) continue;
+        if (nodes_in[static_cast<std::size_t>(g)].contains(node_ids[static_cast<std::size_t>(r)]))
+          continue;
+        chosen = g;
+        break;
+      }
+      if (chosen < 0) {
+        throw std::invalid_argument(
+            "plan_groups: cannot satisfy distinct-node constraint (too few nodes for this "
+            "group size)");
+      }
+      assignment.color[static_cast<std::size_t>(r)] = chosen;
+      ++fill[static_cast<std::size_t>(chosen)];
+      nodes_in[static_cast<std::size_t>(chosen)].insert(node_ids[static_cast<std::size_t>(r)]);
+    }
+  }
+  return assignment;
+}
+
+mpi::Comm make_group_comm(mpi::Comm& world, const GroupAssignment& assignment) {
+  if (static_cast<int>(assignment.color.size()) != world.size()) {
+    throw std::invalid_argument("make_group_comm: assignment size mismatch");
+  }
+  const int color = assignment.color[static_cast<std::size_t>(world.rank())];
+  return world.split(color, world.rank());
+}
+
+bool distinct_nodes(const GroupAssignment& assignment, const std::vector<int>& node_ids) {
+  std::vector<std::set<int>> nodes_in(static_cast<std::size_t>(assignment.num_groups));
+  for (std::size_t r = 0; r < assignment.color.size(); ++r) {
+    const int g = assignment.color[r];
+    if (!nodes_in[static_cast<std::size_t>(g)].insert(node_ids[r]).second) return false;
+  }
+  return true;
+}
+
+int racks_spanned(const GroupAssignment& assignment, int group, const std::vector<int>& rack_ids) {
+  std::set<int> racks;
+  for (std::size_t r = 0; r < assignment.color.size(); ++r) {
+    if (assignment.color[r] == group) racks.insert(rack_ids[r]);
+  }
+  return static_cast<int>(racks.size());
+}
+
+}  // namespace skt::ckpt

@@ -1,0 +1,54 @@
+// Group partitioning and process-mapping strategies (Section 3.3).
+//
+// Constraints and trade-offs from the paper:
+//  * members of one group MUST sit on distinct physical nodes, or a node
+//    loss takes out several stripes of one code word;
+//  * neighboring nodes give faster encoding (the paper's default);
+//  * spreading a group across racks additionally survives a rack/switch
+//    failure, at some communication cost (left as the explored alternative).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+namespace skt::ckpt {
+
+enum class Mapping {
+  kNeighbor,  ///< consecutive ranks — fastest encoding (paper's default)
+  kSpread,    ///< stride placement — groups span racks for rack-failure tolerance
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Mapping m) {
+  return m == Mapping::kNeighbor ? "neighbor" : "spread";
+}
+
+struct GroupAssignment {
+  std::vector<int> color;  ///< group id per world rank
+  int num_groups = 0;
+  int group_size = 0;
+};
+
+/// Plan groups of `group_size` over `world.size()` ranks given each rank's
+/// node id (node_ids[r]) and rack id (rack_ids[r]). world.size() must be a
+/// multiple of group_size. Throws std::invalid_argument when the
+/// distinct-node constraint cannot be met.
+[[nodiscard]] GroupAssignment plan_groups(int world_size, int group_size,
+                                          const std::vector<int>& node_ids,
+                                          const std::vector<int>& rack_ids, Mapping mapping);
+
+/// Collective: build this rank's group communicator from an assignment.
+[[nodiscard]] mpi::Comm make_group_comm(mpi::Comm& world, const GroupAssignment& assignment);
+
+/// Validation used by tests: true iff every group's members are on
+/// pairwise-distinct nodes.
+[[nodiscard]] bool distinct_nodes(const GroupAssignment& assignment,
+                                  const std::vector<int>& node_ids);
+
+/// Number of racks the members of `group` span (reliability metric for the
+/// mapping ablation bench).
+[[nodiscard]] int racks_spanned(const GroupAssignment& assignment, int group,
+                                const std::vector<int>& rack_ids);
+
+}  // namespace skt::ckpt

@@ -1,0 +1,304 @@
+#include "ckpt/incremental.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "ckpt/epoch.hpp"
+#include "util/clock.hpp"
+
+namespace skt::ckpt {
+namespace {
+
+/// Header "codec" tag distinguishing the incremental layout.
+constexpr std::uint32_t kIncrementalTag = 0x1000;
+
+void xor_reduce(mpi::Comm& group, int root, std::span<const std::byte> in,
+                std::span<std::byte> out) {
+  const std::span<const std::uint64_t> in64{
+      reinterpret_cast<const std::uint64_t*>(in.data()), in.size() / sizeof(std::uint64_t)};
+  const std::span<std::uint64_t> out64{reinterpret_cast<std::uint64_t*>(out.data()),
+                                       out.size() / sizeof(std::uint64_t)};
+  group.reduce<std::uint64_t>(root, in64, out64, mpi::BXor{});
+}
+
+}  // namespace
+
+IncrementalSelfCheckpoint::IncrementalSelfCheckpoint(Params params)
+    : params_(std::move(params)) {
+  if (params_.data_bytes == 0) {
+    throw std::invalid_argument("IncrementalSelfCheckpoint: data_bytes == 0");
+  }
+  if (params_.user_bytes == 0) {
+    throw std::invalid_argument("IncrementalSelfCheckpoint: user_bytes == 0");
+  }
+  combined_bytes_ = params_.data_bytes + params_.user_bytes;
+  user_.assign(params_.user_bytes, std::byte{0});
+}
+
+std::string IncrementalSelfCheckpoint::key(const char* part) const {
+  return params_.key_prefix + ".r" + std::to_string(world_rank_) + ".incr." + part;
+}
+
+void IncrementalSelfCheckpoint::require_open() const {
+  if (!work_) throw std::logic_error("IncrementalSelfCheckpoint: open() not called");
+}
+
+bool IncrementalSelfCheckpoint::open(CommCtx ctx) {
+  world_rank_ = ctx.group.world_rank();
+  group_size_ = ctx.group.size();
+  codec_ = std::make_unique<enc::GroupCodec>(enc::CodecKind::kXor, combined_bytes_,
+                                             group_size_);
+  dirty_.assign(static_cast<std::size_t>(group_size_ - 1), 1);  // first commit is full
+
+  sim::PersistentStore& store = ctx.group.store();
+  const std::string hdr_key = key("hdr");
+  survivor_ = false;
+  if (sim::SegmentPtr existing = store.attach(hdr_key); existing != nullptr) {
+    const Header h = load_header(existing);
+    if (h.valid()) {
+      if (h.data_bytes != params_.data_bytes || h.user_bytes != params_.user_bytes ||
+          h.group_size != static_cast<std::uint32_t>(group_size_) ||
+          h.codec != kIncrementalTag) {
+        throw std::logic_error("IncrementalSelfCheckpoint: layout mismatch");
+      }
+      survivor_ = true;
+    }
+  }
+
+  work_ = store.create(key("work"), codec_->padded_bytes());
+  ckpt_b_ = store.create(key("B"), codec_->padded_bytes());
+  check_c_ = store.create(key("C"), codec_->checksum_bytes());
+  check_d_ = store.create(key("D"), codec_->checksum_bytes());
+  header_ = store.create(hdr_key, sizeof(Header));
+
+  const Header mine = load_header(header_);
+  const EpochSummary global =
+      summarize_epochs(ctx.world, survivor_, mine.bc_epoch, mine.d_epoch);
+  if (!global.any_survivor) {
+    store_header(header_, load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                                       static_cast<std::uint32_t>(group_size_),
+                                       kIncrementalTag));
+    survivor_ = true;
+    return false;
+  }
+  return global.bc_max >= 1 || global.d_max >= 1;
+}
+
+std::span<std::byte> IncrementalSelfCheckpoint::data() {
+  require_open();
+  return work_->bytes().subspan(0, params_.data_bytes);
+}
+
+std::span<std::byte> IncrementalSelfCheckpoint::user_state() { return user_; }
+
+void IncrementalSelfCheckpoint::mark_dirty_stripes(std::size_t offset, std::size_t len) {
+  if (len == 0) return;
+  const std::size_t stripe = codec_->layout().stripe_bytes();
+  const std::size_t first = offset / stripe;
+  const std::size_t last = (offset + len - 1) / stripe;
+  for (std::size_t s = first; s <= last && s < dirty_.size(); ++s) dirty_[s] = 1;
+}
+
+void IncrementalSelfCheckpoint::mark_dirty(std::size_t offset, std::size_t len) {
+  require_open();
+  if (offset + len > params_.data_bytes) {
+    throw std::out_of_range("mark_dirty: range exceeds data()");
+  }
+  mark_dirty_stripes(offset, len);
+}
+
+void IncrementalSelfCheckpoint::mark_all_dirty() {
+  require_open();
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{1});
+}
+
+std::size_t IncrementalSelfCheckpoint::dirty_bytes() const {
+  const std::size_t stripe = codec_ ? codec_->layout().stripe_bytes() : 0;
+  std::size_t total = 0;
+  for (std::uint8_t d : dirty_) total += d ? stripe : 0;
+  return total;
+}
+
+CommitStats IncrementalSelfCheckpoint::commit(CommCtx ctx) {
+  require_open();
+  Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                          static_cast<std::uint32_t>(group_size_), kIncrementalTag);
+  const std::uint64_t next =
+      ctx.world.allreduce_value<std::uint64_t>(h.bc_epoch, mpi::Max{}) + 1;
+
+  ctx.group.failpoint("ckpt.begin");
+  ctx.world.barrier();
+
+  // A2 -> B2; the user-state tail always counts as dirty.
+  std::memcpy(work_->bytes().data() + params_.data_bytes, user_.data(), params_.user_bytes);
+  mark_dirty_stripes(params_.data_bytes, params_.user_bytes);
+  ctx.group.failpoint("ckpt.copy_a2");
+
+  const enc::StripeLayout& layout = codec_->layout();
+  const std::size_t stripe = layout.stripe_bytes();
+  const int me = ctx.group.rank();
+  const int n = group_size_;
+
+  // Which families does anyone need re-encoded? My local stripe s belongs
+  // to family f = s < me ? s : s + 1 (the inverse of stripe_index).
+  std::vector<std::uint8_t> family_dirty(static_cast<std::size_t>(n), 0);
+  for (std::size_t s = 0; s < dirty_.size(); ++s) {
+    if (dirty_[s]) {
+      const auto f = static_cast<std::size_t>(static_cast<int>(s) < me ? s : s + 1);
+      family_dirty[f] = 1;
+    }
+  }
+  std::vector<std::uint8_t> global_dirty(static_cast<std::size_t>(n));
+  ctx.group.allreduce<std::uint8_t>(family_dirty, global_dirty, mpi::Max{});
+
+  CommitStats stats;
+  stats.epoch = next;
+  ctx.group.failpoint("ckpt.encode_begin");
+  const double encode_virtual_before = ctx.group.virtual_seconds();
+  util::WallTimer encode_timer;
+  last_encoded_families_ = 0;
+  std::vector<std::byte> diff(stripe);
+  std::vector<std::byte> reduced(stripe);
+  for (int f = 0; f < n; ++f) {
+    if (!global_dirty[static_cast<std::size_t>(f)]) {
+      // Nobody touched this family: the old checksum still describes the
+      // working side.
+      if (me == f) {
+        std::memcpy(check_d_->bytes().data() + static_cast<std::size_t>(0),
+                    check_c_->bytes().data(), stripe);
+      }
+      continue;
+    }
+    ++last_encoded_families_;
+    std::fill(diff.begin(), diff.end(), std::byte{0});
+    if (me != f) {
+      const std::size_t s = layout.stripe_index(me, f);
+      if (dirty_[s]) {
+        const std::byte* b = ckpt_b_->bytes().data() + s * stripe;
+        const std::byte* w = work_->bytes().data() + s * stripe;
+        for (std::size_t i = 0; i < stripe; ++i) diff[i] = b[i] ^ w[i];
+      }
+    }
+    xor_reduce(ctx.group, f, diff, me == f ? std::span<std::byte>(reduced) : std::span<std::byte>{});
+    if (me == f) {
+      std::byte* d = check_d_->bytes().data();
+      const std::byte* c = check_c_->bytes().data();
+      for (std::size_t i = 0; i < stripe; ++i) d[i] = c[i] ^ reduced[i];
+    }
+  }
+  stats.encode_s = encode_timer.seconds();
+  stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
+  ctx.group.failpoint("ckpt.encode_done");
+
+  ctx.world.barrier();
+  h.d_epoch = next;
+  store_header(header_, h);
+  ctx.group.failpoint("ckpt.sealed");
+  ctx.world.barrier();
+
+  // Flush only the dirty stripes (plus the small checksum).
+  util::WallTimer flush_timer;
+  std::size_t flushed = 0;
+  for (std::size_t s = 0; s < dirty_.size(); ++s) {
+    if (!dirty_[s]) continue;
+    std::memcpy(ckpt_b_->bytes().data() + s * stripe, work_->bytes().data() + s * stripe,
+                stripe);
+    flushed += stripe;
+  }
+  ctx.group.failpoint("ckpt.mid_flush");
+  std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), stripe);
+  stats.flush_s = flush_timer.seconds();
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+  h.bc_epoch = next;
+  store_header(header_, h);
+  ctx.group.failpoint("ckpt.flushed");
+  ctx.world.barrier();
+
+  stats.checkpoint_bytes = flushed;
+  stats.checksum_bytes = stripe;
+  ctx.group.record_time("checkpoint", stats.encode_s + stats.flush_s);
+  return stats;
+}
+
+RestoreStats IncrementalSelfCheckpoint::restore(CommCtx ctx) {
+  require_open();
+  ctx.group.failpoint("ckpt.restore");
+
+  const Header mine = load_header(header_);
+  const EpochSummary global =
+      summarize_epochs(ctx.world, survivor_, mine.bc_epoch, mine.d_epoch);
+  const std::vector<int> missing = missing_members(ctx.group, survivor_);
+  if (missing.size() > 1) {
+    throw Unrecoverable("incremental self-checkpoint: multiple members lost in one group");
+  }
+
+  bool use_a_side = false;
+  std::uint64_t target = 0;
+  if (global.d_min == global.d_max && global.d_min > global.bc_min) {
+    use_a_side = true;
+    target = global.d_min;
+  } else if (global.bc_min == global.bc_max) {
+    target = global.bc_min;
+  } else {
+    throw Unrecoverable("incremental self-checkpoint: inconsistent epochs");
+  }
+  if (target == 0) {
+    throw Unrecoverable("incremental self-checkpoint: no committed checkpoint");
+  }
+
+  RestoreStats stats;
+  stats.epoch = target;
+  util::WallTimer timer;
+
+  if (!use_a_side) {
+    if (survivor_) {
+      std::memcpy(work_->bytes().data(), ckpt_b_->bytes().data(), work_->size());
+      std::memcpy(check_d_->bytes().data(), check_c_->bytes().data(), check_c_->size());
+    }
+    if (!missing.empty()) {
+      codec_->rebuild(ctx.group, missing.front(), work_->bytes(), check_d_->bytes());
+      if (!survivor_) {
+        std::memcpy(ckpt_b_->bytes().data(), work_->bytes().data(), work_->size());
+        std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
+      }
+    }
+  } else {
+    if (!missing.empty()) {
+      codec_->rebuild(ctx.group, missing.front(), work_->bytes(), check_d_->bytes());
+    }
+    std::memcpy(ckpt_b_->bytes().data(), work_->bytes().data(), work_->size());
+    std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
+  }
+
+  std::memcpy(user_.data(), work_->bytes().data() + params_.data_bytes, params_.user_bytes);
+  Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                          static_cast<std::uint32_t>(group_size_), kIncrementalTag);
+  h.bc_epoch = target;
+  h.d_epoch = target;
+  store_header(header_, h);
+  survivor_ = true;
+  // B == work everywhere now, so nothing is dirty.
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+
+  stats.rebuild_s = timer.seconds();
+  stats.rebuilt_member =
+      std::find(missing.begin(), missing.end(), ctx.group.rank()) != missing.end();
+  ctx.group.record_time("recover", stats.rebuild_s);
+  ctx.world.barrier();
+  return stats;
+}
+
+std::size_t IncrementalSelfCheckpoint::memory_bytes() const {
+  if (!work_) return 0;
+  return work_->size() + ckpt_b_->size() + check_c_->size() + check_d_->size() + user_.size() +
+         sizeof(Header) + dirty_.size();
+}
+
+std::uint64_t IncrementalSelfCheckpoint::committed_epoch() const {
+  if (!header_) return 0;
+  const Header h = load_header(header_);
+  return h.valid() ? std::max(h.bc_epoch, h.d_epoch) : 0;
+}
+
+}  // namespace skt::ckpt

@@ -1,0 +1,155 @@
+#include "ckpt/multilevel.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "ckpt/factory.hpp"
+#include "util/clock.hpp"
+#include "util/log.hpp"
+
+namespace skt::ckpt {
+
+MultiLevelCheckpoint::MultiLevelCheckpoint(Params params)
+    : params_(std::move(params)), device_(params_.device) {
+  if (params_.vault == nullptr) {
+    throw std::invalid_argument("MultiLevelCheckpoint: vault required");
+  }
+  if (params_.level1 == Strategy::kNone || params_.level1 == Strategy::kBlcr) {
+    throw std::invalid_argument("MultiLevelCheckpoint: level 1 must be an in-memory strategy");
+  }
+  FactoryParams inner;
+  inner.key_prefix = params_.key_prefix + ".L1";
+  inner.data_bytes = params_.data_bytes;
+  inner.user_bytes = params_.user_bytes;
+  inner.codec = params_.codec;
+  inner_ = make_protocol(params_.level1, inner);
+}
+
+std::string MultiLevelCheckpoint::image_key(std::uint64_t epoch) const {
+  return params_.key_prefix + ".r" + std::to_string(world_rank_) + ".L2.img.e" +
+         std::to_string(epoch);
+}
+
+bool MultiLevelCheckpoint::open(CommCtx ctx) {
+  world_rank_ = ctx.group.world_rank();
+  const bool mem = inner_->open(ctx);
+  disk_epoch_ = newest_disk_epoch();
+  const std::uint64_t newest_disk =
+      ctx.world.allreduce_value<std::uint64_t>(disk_epoch_, mpi::Min{});
+  return mem || newest_disk >= 1;
+}
+
+std::string MultiLevelCheckpoint::manifest_key() const {
+  return params_.key_prefix + ".r" + std::to_string(world_rank_) + ".L2.manifest";
+}
+
+MultiLevelCheckpoint::Manifest MultiLevelCheckpoint::load_manifest() const {
+  const auto blob = params_.vault->get(manifest_key());
+  Manifest manifest;
+  if (blob.has_value() && blob->size() == sizeof(Manifest)) {
+    std::memcpy(&manifest, blob->data(), sizeof(Manifest));
+  }
+  return manifest;
+}
+
+void MultiLevelCheckpoint::store_manifest(const Manifest& manifest) {
+  params_.vault->put(manifest_key(),
+                     std::span<const std::byte>(
+                         reinterpret_cast<const std::byte*>(&manifest), sizeof(Manifest)));
+}
+
+std::uint64_t MultiLevelCheckpoint::newest_disk_epoch() const {
+  const Manifest manifest = load_manifest();
+  // Trust the manifest only as far as the images actually exist (a torn
+  // flush may have written the image but not the manifest, or vice versa).
+  if (manifest.newest >= 1 && params_.vault->exists(image_key(manifest.newest))) {
+    return manifest.newest;
+  }
+  if (manifest.previous >= 1 && params_.vault->exists(image_key(manifest.previous))) {
+    return manifest.previous;
+  }
+  return 0;
+}
+
+std::span<std::byte> MultiLevelCheckpoint::data() { return inner_->data(); }
+
+std::span<std::byte> MultiLevelCheckpoint::user_state() { return inner_->user_state(); }
+
+CommitStats MultiLevelCheckpoint::commit(CommCtx ctx) {
+  CommitStats stats = inner_->commit(ctx);
+  if (params_.flush_every > 0 && ++commits_since_flush_ >= params_.flush_every) {
+    commits_since_flush_ = 0;
+    flush_to_disk(ctx, stats.epoch);
+    stats.device_s = device_.write_seconds(params_.data_bytes + params_.user_bytes);
+  }
+  return stats;
+}
+
+void MultiLevelCheckpoint::flush_to_disk(CommCtx ctx, std::uint64_t epoch) {
+  ctx.group.failpoint("ckpt.l2_flush");
+  std::vector<std::byte> image(params_.data_bytes + params_.user_bytes);
+  std::memcpy(image.data(), inner_->data().data(), params_.data_bytes);
+  std::memcpy(image.data() + params_.data_bytes, inner_->user_state().data(),
+              params_.user_bytes);
+  params_.vault->put(image_key(epoch), image);
+  ctx.group.charge_virtual(device_.write_seconds(image.size()));
+
+  // Retain two generations so a torn flush always leaves one complete
+  // generation on every rank; GC the grandparent only.
+  Manifest manifest = load_manifest();
+  if (manifest.previous >= 1) params_.vault->remove(image_key(manifest.previous));
+  manifest.previous = manifest.newest;
+  manifest.newest = epoch;
+  store_manifest(manifest);
+
+  disk_epoch_ = epoch;
+  ++flushes_;
+  // A disk generation is only usable if every rank finished writing it.
+  ctx.world.barrier();
+}
+
+RestoreStats MultiLevelCheckpoint::restore(CommCtx ctx) {
+  used_disk_ = false;
+  try {
+    return inner_->restore(ctx);
+  } catch (const Unrecoverable& e) {
+    SKT_LOG_WARN("multi-level: level 1 unrecoverable ({}); trying disk level", e.what());
+  }
+  // Level 2: agree on the newest epoch present on every rank's disk.
+  const std::uint64_t target =
+      ctx.world.allreduce_value<std::uint64_t>(newest_disk_epoch(), mpi::Min{});
+  if (target == 0) {
+    throw Unrecoverable("multi-level: no complete disk generation either");
+  }
+  util::WallTimer timer;
+  const auto image = params_.vault->get(image_key(target));
+  if (!image.has_value() ||
+      image->size() != params_.data_bytes + params_.user_bytes) {
+    throw Unrecoverable("multi-level: disk image corrupt for epoch " + std::to_string(target));
+  }
+  std::memcpy(inner_->data().data(), image->data(), params_.data_bytes);
+  std::memcpy(inner_->user_state().data(), image->data() + params_.data_bytes,
+              params_.user_bytes);
+  const double read_s = device_.read_seconds(image->size());
+  ctx.group.charge_virtual(read_s);
+
+  // Re-establish level-1 redundancy immediately: the restored data gets a
+  // fresh in-memory checkpoint so the next failure is cheap again.
+  inner_->commit(ctx);
+
+  RestoreStats stats;
+  stats.epoch = target;
+  stats.rebuild_s = timer.seconds() + read_s;
+  used_disk_ = true;
+  disk_epoch_ = target;
+  ctx.group.record_time("recover", stats.rebuild_s);
+  return stats;
+}
+
+std::size_t MultiLevelCheckpoint::memory_bytes() const { return inner_->memory_bytes(); }
+
+std::uint64_t MultiLevelCheckpoint::committed_epoch() const {
+  return std::max(inner_->committed_epoch(), disk_epoch_);
+}
+
+}  // namespace skt::ckpt

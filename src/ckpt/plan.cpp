@@ -1,0 +1,92 @@
+#include "ckpt/plan.hpp"
+
+#include <stdexcept>
+
+namespace skt::ckpt {
+
+std::string_view to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNone: return "none";
+    case Strategy::kSingle: return "single-checkpoint";
+    case Strategy::kDouble: return "double-checkpoint";
+    case Strategy::kSelf: return "self-checkpoint";
+    case Strategy::kBlcr: return "blcr";
+    case Strategy::kSelfIncremental: return "self-incremental";
+  }
+  return "?";
+}
+
+namespace {
+
+void check_group(Strategy strategy, int group_size) {
+  if ((strategy == Strategy::kSingle || strategy == Strategy::kDouble ||
+       strategy == Strategy::kSelf || strategy == Strategy::kSelfIncremental) &&
+      group_size < 2) {
+    throw std::invalid_argument("in-memory strategies need group_size >= 2");
+  }
+}
+
+}  // namespace
+
+double available_fraction(Strategy strategy, int group_size) {
+  check_group(strategy, group_size);
+  const double n = group_size;
+  switch (strategy) {
+    case Strategy::kNone:
+    case Strategy::kBlcr:
+      return 1.0;
+    case Strategy::kSingle:
+      return (n - 1.0) / (2.0 * n - 1.0);  // Eq. 4
+    case Strategy::kDouble:
+      return (n - 1.0) / (3.0 * n - 1.0);  // Eq. 3
+    case Strategy::kSelf:
+    case Strategy::kSelfIncremental:
+      return (n - 1.0) / (2.0 * n);  // Eq. 2 (same layout, lazier updates)
+  }
+  return 0.0;
+}
+
+double available_fraction_dual(int group_size) {
+  if (group_size < 4) {
+    throw std::invalid_argument("dual-parity self-checkpoint needs group_size >= 4");
+  }
+  const double n = group_size;
+  return (n - 2.0) / (2.0 * n);
+}
+
+MemoryPlan plan_memory(Strategy strategy, std::size_t capacity_bytes, int group_size) {
+  check_group(strategy, group_size);
+  MemoryPlan plan;
+  plan.strategy = strategy;
+  plan.group_size = group_size;
+  plan.capacity_bytes = capacity_bytes;
+
+  const double fraction = available_fraction(strategy, group_size);
+  std::size_t m = static_cast<std::size_t>(static_cast<double>(capacity_bytes) * fraction);
+  m = m / 8 * 8;  // lane alignment
+  plan.app_bytes = m;
+
+  const double n = group_size;
+  switch (strategy) {
+    case Strategy::kNone:
+      break;
+    case Strategy::kBlcr:
+      break;  // image lives on disk
+    case Strategy::kSingle:
+      plan.checkpoint_bytes = m;
+      plan.checksum_bytes = static_cast<std::size_t>(static_cast<double>(m) / (n - 1.0));
+      break;
+    case Strategy::kDouble:
+      plan.checkpoint_bytes = 2 * m;
+      plan.checksum_bytes = static_cast<std::size_t>(2.0 * static_cast<double>(m) / (n - 1.0));
+      break;
+    case Strategy::kSelf:
+    case Strategy::kSelfIncremental:
+      plan.checkpoint_bytes = m;  // B — the only full copy
+      plan.checksum_bytes = static_cast<std::size_t>(2.0 * static_cast<double>(m) / (n - 1.0));
+      break;
+  }
+  return plan;
+}
+
+}  // namespace skt::ckpt

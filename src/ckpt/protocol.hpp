@@ -1,0 +1,102 @@
+// The checkpoint protocol interface shared by every strategy.
+//
+// Lifecycle (all calls are collective):
+//
+//   open()    — attach/create state; tells the caller whether a committed
+//               checkpoint exists (restart) or the run is fresh.
+//   data()    — the protected working buffer. For self-checkpoint this IS
+//               the SHM-resident A1; the application computes in place.
+//   user_state() — small POD area for loop counters etc. (A2 in Fig. 5).
+//   commit()  — make a new checkpoint of the current contents.
+//   restore() — after a restart, reconstruct data()/user_state() from the
+//               newest consistent checkpoint, rebuilding any member whose
+//               node was lost.
+//
+// Encoding happens inside a small *group* communicator (Section 2.1), but
+// the commit state machine is synchronized over the *world* communicator:
+// without global barriers between the seal and flush steps, two groups
+// could roll back to different epochs after a failure. CommCtx carries
+// both.
+//
+// Failpoints named "ckpt.*" are planted between protocol steps so tests
+// and benches can kill a node at every stage of the commit state machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "ckpt/plan.hpp"
+#include "mpi/comm.hpp"
+
+namespace skt::ckpt {
+
+/// World + encoding-group communicators. When the application runs as a
+/// single group, both references may point at the same Comm.
+struct CommCtx {
+  mpi::Comm& world;
+  mpi::Comm& group;
+};
+
+struct CommitStats {
+  std::uint64_t epoch = 0;     ///< epoch the commit produced
+  double encode_s = 0.0;       ///< checksum calculation, wall time
+  double encode_virtual_s = 0.0;  ///< modeled network time of the encode
+  double flush_s = 0.0;        ///< local overwrite of the old checkpoint
+  double device_s = 0.0;       ///< virtual device time (disk strategies)
+  std::size_t checkpoint_bytes = 0;  ///< full-copy bytes written
+  std::size_t checksum_bytes = 0;    ///< checksum bytes written
+  [[nodiscard]] double total_s() const {
+    return encode_s + encode_virtual_s + flush_s + device_s;
+  }
+};
+
+struct RestoreStats {
+  std::uint64_t epoch = 0;  ///< epoch restored to
+  double rebuild_s = 0.0;   ///< decoding / device read time
+  bool rebuilt_member = false;  ///< true on the rank that was reconstructed
+};
+
+/// Thrown when no consistent checkpoint can recover the data (e.g. the
+/// single-checkpoint strategy killed inside its update window, or two
+/// failures in one group).
+class Unrecoverable : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CheckpointProtocol {
+ public:
+  virtual ~CheckpointProtocol() = default;
+
+  /// Collective. Returns true when a committed checkpoint exists anywhere
+  /// (=> the caller must restore() instead of regenerating its data).
+  virtual bool open(CommCtx ctx) = 0;
+
+  /// The protected bulk buffer (A1). Stable address between open() and
+  /// destruction. Size equals the data_bytes requested at construction.
+  [[nodiscard]] virtual std::span<std::byte> data() = 0;
+
+  /// Small user-state area (A2); checkpointed together with data().
+  [[nodiscard]] virtual std::span<std::byte> user_state() = 0;
+
+  /// Collective: checkpoint the current contents.
+  virtual CommitStats commit(CommCtx ctx) = 0;
+
+  /// Collective: recover after a restart. Throws Unrecoverable when no
+  /// consistent checkpoint exists.
+  virtual RestoreStats restore(CommCtx ctx) = 0;
+
+  /// Total per-process memory footprint (app + checkpoints + checksums),
+  /// for the Table 1 accounting.
+  [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+
+  [[nodiscard]] virtual Strategy strategy() const = 0;
+
+  /// Epoch of the newest locally committed checkpoint (0 = none).
+  [[nodiscard]] virtual std::uint64_t committed_epoch() const = 0;
+};
+
+}  // namespace skt::ckpt

@@ -1,0 +1,237 @@
+#include "ckpt/self_checkpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "ckpt/epoch.hpp"
+#include "util/clock.hpp"
+#include "util/log.hpp"
+
+namespace skt::ckpt {
+
+SelfCheckpoint::SelfCheckpoint(Params params) : params_(std::move(params)) {
+  if (params_.data_bytes == 0) throw std::invalid_argument("SelfCheckpoint: data_bytes == 0");
+  if (params_.user_bytes == 0) throw std::invalid_argument("SelfCheckpoint: user_bytes == 0");
+  combined_bytes_ = params_.data_bytes + params_.user_bytes;
+  user_.assign(params_.user_bytes, std::byte{0});
+}
+
+std::string SelfCheckpoint::key(const char* part) const {
+  return params_.key_prefix + ".r" + std::to_string(world_rank_) + ".self." + part;
+}
+
+void SelfCheckpoint::require_open() const {
+  if (!work_) throw std::logic_error("SelfCheckpoint: open() has not been called");
+}
+
+bool SelfCheckpoint::open(CommCtx ctx) {
+  world_rank_ = ctx.group.world_rank();
+  coder_ = enc::make_coder(params_.parity_degree, params_.codec, combined_bytes_,
+                           ctx.group.size());
+
+  sim::PersistentStore& store = ctx.group.store();
+  const std::string hdr_key = key("hdr");
+  survivor_ = false;
+  if (sim::SegmentPtr existing = store.attach(hdr_key); existing != nullptr) {
+    const Header h = load_header(existing);
+    if (h.valid()) {
+      if (h.data_bytes != params_.data_bytes || h.user_bytes != params_.user_bytes ||
+          h.group_size != static_cast<std::uint32_t>(ctx.group.size()) ||
+          h.codec != (static_cast<std::uint32_t>(params_.codec) |
+                      static_cast<std::uint32_t>(params_.parity_degree) << 8)) {
+        throw std::logic_error("SelfCheckpoint: existing checkpoint layout mismatch");
+      }
+      survivor_ = true;
+    }
+  }
+
+  const std::size_t padded = coder_->padded_bytes();
+  const std::size_t stripe = coder_->redundancy_bytes();
+  work_ = store.create(key("work"), padded);
+  ckpt_b_ = store.create(key("B"), padded);
+  check_c_ = store.create(key("C"), stripe);
+  check_d_ = store.create(key("D"), stripe);
+  header_ = store.create(hdr_key, sizeof(Header));
+
+  const Header mine = load_header(header_);
+  const EpochSummary global =
+      summarize_epochs(ctx.world, survivor_, mine.bc_epoch, mine.d_epoch);
+  if (!global.any_survivor) {
+    // Globally fresh start: every rank initializes an epoch-0 header.
+    // A blank node joining a job that has survivors must NOT write one —
+    // it would masquerade as an epoch-0 survivor if a second failure hits
+    // before its restore completes.
+    store_header(header_,
+                 load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                              static_cast<std::uint32_t>(ctx.group.size()),
+                              static_cast<std::uint32_t>(params_.codec) |
+                                  static_cast<std::uint32_t>(params_.parity_degree) << 8));
+    survivor_ = true;
+    return false;
+  }
+  // A committed checkpoint exists iff some survivor sealed or flushed at
+  // least one epoch.
+  return global.bc_max >= 1 || global.d_max >= 1;
+}
+
+std::span<std::byte> SelfCheckpoint::data() {
+  require_open();
+  return work_->bytes().subspan(0, params_.data_bytes);
+}
+
+std::span<std::byte> SelfCheckpoint::user_state() { return user_; }
+
+CommitStats SelfCheckpoint::commit(CommCtx ctx) {
+  require_open();
+  Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                          static_cast<std::uint32_t>(ctx.group.size()),
+                          static_cast<std::uint32_t>(params_.codec) |
+                                           static_cast<std::uint32_t>(params_.parity_degree) << 8);
+  // Agree on the epoch globally: after a disk-level fallback restore (see
+  // MultiLevelCheckpoint) a replacement's header may lag the survivors'.
+  const std::uint64_t next =
+      ctx.world.allreduce_value<std::uint64_t>(h.bc_epoch, mpi::Max{}) + 1;
+
+  ctx.group.failpoint("ckpt.begin");
+  ctx.world.barrier();
+
+  // Step 2 (Fig. 5): copy the user-space A2 into the SHM-resident B2 so
+  // the encoded domain [A1|B2] is one contiguous buffer.
+  std::memcpy(work_->bytes().data() + params_.data_bytes, user_.data(), params_.user_bytes);
+  ctx.group.failpoint("ckpt.copy_a2");
+
+  // Step 3: encode the working side's checksum D.
+  CommitStats stats;
+  stats.epoch = next;
+  ctx.group.failpoint("ckpt.encode_begin");
+  const double encode_virtual_before = ctx.group.virtual_seconds();
+  util::WallTimer encode_timer;
+  coder_->encode(ctx.group, work_->bytes(), check_d_->bytes());
+  stats.encode_s = encode_timer.seconds();
+  stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
+  ctx.group.failpoint("ckpt.encode_done");
+
+  // Seal: after this global barrier every rank knows D is complete
+  // everywhere, so (work, D) becomes a valid recovery set.
+  ctx.world.barrier();
+  h.d_epoch = next;
+  store_header(header_, h);
+  ctx.group.failpoint("ckpt.sealed");
+  ctx.world.barrier();
+
+  // Step 4: flush the working side over the old checkpoint. A failure here
+  // is CASE 2 of Fig. 4 — recovery uses (work, D).
+  util::WallTimer flush_timer;
+  std::memcpy(ckpt_b_->bytes().data(), work_->bytes().data(), work_->size());
+  ctx.group.failpoint("ckpt.mid_flush");
+  std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
+  stats.flush_s = flush_timer.seconds();
+  h.bc_epoch = next;
+  store_header(header_, h);
+  ctx.group.failpoint("ckpt.flushed");
+  ctx.world.barrier();
+
+  stats.checkpoint_bytes = work_->size();
+  stats.checksum_bytes = check_d_->size();
+  ctx.group.record_time("checkpoint", stats.encode_s + stats.flush_s);
+  return stats;
+}
+
+RestoreStats SelfCheckpoint::restore(CommCtx ctx) {
+  require_open();
+  ctx.group.failpoint("ckpt.restore");
+
+  const Header mine = load_header(header_);
+  const EpochSummary global =
+      summarize_epochs(ctx.world, survivor_, mine.bc_epoch, mine.d_epoch);
+  const std::vector<int> missing = missing_members(ctx.group, survivor_);
+  if (static_cast<int>(missing.size()) > coder_->max_failures()) {
+    throw Unrecoverable("self-checkpoint: " + std::to_string(missing.size()) +
+                        " members lost in one group; the degree-" +
+                        std::to_string(coder_->max_failures()) +
+                        " erasure code cannot recover");
+  }
+
+  // Side selection. The commit's global barriers guarantee: if any rank
+  // started flushing, every rank sealed D first — so a mixed bc range
+  // implies a uniform d range one epoch ahead.
+  bool use_a_side = false;
+  std::uint64_t target = 0;
+  if (global.d_min == global.d_max && global.d_min > global.bc_min) {
+    use_a_side = true;
+    target = global.d_min;
+  } else if (global.bc_min == global.bc_max) {
+    use_a_side = false;
+    target = global.bc_min;
+  } else {
+    throw Unrecoverable("self-checkpoint: inconsistent epochs (bc " +
+                        std::to_string(global.bc_min) + ".." + std::to_string(global.bc_max) +
+                        ", d " + std::to_string(global.d_min) + ".." +
+                        std::to_string(global.d_max) + ")");
+  }
+  if (target == 0) {
+    throw Unrecoverable("self-checkpoint: no committed checkpoint to restore");
+  }
+
+  RestoreStats stats;
+  stats.epoch = target;
+  util::WallTimer timer;
+
+  if (!use_a_side) {
+    // CASE 1 (Fig. 4): roll back to (B, C). Survivors reload their working
+    // buffer from B; the lost member's B and C are rebuilt first.
+    if (survivor_) {
+      std::memcpy(work_->bytes().data(), ckpt_b_->bytes().data(), work_->size());
+      std::memcpy(check_d_->bytes().data(), check_c_->bytes().data(), check_c_->size());
+    }
+    if (!missing.empty()) {
+      coder_->rebuild(ctx.group, missing, work_->bytes(), check_d_->bytes());
+      if (!survivor_) {
+        std::memcpy(ckpt_b_->bytes().data(), work_->bytes().data(), work_->size());
+        std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
+      }
+    }
+  } else {
+    // CASE 2 (Fig. 4): the working side (work, D) is the newest consistent
+    // set. Rebuild the lost member, then complete the interrupted flush.
+    if (!missing.empty()) {
+      coder_->rebuild(ctx.group, missing, work_->bytes(), check_d_->bytes());
+    }
+    std::memcpy(ckpt_b_->bytes().data(), work_->bytes().data(), work_->size());
+    std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
+  }
+
+  // Restore A2 from the checkpointed B2 area and re-sync the header.
+  std::memcpy(user_.data(), work_->bytes().data() + params_.data_bytes, params_.user_bytes);
+  Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                          static_cast<std::uint32_t>(ctx.group.size()),
+                          static_cast<std::uint32_t>(params_.codec) |
+                                           static_cast<std::uint32_t>(params_.parity_degree) << 8);
+  h.bc_epoch = target;
+  h.d_epoch = target;
+  store_header(header_, h);
+  survivor_ = true;
+
+  stats.rebuild_s = timer.seconds();
+  stats.rebuilt_member =
+      std::find(missing.begin(), missing.end(), ctx.group.rank()) != missing.end();
+  ctx.group.record_time("recover", stats.rebuild_s);
+  ctx.world.barrier();
+  return stats;
+}
+
+std::size_t SelfCheckpoint::memory_bytes() const {
+  if (!work_) return 0;
+  // work (A1+B2) + B + C + D + A2 + header
+  return work_->size() + ckpt_b_->size() + check_c_->size() + check_d_->size() + user_.size() +
+         sizeof(Header);
+}
+
+std::uint64_t SelfCheckpoint::committed_epoch() const {
+  if (!header_) return 0;
+  const Header h = load_header(header_);
+  return h.valid() ? std::max(h.bc_epoch, h.d_epoch) : 0;
+}
+
+}  // namespace skt::ckpt

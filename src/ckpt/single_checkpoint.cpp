@@ -1,0 +1,168 @@
+#include "ckpt/single_checkpoint.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "ckpt/epoch.hpp"
+#include "util/clock.hpp"
+
+namespace skt::ckpt {
+
+SingleCheckpoint::SingleCheckpoint(Params params) : params_(std::move(params)) {
+  if (params_.data_bytes == 0) throw std::invalid_argument("SingleCheckpoint: data_bytes == 0");
+  if (params_.user_bytes == 0) throw std::invalid_argument("SingleCheckpoint: user_bytes == 0");
+  combined_bytes_ = params_.data_bytes + params_.user_bytes;
+  app_.assign(params_.data_bytes, std::byte{0});
+  user_.assign(params_.user_bytes, std::byte{0});
+}
+
+std::string SingleCheckpoint::key(const char* part) const {
+  return params_.key_prefix + ".r" + std::to_string(world_rank_) + ".single." + part;
+}
+
+void SingleCheckpoint::require_open() const {
+  if (!ckpt_b_) throw std::logic_error("SingleCheckpoint: open() has not been called");
+}
+
+bool SingleCheckpoint::open(CommCtx ctx) {
+  world_rank_ = ctx.group.world_rank();
+  codec_.emplace(params_.codec, combined_bytes_, ctx.group.size());
+
+  sim::PersistentStore& store = ctx.group.store();
+  const std::string hdr_key = key("hdr");
+  survivor_ = false;
+  if (sim::SegmentPtr existing = store.attach(hdr_key); existing != nullptr) {
+    const Header h = load_header(existing);
+    if (h.valid()) survivor_ = true;
+  }
+
+  ckpt_b_ = store.create(key("B"), codec_->padded_bytes());
+  check_c_ = store.create(key("C"), codec_->checksum_bytes());
+  header_ = store.create(hdr_key, sizeof(Header));
+
+  const Header mine = load_header(header_);
+  const EpochSummary global =
+      summarize_epochs(ctx.world, survivor_, mine.bc_epoch, mine.d_epoch);
+  if (!global.any_survivor) {
+    store_header(header_, load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                                       static_cast<std::uint32_t>(ctx.group.size()),
+                                       static_cast<std::uint32_t>(params_.codec)));
+    survivor_ = true;
+    return false;
+  }
+  return global.bc_max >= 1;
+}
+
+std::span<std::byte> SingleCheckpoint::data() {
+  require_open();
+  return app_;
+}
+
+std::span<std::byte> SingleCheckpoint::user_state() { return user_; }
+
+CommitStats SingleCheckpoint::commit(CommCtx ctx) {
+  require_open();
+  Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                          static_cast<std::uint32_t>(ctx.group.size()),
+                          static_cast<std::uint32_t>(params_.codec));
+  // Globally agreed epoch (see the note in SelfCheckpoint::commit).
+  const std::uint64_t next =
+      ctx.world.allreduce_value<std::uint64_t>(h.bc_epoch, mpi::Max{}) + 1;
+
+  ctx.group.failpoint("ckpt.begin");
+  ctx.world.barrier();
+
+  // Mark the update window: from here until the final header write, (B, C)
+  // is not a trustworthy pair.
+  h.d_epoch = next;
+  store_header(header_, h);
+
+  CommitStats stats;
+  stats.epoch = next;
+  util::WallTimer flush_timer;
+  std::memcpy(ckpt_b_->bytes().data(), app_.data(), app_.size());
+  std::memcpy(ckpt_b_->bytes().data() + app_.size(), user_.data(), user_.size());
+  stats.flush_s = flush_timer.seconds();
+  ctx.group.failpoint("ckpt.mid_update");
+
+  const double encode_virtual_before = ctx.group.virtual_seconds();
+  util::WallTimer encode_timer;
+  codec_->encode(ctx.group, ckpt_b_->bytes(), check_c_->bytes());
+  stats.encode_s = encode_timer.seconds();
+  stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
+  ctx.group.failpoint("ckpt.encode_done");
+
+  h.bc_epoch = next;
+  h.d_epoch = next;
+  store_header(header_, h);
+  ctx.group.failpoint("ckpt.flushed");
+  ctx.world.barrier();
+
+  stats.checkpoint_bytes = ckpt_b_->size();
+  stats.checksum_bytes = check_c_->size();
+  ctx.group.record_time("checkpoint", stats.total_s());
+  return stats;
+}
+
+RestoreStats SingleCheckpoint::restore(CommCtx ctx) {
+  require_open();
+  ctx.group.failpoint("ckpt.restore");
+
+  const Header mine = load_header(header_);
+  const EpochSummary global =
+      summarize_epochs(ctx.world, survivor_, mine.bc_epoch, mine.d_epoch);
+  const std::vector<int> missing = missing_members(ctx.group, survivor_);
+  if (missing.size() > 1) {
+    throw Unrecoverable("single-checkpoint: multiple members lost in one group");
+  }
+  // Recoverable only when no survivor was inside the update window.
+  if (global.bc_min != global.bc_max || global.d_min != global.d_max ||
+      global.d_min != global.bc_min) {
+    throw Unrecoverable(
+        "single-checkpoint: failure hit the checkpoint update window; (B, C) inconsistent "
+        "(CASE 2 of Fig. 2)");
+  }
+  if (global.bc_min == 0) {
+    throw Unrecoverable("single-checkpoint: no committed checkpoint to restore");
+  }
+
+  RestoreStats stats;
+  stats.epoch = global.bc_min;
+  util::WallTimer timer;
+
+  if (!missing.empty()) {
+    codec_->rebuild(ctx.group, missing.front(), ckpt_b_->bytes(), check_c_->bytes());
+  }
+  std::memcpy(app_.data(), ckpt_b_->bytes().data(), app_.size());
+  std::memcpy(user_.data(), ckpt_b_->bytes().data() + app_.size(), user_.size());
+
+  Header h = load_header(header_);
+  h.bc_epoch = stats.epoch;
+  h.d_epoch = stats.epoch;
+  h.data_bytes = params_.data_bytes;
+  h.user_bytes = params_.user_bytes;
+  h.group_size = static_cast<std::uint32_t>(ctx.group.size());
+  h.codec = static_cast<std::uint32_t>(params_.codec);
+  h.magic = Header::kMagic;
+  store_header(header_, h);
+  survivor_ = true;
+
+  stats.rebuild_s = timer.seconds();
+  stats.rebuilt_member = !missing.empty() && missing.front() == ctx.group.rank();
+  ctx.group.record_time("recover", stats.rebuild_s);
+  ctx.world.barrier();
+  return stats;
+}
+
+std::size_t SingleCheckpoint::memory_bytes() const {
+  if (!ckpt_b_) return 0;
+  return app_.size() + user_.size() + ckpt_b_->size() + check_c_->size() + sizeof(Header);
+}
+
+std::uint64_t SingleCheckpoint::committed_epoch() const {
+  if (!header_) return 0;
+  const Header h = load_header(header_);
+  return h.valid() ? h.bc_epoch : 0;
+}
+
+}  // namespace skt::ckpt

@@ -1,0 +1,56 @@
+// Single in-memory checkpoint (Fig. 2): one (B, C) pair in SHM and the
+// application data A in ordinary memory. Cheapest on memory among the
+// encoded strategies, but a failure inside the update window leaves B and
+// C inconsistent — restore() then throws Unrecoverable, exactly the
+// limitation the paper's CASE 2 illustrates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/header.hpp"
+#include "ckpt/protocol.hpp"
+#include "encoding/group_codec.hpp"
+
+namespace skt::ckpt {
+
+class SingleCheckpoint final : public CheckpointProtocol {
+ public:
+  struct Params {
+    std::string key_prefix = "skt";
+    std::size_t data_bytes = 0;
+    std::size_t user_bytes = 64;
+    enc::CodecKind codec = enc::CodecKind::kXor;
+  };
+
+  explicit SingleCheckpoint(Params params);
+
+  bool open(CommCtx ctx) override;
+  [[nodiscard]] std::span<std::byte> data() override;
+  [[nodiscard]] std::span<std::byte> user_state() override;
+  CommitStats commit(CommCtx ctx) override;
+  RestoreStats restore(CommCtx ctx) override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] Strategy strategy() const override { return Strategy::kSingle; }
+  [[nodiscard]] std::uint64_t committed_epoch() const override;
+
+ private:
+  [[nodiscard]] std::string key(const char* part) const;
+  void require_open() const;
+
+  Params params_;
+  std::size_t combined_bytes_ = 0;
+  std::optional<enc::GroupCodec> codec_;
+
+  std::vector<std::byte> app_;   // A — ordinary memory
+  std::vector<std::byte> user_;  // A2
+
+  int world_rank_ = -1;
+  bool survivor_ = false;
+  sim::SegmentPtr ckpt_b_;   // [A|A2|pad] copy
+  sim::SegmentPtr check_c_;  // checksum stripe of B
+  sim::SegmentPtr header_;   // bc_epoch = committed, d_epoch = in-progress
+};
+
+}  // namespace skt::ckpt

@@ -1,0 +1,69 @@
+#include "encoding/codec.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace skt::enc {
+namespace {
+
+void check_pair(std::span<const std::byte> a, std::span<const std::byte> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("codec: size mismatch");
+  if (a.size() % kLane != 0) throw std::invalid_argument("codec: buffers must be lane-aligned");
+}
+
+template <typename T, typename F>
+void apply_lanes(std::span<std::byte> acc, std::span<const std::byte> in, F combine) {
+  const std::size_t n = acc.size() / sizeof(T);
+  for (std::size_t i = 0; i < n; ++i) {
+    T a;
+    T b;
+    std::memcpy(&a, acc.data() + i * sizeof(T), sizeof(T));
+    std::memcpy(&b, in.data() + i * sizeof(T), sizeof(T));
+    a = combine(a, b);
+    std::memcpy(acc.data() + i * sizeof(T), &a, sizeof(T));
+  }
+}
+
+}  // namespace
+
+void accumulate(CodecKind kind, std::span<std::byte> acc, std::span<const std::byte> in) {
+  check_pair(acc, in);
+  if (kind == CodecKind::kXor) {
+    apply_lanes<std::uint64_t>(acc, in, [](std::uint64_t a, std::uint64_t b) { return a ^ b; });
+  } else {
+    apply_lanes<double>(acc, in, [](double a, double b) { return a + b; });
+  }
+}
+
+void retract(CodecKind kind, std::span<std::byte> acc, std::span<const std::byte> in) {
+  check_pair(acc, in);
+  if (kind == CodecKind::kXor) {
+    apply_lanes<std::uint64_t>(acc, in, [](std::uint64_t a, std::uint64_t b) { return a ^ b; });
+  } else {
+    apply_lanes<double>(acc, in, [](double a, double b) { return a - b; });
+  }
+}
+
+void fill_identity(std::span<std::byte> buf) {
+  std::memset(buf.data(), 0, buf.size());
+}
+
+bool equals(CodecKind kind, std::span<const std::byte> a, std::span<const std::byte> b,
+            double tolerance) {
+  check_pair({const_cast<std::byte*>(a.data()), a.size()}, b);
+  if (kind == CodecKind::kXor) {
+    return std::memcmp(a.data(), b.data(), a.size()) == 0;
+  }
+  const std::size_t n = a.size() / sizeof(double);
+  for (std::size_t i = 0; i < n; ++i) {
+    double x;
+    double y;
+    std::memcpy(&x, a.data() + i * sizeof(double), sizeof(double));
+    std::memcpy(&y, b.data() + i * sizeof(double), sizeof(double));
+    if (std::abs(x - y) > tolerance * (std::abs(x) + 1.0)) return false;
+  }
+  return true;
+}
+
+}  // namespace skt::enc

@@ -1,0 +1,244 @@
+#include "encoding/dual_parity.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "encoding/codec.hpp"
+#include "encoding/gf256.hpp"
+
+namespace skt::enc {
+namespace {
+
+constexpr mpi::Tag kTagRebuiltStripe = 9001;
+
+std::span<std::uint8_t> as_u8(std::span<std::byte> s) {
+  return {reinterpret_cast<std::uint8_t*>(s.data()), s.size()};
+}
+std::span<const std::uint8_t> as_u8(std::span<const std::byte> s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+void xor_reduce(mpi::Comm& group, int root, std::span<const std::byte> in,
+                std::span<std::byte> out) {
+  const std::span<const std::uint64_t> in64{
+      reinterpret_cast<const std::uint64_t*>(in.data()), in.size() / sizeof(std::uint64_t)};
+  const std::span<std::uint64_t> out64{reinterpret_cast<std::uint64_t*>(out.data()),
+                                       out.size() / sizeof(std::uint64_t)};
+  group.reduce<std::uint64_t>(root, in64, out64, mpi::BXor{});
+}
+
+}  // namespace
+
+DualParityGroupCodec::DualParityGroupCodec(std::size_t data_bytes, int group_size)
+    : data_bytes_(data_bytes), group_size_(group_size), rs_(std::max(group_size - 2, 1), 2) {
+  if (group_size < 4) {
+    throw std::invalid_argument("DualParityGroupCodec: group size must be >= 4");
+  }
+  const auto stripes = static_cast<std::size_t>(group_size - 2);
+  const std::size_t raw = (data_bytes + stripes - 1) / stripes;
+  stripe_bytes_ = (raw + kLane - 1) / kLane * kLane;
+  if (stripe_bytes_ == 0) stripe_bytes_ = kLane;
+}
+
+bool DualParityGroupCodec::contributes(int p, int f) const {
+  return p != f && p != (f + 1) % group_size_;
+}
+
+std::size_t DualParityGroupCodec::stripe_index(int p, int f) const {
+  if (!contributes(p, f)) {
+    throw std::invalid_argument("DualParityGroupCodec: member holds parity for this family");
+  }
+  // Member p is excluded from families p (its P) and (p-1+N)%N (its Q).
+  const int ex1 = p;
+  const int ex2 = (p - 1 + group_size_) % group_size_;
+  int idx = f;
+  if (ex1 < f) --idx;
+  if (ex2 < f && ex2 != ex1) --idx;
+  return static_cast<std::size_t>(idx);
+}
+
+int DualParityGroupCodec::contributor_index(int p, int f) const {
+  if (!contributes(p, f)) {
+    throw std::invalid_argument("DualParityGroupCodec: not a contributor");
+  }
+  const int ex1 = f;
+  const int ex2 = (f + 1) % group_size_;
+  int idx = p;
+  if (ex1 < p) --idx;
+  if (ex2 < p && ex2 != ex1) --idx;
+  return idx;
+}
+
+std::uint8_t DualParityGroupCodec::coefficient(int row, int p, int f) const {
+  return rs_.coefficient(row, contributor_index(p, f));
+}
+
+void DualParityGroupCodec::check_args(const mpi::Comm& group, std::size_t data_size,
+                                      std::size_t parity_size) const {
+  if (group.size() != group_size_) {
+    throw std::invalid_argument("DualParityGroupCodec: communicator size != group size");
+  }
+  if (data_size != padded_bytes() || parity_size != parity_bytes()) {
+    throw std::invalid_argument("DualParityGroupCodec: bad buffer sizes");
+  }
+}
+
+void DualParityGroupCodec::reduce_family(mpi::Comm& group, int f, int row,
+                                         std::span<const std::byte> data,
+                                         const std::vector<int>& skip, int root,
+                                         std::span<std::byte> out) const {
+  const int me = group.rank();
+  std::vector<std::byte> scratch(stripe_bytes_, std::byte{0});
+  if (contributes(me, f) && std::find(skip.begin(), skip.end(), me) == skip.end()) {
+    const std::span<const std::byte> mine =
+        data.subspan(stripe_index(me, f) * stripe_bytes_, stripe_bytes_);
+    gf256::mul_acc(as_u8(std::span<std::byte>(scratch)), as_u8(mine),
+                   coefficient(row, me, f));
+  }
+  xor_reduce(group, root, scratch, out);
+}
+
+void DualParityGroupCodec::encode(mpi::Comm& group, std::span<const std::byte> data,
+                                  std::span<std::byte> parity) const {
+  check_args(group, data.size(), parity.size());
+  const int me = group.rank();
+  for (int f = 0; f < group_size_; ++f) {
+    const int p_owner = f;
+    const int q_owner = (f + 1) % group_size_;
+    reduce_family(group, f, 0, data, {}, p_owner,
+                  me == p_owner ? parity.subspan(0, stripe_bytes_) : std::span<std::byte>{});
+    reduce_family(group, f, 1, data, {}, q_owner,
+                  me == q_owner ? parity.subspan(stripe_bytes_, stripe_bytes_)
+                                : std::span<std::byte>{});
+  }
+}
+
+void DualParityGroupCodec::rebuild(mpi::Comm& group, std::span<const int> failed,
+                                   std::span<std::byte> data,
+                                   std::span<std::byte> parity) const {
+  check_args(group, data.size(), parity.size());
+  if (failed.empty()) return;
+  if (failed.size() > 2) {
+    throw std::invalid_argument("DualParityGroupCodec: at most two failures recoverable");
+  }
+  std::vector<int> lost(failed.begin(), failed.end());
+  std::sort(lost.begin(), lost.end());
+  lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
+  for (int m : lost) {
+    if (m < 0 || m >= group_size_) {
+      throw std::invalid_argument("DualParityGroupCodec: bad member index");
+    }
+  }
+
+  const int me = group.rank();
+  // Syndrome reduces use the parity owners' stored stripes as additional
+  // contributions: P xor sum(surviving c0*D) = sum(lost c0*D), etc.
+  const auto reduce_syndrome = [&](int f, int row, int root, std::span<std::byte> out) {
+    const int owner = row == 0 ? f : (f + 1) % group_size_;
+    std::vector<std::byte> scratch(stripe_bytes_, std::byte{0});
+    if (contributes(me, f) &&
+        std::find(lost.begin(), lost.end(), me) == lost.end()) {
+      const std::span<const std::byte> mine =
+          data.subspan(stripe_index(me, f) * stripe_bytes_, stripe_bytes_);
+      gf256::mul_acc(as_u8(std::span<std::byte>(scratch)), as_u8(mine),
+                     coefficient(row, me, f));
+    } else if (me == owner) {
+      const std::size_t slot = row == 0 ? 0 : stripe_bytes_;
+      std::memcpy(scratch.data(), parity.data() + slot, stripe_bytes_);
+    }
+    xor_reduce(group, root, scratch, out);
+  };
+
+  for (int f = 0; f < group_size_; ++f) {
+    const int p_owner = f;
+    const int q_owner = (f + 1) % group_size_;
+    const bool lost_p = std::find(lost.begin(), lost.end(), p_owner) != lost.end();
+    const bool lost_q = std::find(lost.begin(), lost.end(), q_owner) != lost.end();
+    std::vector<int> lost_data;
+    for (int m : lost) {
+      if (contributes(m, f)) lost_data.push_back(m);
+    }
+
+    // Phase A: reconstruct lost data stripes of this family.
+    if (lost_data.size() == 1) {
+      const int x = lost_data.front();
+      // Prefer P unless its owner died with us; exactly one of P/Q can be
+      // lost here (the second failure is x itself).
+      const int row = lost_p ? 1 : 0;
+      std::vector<std::byte> syndrome(me == x ? stripe_bytes_ : 0);
+      reduce_syndrome(f, row, x, syndrome);
+      if (me == x) {
+        // syndrome = c_x * D_x  ->  D_x = syndrome / c_x
+        const std::span<std::byte> slot =
+            data.subspan(stripe_index(x, f) * stripe_bytes_, stripe_bytes_);
+        std::memset(slot.data(), 0, stripe_bytes_);
+        gf256::mul_acc(as_u8(slot), as_u8(std::span<const std::byte>(syndrome)),
+                       gf256::inv(coefficient(row, x, f)));
+      }
+    } else if (lost_data.size() == 2) {
+      // Both failures are contributors, so both parities survive.
+      const int x = lost_data[0];
+      const int y = lost_data[1];
+      std::vector<std::byte> s1(me == x ? stripe_bytes_ : 0);
+      std::vector<std::byte> s2(me == x ? stripe_bytes_ : 0);
+      reduce_syndrome(f, 0, x, s1);
+      reduce_syndrome(f, 1, x, s2);
+      if (me == x) {
+        // Solve  c0x Dx ^ c0y Dy = S1 ;  c1x Dx ^ c1y Dy = S2.
+        const std::uint8_t c0x = coefficient(0, x, f);
+        const std::uint8_t c0y = coefficient(0, y, f);
+        const std::uint8_t c1x = coefficient(1, x, f);
+        const std::uint8_t c1y = coefficient(1, y, f);
+        const std::uint8_t det = gf256::mul(c0x, c1y) ^ gf256::mul(c0y, c1x);
+        const std::uint8_t inv_det = gf256::inv(det);  // Cauchy => det != 0
+        const std::span<std::byte> slot_x =
+            data.subspan(stripe_index(x, f) * stripe_bytes_, stripe_bytes_);
+        std::memset(slot_x.data(), 0, stripe_bytes_);
+        gf256::mul_acc(as_u8(slot_x), as_u8(std::span<const std::byte>(s1)),
+                       gf256::mul(c1y, inv_det));
+        gf256::mul_acc(as_u8(slot_x), as_u8(std::span<const std::byte>(s2)),
+                       gf256::mul(c0y, inv_det));
+        // Dy = (S1 ^ c0x Dx) / c0y
+        std::vector<std::byte> dy(stripe_bytes_, std::byte{0});
+        gf256::mul_acc(as_u8(std::span<std::byte>(dy)),
+                       as_u8(std::span<const std::byte>(s1)), gf256::inv(c0y));
+        gf256::mul_acc(as_u8(std::span<std::byte>(dy)),
+                       as_u8(std::span<const std::byte>(slot_x)),
+                       gf256::mul(c0x, gf256::inv(c0y)));
+        group.send<std::byte>(y, kTagRebuiltStripe, dy);
+      }
+      if (me == y) {
+        const std::span<std::byte> slot_y =
+            data.subspan(stripe_index(y, f) * stripe_bytes_, stripe_bytes_);
+        group.recv<std::byte>(x, kTagRebuiltStripe, slot_y);
+      }
+    }
+
+    // Phase B: recompute any lost parity stripes from the (now complete)
+    // data contributors.
+    if (lost_p) {
+      reduce_family(group, f, 0, data, {}, p_owner,
+                    me == p_owner ? parity.subspan(0, stripe_bytes_)
+                                  : std::span<std::byte>{});
+    }
+    if (lost_q) {
+      reduce_family(group, f, 1, data, {}, q_owner,
+                    me == q_owner ? parity.subspan(stripe_bytes_, stripe_bytes_)
+                                  : std::span<std::byte>{});
+    }
+  }
+}
+
+bool DualParityGroupCodec::verify(mpi::Comm& group, std::span<const std::byte> data,
+                                  std::span<const std::byte> parity) const {
+  check_args(group, data.size(), parity.size());
+  std::vector<std::byte> recomputed(parity_bytes());
+  // encode() writes only this member's slots; compare locally afterwards.
+  encode(group, data, recomputed);
+  const std::uint8_t ok =
+      std::memcmp(recomputed.data(), parity.data(), parity_bytes()) == 0 ? 1 : 0;
+  return group.allreduce_value<std::uint8_t>(ok, mpi::Min{}) == 1;
+}
+
+}  // namespace skt::enc

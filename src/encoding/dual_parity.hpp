@@ -1,0 +1,83 @@
+// Dual-parity group encoding — the RAID-6 / Reed-Solomon upgrade the paper
+// names for tolerating more than one node failure per group (Section 2.1).
+//
+// Layout, generalizing Fig. 1: a group of N >= 4 members forms N families.
+// Family f's two parity stripes live on members f (row "P") and (f+1) % N
+// (row "Q"); every other member contributes one data stripe, so each
+// member splits its payload into N-2 stripes and stores exactly two parity
+// stripes — parity overhead 2/(N-2) of the payload, and ANY two member
+// losses are recoverable.
+//
+// Parity rows are rows 0 and 1 of the Cauchy Reed-Solomon generator over
+// GF(2^8) (reed_solomon.hpp), so the two-erasure solve is a 2x2 system
+// with a guaranteed non-zero determinant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "encoding/reed_solomon.hpp"
+#include "encoding/stripes.hpp"
+#include "mpi/comm.hpp"
+
+namespace skt::enc {
+
+class DualParityGroupCodec {
+ public:
+  /// `data_bytes` payload per member; `group_size` N >= 4.
+  DualParityGroupCodec(std::size_t data_bytes, int group_size);
+
+  [[nodiscard]] int group_size() const { return group_size_; }
+  [[nodiscard]] std::size_t stripe_bytes() const { return stripe_bytes_; }
+
+  /// Padded payload buffer size: (N-2) stripes.
+  [[nodiscard]] std::size_t padded_bytes() const {
+    return stripe_bytes_ * static_cast<std::size_t>(group_size_ - 2);
+  }
+
+  /// Per-member parity buffer: [P stripe of family rank | Q stripe of
+  /// family (rank-1+N) % N].
+  [[nodiscard]] std::size_t parity_bytes() const { return 2 * stripe_bytes_; }
+
+  /// Collective: compute both parity stripes of every family.
+  void encode(mpi::Comm& group, std::span<const std::byte> data,
+              std::span<std::byte> parity) const;
+
+  /// Collective: reconstruct up to two failed members' data + parity.
+  /// Survivors pass intact buffers; failed members' buffer contents are
+  /// rebuilt in place. Throws std::invalid_argument for > 2 failures.
+  void rebuild(mpi::Comm& group, std::span<const int> failed, std::span<std::byte> data,
+               std::span<std::byte> parity) const;
+
+  /// Collective consistency check (re-encode and compare, AND-reduced).
+  [[nodiscard]] bool verify(mpi::Comm& group, std::span<const std::byte> data,
+                            std::span<const std::byte> parity) const;
+
+  // --- layout helpers (public for tests) --------------------------------
+
+  /// True when member p contributes a data stripe to family f.
+  [[nodiscard]] bool contributes(int p, int f) const;
+  /// Index of member p's stripe for family f within its padded buffer.
+  [[nodiscard]] std::size_t stripe_index(int p, int f) const;
+  /// Contributor order of member p within family f (coefficient index).
+  [[nodiscard]] int contributor_index(int p, int f) const;
+  /// GF coefficient of contributor p in parity row `row` (0 = P, 1 = Q).
+  [[nodiscard]] std::uint8_t coefficient(int row, int p, int f) const;
+
+ private:
+  void check_args(const mpi::Comm& group, std::size_t data_size,
+                  std::size_t parity_size) const;
+  /// Reduce helper: each member contributes coeff * its stripe of family f
+  /// (identity when it is not a contributor); result lands on `root`.
+  void reduce_family(mpi::Comm& group, int f, int row, std::span<const std::byte> data,
+                     const std::vector<int>& skip, int root,
+                     std::span<std::byte> out) const;
+
+  std::size_t data_bytes_;
+  int group_size_;
+  std::size_t stripe_bytes_;
+  ReedSolomon rs_;
+};
+
+}  // namespace skt::enc

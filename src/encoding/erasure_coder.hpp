@@ -1,0 +1,114 @@
+// Uniform erasure-coder interface over the single-parity (RAID-5-style,
+// Fig. 1) and dual-parity (RAID-6-style) group codecs, so checkpoint
+// protocols can be parameterized by fault-tolerance degree.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "encoding/codec.hpp"
+#include "encoding/dual_parity.hpp"
+#include "encoding/group_codec.hpp"
+
+namespace skt::enc {
+
+class ErasureCoder {
+ public:
+  virtual ~ErasureCoder() = default;
+
+  /// Padded payload buffer size per member.
+  [[nodiscard]] virtual std::size_t padded_bytes() const = 0;
+  /// Per-member redundancy buffer size (checksum / parity stripes).
+  [[nodiscard]] virtual std::size_t redundancy_bytes() const = 0;
+  /// Simultaneous member losses the code repairs.
+  [[nodiscard]] virtual int max_failures() const = 0;
+
+  /// Collective: fill this member's redundancy buffer.
+  virtual void encode(mpi::Comm& group, std::span<const std::byte> data,
+                      std::span<std::byte> redundancy) const = 0;
+  /// Collective: reconstruct the listed members (size <= max_failures()).
+  virtual void rebuild(mpi::Comm& group, std::span<const int> missing,
+                       std::span<std::byte> data, std::span<std::byte> redundancy) const = 0;
+  /// Collective consistency check.
+  [[nodiscard]] virtual bool verify(mpi::Comm& group, std::span<const std::byte> data,
+                                    std::span<const std::byte> redundancy) const = 0;
+};
+
+/// Single-erasure coder (XOR or SUM), the paper's default.
+class SingleParityCoder final : public ErasureCoder {
+ public:
+  SingleParityCoder(CodecKind kind, std::size_t data_bytes, int group_size)
+      : codec_(kind, data_bytes, group_size) {}
+
+  [[nodiscard]] std::size_t padded_bytes() const override { return codec_.padded_bytes(); }
+  [[nodiscard]] std::size_t redundancy_bytes() const override {
+    return codec_.checksum_bytes();
+  }
+  [[nodiscard]] int max_failures() const override { return 1; }
+
+  void encode(mpi::Comm& group, std::span<const std::byte> data,
+              std::span<std::byte> redundancy) const override {
+    codec_.encode(group, data, redundancy);
+  }
+  void rebuild(mpi::Comm& group, std::span<const int> missing, std::span<std::byte> data,
+               std::span<std::byte> redundancy) const override {
+    if (missing.empty()) return;
+    if (missing.size() > 1) {
+      throw std::invalid_argument("SingleParityCoder: one erasure at most");
+    }
+    codec_.rebuild(group, missing.front(), data, redundancy);
+  }
+  [[nodiscard]] bool verify(mpi::Comm& group, std::span<const std::byte> data,
+                            std::span<const std::byte> redundancy) const override {
+    return codec_.verify(group, data, redundancy);
+  }
+
+ private:
+  GroupCodec codec_;
+};
+
+/// Dual-erasure coder over GF(2^8).
+class DualParityCoder final : public ErasureCoder {
+ public:
+  DualParityCoder(std::size_t data_bytes, int group_size) : codec_(data_bytes, group_size) {}
+
+  [[nodiscard]] std::size_t padded_bytes() const override { return codec_.padded_bytes(); }
+  [[nodiscard]] std::size_t redundancy_bytes() const override {
+    return codec_.parity_bytes();
+  }
+  [[nodiscard]] int max_failures() const override { return 2; }
+
+  void encode(mpi::Comm& group, std::span<const std::byte> data,
+              std::span<std::byte> redundancy) const override {
+    codec_.encode(group, data, redundancy);
+  }
+  void rebuild(mpi::Comm& group, std::span<const int> missing, std::span<std::byte> data,
+               std::span<std::byte> redundancy) const override {
+    codec_.rebuild(group, missing, data, redundancy);
+  }
+  [[nodiscard]] bool verify(mpi::Comm& group, std::span<const std::byte> data,
+                            std::span<const std::byte> redundancy) const override {
+    return codec_.verify(group, data, redundancy);
+  }
+
+ private:
+  DualParityGroupCodec codec_;
+};
+
+/// parity_degree 1 -> SingleParityCoder (with `kind`); 2 -> DualParityCoder
+/// (always GF/XOR-based).
+[[nodiscard]] inline std::unique_ptr<ErasureCoder> make_coder(int parity_degree,
+                                                              CodecKind kind,
+                                                              std::size_t data_bytes,
+                                                              int group_size) {
+  if (parity_degree == 1) {
+    return std::make_unique<SingleParityCoder>(kind, data_bytes, group_size);
+  }
+  if (parity_degree == 2) {
+    return std::make_unique<DualParityCoder>(data_bytes, group_size);
+  }
+  throw std::invalid_argument("make_coder: parity_degree must be 1 or 2");
+}
+
+}  // namespace skt::enc

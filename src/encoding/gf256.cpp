@@ -1,0 +1,107 @@
+#include "encoding/gf256.hpp"
+
+#include <stdexcept>
+
+namespace skt::enc::gf256 {
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};
+
+  Tables() {
+    // Generator 3 for polynomial 0x11b. exp is doubled so mul can skip the
+    // mod-255 reduction.
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(i);
+      // multiply x by 3 = x + 2x in GF(2^8)
+      std::uint16_t x2 = x << 1;
+      if (x2 & 0x100) x2 ^= 0x11b;
+      x = static_cast<std::uint16_t>(x2 ^ x);
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) throw std::domain_error("gf256::inv(0)");
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  if (b == 0) throw std::domain_error("gf256::div by 0");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a]) + 255 - t.log[b]];
+}
+
+std::uint8_t pow(std::uint8_t base, unsigned e) {
+  if (e == 0) return 1;
+  if (base == 0) return 0;
+  const Tables& t = tables();
+  const unsigned l = (static_cast<unsigned>(t.log[base]) * e) % 255;
+  return t.exp[l];
+}
+
+void mul_acc(std::span<std::uint8_t> out, std::span<const std::uint8_t> in, std::uint8_t coeff) {
+  if (out.size() != in.size()) throw std::invalid_argument("gf256::mul_acc: size mismatch");
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] ^= in[i];
+    return;
+  }
+  const Tables& t = tables();
+  const std::uint8_t lc = t.log[coeff];
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint8_t v = in[i];
+    if (v != 0) out[i] ^= t.exp[static_cast<std::size_t>(t.log[v]) + lc];
+  }
+}
+
+bool solve(std::span<std::uint8_t> matrix, std::span<std::uint8_t> rhs, int k) {
+  if (k <= 0) return false;
+  const auto n = static_cast<std::size_t>(k);
+  if (matrix.size() != n * n || rhs.size() != n) {
+    throw std::invalid_argument("gf256::solve: bad dimensions");
+  }
+  auto at = [&](std::size_t r, std::size_t c) -> std::uint8_t& { return matrix[r * n + c]; };
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n && at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(at(pivot, c), at(col, c));
+      std::swap(rhs[pivot], rhs[col]);
+    }
+    const std::uint8_t piv_inv = inv(at(col, col));
+    for (std::size_t c = 0; c < n; ++c) at(col, c) = mul(at(col, c), piv_inv);
+    rhs[col] = mul(rhs[col], piv_inv);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col || at(r, col) == 0) continue;
+      const std::uint8_t factor = at(r, col);
+      for (std::size_t c = 0; c < n; ++c) at(r, c) ^= mul(factor, at(col, c));
+      rhs[r] ^= mul(factor, rhs[col]);
+    }
+  }
+  return true;
+}
+
+}  // namespace skt::enc::gf256

@@ -1,0 +1,32 @@
+// GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11b).
+// Backing for the Reed-Solomon code that upgrades the group encoding from
+// single-erasure (RAID-5) to multi-erasure tolerance — the paper's
+// "more complex encoding methods such as RAID-6 and Reed-Solomon".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace skt::enc::gf256 {
+
+/// Multiplication in GF(2^8) via log/exp tables (generator 3).
+[[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse; a must be non-zero.
+[[nodiscard]] std::uint8_t inv(std::uint8_t a);
+
+/// a / b; b must be non-zero.
+[[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/// base^e (e >= 0).
+[[nodiscard]] std::uint8_t pow(std::uint8_t base, unsigned e);
+
+/// out[i] ^= coeff * in[i] for all i — the inner loop of RS encode/decode.
+void mul_acc(std::span<std::uint8_t> out, std::span<const std::uint8_t> in, std::uint8_t coeff);
+
+/// Solve the k-by-k linear system M x = y in GF(2^8) by Gaussian
+/// elimination, in place. Returns false if M is singular.
+bool solve(std::span<std::uint8_t> matrix, std::span<std::uint8_t> rhs, int k);
+
+}  // namespace skt::enc::gf256

@@ -1,0 +1,120 @@
+#include "encoding/group_codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace skt::enc {
+namespace {
+
+/// Typed dispatch of a byte-span reduce onto the communicator. Buffers are
+/// lane-padded by StripeLayout, so the uint64/double reinterpretation is
+/// size-exact.
+void reduce_bytes(mpi::Comm& group, CodecKind kind, int root, std::span<const std::byte> in,
+                  std::span<std::byte> out) {
+  if (kind == CodecKind::kXor) {
+    const std::span<const std::uint64_t> in64{reinterpret_cast<const std::uint64_t*>(in.data()),
+                                              in.size() / sizeof(std::uint64_t)};
+    const std::span<std::uint64_t> out64{reinterpret_cast<std::uint64_t*>(out.data()),
+                                         out.size() / sizeof(std::uint64_t)};
+    group.reduce<std::uint64_t>(root, in64, out64, mpi::BXor{});
+  } else {
+    const std::span<const double> ind{reinterpret_cast<const double*>(in.data()),
+                                      in.size() / sizeof(double)};
+    const std::span<double> outd{reinterpret_cast<double*>(out.data()),
+                                 out.size() / sizeof(double)};
+    group.reduce<double>(root, ind, outd, mpi::Sum{});
+  }
+}
+
+}  // namespace
+
+GroupCodec::GroupCodec(CodecKind kind, std::size_t data_bytes, int group_size)
+    : kind_(kind), layout_(data_bytes, group_size) {}
+
+void GroupCodec::check_args(const mpi::Comm& group, std::size_t data_size,
+                            std::size_t checksum_size) const {
+  if (group.size() != layout_.group_size()) {
+    throw std::invalid_argument("GroupCodec: communicator size != group size");
+  }
+  if (data_size != layout_.padded_bytes()) {
+    throw std::invalid_argument("GroupCodec: data buffer must be padded_bytes()");
+  }
+  if (checksum_size != checksum_bytes()) {
+    throw std::invalid_argument("GroupCodec: checksum buffer must be checksum_bytes()");
+  }
+}
+
+void GroupCodec::encode(mpi::Comm& group, std::span<const std::byte> data,
+                        std::span<std::byte> checksum) const {
+  check_args(group, data.size(), checksum.size());
+  const int n = layout_.group_size();
+  const int me = group.rank();
+  const std::vector<std::byte> identity(layout_.stripe_bytes(), std::byte{0});
+  for (int f = 0; f < n; ++f) {
+    const std::span<const std::byte> contribution =
+        me == f ? std::span<const std::byte>(identity) : layout_.stripe(data, me, f);
+    reduce_bytes(group, kind_, f, contribution,
+                 me == f ? checksum : std::span<std::byte>{});
+  }
+}
+
+void GroupCodec::rebuild(mpi::Comm& group, int failed, std::span<std::byte> data,
+                         std::span<std::byte> checksum) const {
+  check_args(group, data.size(), checksum.size());
+  const int n = layout_.group_size();
+  const int me = group.rank();
+  if (failed < 0 || failed >= n) throw std::invalid_argument("GroupCodec::rebuild: bad member");
+
+  const std::vector<std::byte> identity(layout_.stripe_bytes(), std::byte{0});
+  std::vector<std::byte> scratch(layout_.stripe_bytes());
+
+  // Phase A: for every family f != failed, reconstruct the failed member's
+  // stripe: stripe(failed, f) = checksum_f (-) sum of surviving stripes.
+  for (int f = 0; f < n; ++f) {
+    if (f == failed) continue;
+    std::span<const std::byte> contribution;
+    if (me == failed) {
+      contribution = identity;
+    } else if (me == f) {
+      contribution = checksum;  // this member holds family f's checksum
+    } else {
+      const std::span<const std::byte> mine =
+          layout_.stripe(std::span<const std::byte>(data), me, f);
+      if (kind_ == CodecKind::kXor) {
+        contribution = mine;  // XOR is self-inverse
+      } else {
+        // SUM: contribute the negated stripe so the reduce yields
+        // checksum - sum(survivors) directly.
+        const std::span<std::byte> neg{scratch.data(), scratch.size()};
+        fill_identity(neg);
+        retract(kind_, neg, mine);
+        contribution = neg;
+      }
+    }
+    reduce_bytes(group, kind_, failed, contribution,
+                 me == failed ? layout_.stripe(data, me, f) : std::span<std::byte>{});
+  }
+
+  // Phase B: rebuild the failed member's own checksum stripe from the
+  // survivors' stripes of family `failed`.
+  {
+    const std::span<const std::byte> contribution =
+        me == failed ? std::span<const std::byte>(identity)
+                     : layout_.stripe(std::span<const std::byte>(data), me, failed);
+    reduce_bytes(group, kind_, failed, contribution,
+                 me == failed ? checksum : std::span<std::byte>{});
+  }
+}
+
+bool GroupCodec::verify(mpi::Comm& group, std::span<const std::byte> data,
+                        std::span<const std::byte> checksum) const {
+  check_args(group, data.size(), checksum.size());
+  std::vector<std::byte> recomputed(checksum_bytes());
+  encode(group, data, recomputed);
+  const std::uint8_t ok =
+      equals(kind_, std::span<const std::byte>(recomputed), checksum) ? 1 : 0;
+  return group.allreduce_value<std::uint8_t>(ok, mpi::Min{}) == 1;
+}
+
+}  // namespace skt::enc

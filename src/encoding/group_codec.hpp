@@ -1,0 +1,59 @@
+// Distributed group encoding over a communicator (Sections 2.1-2.2).
+//
+// encode() computes, for every family f, the checksum of the other
+// members' stripes with one MPI-style reduce rooted at member f — the
+// rotating roots are what spreads encoding traffic across the group and
+// avoids the single-node hotspot the paper calls out.
+//
+// rebuild() reconstructs a failed member's entire padded buffer plus its
+// checksum stripe from the survivors, with the failed (replacement) member
+// contributing identity elements so the same reduce schedule works for
+// everyone.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "encoding/codec.hpp"
+#include "encoding/stripes.hpp"
+#include "mpi/comm.hpp"
+
+namespace skt::enc {
+
+class GroupCodec {
+ public:
+  /// `data_bytes`: protected payload per member (all members must pass the
+  /// same value); `group_size` must equal the communicator size at use.
+  GroupCodec(CodecKind kind, std::size_t data_bytes, int group_size);
+
+  [[nodiscard]] CodecKind kind() const { return kind_; }
+  [[nodiscard]] const StripeLayout& layout() const { return layout_; }
+  [[nodiscard]] std::size_t padded_bytes() const { return layout_.padded_bytes(); }
+  [[nodiscard]] std::size_t checksum_bytes() const { return layout_.stripe_bytes(); }
+
+  /// Collective over `group`. `data` is this member's padded buffer;
+  /// `checksum` (stripe_bytes) receives the checksum of this member's
+  /// family. Every member ends up holding one checksum stripe.
+  void encode(mpi::Comm& group, std::span<const std::byte> data,
+              std::span<std::byte> checksum) const;
+
+  /// Collective over `group`: reconstruct member `failed`.
+  /// Survivors pass their (intact) data and checksum as inputs; the failed
+  /// member passes buffers whose contents are ignored on entry and hold the
+  /// rebuilt data + checksum on return.
+  void rebuild(mpi::Comm& group, int failed, std::span<std::byte> data,
+               std::span<std::byte> checksum) const;
+
+  /// Collective consistency check: re-encode into scratch space and compare
+  /// with `checksum` on every member; returns the AND across the group.
+  [[nodiscard]] bool verify(mpi::Comm& group, std::span<const std::byte> data,
+                            std::span<const std::byte> checksum) const;
+
+ private:
+  void check_args(const mpi::Comm& group, std::size_t data_size, std::size_t checksum_size) const;
+
+  CodecKind kind_;
+  StripeLayout layout_;
+};
+
+}  // namespace skt::enc

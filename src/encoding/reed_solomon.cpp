@@ -1,0 +1,157 @@
+#include "encoding/reed_solomon.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "encoding/gf256.hpp"
+
+namespace skt::enc {
+
+ReedSolomon::ReedSolomon(int data_shards, int parity_shards)
+    : k_(data_shards), m_(parity_shards) {
+  if (k_ < 1 || m_ < 1 || k_ + m_ > 256) {
+    throw std::invalid_argument("ReedSolomon: need 1 <= k, 1 <= m, k+m <= 256");
+  }
+  // Cauchy matrix c[j][i] = 1 / (x_j + y_i) with x_j = k + j, y_i = i.
+  // Addition in GF(2^8) is XOR; (k+j) ^ i != 0 because i < k <= k+j, and
+  // every square submatrix of a Cauchy matrix is invertible, which gives
+  // the MDS property.
+  cauchy_.resize(static_cast<std::size_t>(m_) * static_cast<std::size_t>(k_));
+  for (int j = 0; j < m_; ++j) {
+    for (int i = 0; i < k_; ++i) {
+      const auto x = static_cast<std::uint8_t>(k_ + j);
+      const auto y = static_cast<std::uint8_t>(i);
+      cauchy_[static_cast<std::size_t>(j) * static_cast<std::size_t>(k_) +
+              static_cast<std::size_t>(i)] = gf256::inv(static_cast<std::uint8_t>(x ^ y));
+    }
+  }
+}
+
+std::uint8_t ReedSolomon::coefficient(int j, int i) const {
+  if (j < 0 || j >= m_ || i < 0 || i >= k_) throw std::out_of_range("ReedSolomon::coefficient");
+  return cauchy_[static_cast<std::size_t>(j) * static_cast<std::size_t>(k_) +
+                 static_cast<std::size_t>(i)];
+}
+
+void ReedSolomon::encode(std::span<const std::span<const std::uint8_t>> data,
+                         std::span<const std::span<std::uint8_t>> parity) const {
+  if (static_cast<int>(data.size()) != k_ || static_cast<int>(parity.size()) != m_) {
+    throw std::invalid_argument("ReedSolomon::encode: shard count mismatch");
+  }
+  const std::size_t shard_size = data.empty() ? 0 : data[0].size();
+  for (const auto& d : data) {
+    if (d.size() != shard_size) throw std::invalid_argument("ReedSolomon: uneven shards");
+  }
+  for (int j = 0; j < m_; ++j) {
+    if (parity[static_cast<std::size_t>(j)].size() != shard_size) {
+      throw std::invalid_argument("ReedSolomon: uneven parity shards");
+    }
+    std::memset(parity[static_cast<std::size_t>(j)].data(), 0, shard_size);
+    for (int i = 0; i < k_; ++i) {
+      gf256::mul_acc(parity[static_cast<std::size_t>(j)], data[static_cast<std::size_t>(i)],
+                     coefficient(j, i));
+    }
+  }
+}
+
+bool ReedSolomon::reconstruct(std::span<const std::span<std::uint8_t>> shards,
+                              const std::vector<bool>& present) const {
+  const int total = k_ + m_;
+  if (static_cast<int>(shards.size()) != total || static_cast<int>(present.size()) != total) {
+    throw std::invalid_argument("ReedSolomon::reconstruct: shard count mismatch");
+  }
+  int available = 0;
+  for (bool p : present) available += p ? 1 : 0;
+  if (available < k_) return false;
+  bool any_missing = false;
+  for (bool p : present) any_missing |= !p;
+  if (!any_missing) return true;
+
+  const std::size_t shard_size = shards[0].size();
+  for (const auto& s : shards) {
+    if (s.size() != shard_size) throw std::invalid_argument("ReedSolomon: uneven shards");
+  }
+
+  // Pick k available rows of the (k+m) x k matrix [I; C], preferring data
+  // rows (identity rows make the solve cheaper and exact).
+  std::vector<int> rows;
+  rows.reserve(static_cast<std::size_t>(k_));
+  for (int i = 0; i < k_ && static_cast<int>(rows.size()) < k_; ++i) {
+    if (present[static_cast<std::size_t>(i)]) rows.push_back(i);
+  }
+  for (int j = 0; j < m_ && static_cast<int>(rows.size()) < k_; ++j) {
+    if (present[static_cast<std::size_t>(k_ + j)]) rows.push_back(k_ + j);
+  }
+
+  // Build the k x k sub-generator and invert it via k solves against the
+  // identity (Gauss-Jordan on an augmented system).
+  const auto n = static_cast<std::size_t>(k_);
+  std::vector<std::uint8_t> sub(n * n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const int row = rows[r];
+    if (row < k_) {
+      sub[r * n + static_cast<std::size_t>(row)] = 1;
+    } else {
+      for (int i = 0; i < k_; ++i) {
+        sub[r * n + static_cast<std::size_t>(i)] = coefficient(row - k_, i);
+      }
+    }
+  }
+  // Invert: augment with identity, run Gauss-Jordan.
+  std::vector<std::uint8_t> inv(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) inv[i * n + i] = 1;
+  {
+    std::vector<std::uint8_t> work = sub;
+    for (std::size_t col = 0; col < n; ++col) {
+      std::size_t pivot = col;
+      while (pivot < n && work[pivot * n + col] == 0) ++pivot;
+      if (pivot == n) return false;  // cannot happen for a Cauchy system
+      if (pivot != col) {
+        for (std::size_t c = 0; c < n; ++c) {
+          std::swap(work[pivot * n + c], work[col * n + c]);
+          std::swap(inv[pivot * n + c], inv[col * n + c]);
+        }
+      }
+      const std::uint8_t piv_inv = gf256::inv(work[col * n + col]);
+      for (std::size_t c = 0; c < n; ++c) {
+        work[col * n + c] = gf256::mul(work[col * n + c], piv_inv);
+        inv[col * n + c] = gf256::mul(inv[col * n + c], piv_inv);
+      }
+      for (std::size_t r = 0; r < n; ++r) {
+        if (r == col) continue;
+        const std::uint8_t factor = work[r * n + col];
+        if (factor == 0) continue;
+        for (std::size_t c = 0; c < n; ++c) {
+          work[r * n + c] ^= gf256::mul(factor, work[col * n + c]);
+          inv[r * n + c] ^= gf256::mul(factor, inv[col * n + c]);
+        }
+      }
+    }
+  }
+
+  // Rebuild missing data shards: data_d = sum_r inv[d][r] * shard(rows[r]).
+  for (int d = 0; d < k_; ++d) {
+    if (present[static_cast<std::size_t>(d)]) continue;
+    auto out = shards[static_cast<std::size_t>(d)];
+    std::memset(out.data(), 0, shard_size);
+    for (std::size_t r = 0; r < n; ++r) {
+      gf256::mul_acc(out,
+                     std::span<const std::uint8_t>(shards[static_cast<std::size_t>(rows[r])]),
+                     inv[static_cast<std::size_t>(d) * n + r]);
+    }
+  }
+
+  // Recompute missing parity shards from the (now complete) data shards.
+  for (int j = 0; j < m_; ++j) {
+    if (present[static_cast<std::size_t>(k_ + j)]) continue;
+    auto out = shards[static_cast<std::size_t>(k_ + j)];
+    std::memset(out.data(), 0, shard_size);
+    for (int i = 0; i < k_; ++i) {
+      gf256::mul_acc(out, std::span<const std::uint8_t>(shards[static_cast<std::size_t>(i)]),
+                     coefficient(j, i));
+    }
+  }
+  return true;
+}
+
+}  // namespace skt::enc

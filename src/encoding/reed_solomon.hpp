@@ -1,0 +1,42 @@
+// Systematic Reed-Solomon erasure code over GF(2^8) with a Cauchy
+// generator matrix, so any k of the k+m shards reconstruct the data —
+// the multi-failure upgrade path the paper sketches for its group encoding
+// ("more complex encoding methods, such as RAID-6 and Reed-Solomon, to
+// tolerate more node failures").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace skt::enc {
+
+class ReedSolomon {
+ public:
+  /// k data shards + m parity shards; k + m <= 256, k, m >= 1.
+  ReedSolomon(int data_shards, int parity_shards);
+
+  [[nodiscard]] int data_shards() const { return k_; }
+  [[nodiscard]] int parity_shards() const { return m_; }
+
+  /// Compute all parity shards from the data shards. All shards must have
+  /// the same size.
+  void encode(std::span<const std::span<const std::uint8_t>> data,
+              std::span<const std::span<std::uint8_t>> parity) const;
+
+  /// Rebuild every missing shard in place. `shards` holds k data shards
+  /// followed by m parity shards; `present[i]` says whether shards[i] holds
+  /// valid content. Returns false when more than m shards are missing.
+  bool reconstruct(std::span<const std::span<std::uint8_t>> shards,
+                   const std::vector<bool>& present) const;
+
+  /// Generator coefficient for parity row j, data column i.
+  [[nodiscard]] std::uint8_t coefficient(int j, int i) const;
+
+ private:
+  int k_;
+  int m_;
+  std::vector<std::uint8_t> cauchy_;  // m x k
+};
+
+}  // namespace skt::enc

@@ -1,0 +1,76 @@
+// Stripe layout for the group encoding of Figure 1.
+//
+// A group of N processes forms N "families". Process p contributes one
+// data stripe to every family f != p, and stores the checksum of family p.
+// Each process therefore splits its M bytes of protected data into N-1
+// stripes of ceil(M / (N-1)) bytes (lane-padded) and holds exactly one
+// checksum stripe — the paper's "a checksum is only 1/(N-1) of the
+// checkpoint size".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+#include "encoding/codec.hpp"
+
+namespace skt::enc {
+
+class StripeLayout {
+ public:
+  /// `data_bytes`: protected payload per process; `group_size`: N >= 2.
+  StripeLayout(std::size_t data_bytes, int group_size)
+      : data_bytes_(data_bytes), group_size_(group_size) {
+    if (group_size < 2) throw std::invalid_argument("StripeLayout: group size must be >= 2");
+    const std::size_t stripes = static_cast<std::size_t>(group_size - 1);
+    const std::size_t raw = (data_bytes + stripes - 1) / stripes;
+    stripe_bytes_ = (raw + kLane - 1) / kLane * kLane;
+    if (stripe_bytes_ == 0) stripe_bytes_ = kLane;  // degenerate zero-byte payloads
+  }
+
+  [[nodiscard]] std::size_t data_bytes() const { return data_bytes_; }
+  [[nodiscard]] int group_size() const { return group_size_; }
+
+  /// Size of one stripe == size of the per-process checksum.
+  [[nodiscard]] std::size_t stripe_bytes() const { return stripe_bytes_; }
+
+  /// Padded buffer size a process must allocate for its protected data:
+  /// (N-1) stripes. The pad beyond data_bytes() is encoded as zeros.
+  [[nodiscard]] std::size_t padded_bytes() const {
+    return stripe_bytes_ * static_cast<std::size_t>(group_size_ - 1);
+  }
+
+  /// Index of process p's stripe that belongs to family f (f != p).
+  [[nodiscard]] std::size_t stripe_index(int p, int f) const {
+    if (p == f) throw std::invalid_argument("stripe_index: process holds no data for own family");
+    check_member(p);
+    check_member(f);
+    return static_cast<std::size_t>(f < p ? f : f - 1);
+  }
+
+  /// View of process p's stripe for family f within its padded buffer.
+  [[nodiscard]] std::span<std::byte> stripe(std::span<std::byte> padded, int p, int f) const {
+    check_padded(padded.size());
+    return padded.subspan(stripe_index(p, f) * stripe_bytes_, stripe_bytes_);
+  }
+
+  [[nodiscard]] std::span<const std::byte> stripe(std::span<const std::byte> padded, int p,
+                                                  int f) const {
+    check_padded(padded.size());
+    return padded.subspan(stripe_index(p, f) * stripe_bytes_, stripe_bytes_);
+  }
+
+ private:
+  void check_member(int m) const {
+    if (m < 0 || m >= group_size_) throw std::out_of_range("StripeLayout: bad member index");
+  }
+  void check_padded(std::size_t size) const {
+    if (size != padded_bytes()) throw std::invalid_argument("StripeLayout: buffer not padded");
+  }
+
+  std::size_t data_bytes_;
+  int group_size_;
+  std::size_t stripe_bytes_;
+};
+
+}  // namespace skt::enc

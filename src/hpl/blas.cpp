@@ -1,0 +1,100 @@
+#include "hpl/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace skt::hpl::blas {
+
+namespace {
+// Cache-blocking tile sizes for gemm_minus: the B tile (kc x nc doubles)
+// stays L1/L2-resident across the i loop.
+constexpr std::int64_t kKc = 64;
+constexpr std::int64_t kNc = 128;
+}  // namespace
+
+void gemm_minus(std::int64_t m, std::int64_t n, std::int64_t k, const double* a,
+                std::int64_t lda, const double* b, std::int64_t ldb, double* c,
+                std::int64_t ldc) {
+  for (std::int64_t j0 = 0; j0 < n; j0 += kNc) {
+    const std::int64_t jb = std::min(kNc, n - j0);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kKc) {
+      const std::int64_t kb = std::min(kKc, k - k0);
+      for (std::int64_t i = 0; i < m; ++i) {
+        const double* ai = a + i * lda + k0;
+        double* ci = c + i * ldc + j0;
+        for (std::int64_t kk = 0; kk < kb; ++kk) {
+          const double aik = ai[kk];
+          if (aik == 0.0) continue;
+          const double* bk = b + (k0 + kk) * ldb + j0;
+          std::int64_t j = 0;
+          for (; j + 4 <= jb; j += 4) {
+            ci[j] -= aik * bk[j];
+            ci[j + 1] -= aik * bk[j + 1];
+            ci[j + 2] -= aik * bk[j + 2];
+            ci[j + 3] -= aik * bk[j + 3];
+          }
+          for (; j < jb; ++j) ci[j] -= aik * bk[j];
+        }
+      }
+    }
+  }
+}
+
+void trsm_lower_unit(std::int64_t m, std::int64_t n, const double* l, std::int64_t ldl,
+                     double* b, std::int64_t ldb) {
+  // Forward substitution row by row: row i of X depends on rows < i.
+  for (std::int64_t i = 0; i < m; ++i) {
+    double* bi = b + i * ldb;
+    for (std::int64_t kk = 0; kk < i; ++kk) {
+      const double lik = l[i * ldl + kk];
+      if (lik == 0.0) continue;
+      const double* bk = b + kk * ldb;
+      for (std::int64_t j = 0; j < n; ++j) bi[j] -= lik * bk[j];
+    }
+    // unit diagonal: no scaling
+  }
+}
+
+void trsv_upper(std::int64_t m, const double* u, std::int64_t ldu, double* y) {
+  for (std::int64_t i = m - 1; i >= 0; --i) {
+    double acc = y[i];
+    const double* ui = u + i * ldu;
+    for (std::int64_t j = i + 1; j < m; ++j) acc -= ui[j] * y[j];
+    y[i] = acc / ui[i];
+  }
+}
+
+void gemv_minus(std::int64_t m, std::int64_t n, const double* a, std::int64_t lda,
+                const double* x, double* y) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) acc += ai[j] * x[j];
+    y[i] -= acc;
+  }
+}
+
+std::int64_t iamax(std::int64_t n, const double* x) {
+  if (n <= 0) return -1;
+  std::int64_t best = 0;
+  double best_val = std::abs(x[0]);
+  for (std::int64_t i = 1; i < n; ++i) {
+    const double v = std::abs(x[i]);
+    if (v > best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void swap_rows(std::int64_t n, double* a, double* b) {
+  for (std::int64_t j = 0; j < n; ++j) std::swap(a[j], b[j]);
+}
+
+void scal(std::int64_t n, double alpha, double* x) {
+  for (std::int64_t j = 0; j < n; ++j) x[j] *= alpha;
+}
+
+}  // namespace skt::hpl::blas

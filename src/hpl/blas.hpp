@@ -1,0 +1,41 @@
+// Minimal dense kernels (row-major, explicit leading dimension) backing
+// the HPL substrate. Single-threaded per rank — parallelism comes from the
+// process grid, exactly as in HPL itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace skt::hpl::blas {
+
+/// C[m x n] -= A[m x k] * B[k x n]  (the trailing-matrix update).
+/// Blocked over k and j with an unrolled inner loop; this is the kernel
+/// whose throughput defines the "theoretical peak" of a simulated node.
+void gemm_minus(std::int64_t m, std::int64_t n, std::int64_t k, const double* a,
+                std::int64_t lda, const double* b, std::int64_t ldb, double* c,
+                std::int64_t ldc);
+
+/// Solve L X = B in place where L[m x m] is UNIT lower triangular;
+/// B is m x n (the U12 panel update).
+void trsm_lower_unit(std::int64_t m, std::int64_t n, const double* l, std::int64_t ldl,
+                     double* b, std::int64_t ldb);
+
+/// Solve U x = y in place where U[m x m] is upper triangular (non-unit),
+/// y is a length-m vector (diagonal-block solve in back substitution).
+void trsv_upper(std::int64_t m, const double* u, std::int64_t ldu, double* y);
+
+/// y[0..m) -= A[m x n] * x[0..n)   (back-substitution partial updates).
+void gemv_minus(std::int64_t m, std::int64_t n, const double* a, std::int64_t lda,
+                const double* x, double* y);
+
+/// Index of the element with the largest |value| in x[0..n) (stride 1);
+/// -1 for n == 0.
+[[nodiscard]] std::int64_t iamax(std::int64_t n, const double* x);
+
+/// Swap two length-n rows.
+void swap_rows(std::int64_t n, double* a, double* b);
+
+/// x[0..n) *= alpha.
+void scal(std::int64_t n, double alpha, double* x);
+
+}  // namespace skt::hpl::blas

@@ -1,0 +1,81 @@
+// 2-D block-cyclic index arithmetic (ScaLAPACK's numroc and friends),
+// separated from communication so it is unit-testable in isolation.
+//
+// A global index g belongs to block b = g / nb; block b of a dimension
+// distributed over P processes lives on process b % P, at local block
+// b / P. Rows and columns are distributed independently.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace skt::hpl {
+
+class BlockCyclicDim {
+ public:
+  /// `n` global elements in blocks of `nb` over `nprocs` processes.
+  BlockCyclicDim(std::int64_t n, std::int64_t nb, int nprocs)
+      : n_(n), nb_(nb), nprocs_(nprocs) {
+    if (n < 0 || nb <= 0 || nprocs <= 0) {
+      throw std::invalid_argument("BlockCyclicDim: bad parameters");
+    }
+  }
+
+  [[nodiscard]] std::int64_t n() const { return n_; }
+  [[nodiscard]] std::int64_t nb() const { return nb_; }
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+
+  /// Owning process of global index g.
+  [[nodiscard]] int owner(std::int64_t g) const {
+    return static_cast<int>((g / nb_) % nprocs_);
+  }
+
+  /// Local index of global g on its owner.
+  [[nodiscard]] std::int64_t local(std::int64_t g) const {
+    return (g / nb_) / nprocs_ * nb_ + g % nb_;
+  }
+
+  /// Global index of local index l on process p.
+  [[nodiscard]] std::int64_t global(int p, std::int64_t l) const {
+    return (l / nb_ * nprocs_ + p) * nb_ + l % nb_;
+  }
+
+  /// Number of local elements on process p (ScaLAPACK numroc).
+  [[nodiscard]] std::int64_t count(int p) const {
+    const std::int64_t full_blocks = n_ / nb_;
+    const std::int64_t rem = n_ % nb_;
+    std::int64_t c = full_blocks / nprocs_ * nb_;
+    const std::int64_t leftover = full_blocks % nprocs_;
+    if (p < leftover) {
+      c += nb_;
+    } else if (p == leftover) {
+      c += rem;
+    }
+    return c;
+  }
+
+  /// Smallest local index on process p whose global index is >= g
+  /// (== count(p) when no such local element exists). Used to find the
+  /// start of the trailing submatrix each panel iteration.
+  [[nodiscard]] std::int64_t local_lower_bound(int p, std::int64_t g) const {
+    if (g >= n_) return count(p);
+    const std::int64_t b = g / nb_;
+    const auto bp = static_cast<std::int64_t>(static_cast<std::int64_t>(b) % nprocs_);
+    if (bp == p) {
+      // g's block is local: start inside it.
+      return b / nprocs_ * nb_ + g % nb_;
+    }
+    // First block owned by p at or after b.
+    std::int64_t first = b / nprocs_ * nprocs_ + p;
+    if (first < b) first += nprocs_;
+    const std::int64_t l = first / nprocs_ * nb_;
+    return l > count(p) ? count(p) : l;
+  }
+
+ private:
+  std::int64_t n_;
+  std::int64_t nb_;
+  int nprocs_;
+};
+
+}  // namespace skt::hpl

@@ -1,0 +1,85 @@
+// A dense matrix distributed 2-D block-cyclically over a process grid.
+//
+// Storage is EXTERNAL: the caller hands in the local buffer, because in
+// SKT-HPL the local matrix must live inside the checkpoint protocol's
+// SHM-resident data() region (the self-checkpoint's A1). Row-major local
+// layout with ld == local_cols.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+#include "hpl/block_cyclic.hpp"
+#include "mpi/grid.hpp"
+
+namespace skt::hpl {
+
+class DistMatrix {
+ public:
+  DistMatrix(mpi::Grid& grid, std::int64_t global_rows, std::int64_t global_cols,
+             std::int64_t nb, std::span<double> storage)
+      : rows_(global_rows, nb, grid.P()),
+        cols_(global_cols, nb, grid.Q()),
+        prow_(grid.prow()),
+        pcol_(grid.pcol()),
+        lrows_(rows_.count(grid.prow())),
+        lcols_(cols_.count(grid.pcol())),
+        data_(storage) {
+    if (storage.size() < static_cast<std::size_t>(lrows_ * lcols_)) {
+      throw std::invalid_argument("DistMatrix: storage too small for local block");
+    }
+  }
+
+  /// Local doubles needed on grid position (prow, pcol).
+  [[nodiscard]] static std::int64_t local_elements(std::int64_t global_rows,
+                                                   std::int64_t global_cols, std::int64_t nb,
+                                                   int P, int Q, int prow, int pcol) {
+    return BlockCyclicDim(global_rows, nb, P).count(prow) *
+           BlockCyclicDim(global_cols, nb, Q).count(pcol);
+  }
+
+  /// Upper bound of local doubles over all grid positions (for sizing a
+  /// uniform per-rank allocation).
+  [[nodiscard]] static std::int64_t max_local_elements(std::int64_t global_rows,
+                                                       std::int64_t global_cols,
+                                                       std::int64_t nb, int P, int Q) {
+    std::int64_t best = 0;
+    for (int p = 0; p < P; ++p) {
+      for (int q = 0; q < Q; ++q) {
+        const std::int64_t e = local_elements(global_rows, global_cols, nb, P, Q, p, q);
+        if (e > best) best = e;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] const BlockCyclicDim& rows() const { return rows_; }
+  [[nodiscard]] const BlockCyclicDim& cols() const { return cols_; }
+  [[nodiscard]] std::int64_t lrows() const { return lrows_; }
+  [[nodiscard]] std::int64_t lcols() const { return lcols_; }
+  [[nodiscard]] std::int64_t ld() const { return lcols_; }
+  [[nodiscard]] int prow() const { return prow_; }
+  [[nodiscard]] int pcol() const { return pcol_; }
+
+  [[nodiscard]] double& at(std::int64_t li, std::int64_t lj) {
+    return data_[static_cast<std::size_t>(li * lcols_ + lj)];
+  }
+  [[nodiscard]] double at(std::int64_t li, std::int64_t lj) const {
+    return data_[static_cast<std::size_t>(li * lcols_ + lj)];
+  }
+  [[nodiscard]] double* row_ptr(std::int64_t li) {
+    return data_.data() + static_cast<std::size_t>(li * lcols_);
+  }
+  [[nodiscard]] std::span<double> local() { return data_.subspan(0, static_cast<std::size_t>(lrows_ * lcols_)); }
+
+ private:
+  BlockCyclicDim rows_;
+  BlockCyclicDim cols_;
+  int prow_;
+  int pcol_;
+  std::int64_t lrows_;
+  std::int64_t lcols_;
+  std::span<double> data_;
+};
+
+}  // namespace skt::hpl

@@ -1,0 +1,329 @@
+#include "hpl/lu.hpp"
+
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "hpl/blas.hpp"
+#include "util/rng.hpp"
+
+namespace skt::hpl {
+namespace {
+
+constexpr mpi::Tag kTagSwap = 101;
+constexpr mpi::Tag kTagYToDiag = 102;
+constexpr mpi::Tag kTagXToStore = 103;
+constexpr mpi::Tag kTagPartial = 104;
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+/// Swap global rows j and r over local columns [lc0, lc1) within this
+/// rank's process column. Only the two owner process rows act; both ends
+/// of the exchange share the same local column range because column
+/// distribution is independent of the process row.
+void swap_rows_range(mpi::Grid& grid, DistMatrix& a, std::int64_t j, std::int64_t r,
+                     std::int64_t lc0, std::int64_t lc1) {
+  if (j == r || lc1 <= lc0) return;
+  const int pa = a.rows().owner(j);
+  const int pb = a.rows().owner(r);
+  const int me = grid.prow();
+  const std::int64_t len = lc1 - lc0;
+  if (pa == pb) {
+    if (me == pa) {
+      blas::swap_rows(len, &a.at(a.rows().local(j), lc0), &a.at(a.rows().local(r), lc0));
+    }
+    return;
+  }
+  if (me == pa) {
+    double* rowj = &a.at(a.rows().local(j), lc0);
+    const std::vector<double> tmp(rowj, rowj + len);
+    grid.col().sendrecv<double>(pb, kTagSwap, tmp, pb, kTagSwap,
+                                std::span<double>(rowj, static_cast<std::size_t>(len)));
+  } else if (me == pb) {
+    double* rowr = &a.at(a.rows().local(r), lc0);
+    const std::vector<double> tmp(rowr, rowr + len);
+    grid.col().sendrecv<double>(pa, kTagSwap, tmp, pa, kTagSwap,
+                                std::span<double>(rowr, static_cast<std::size_t>(len)));
+  }
+}
+
+/// Factor the w-wide panel starting at global column j0. Collective over
+/// the owning process column's col communicator.
+void factor_panel(mpi::Grid& grid, DistMatrix& a, std::int64_t j0, std::int64_t w,
+                  std::vector<std::int64_t>& piv, std::vector<double>& pivvals) {
+  const BlockCyclicDim& rows = a.rows();
+  const int pr = grid.prow();
+  const std::int64_t lc_panel = a.cols().local(j0);
+
+  for (std::int64_t jj = 0; jj < w; ++jj) {
+    const std::int64_t j = j0 + jj;
+
+    // Pivot search: largest |A(i, j)| over global rows i >= j.
+    mpi::ValueLoc best{-1.0, std::numeric_limits<std::int64_t>::max()};
+    for (std::int64_t li = rows.local_lower_bound(pr, j); li < a.lrows(); ++li) {
+      const double v = std::abs(a.at(li, lc_panel + jj));
+      if (v > best.value) best = {v, rows.global(pr, li)};
+    }
+    const mpi::ValueLoc winner = grid.col().allreduce_value(best, mpi::MaxLoc{});
+    if (winner.index < 0 || winner.value == 0.0) {
+      throw std::runtime_error("lu_factorize: zero pivot at column " + std::to_string(j));
+    }
+    piv[static_cast<std::size_t>(jj)] = winner.index;
+
+    // Swap rows j <-> pivot within the panel columns.
+    swap_rows_range(grid, a, j, winner.index, lc_panel, lc_panel + w);
+
+    // Broadcast the pivot row segment [j .. j0+w) down the column.
+    std::vector<double> rowj(static_cast<std::size_t>(w - jj));
+    const int owner_j = rows.owner(j);
+    if (pr == owner_j) {
+      std::memcpy(rowj.data(), &a.at(rows.local(j), lc_panel + jj),
+                  rowj.size() * sizeof(double));
+    }
+    grid.col().bcast<double>(owner_j, rowj);
+    const double pivot = rowj[0];
+    pivvals[static_cast<std::size_t>(jj)] = pivot;
+
+    // Scale the multipliers and apply the rank-1 update to the rest of
+    // the panel.
+    for (std::int64_t li = rows.local_lower_bound(pr, j + 1); li < a.lrows(); ++li) {
+      double& lval = a.at(li, lc_panel + jj);
+      lval /= pivot;
+      const double l = lval;
+      double* arow = &a.at(li, lc_panel + jj + 1);
+      for (std::int64_t cc = 1; cc < w - jj; ++cc) arow[cc - 1] -= l * rowj[static_cast<std::size_t>(cc)];
+    }
+  }
+}
+
+}  // namespace
+
+void generate(DistMatrix& a, std::uint64_t seed) {
+  for (std::int64_t li = 0; li < a.lrows(); ++li) {
+    const auto gi = static_cast<std::uint64_t>(a.rows().global(a.prow(), li));
+    double* row = a.row_ptr(li);
+    for (std::int64_t lj = 0; lj < a.lcols(); ++lj) {
+      const auto gj = static_cast<std::uint64_t>(a.cols().global(a.pcol(), lj));
+      row[lj] = util::element_value(seed, gi, gj);
+    }
+  }
+}
+
+void lu_factorize(mpi::Grid& grid, DistMatrix& a, std::int64_t n, std::int64_t start_panel,
+                  const PanelHook& hook, std::vector<double>* pivot_values,
+                  PanelBcast panel_bcast) {
+  const std::int64_t nb = a.rows().nb();
+  if (a.cols().nb() != nb) throw std::invalid_argument("lu_factorize: row/col nb must match");
+  if (a.cols().n() < n + 1) {
+    throw std::invalid_argument("lu_factorize: matrix must be augmented (>= n+1 columns)");
+  }
+  const std::int64_t nblk = ceil_div(n, nb);
+  const int pr = grid.prow();
+  const int pc = grid.pcol();
+
+  for (std::int64_t k = start_panel; k < nblk; ++k) {
+    const std::int64_t j0 = k * nb;
+    const std::int64_t w = std::min(nb, n - j0);
+    const int pcolk = static_cast<int>(k % grid.Q());
+    const int prowk = static_cast<int>(k % grid.P());
+
+    // (a) Panel factorization within the owning process column.
+    std::vector<std::int64_t> piv(static_cast<std::size_t>(w));
+    std::vector<double> pivvals(static_cast<std::size_t>(w));
+    if (pc == pcolk) factor_panel(grid, a, j0, w, piv, pivvals);
+
+    // (b) Pivot list (and, when requested, pivot values) to every column.
+    grid.row().bcast<std::int64_t>(pcolk, piv);
+    if (pivot_values != nullptr) {
+      grid.row().bcast<double>(pcolk, pivvals);
+      pivot_values->resize(static_cast<std::size_t>(j0 + w));
+      std::memcpy(pivot_values->data() + j0, pivvals.data(),
+                  static_cast<std::size_t>(w) * sizeof(double));
+    }
+
+    // (c) Apply the swaps to the rest of the row — both the columns left
+    // of the panel (the stored L, as HPL's laswp does; ABFT's row-sum
+    // invariant depends on whole rows moving together) and the trailing
+    // columns (b and any checksum columns included).
+    const std::int64_t lc_left = a.cols().local_lower_bound(pc, j0);
+    const std::int64_t lc1 = a.cols().local_lower_bound(pc, j0 + w);
+    for (std::int64_t jj = 0; jj < w; ++jj) {
+      swap_rows_range(grid, a, j0 + jj, piv[static_cast<std::size_t>(jj)], 0, lc_left);
+      swap_rows_range(grid, a, j0 + jj, piv[static_cast<std::size_t>(jj)], lc1, a.lcols());
+    }
+
+    // (d) Broadcast the factored panel strip along process rows. Every
+    // rank in a process row shares the same local row structure, so the
+    // buffer size agrees without negotiation.
+    const std::int64_t li0 = a.rows().local_lower_bound(pr, j0);
+    const std::int64_t strip_rows = a.lrows() - li0;
+    std::vector<double> strip(static_cast<std::size_t>(strip_rows * w));
+    if (pc == pcolk && strip_rows > 0) {
+      const std::int64_t lcp = a.cols().local(j0);
+      for (std::int64_t i = 0; i < strip_rows; ++i) {
+        std::memcpy(&strip[static_cast<std::size_t>(i * w)], &a.at(li0 + i, lcp),
+                    static_cast<std::size_t>(w) * sizeof(double));
+      }
+    }
+    if (!strip.empty()) {
+      if (panel_bcast == PanelBcast::kRing) {
+        grid.row().bcast_pipeline<double>(pcolk, strip);
+      } else {
+        grid.row().bcast<double>(pcolk, strip);
+      }
+    }
+
+    // (e) U12 = L11^{-1} A12 on the diagonal-block process row, then
+    // broadcast it down the columns.
+    const std::int64_t tc = a.lcols() - lc1;
+    std::vector<double> u12(static_cast<std::size_t>(w * tc));
+    if (pr == prowk && tc > 0) {
+      const std::int64_t lr0 = a.rows().local(j0);
+      for (std::int64_t i = 0; i < w; ++i) {
+        std::memcpy(&u12[static_cast<std::size_t>(i * tc)], &a.at(lr0 + i, lc1),
+                    static_cast<std::size_t>(tc) * sizeof(double));
+      }
+      // L11 sits in the first w rows of the strip (its owner's local rows
+      // start exactly at global row j0).
+      blas::trsm_lower_unit(w, tc, strip.data(), w, u12.data(), tc);
+      for (std::int64_t i = 0; i < w; ++i) {
+        std::memcpy(&a.at(lr0 + i, lc1), &u12[static_cast<std::size_t>(i * tc)],
+                    static_cast<std::size_t>(tc) * sizeof(double));
+      }
+    }
+    if (!u12.empty()) grid.col().bcast<double>(prowk, u12);
+
+    // (f) Trailing update A22 -= L21 U12.
+    const std::int64_t li1 = a.rows().local_lower_bound(pr, j0 + w);
+    const std::int64_t tr = a.lrows() - li1;
+    if (tr > 0 && tc > 0) {
+      const double* l21 = strip.data() + static_cast<std::size_t>((li1 - li0) * w);
+      blas::gemm_minus(tr, tc, w, l21, w, u12.data(), tc, &a.at(li1, lc1), a.ld());
+    }
+
+    if (hook && !hook(k + 1)) return;
+  }
+}
+
+std::vector<double> back_substitute(mpi::Comm& world, mpi::Grid& grid, DistMatrix& a,
+                                    std::int64_t n) {
+  const BlockCyclicDim& rows = a.rows();
+  const BlockCyclicDim& cols = a.cols();
+  const std::int64_t nb = rows.nb();
+  const int pr = grid.prow();
+  const int pc = grid.pcol();
+  const int qb = cols.owner(n);          // process column holding y/x (column N)
+  const std::int64_t lcN = cols.local(n);  // meaningful when pc == qb
+  const std::int64_t nblk = ceil_div(n, nb);
+
+  for (std::int64_t kb = nblk - 1; kb >= 0; --kb) {
+    const std::int64_t r0 = kb * nb;
+    const std::int64_t w = std::min(nb, n - r0);
+    const int prb = rows.owner(r0);
+    const int pcb = cols.owner(r0);
+
+    std::vector<double> xk(static_cast<std::size_t>(w));
+    if (pr == prb) {
+      const std::int64_t lr0 = rows.local(r0);
+      if (pc == qb) {
+        for (std::int64_t i = 0; i < w; ++i) xk[static_cast<std::size_t>(i)] = a.at(lr0 + i, lcN);
+        if (qb != pcb) grid.row().send<double>(pcb, kTagYToDiag, xk);
+      }
+      if (pc == pcb) {
+        if (qb != pcb) grid.row().recv<double>(qb, kTagYToDiag, xk);
+        blas::trsv_upper(w, &a.at(lr0, cols.local(r0)), a.ld(), xk.data());
+        if (qb != pcb) grid.row().send<double>(qb, kTagXToStore, xk);
+      }
+      if (pc == qb) {
+        if (qb != pcb) grid.row().recv<double>(pcb, kTagXToStore, xk);
+        for (std::int64_t i = 0; i < w; ++i) a.at(lr0 + i, lcN) = xk[static_cast<std::size_t>(i)];
+      }
+    }
+
+    // Everyone in the diagonal block's process column needs x_kb for the
+    // partial updates of the rows above.
+    if (pc == pcb) grid.col().bcast<double>(prb, xk);
+
+    const std::int64_t li_end = rows.local_lower_bound(pr, r0);
+    if (pc == pcb) {
+      std::vector<double> z(static_cast<std::size_t>(li_end), 0.0);
+      const std::int64_t lc0 = cols.local(r0);
+      for (std::int64_t li = 0; li < li_end; ++li) {
+        double acc = 0.0;
+        for (std::int64_t c = 0; c < w; ++c) acc += a.at(li, lc0 + c) * xk[static_cast<std::size_t>(c)];
+        z[static_cast<std::size_t>(li)] = acc;
+      }
+      if (pcb == qb) {
+        for (std::int64_t li = 0; li < li_end; ++li) a.at(li, lcN) -= z[static_cast<std::size_t>(li)];
+      } else {
+        grid.row().send<double>(qb, kTagPartial, z);
+      }
+    }
+    if (pc == qb && pcb != qb) {
+      std::vector<double> z(static_cast<std::size_t>(li_end));
+      grid.row().recv<double>(pcb, kTagPartial, z);
+      for (std::int64_t li = 0; li < li_end; ++li) a.at(li, lcN) -= z[static_cast<std::size_t>(li)];
+    }
+  }
+
+  // Replicate x on every rank.
+  std::vector<double> partial(static_cast<std::size_t>(n), 0.0);
+  if (pc == qb) {
+    for (std::int64_t li = 0; li < a.lrows(); ++li) {
+      const std::int64_t gi = rows.global(pr, li);
+      if (gi < n) partial[static_cast<std::size_t>(gi)] = a.at(li, lcN);
+    }
+  }
+  std::vector<double> x(static_cast<std::size_t>(n));
+  world.allreduce<double>(partial, x, mpi::Sum{});
+  return x;
+}
+
+Residual verify(mpi::Comm& world, const DistMatrix& a, std::int64_t n, std::uint64_t seed,
+                const std::vector<double>& x) {
+  if (static_cast<std::int64_t>(x.size()) != n) {
+    throw std::invalid_argument("verify: x must have n entries");
+  }
+  // Partial residual r = -A x and row-wise |A| sums over this rank's
+  // original (regenerated) elements; one combined reduction.
+  std::vector<double> partial(static_cast<std::size_t>(2 * n), 0.0);
+  const std::span<double> r(partial.data(), static_cast<std::size_t>(n));
+  const std::span<double> rowsum(partial.data() + n, static_cast<std::size_t>(n));
+  for (std::int64_t li = 0; li < a.lrows(); ++li) {
+    const std::int64_t gi = a.rows().global(a.prow(), li);
+    double acc = 0.0;
+    double asum = 0.0;
+    for (std::int64_t lj = 0; lj < a.lcols(); ++lj) {
+      const std::int64_t gj = a.cols().global(a.pcol(), lj);
+      if (gj >= n) continue;
+      const double val = util::element_value(seed, static_cast<std::uint64_t>(gi),
+                                             static_cast<std::uint64_t>(gj));
+      acc += val * x[static_cast<std::size_t>(gj)];
+      asum += std::abs(val);
+    }
+    r[static_cast<std::size_t>(gi)] -= acc;
+    rowsum[static_cast<std::size_t>(gi)] += asum;
+  }
+  std::vector<double> reduced(partial.size());
+  world.allreduce<double>(partial, reduced, mpi::Sum{});
+
+  Residual res;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double b = util::element_value(seed, static_cast<std::uint64_t>(i),
+                                         static_cast<std::uint64_t>(n));
+    const double ri = std::abs(reduced[static_cast<std::size_t>(i)] + b);
+    res.r_inf = std::max(res.r_inf, ri);
+    res.a_inf = std::max(res.a_inf, reduced[static_cast<std::size_t>(n + i)]);
+    res.b_inf = std::max(res.b_inf, std::abs(b));
+  }
+  for (double v : x) res.x_inf = std::max(res.x_inf, std::abs(v));
+  const double denom =
+      DBL_EPSILON * (res.a_inf * res.x_inf + res.b_inf) * static_cast<double>(n);
+  res.scaled = denom > 0 ? res.r_inf / denom : std::numeric_limits<double>::infinity();
+  res.pass = res.scaled < 16.0;
+  return res;
+}
+
+}  // namespace skt::hpl

@@ -1,0 +1,134 @@
+#include "hpl/skt_hpl.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "hpl/dist_matrix.hpp"
+#include "util/clock.hpp"
+#include "util/log.hpp"
+
+namespace skt::hpl {
+namespace {
+
+/// A2 — the small user-space state checkpointed alongside the matrix.
+struct SktState {
+  std::uint64_t magic = 0x534b544850ull;  // "SKTHP"
+  std::int64_t next_panel = 0;
+  std::int64_t n = 0;
+  std::int64_t nb = 0;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool valid(const HplConfig& config) const {
+    return magic == 0x534b544850ull && n == config.n && nb == config.nb &&
+           seed == config.seed;
+  }
+};
+
+mpi::Comm build_group_comm(mpi::Comm& world, int group_size, ckpt::Mapping mapping) {
+  std::vector<int> nodes(static_cast<std::size_t>(world.size()));
+  std::vector<int> racks(static_cast<std::size_t>(world.size()));
+  for (int r = 0; r < world.size(); ++r) {
+    const int node_id = world.node_id_of(r);
+    nodes[static_cast<std::size_t>(r)] = node_id;
+    racks[static_cast<std::size_t>(r)] = world.runtime().cluster().node(node_id).rack();
+  }
+  const ckpt::GroupAssignment assignment =
+      ckpt::plan_groups(world.size(), group_size, nodes, racks, mapping);
+  return ckpt::make_group_comm(world, assignment);
+}
+
+}  // namespace
+
+SktHplResult run_skt_hpl(mpi::Comm& world, const SktHplConfig& config) {
+  const HplConfig& h = config.hpl;
+  SktHplResult result;
+
+  mpi::Grid grid(world, h.grid_p, h.grid_q);
+  // Uniform per-rank allocation (group encoding needs equal sizes).
+  const std::int64_t elems =
+      DistMatrix::max_local_elements(h.n, h.n + 1, h.nb, h.grid_p, h.grid_q);
+  const std::size_t data_bytes = static_cast<std::size_t>(elems) * sizeof(double);
+
+  // ---------------------------------------------------------------- none --
+  if (config.strategy == ckpt::Strategy::kNone) {
+    result.hpl = run_hpl(world, h);
+    return result;
+  }
+
+  mpi::Comm group = build_group_comm(world, config.group_size, config.mapping);
+  ckpt::CommCtx ctx{world, group};
+
+  ckpt::FactoryParams params;
+  params.key_prefix = config.key_prefix;
+  params.data_bytes = data_bytes;
+  params.user_bytes = sizeof(SktState);
+  params.codec = config.codec;
+  params.vault = config.vault;
+  params.device = config.device;
+  auto protocol = ckpt::make_protocol(config.strategy, params);
+
+  const bool has_ckpt = protocol->open(ctx);
+  auto* state = reinterpret_cast<SktState*>(protocol->user_state().data());
+
+  // data() is at least data_bytes long; alias it as the local matrix.
+  const std::span<double> storage{reinterpret_cast<double*>(protocol->data().data()),
+                                  static_cast<std::size_t>(elems)};
+  DistMatrix a(grid, h.n, h.n + 1, h.nb, storage);
+
+  const double virtual_before = world.virtual_seconds();
+  util::WallTimer timer;
+
+  if (has_ckpt) {
+    // Restart path (Fig. 9): restore data + loop position from the
+    // checkpoint and skip generation.
+    util::WallTimer restore_timer;
+    const ckpt::RestoreStats rs = protocol->restore(ctx);
+    result.restored = true;
+    result.restore_s = restore_timer.seconds();
+    if (!state->valid(h)) {
+      throw std::runtime_error("skt-hpl: restored state does not match this configuration");
+    }
+    SKT_LOG_INFO("skt-hpl: restored epoch {} -> resuming at panel {}", rs.epoch,
+                 state->next_panel);
+  } else {
+    *state = SktState{};
+    state->next_panel = 0;
+    state->n = h.n;
+    state->nb = h.nb;
+    state->seed = h.seed;
+    generate(a, h.seed);
+  }
+  world.barrier();
+
+  const PanelHook hook = [&](std::int64_t next_panel) {
+    world.failpoint("hpl.panel");
+    if (config.ckpt_every_panels > 0 && next_panel % config.ckpt_every_panels == 0) {
+      state->next_panel = next_panel;
+      const ckpt::CommitStats stats = protocol->commit(ctx);
+      ++result.checkpoints;
+      result.ckpt_total_s += stats.total_s();
+      result.encode_total_s += stats.encode_s;
+      result.encode_virtual_total_s += stats.encode_virtual_s;
+      result.encode_last_s = stats.encode_s + stats.encode_virtual_s;
+      result.ckpt_bytes = stats.checkpoint_bytes;
+      result.checksum_bytes = stats.checksum_bytes;
+    }
+    return true;
+  };
+
+  lu_factorize(grid, a, h.n, state->next_panel, hook, nullptr, h.panel_bcast);
+  const std::vector<double> x = back_substitute(world, grid, a, h.n);
+  const double elapsed = timer.seconds();
+  const double virtual_delta = world.virtual_seconds() - virtual_before;
+
+  world.failpoint("hpl.done");
+  result.hpl.elapsed_s = elapsed;
+  result.hpl.virtual_s = virtual_delta;
+  result.hpl.gflops = hpl_flops(h.n) / (elapsed + virtual_delta) * 1e-9;
+  result.hpl.residual = verify(world, a, h.n, h.seed, x);
+  result.memory_bytes = protocol->memory_bytes();
+  return result;
+}
+
+}  // namespace skt::hpl

@@ -1,0 +1,57 @@
+// SKT-HPL — fault-tolerant HPL over a pluggable checkpoint protocol
+// (Section 5 of the paper, workflow of Fig. 9).
+//
+// The distributed matrix's local block lives inside the protocol's data()
+// region — for the self-checkpoint strategy that region IS the SHM-backed
+// A1, so the application computes in place and the working set doubles as
+// the in-flight checkpoint. Checkpoints are taken at elimination-loop
+// panel boundaries; after a restart the driver restores, skips generation,
+// and resumes from the recorded panel.
+//
+// Strategy::kDouble reproduces the SCR-style in-memory baseline,
+// Strategy::kBlcr the disk-based one, Strategy::kNone the original HPL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/factory.hpp"
+#include "ckpt/grouping.hpp"
+#include "hpl/driver.hpp"
+#include "mpi/comm.hpp"
+
+namespace skt::hpl {
+
+struct SktHplConfig {
+  HplConfig hpl;
+  ckpt::Strategy strategy = ckpt::Strategy::kSelf;
+  int group_size = 4;
+  enc::CodecKind codec = enc::CodecKind::kXor;
+  ckpt::Mapping mapping = ckpt::Mapping::kNeighbor;
+  /// Checkpoint after every this many eliminated panels (0 = never).
+  std::int64_t ckpt_every_panels = 8;
+  std::string key_prefix = "skthpl";
+  /// BLCR only:
+  storage::SnapshotVault* vault = nullptr;
+  storage::DeviceProfile device;
+};
+
+struct SktHplResult {
+  HplResult hpl;
+  bool restored = false;        ///< this run resumed from a checkpoint
+  int checkpoints = 0;          ///< commits performed in this run
+  double ckpt_total_s = 0.0;    ///< sum of commit times (encode+flush+device)
+  double encode_total_s = 0.0;  ///< sum of encode wall times across commits
+  double encode_virtual_total_s = 0.0;  ///< sum of modeled encode network time
+  double encode_last_s = 0.0;   ///< encoding time of the last commit (Fig. 13)
+  double restore_s = 0.0;       ///< recovery time when restored
+  std::size_t ckpt_bytes = 0;   ///< per-process checkpoint size
+  std::size_t checksum_bytes = 0;
+  std::size_t memory_bytes = 0;  ///< protocol's total memory footprint
+};
+
+/// Collective over `world`. Failpoints: protocol-internal "ckpt.*" plus
+/// "hpl.panel" (after every panel) and "hpl.done" (before verification).
+SktHplResult run_skt_hpl(mpi::Comm& world, const SktHplConfig& config);
+
+}  // namespace skt::hpl

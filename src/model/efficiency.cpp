@@ -1,0 +1,52 @@
+#include "model/efficiency.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace skt::model {
+
+double EfficiencyModel::problem_size_for(double target_efficiency) const {
+  if (target_efficiency <= 0.0) throw std::invalid_argument("target efficiency must be > 0");
+  const double denom = 1.0 - a * target_efficiency;
+  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+  return b * target_efficiency / denom;
+}
+
+EfficiencyModel fit_efficiency(std::span<const double> sizes,
+                               std::span<const double> efficiencies) {
+  if (sizes.size() != efficiencies.size() || sizes.size() < 2) {
+    throw std::invalid_argument("fit_efficiency: need >= 2 (size, efficiency) samples");
+  }
+  std::vector<double> inv_n(sizes.size());
+  std::vector<double> inv_e(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (sizes[i] <= 0 || efficiencies[i] <= 0) {
+      throw std::invalid_argument("fit_efficiency: sizes and efficiencies must be positive");
+    }
+    inv_n[i] = 1.0 / sizes[i];
+    inv_e[i] = 1.0 / efficiencies[i];
+  }
+  const util::LinearFit fit = util::fit_linear(inv_n, inv_e);
+  EfficiencyModel model;
+  model.a = fit.intercept;  // 1/E = a + b * (1/N)
+  model.b = fit.slope;
+  model.r2 = fit.r2;
+  return model;
+}
+
+double efficiency_at_fraction(double e1, double k, double a) {
+  if (k <= 0.0 || k > 1.0) throw std::invalid_argument("k must be in (0, 1]");
+  if (e1 <= 0.0 || e1 > 1.0) throw std::invalid_argument("e1 must be in (0, 1]");
+  const double sk = std::sqrt(k);
+  return sk * e1 / (1.0 - (1.0 - sk) * a * e1);
+}
+
+double efficiency_lower_bound(double e1, double k) {
+  return efficiency_at_fraction(e1, k, 1.0);
+}
+
+}  // namespace skt::model

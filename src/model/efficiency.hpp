@@ -1,0 +1,44 @@
+// The HPL efficiency model of Section 4:
+//
+//   E(N) = N / (aN + b),  a > 1                                   (Eq. 5)
+//
+// which is linear in 1/N after inversion (1/E = a + b/N), so two or more
+// (N, E) measurements fit it by ordinary least squares. Equation 8 bounds
+// the efficiency when only a fraction k of memory is available:
+//
+//   e2 = sqrt(k) e1 / (1 - (1 - sqrt(k)) a e1)
+//      > sqrt(k) e1 / (1 - (1 - sqrt(k)) e1)      (since a > 1)
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace skt::model {
+
+struct EfficiencyModel {
+  double a = 1.0;
+  double b = 0.0;
+  double r2 = 0.0;  ///< goodness of the inverse-linear fit
+
+  /// E(N) per Eq. 5.
+  [[nodiscard]] double efficiency(double n) const { return n / (a * n + b); }
+
+  /// Problem size that reaches a target efficiency (inverse of Eq. 5);
+  /// returns +inf when the target exceeds the asymptote 1/a.
+  [[nodiscard]] double problem_size_for(double target_efficiency) const;
+};
+
+/// Least-squares fit of Eq. 5 to (problem size, efficiency) samples.
+/// Requires at least two samples with distinct sizes.
+[[nodiscard]] EfficiencyModel fit_efficiency(std::span<const double> sizes,
+                                             std::span<const double> efficiencies);
+
+/// Exact Eq. 8 given the model's `a`: efficiency at memory fraction k
+/// relative to full-memory efficiency e1.
+[[nodiscard]] double efficiency_at_fraction(double e1, double k, double a);
+
+/// The a -> 1 lower bound of Eq. 8 (what Fig. 8 plots for the TOP500
+/// machines, whose `a` is unknown).
+[[nodiscard]] double efficiency_lower_bound(double e1, double k);
+
+}  // namespace skt::model

@@ -1,0 +1,139 @@
+#include "model/interval.hpp"
+
+#include <cmath>
+#include <string>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace skt::model {
+namespace {
+
+void check_positive(double v, const char* what) {
+  if (!(v > 0.0)) throw std::invalid_argument(std::string("interval model: ") + what +
+                                              " must be positive");
+}
+
+/// Exponential variate with mean `mtbf`.
+double exp_sample(util::Xoshiro256& rng, double mtbf) {
+  // Avoid log(0).
+  double u = rng.next_double();
+  if (u <= 0.0) u = 1e-18;
+  return -mtbf * std::log(1.0 - u * (1.0 - 1e-12));
+}
+
+}  // namespace
+
+double young_interval(double ckpt_cost_s, double mtbf_s) {
+  check_positive(ckpt_cost_s, "checkpoint cost");
+  check_positive(mtbf_s, "MTBF");
+  return std::sqrt(2.0 * ckpt_cost_s * mtbf_s);
+}
+
+double daly_interval(double ckpt_cost_s, double mtbf_s) {
+  check_positive(ckpt_cost_s, "checkpoint cost");
+  check_positive(mtbf_s, "MTBF");
+  if (ckpt_cost_s >= 2.0 * mtbf_s) return mtbf_s;
+  const double ratio = ckpt_cost_s / (2.0 * mtbf_s);
+  return std::sqrt(2.0 * ckpt_cost_s * mtbf_s) *
+             (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+         ckpt_cost_s;
+}
+
+double expected_runtime(double work_s, double interval_s, double ckpt_cost_s,
+                        double restart_cost_s, double mtbf_s) {
+  check_positive(work_s, "work");
+  check_positive(interval_s, "interval");
+  check_positive(mtbf_s, "MTBF");
+  if (ckpt_cost_s < 0 || restart_cost_s < 0) {
+    throw std::invalid_argument("interval model: costs must be non-negative");
+  }
+  const double m = mtbf_s;
+  return m * std::exp(restart_cost_s / m) *
+         (std::exp((interval_s + ckpt_cost_s) / m) - 1.0) * (work_s / interval_s);
+}
+
+double optimal_interval_numeric(double work_s, double ckpt_cost_s, double restart_cost_s,
+                                double mtbf_s) {
+  double lo = std::max(ckpt_cost_s, 1e-6);
+  double hi = work_s;
+  if (hi <= lo) return lo;
+  constexpr double kPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double x1 = b - kPhi * (b - a);
+  double x2 = a + kPhi * (b - a);
+  double f1 = expected_runtime(work_s, x1, ckpt_cost_s, restart_cost_s, mtbf_s);
+  double f2 = expected_runtime(work_s, x2, ckpt_cost_s, restart_cost_s, mtbf_s);
+  for (int i = 0; i < 200 && (b - a) > 1e-9 * hi; ++i) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kPhi * (b - a);
+      f1 = expected_runtime(work_s, x1, ckpt_cost_s, restart_cost_s, mtbf_s);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kPhi * (b - a);
+      f2 = expected_runtime(work_s, x2, ckpt_cost_s, restart_cost_s, mtbf_s);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+SimulatedRun simulate_run(double work_s, double interval_s, double ckpt_cost_s,
+                          double restart_cost_s, double mtbf_s, std::uint64_t seed) {
+  check_positive(work_s, "work");
+  check_positive(interval_s, "interval");
+  check_positive(mtbf_s, "MTBF");
+  util::Xoshiro256 rng(seed);
+  SimulatedRun run;
+  double clock = 0.0;
+  double done = 0.0;         // useful work committed (at last checkpoint)
+  double next_failure = exp_sample(rng, mtbf_s);
+
+  // Advance through a segment of length `span` (work, checkpoint write or
+  // restart); returns false and rolls the caller back when a failure lands
+  // inside it.
+  const auto advance = [&](double span) {
+    if (clock + span <= next_failure) {
+      clock += span;
+      return true;
+    }
+    clock = next_failure;              // failure strikes mid-segment
+    clock += restart_cost_s;           // detect + restart + recover
+    next_failure = clock + exp_sample(rng, mtbf_s);
+    ++run.failures;
+    return false;
+  };
+
+  while (done < work_s) {
+    const double segment = std::min(interval_s, work_s - done);
+    if (!advance(segment)) continue;  // redo the whole segment from `done`
+    if (done + segment >= work_s) {
+      done = work_s;                  // final segment needs no checkpoint
+      break;
+    }
+    if (!advance(ckpt_cost_s)) continue;  // failed during checkpoint: redo
+    done += segment;
+    ++run.checkpoints;
+  }
+  run.completion_s = clock;
+  return run;
+}
+
+double simulate_mean(double work_s, double interval_s, double ckpt_cost_s,
+                     double restart_cost_s, double mtbf_s, int trials, std::uint64_t seed0) {
+  if (trials <= 0) throw std::invalid_argument("interval model: trials must be positive");
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    total += simulate_run(work_s, interval_s, ckpt_cost_s, restart_cost_s, mtbf_s,
+                          seed0 + static_cast<std::uint64_t>(t) * 0x9e3779b97f4a7c15ull)
+                 .completion_s;
+  }
+  return total / trials;
+}
+
+}  // namespace skt::model

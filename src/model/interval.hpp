@@ -1,0 +1,57 @@
+// Checkpoint-interval optimization — the theory behind the paper's
+// "checkpoint per 10 min" methodology (Table 3) and the MTBF argument of
+// the introduction.
+//
+// For exponential failures with MTBF M, checkpoint cost C, restart cost R
+// and total useful work W, Daly's expected completion time is
+//
+//   T(tau) = M * exp(R/M) * (exp((tau + C)/M) - 1) * W / tau
+//
+// minimized near Young's tau* = sqrt(2 C M) (first order) or Daly's
+// higher-order refinement. A seeded discrete-event simulation cross-checks
+// the closed forms in tests and in bench/ablation_interval.
+#pragma once
+
+#include <cstdint>
+
+namespace skt::model {
+
+/// Young's first-order optimum: sqrt(2 C M). Valid for C << M.
+[[nodiscard]] double young_interval(double ckpt_cost_s, double mtbf_s);
+
+/// Daly's higher-order optimum:
+///   sqrt(2 C M) * (1 + sqrt(C/(2M))/3 + (C/(2M))/9) - C   for C < 2M,
+///   M otherwise.
+[[nodiscard]] double daly_interval(double ckpt_cost_s, double mtbf_s);
+
+/// Daly's expected completion time T(tau) (seconds) for total useful work
+/// `work_s`, checkpointing every `interval_s` of useful work.
+[[nodiscard]] double expected_runtime(double work_s, double interval_s, double ckpt_cost_s,
+                                      double restart_cost_s, double mtbf_s);
+
+/// Numeric minimizer of expected_runtime over the interval (golden-section
+/// on [ckpt_cost, work]); cross-checks the closed forms.
+[[nodiscard]] double optimal_interval_numeric(double work_s, double ckpt_cost_s,
+                                              double restart_cost_s, double mtbf_s);
+
+struct SimulatedRun {
+  double completion_s = 0.0;  ///< total wall time including rework
+  int failures = 0;
+  int checkpoints = 0;
+};
+
+/// Seeded discrete-event simulation of a checkpointed run under
+/// exponentially distributed failures: work advances, a checkpoint is
+/// taken every `interval_s` of useful progress, a failure rolls back to
+/// the last checkpoint and pays `restart_cost_s`. Failures can also strike
+/// during checkpointing and recovery (their time is lost too).
+[[nodiscard]] SimulatedRun simulate_run(double work_s, double interval_s, double ckpt_cost_s,
+                                        double restart_cost_s, double mtbf_s,
+                                        std::uint64_t seed);
+
+/// Mean completion over `trials` seeds.
+[[nodiscard]] double simulate_mean(double work_s, double interval_s, double ckpt_cost_s,
+                                   double restart_cost_s, double mtbf_s, int trials,
+                                   std::uint64_t seed0 = 1);
+
+}  // namespace skt::model

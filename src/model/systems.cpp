@@ -1,0 +1,37 @@
+#include "model/systems.hpp"
+
+namespace skt::model {
+
+SystemProfile tianhe1a() {
+  SystemProfile p;
+  p.name = "Tianhe-1A";
+  p.cores_per_node = 12;
+  p.reported_efficiency = 0.8638;
+  p.node.peak_gflops = 140.0;
+  p.node.memory_bytes = 48ull << 30;
+  p.node.nic_bandwidth_Bps = 6.9e9;
+  p.node.nic_latency_s = 2.0e-6;
+  p.node.ranks_per_port = 12;
+  return p;
+}
+
+SystemProfile tianhe2() {
+  SystemProfile p;
+  p.name = "Tianhe-2";
+  p.cores_per_node = 24;
+  p.reported_efficiency = 0.8494;
+  p.node.peak_gflops = 422.0;
+  p.node.memory_bytes = 64ull << 30;
+  p.node.nic_bandwidth_Bps = 7.1e9;
+  p.node.nic_latency_s = 2.0e-6;
+  p.node.ranks_per_port = 24;
+  return p;
+}
+
+SystemProfile scaled(const SystemProfile& profile, std::size_t memory_bytes) {
+  SystemProfile p = profile;
+  p.node.memory_bytes = memory_bytes;
+  return p;
+}
+
+}  // namespace skt::model

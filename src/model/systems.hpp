@@ -1,0 +1,35 @@
+// Node configurations of Table 2 (Tianhe-1A and Tianhe-2), expressed as
+// simulator node profiles plus the scale-down knobs the bench harnesses
+// use: hardware ratios are preserved (memory per core, NIC sharing), while
+// absolute memory is shrunk so runs complete on a workstation.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "sim/node.hpp"
+
+namespace skt::model {
+
+struct SystemProfile {
+  std::string_view name;
+  sim::NodeProfile node;
+  int cores_per_node = 0;
+  /// Fraction of observed full-memory HPL efficiency reported in the paper
+  /// (86.38% Tianhe-1A, 84.94% Tianhe-2) — used as shape references.
+  double reported_efficiency = 0.0;
+};
+
+/// Table 2, Tianhe-1A: 2x Xeon X5670 (12 cores), 140 GFLOPS, 48 GB,
+/// 6.9 GB/s point-to-point, one network port per 12 processes.
+[[nodiscard]] SystemProfile tianhe1a();
+
+/// Table 2, Tianhe-2: 2x Xeon E5-2692v2 (24 cores), 422 GFLOPS, 64 GB,
+/// 7.1 GB/s point-to-point, one network port per 24 processes.
+[[nodiscard]] SystemProfile tianhe2();
+
+/// Copy of a system profile with per-node memory replaced by
+/// `memory_bytes` (the bench-scale shrink; all ratios kept).
+[[nodiscard]] SystemProfile scaled(const SystemProfile& profile, std::size_t memory_bytes);
+
+}  // namespace skt::model

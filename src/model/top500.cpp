@@ -1,0 +1,21 @@
+#include "model/top500.hpp"
+
+namespace skt::model {
+
+const std::array<Top500System, 10>& top10_nov2016() {
+  static const std::array<Top500System, 10> systems{{
+      {"TaihuLight", 93014.6, 125435.9},
+      {"Tianhe-2", 33862.7, 54902.4},
+      {"Titan", 17590.0, 27112.5},
+      {"Sequoia", 17173.2, 20132.7},
+      {"Cori", 14014.7, 27880.7},
+      {"Oakforest-PACS", 13554.6, 24913.5},
+      {"K", 10510.0, 11280.4},
+      {"Piz Daint", 9779.0, 15988.0},
+      {"Mira", 8586.6, 10066.3},
+      {"Trinity", 8100.9, 11078.9},
+  }};
+  return systems;
+}
+
+}  // namespace skt::model

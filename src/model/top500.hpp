@@ -1,0 +1,20 @@
+// The top-10 machines of the November 2016 TOP500 list — the "latest
+// list" at the paper's publication, and the x-axis of Fig. 8.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace skt::model {
+
+struct Top500System {
+  std::string_view name;
+  double rmax_tflops;   ///< measured HPL performance
+  double rpeak_tflops;  ///< theoretical peak
+  [[nodiscard]] double efficiency() const { return rmax_tflops / rpeak_tflops; }
+};
+
+/// Ranks 1-10, November 2016 (Rmax/Rpeak in TFLOP/s, from the public list).
+[[nodiscard]] const std::array<Top500System, 10>& top10_nov2016();
+
+}  // namespace skt::model

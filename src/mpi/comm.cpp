@@ -1,0 +1,160 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace skt::mpi {
+
+Comm Comm::world(Runtime& rt, int my_world_rank) {
+  auto group = std::make_shared<Group>();
+  group->id = 0;
+  group->members.resize(static_cast<std::size_t>(rt.world_size()));
+  for (int r = 0; r < rt.world_size(); ++r) group->members[static_cast<std::size_t>(r)] = r;
+  return Comm(rt, std::move(group), my_world_rank);
+}
+
+void Comm::send_bytes(int dst, Tag tag, std::span<const std::byte> payload) {
+  if (dst < 0 || dst >= size()) throw std::invalid_argument("send: bad destination rank");
+  rt_->check_alive(world_rank());
+  const int dst_world = translate(dst);
+  const double cost = rt_->message_cost(world_rank(), dst_world, payload.size());
+  if (cost > 0) charge_virtual(cost);
+  Message msg;
+  msg.src_world = world_rank();
+  msg.tag = tag;
+  msg.comm_id = group_->id;
+  msg.payload.assign(payload.begin(), payload.end());
+  rt_->mailbox(dst_world).push(std::move(msg));
+}
+
+void Comm::recv_bytes(int src, Tag tag, std::span<std::byte> out) {
+  std::vector<std::byte> payload = recv_any(src, tag);
+  if (payload.size() != out.size()) {
+    throw std::logic_error("recv: message size mismatch (expected " +
+                           std::to_string(out.size()) + ", got " +
+                           std::to_string(payload.size()) + ")");
+  }
+  std::memcpy(out.data(), payload.data(), payload.size());
+}
+
+std::vector<std::byte> Comm::recv_any(int src, Tag tag) {
+  if (src < 0 || src >= size()) throw std::invalid_argument("recv: bad source rank");
+  rt_->check_alive(world_rank());
+  const int src_world = translate(src);
+  auto msg = rt_->mailbox(world_rank()).pop(src_world, tag, group_->id, rt_->aborted_flag());
+  if (!msg.has_value()) throw JobAborted("receive interrupted by job abort");
+  rt_->check_alive(world_rank());
+  const double cost = rt_->message_cost(src_world, world_rank(), msg->payload.size());
+  if (cost > 0) charge_virtual(cost);
+  return std::move(msg->payload);
+}
+
+void Comm::barrier() {
+  const Tag seq = next_seq();
+  const int n = size();
+  const std::byte token{0};
+  for (int mask = 1, round = 0; mask < n; mask <<= 1, ++round) {
+    const int dst = (rank_ + mask) % n;
+    const int src = (rank_ - mask + n) % n;
+    send_bytes(dst, collective_tag(seq, round), std::span<const std::byte>(&token, 1));
+    std::byte in{};
+    recv_bytes(src, collective_tag(seq, round), std::span<std::byte>(&in, 1));
+  }
+}
+
+void Comm::bcast_bytes(int root, std::span<std::byte> data) {
+  if (root < 0 || root >= size()) throw std::invalid_argument("bcast: bad root");
+  const Tag seq = next_seq();
+  const int n = size();
+  const int relr = relative_rank(root);
+  // MPICH-style binomial tree: receive from the parent (relative rank with
+  // the lowest set bit cleared), then fan out to children.
+  int mask = 1;
+  while (mask < n) {
+    if (relr & mask) {
+      recv_bytes(absolute_rank(relr - mask, root), collective_tag(seq, 0), data);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relr + mask < n) {
+      send_bytes(absolute_rank(relr + mask, root), collective_tag(seq, 0), data);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::bcast_pipeline(int root, std::span<std::byte> data, std::size_t chunk_bytes) {
+  if (root < 0 || root >= size()) throw std::invalid_argument("bcast_pipeline: bad root");
+  if (chunk_bytes == 0) throw std::invalid_argument("bcast_pipeline: zero chunk size");
+  const int n = size();
+  if (n == 1 || data.empty()) return;
+  const Tag seq = next_seq();
+  const int relr = relative_rank(root);
+  const int prev = relr > 0 ? absolute_rank(relr - 1, root) : -1;
+  const int next = absolute_rank(relr + 1, root);
+  const bool is_last = relr == n - 1;
+
+  for (std::size_t offset = 0, round = 0; offset < data.size();
+       offset += chunk_bytes, ++round) {
+    const std::size_t len = std::min(chunk_bytes, data.size() - offset);
+    const std::span<std::byte> chunk = data.subspan(offset, len);
+    const Tag tag = collective_tag(seq, static_cast<int>(round % 250));
+    if (relr != 0) recv_bytes(prev, tag, chunk);
+    if (!is_last) send_bytes(next, tag, chunk);
+  }
+}
+
+Comm Comm::split(int color, int key) {
+  if (color < 0) throw std::invalid_argument("split: color must be >= 0");
+  struct Entry {
+    int color;
+    int key;
+    int member;  // rank in parent comm
+  };
+  const Entry mine{color, key, rank_};
+  const std::vector<Entry> all = allgather<Entry>(std::span<const Entry>(&mine, 1));
+
+  std::vector<Entry> same_color;
+  for (const Entry& e : all) {
+    if (e.color == color) same_color.push_back(e);
+  }
+  std::sort(same_color.begin(), same_color.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.member) < std::tie(b.key, b.member);
+  });
+
+  auto group = std::make_shared<Group>();
+  group->id = util::splitmix64(util::splitmix64(group_->id + 0x9e3779b97f4a7c15ULL *
+                                                                 static_cast<std::uint64_t>(
+                                                                     collective_seq_)) ^
+                               static_cast<std::uint64_t>(color + 1));
+  int my_new_rank = -1;
+  group->members.reserve(same_color.size());
+  for (std::size_t i = 0; i < same_color.size(); ++i) {
+    group->members.push_back(translate(same_color[i].member));
+    if (same_color[i].member == rank_) my_new_rank = static_cast<int>(i);
+  }
+  return Comm(*rt_, std::move(group), my_new_rank);
+}
+
+void Comm::failpoint(std::string_view name) {
+  rt_->check_alive(world_rank());
+  sim::FailureInjector* injector = rt_->injector();
+  if (injector == nullptr) return;
+  const std::optional<int> victim = injector->should_kill(name, world_rank());
+  if (!victim.has_value()) return;
+  const int victim_rank = *victim < 0 ? world_rank() : *victim;
+  rt_->cluster().power_off(rt_->node_id_of(victim_rank),
+                           "failpoint '" + std::string(name) + "' (triggered by rank " +
+                               std::to_string(world_rank()) + ")");
+  // Either way the job is aborting; unwind this rank immediately so its
+  // state is frozen exactly at the failpoint.
+  throw JobAborted("killed/triggered at failpoint '" + std::string(name) + "'");
+}
+
+}  // namespace skt::mpi

@@ -1,0 +1,263 @@
+// Communicator: the application-facing API of the SimMPI runtime.
+//
+// Matches the MPI subset the paper's systems need: blocking point-to-point
+// with tags, barrier / bcast / reduce / allreduce / gather / allgather /
+// scatter built as binomial-tree or dissemination algorithms over p2p, and
+// communicator splitting (HPL row/column communicators, encoding group
+// communicators). Every entry point checks node liveness, so a powered-off
+// node unwinds the whole job just like a production MPI.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "mpi/ops.hpp"
+#include "mpi/runtime.hpp"
+#include "sim/node.hpp"
+
+namespace skt::mpi {
+
+class Comm {
+ public:
+  /// The world communicator for one rank thread; called by Runtime only.
+  static Comm world(Runtime& rt, int my_world_rank);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return static_cast<int>(group_->members.size()); }
+  [[nodiscard]] int world_rank() const { return group_->members[static_cast<std::size_t>(rank_)]; }
+
+  /// World rank of communicator member `member`.
+  [[nodiscard]] int translate(int member) const {
+    return group_->members.at(static_cast<std::size_t>(member));
+  }
+
+  /// Node id hosting communicator member `member`.
+  [[nodiscard]] int node_id_of(int member) const {
+    return rt_->node_id_of(translate(member));
+  }
+
+  // --- point-to-point ---------------------------------------------------
+
+  /// Blocking send of raw bytes to member `dst` (rank within this comm).
+  /// `tag` must be below kUserTagLimit.
+  void send_bytes(int dst, Tag tag, std::span<const std::byte> payload);
+
+  /// Blocking receive into `out`; the message size must equal out.size().
+  void recv_bytes(int src, Tag tag, std::span<std::byte> out);
+
+  /// Blocking receive of a message of unknown size.
+  std::vector<std::byte> recv_any(int src, Tag tag);
+
+  template <typename T>
+  void send(int dst, Tag tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag, std::as_bytes(data));
+  }
+
+  template <typename T>
+  void recv(int src, Tag tag, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recv_bytes(src, tag, std::as_writable_bytes(out));
+  }
+
+  template <typename T>
+  void send_value(int dst, Tag tag, const T& value) {
+    send<T>(dst, tag, std::span<const T>(&value, 1));
+  }
+
+  template <typename T>
+  [[nodiscard]] T recv_value(int src, Tag tag) {
+    T value{};
+    recv<T>(src, tag, std::span<T>(&value, 1));
+    return value;
+  }
+
+  /// Combined exchange; safe against head-of-line deadlock because sends
+  /// never block in this runtime.
+  template <typename T>
+  void sendrecv(int dst, Tag send_tag, std::span<const T> out, int src, Tag recv_tag,
+                std::span<T> in) {
+    send<T>(dst, send_tag, out);
+    recv<T>(src, recv_tag, in);
+  }
+
+  // --- collectives --------------------------------------------------------
+  // All members must call each collective in the same order; rounds are
+  // stamped with a per-communicator sequence number.
+
+  void barrier();
+
+  void bcast_bytes(int root, std::span<std::byte> data);
+
+  template <typename T>
+  void bcast(int root, std::span<T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bcast_bytes(root, std::as_writable_bytes(data));
+  }
+
+  /// Pipelined ring broadcast (HPL's "increasing-ring" panel broadcast):
+  /// the payload moves root -> root+1 -> ... in `chunk_bytes` segments, so
+  /// every link carries the full payload once and forwarding overlaps with
+  /// reception. Latency-heavier than the binomial tree for small messages,
+  /// bandwidth-friendlier for wide panels on congested networks.
+  void bcast_pipeline(int root, std::span<std::byte> data, std::size_t chunk_bytes = 64 << 10);
+
+  template <typename T>
+  void bcast_pipeline(int root, std::span<T> data, std::size_t chunk_bytes = 64 << 10) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bcast_pipeline(root, std::as_writable_bytes(data), chunk_bytes);
+  }
+
+  template <typename T>
+  void bcast_value(int root, T& value) {
+    bcast<T>(root, std::span<T>(&value, 1));
+  }
+
+  /// Element-wise reduction to `root`. `out` must alias or equal-size `in`
+  /// at the root; it may be empty elsewhere. In-place (out.data()==in.data())
+  /// is allowed.
+  template <typename T, typename Op>
+  void reduce(int root, std::span<const T> in, std::span<T> out, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Tag seq = next_seq();
+    std::vector<T> accum(in.begin(), in.end());
+    std::vector<T> incoming(in.size());
+    const int n = size();
+    const int relr = relative_rank(root);
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if (relr & mask) {
+        const int dst = absolute_rank((relr - mask), root);
+        send<T>(dst, collective_tag(seq, mask), accum);
+        break;
+      }
+      const int src_rel = relr + mask;
+      if (src_rel < n) {
+        const int src = absolute_rank(src_rel, root);
+        recv<T>(src, collective_tag(seq, mask), std::span<T>(incoming));
+        for (std::size_t i = 0; i < accum.size(); ++i) accum[i] = op(accum[i], incoming[i]);
+      }
+    }
+    if (rank_ == root) {
+      if (out.size() != in.size()) throw std::invalid_argument("reduce: bad out size at root");
+      std::memcpy(out.data(), accum.data(), accum.size() * sizeof(T));
+    }
+  }
+
+  template <typename T, typename Op>
+  void allreduce(std::span<const T> in, std::span<T> out, Op op) {
+    if (out.size() != in.size()) throw std::invalid_argument("allreduce: size mismatch");
+    reduce<T, Op>(0, in, out, op);
+    bcast<T>(0, out);
+  }
+
+  template <typename T, typename Op>
+  [[nodiscard]] T allreduce_value(const T& value, Op op) {
+    T in = value;
+    T out{};
+    allreduce<T, Op>(std::span<const T>(&in, 1), std::span<T>(&out, 1), op);
+    return out;
+  }
+
+  /// Equal-contribution gather: every member contributes in.size() elements;
+  /// the root's return value holds size()*in.size() elements in rank order.
+  /// Non-roots receive an empty vector.
+  template <typename T>
+  [[nodiscard]] std::vector<T> gather(int root, std::span<const T> in) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Tag seq = next_seq();
+    const Tag tag = collective_tag(seq, 0);
+    if (rank_ != root) {
+      send<T>(root, tag, in);
+      return {};
+    }
+    std::vector<T> all(static_cast<std::size_t>(size()) * in.size());
+    for (int r = 0; r < size(); ++r) {
+      std::span<T> slot(all.data() + static_cast<std::size_t>(r) * in.size(), in.size());
+      if (r == root) {
+        std::memcpy(slot.data(), in.data(), in.size() * sizeof(T));
+      } else {
+        recv<T>(r, tag, slot);
+      }
+    }
+    return all;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgather(std::span<const T> in) {
+    std::vector<T> all = gather<T>(0, in);
+    if (rank_ != 0) all.resize(static_cast<std::size_t>(size()) * in.size());
+    bcast<T>(0, std::span<T>(all));
+    return all;
+  }
+
+  /// Equal-share scatter from root: `all` holds size()*chunk elements at the
+  /// root; every member receives its chunk into `out`.
+  template <typename T>
+  void scatter(int root, std::span<const T> all, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Tag seq = next_seq();
+    const Tag tag = collective_tag(seq, 0);
+    if (rank_ == root) {
+      if (all.size() != out.size() * static_cast<std::size_t>(size())) {
+        throw std::invalid_argument("scatter: bad buffer size at root");
+      }
+      for (int r = 0; r < size(); ++r) {
+        std::span<const T> slot(all.data() + static_cast<std::size_t>(r) * out.size(), out.size());
+        if (r == root) {
+          std::memcpy(out.data(), slot.data(), out.size() * sizeof(T));
+        } else {
+          send<T>(r, tag, slot);
+        }
+      }
+    } else {
+      recv<T>(root, tag, out);
+    }
+  }
+
+  /// MPI_Comm_split: members with the same color form a new communicator,
+  /// ordered by (key, parent rank). color must be >= 0.
+  [[nodiscard]] Comm split(int color, int key);
+
+  // --- environment --------------------------------------------------------
+
+  [[nodiscard]] sim::Node& node() { return rt_->node_of(world_rank()); }
+  [[nodiscard]] sim::PersistentStore& store() { return node().store(); }
+  [[nodiscard]] Runtime& runtime() { return *rt_; }
+
+  /// Deterministic failure hook; may power off this rank's node and throw
+  /// JobAborted. Also a cancellation point for external aborts.
+  void failpoint(std::string_view name);
+
+  /// Charge simulated seconds to this rank's virtual clock.
+  void charge_virtual(double seconds) { rt_->charge_rank_virtual(world_rank(), seconds); }
+  [[nodiscard]] double virtual_seconds() const { return rt_->rank_virtual(world_rank()); }
+
+  void record_time(const std::string& name, double seconds) { rt_->record_time(name, seconds); }
+
+ private:
+  struct Group {
+    std::uint64_t id = 0;
+    std::vector<int> members;  // world ranks
+  };
+
+  Comm(Runtime& rt, std::shared_ptr<const Group> group, int rank)
+      : rt_(&rt), group_(std::move(group)), rank_(rank) {}
+
+  [[nodiscard]] Tag next_seq() { return collective_seq_++; }
+  [[nodiscard]] static Tag collective_tag(Tag seq, int round) {
+    return kUserTagLimit + seq * 256 + round;
+  }
+  [[nodiscard]] int relative_rank(int root) const { return (rank_ - root + size()) % size(); }
+  [[nodiscard]] int absolute_rank(int rel, int root) const { return (rel + root) % size(); }
+
+  Runtime* rt_;
+  std::shared_ptr<const Group> group_;
+  int rank_;
+  Tag collective_seq_ = 0;
+};
+
+}  // namespace skt::mpi

@@ -1,0 +1,48 @@
+// 2-D process grid over a communicator, as used by HPL: rank r sits at
+// grid position (r / Q, r % Q) and gets row/column sub-communicators.
+#pragma once
+
+#include <stdexcept>
+
+#include "mpi/comm.hpp"
+
+namespace skt::mpi {
+
+class Grid {
+ public:
+  /// Requires world.size() == P * Q.
+  Grid(Comm& world, int P, int Q)
+      : P_(validated(world, P, Q)),
+        Q_(Q),
+        prow_(world.rank() / Q),
+        pcol_(world.rank() % Q),
+        row_(world.split(prow_, pcol_)),
+        col_(world.split(Q + pcol_, prow_)) {}
+
+  [[nodiscard]] int P() const { return P_; }
+  [[nodiscard]] int Q() const { return Q_; }
+  [[nodiscard]] int prow() const { return prow_; }
+  [[nodiscard]] int pcol() const { return pcol_; }
+
+  /// Communicator across this process row (size Q; rank == pcol).
+  [[nodiscard]] Comm& row() { return row_; }
+  /// Communicator down this process column (size P; rank == prow).
+  [[nodiscard]] Comm& col() { return col_; }
+
+ private:
+  static int validated(const Comm& world, int P, int Q) {
+    if (P <= 0 || Q <= 0 || world.size() != P * Q) {
+      throw std::invalid_argument("Grid: world size must equal P*Q");
+    }
+    return P;
+  }
+
+  int P_;
+  int Q_;
+  int prow_;
+  int pcol_;
+  Comm row_;
+  Comm col_;
+};
+
+}  // namespace skt::mpi

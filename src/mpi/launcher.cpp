@@ -1,0 +1,99 @@
+#include "mpi/launcher.hpp"
+
+#include <stdexcept>
+
+#include "util/clock.hpp"
+#include "util/log.hpp"
+
+namespace skt::mpi {
+
+JobLauncher::JobLauncher(sim::Cluster& cluster, sim::FailureInjector* injector,
+                         LauncherConfig config)
+    : cluster_(cluster), injector_(injector), config_(config) {
+  if (config_.ranks_per_node <= 0) {
+    throw std::invalid_argument("JobLauncher: ranks_per_node must be positive");
+  }
+}
+
+std::vector<int> JobLauncher::default_ranklist(const sim::Cluster& cluster, int nranks,
+                                               int ranks_per_node) {
+  if (nranks <= 0) throw std::invalid_argument("default_ranklist: nranks must be positive");
+  const int nodes_needed = (nranks + ranks_per_node - 1) / ranks_per_node;
+  if (nodes_needed > cluster.config().num_nodes) {
+    throw std::invalid_argument("default_ranklist: not enough primary nodes");
+  }
+  std::vector<int> ranklist(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) ranklist[static_cast<std::size_t>(r)] = r / ranks_per_node;
+  return ranklist;
+}
+
+LaunchResult JobLauncher::run(int nranks, const std::function<void(Comm&)>& fn) {
+  LaunchResult result;
+  std::vector<int> ranklist = default_ranklist(cluster_, nranks, config_.ranks_per_node);
+
+  util::WallTimer total_timer;
+  for (int attempt = 0; attempt <= config_.max_restarts; ++attempt) {
+    Runtime runtime(cluster_, ranklist, injector_, config_.runtime);
+    JobResult job = runtime.run(fn);
+    result.total_virtual_s += job.virtual_s;
+    for (const auto& [name, seconds] : job.times) {
+      double& slot = result.times[name];
+      slot = std::max(slot, seconds);
+    }
+    if (job.completed) {
+      result.success = true;
+      result.restarts = attempt;
+      result.final_ranklist = ranklist;
+      result.total_real_s = total_timer.seconds();
+      return result;
+    }
+
+    SKT_LOG_INFO("launcher: attempt {} aborted ({}), entering recovery cycle", attempt,
+                 job.abort_reason);
+    CycleTiming cycle;
+    cycle.reason = job.abort_reason;
+
+    // Phase 1: failure detection (job-manager polling latency, virtual).
+    cycle.detect_s = config_.detect_delay_s;
+    result.total_virtual_s += config_.detect_delay_s;
+
+    // Phase 2: health-check the ranklist and swap dead nodes for spares.
+    util::WallTimer replace_timer;
+    bool replaced_ok = true;
+    std::vector<int> replacement(static_cast<std::size_t>(cluster_.total_nodes()), -1);
+    for (int& node_id : ranklist) {
+      if (cluster_.node(node_id).alive()) continue;
+      int& subst = replacement[static_cast<std::size_t>(node_id)];
+      if (subst < 0) {
+        const auto spare = cluster_.take_spare();
+        if (!spare.has_value()) {
+          result.failure = "spare pool exhausted while replacing node " + std::to_string(node_id);
+          replaced_ok = false;
+          break;
+        }
+        subst = *spare;
+        SKT_LOG_INFO("launcher: replacing dead node {} with spare node {}", node_id, subst);
+      }
+      node_id = subst;
+    }
+    cycle.replace_s = replace_timer.seconds() + config_.replace_delay_s;
+    result.total_virtual_s += config_.replace_delay_s;
+
+    // Phase 3: relaunch (charged; the real spawn happens at loop top).
+    cycle.restart_s = config_.restart_delay_s;
+    result.total_virtual_s += config_.restart_delay_s;
+
+    result.cycles.push_back(std::move(cycle));
+    if (!replaced_ok) break;
+  }
+
+  if (result.failure.empty()) {
+    result.failure = "max restarts (" + std::to_string(config_.max_restarts) + ") exceeded";
+  }
+  result.restarts = static_cast<int>(result.cycles.size());
+  result.final_ranklist = ranklist;
+  result.total_real_s = total_timer.seconds();
+  return result;
+}
+
+}  // namespace skt::mpi

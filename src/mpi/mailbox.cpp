@@ -1,0 +1,43 @@
+#include "mpi/mailbox.hpp"
+
+namespace skt::mpi {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    messages_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::pop(int src_world, Tag tag, std::uint64_t comm_id,
+                                    const std::atomic<bool>& aborted) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // FIFO within the match class: take the first matching message in
+    // arrival order, as MPI's non-overtaking rule requires.
+    for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+      if (it->src_world == src_world && it->tag == tag && it->comm_id == comm_id) {
+        Message msg = std::move(*it);
+        messages_.erase(it);
+        return msg;
+      }
+    }
+    if (aborted.load(std::memory_order_acquire)) return std::nullopt;
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::interrupt() {
+  // Take the lock so a receiver between its match scan and cv_.wait cannot
+  // miss the wakeup.
+  std::lock_guard<std::mutex> lock(mutex_);
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return messages_.size();
+}
+
+}  // namespace skt::mpi

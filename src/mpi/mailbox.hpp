@@ -1,0 +1,37 @@
+// Per-rank mailbox: an unordered message pool with (source, tag, comm)
+// matching and FIFO delivery within a match class, mirroring MPI ordering
+// guarantees. Receives block until a match arrives or the job aborts.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <mutex>
+#include <optional>
+
+#include "mpi/message.hpp"
+
+namespace skt::mpi {
+
+class Mailbox {
+ public:
+  void push(Message msg);
+
+  /// Block until a message matching (src_world, tag, comm_id) is available,
+  /// or `aborted` becomes true. Returns nullopt on abort.
+  std::optional<Message> pop(int src_world, Tag tag, std::uint64_t comm_id,
+                             const std::atomic<bool>& aborted);
+
+  /// Wake all blocked receivers so they can observe an abort flag.
+  void interrupt();
+
+  /// Number of queued (unmatched) messages; used by tests.
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::list<Message> messages_;
+};
+
+}  // namespace skt::mpi

@@ -1,0 +1,24 @@
+// Wire-level message representation for the SimMPI runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace skt::mpi {
+
+using Tag = std::int64_t;
+
+/// Tags below this are reserved for user point-to-point traffic; internal
+/// collective rounds are stamped above it with a per-communicator sequence
+/// number so overlapping collectives on split communicators cannot cross.
+inline constexpr Tag kUserTagLimit = Tag{1} << 20;
+
+struct Message {
+  int src_world = -1;        ///< sender's world rank
+  Tag tag = 0;
+  std::uint64_t comm_id = 0; ///< communicator the message belongs to
+  std::vector<std::byte> payload;
+};
+
+}  // namespace skt::mpi

@@ -1,0 +1,75 @@
+// Reduction operators for SimMPI collectives. All are commutative and
+// associative; SUM over doubles carries the usual floating-point rounding,
+// which is why the paper's encoder defaults to bitwise XOR.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+
+namespace skt::mpi {
+
+struct Sum {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a + b;
+  }
+};
+
+struct Prod {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a * b;
+  }
+};
+
+struct Max {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return std::max(a, b);
+  }
+};
+
+struct Min {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return std::min(a, b);
+  }
+};
+
+/// Bitwise XOR; integral types only (use std::uint64_t lanes over raw bytes).
+struct BXor {
+  template <typename T>
+  T operator()(T a, T b) const {
+    static_assert(std::is_integral_v<T>, "BXor requires an integral type");
+    return static_cast<T>(a ^ b);
+  }
+};
+
+struct LAnd {
+  bool operator()(bool a, bool b) const { return a && b; }
+};
+
+struct LOr {
+  bool operator()(bool a, bool b) const { return a || b; }
+};
+
+/// (value, index) pair for pivot search — MPI_MAXLOC over |value|.
+struct ValueLoc {
+  double value = 0.0;
+  std::int64_t index = -1;
+
+  friend bool operator==(const ValueLoc&, const ValueLoc&) = default;
+};
+
+/// Picks the pair with the larger value; ties resolve to the smaller index
+/// so every rank agrees on one pivot.
+struct MaxLoc {
+  ValueLoc operator()(const ValueLoc& a, const ValueLoc& b) const {
+    if (a.value > b.value) return a;
+    if (b.value > a.value) return b;
+    return a.index <= b.index ? a : b;
+  }
+};
+
+}  // namespace skt::mpi

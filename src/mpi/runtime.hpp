@@ -1,0 +1,114 @@
+// The SimMPI job runtime: one "mpirun" invocation.
+//
+// Ranks are threads pinned to simulated nodes by a ranklist (rank → node
+// id), exactly how the paper's daemon restarts SKT-HPL: survivors keep
+// their nodes (and their SHM checkpoints), the lost rank lands on a spare.
+// When any node in use is powered off, the whole job aborts — the behaviour
+// the paper observes in production MPI runtimes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpi/mailbox.hpp"
+#include "sim/cluster.hpp"
+#include "sim/failure.hpp"
+
+namespace skt::mpi {
+
+class Comm;
+
+/// Thrown inside rank threads when the job has been aborted (node failure,
+/// peer error). Application code must let it propagate; the launcher
+/// handles restart.
+class JobAborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct RuntimeConfig {
+  /// Charge virtual network costs per message from the node profiles
+  /// (latency + bytes / per-rank NIC share). Off by default so unit tests
+  /// measure pure protocol behaviour.
+  bool model_network = false;
+};
+
+struct JobResult {
+  bool completed = false;
+  std::string abort_reason;
+  double elapsed_real_s = 0.0;
+  /// Critical-path virtual seconds: max over ranks of per-rank charges,
+  /// plus job-level charges (device flushes accounted collectively).
+  double virtual_s = 0.0;
+  /// Named timing accumulators recorded by ranks (e.g. "checkpoint",
+  /// "recover"); values are max across ranks.
+  std::map<std::string, double> times;
+};
+
+class Runtime {
+ public:
+  /// `ranklist[r]` is the node id hosting world rank r.
+  Runtime(sim::Cluster& cluster, std::vector<int> ranklist,
+          sim::FailureInjector* injector = nullptr, RuntimeConfig config = {});
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Launch one rank thread per ranklist entry running `fn(world_comm)`.
+  /// Blocks until all ranks return or the job aborts. Can be called once.
+  JobResult run(const std::function<void(Comm&)>& fn);
+
+  /// Abort the job (idempotent); wakes every blocked receive.
+  void abort(const std::string& reason);
+
+  // --- services used by Comm ------------------------------------------
+  [[nodiscard]] int world_size() const { return static_cast<int>(ranklist_.size()); }
+  [[nodiscard]] const std::atomic<bool>& aborted_flag() const { return aborted_; }
+  [[nodiscard]] Mailbox& mailbox(int world_rank);
+  [[nodiscard]] sim::Node& node_of(int world_rank);
+  [[nodiscard]] int node_id_of(int world_rank) const;
+  [[nodiscard]] sim::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] sim::FailureInjector* injector() { return injector_; }
+
+  /// Throws JobAborted if the job aborted or this rank's node is dead.
+  void check_alive(int world_rank) const;
+
+  /// Virtual cost of moving `bytes` from rank src to rank dst under the
+  /// configured network model; 0 when modelling is off or intra-node.
+  [[nodiscard]] double message_cost(int src_world, int dst_world, std::size_t bytes) const;
+
+  void charge_rank_virtual(int world_rank, double seconds);
+  [[nodiscard]] double rank_virtual(int world_rank) const;
+  void charge_job_virtual(double seconds);
+
+  /// Record a named duration; the JobResult reports the max across ranks.
+  void record_time(const std::string& name, double seconds);
+
+ private:
+  sim::Cluster& cluster_;
+  std::vector<int> ranklist_;
+  sim::FailureInjector* injector_;
+  RuntimeConfig config_;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> aborted_{false};
+  std::mutex abort_mutex_;
+  std::string abort_reason_;
+
+  std::vector<double> rank_virtual_s_;
+  std::atomic<std::int64_t> job_virtual_ns_{0};
+
+  std::mutex times_mutex_;
+  std::map<std::string, double> times_;
+
+  bool ran_ = false;
+};
+
+}  // namespace skt::mpi

@@ -1,0 +1,71 @@
+// Simulated accelerator (Section 5.1): a device with its own volatile
+// memory attached to a node. Checkpoint and recovery operate on HOST
+// memory only, so — exactly as the paper prescribes for accelerator HPL —
+// updated device data must be explicitly transferred back to the host
+// before a new checkpoint, and re-uploaded after a restore.
+//
+// Device memory is ordinary process memory here (not in the node's
+// PersistentStore): it dies with the job, never mind the node — which is
+// what makes forgetting the download an observable bug in tests.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace skt::sim {
+
+struct AcceleratorProfile {
+  double h2d_bandwidth_Bps = 12.0e9;  ///< host -> device (PCIe-ish)
+  double d2h_bandwidth_Bps = 12.0e9;  ///< device -> host
+  double transfer_latency_s = 10.0e-6;
+  /// Device speedup over the host for offloaded kernels (only used by
+  /// examples to model compute time).
+  double speedup = 8.0;
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(std::size_t memory_bytes, AcceleratorProfile profile = {})
+      : profile_(profile), memory_(memory_bytes) {}
+
+  [[nodiscard]] const AcceleratorProfile& profile() const { return profile_; }
+  [[nodiscard]] std::size_t memory_bytes() const { return memory_.size(); }
+
+  /// Device-resident buffer, directly addressable by "kernels" (plain
+  /// host code in the simulation).
+  [[nodiscard]] std::span<std::byte> memory() { return memory_; }
+
+  /// Copy host -> device. Returns the modeled transfer seconds (charge
+  /// them to the rank's virtual clock for timing-accurate benches).
+  double upload(std::span<const std::byte> host, std::size_t device_offset = 0) {
+    check_range(device_offset, host.size());
+    std::memcpy(memory_.data() + device_offset, host.data(), host.size());
+    return profile_.transfer_latency_s +
+           static_cast<double>(host.size()) / profile_.h2d_bandwidth_Bps;
+  }
+
+  /// Copy device -> host (the mandatory pre-checkpoint staging step).
+  double download(std::span<std::byte> host, std::size_t device_offset = 0) {
+    check_range(device_offset, host.size());
+    std::memcpy(host.data(), memory_.data() + device_offset, host.size());
+    return profile_.transfer_latency_s +
+           static_cast<double>(host.size()) / profile_.d2h_bandwidth_Bps;
+  }
+
+ private:
+  void check_range(std::size_t offset, std::size_t len) const {
+    if (offset + len > memory_.size()) {
+      throw std::out_of_range("Accelerator: transfer exceeds device memory");
+    }
+  }
+
+  AcceleratorProfile profile_;
+  std::vector<std::byte> memory_;
+};
+
+}  // namespace skt::sim

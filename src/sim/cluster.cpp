@@ -1,0 +1,83 @@
+#include "sim/cluster.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace skt::sim {
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  if (config_.num_nodes <= 0) throw std::invalid_argument("Cluster: num_nodes must be positive");
+  if (config_.spare_nodes < 0) throw std::invalid_argument("Cluster: spare_nodes must be >= 0");
+  if (config_.nodes_per_rack <= 0) {
+    throw std::invalid_argument("Cluster: nodes_per_rack must be positive");
+  }
+  const int total = config_.num_nodes + config_.spare_nodes;
+  nodes_.reserve(static_cast<std::size_t>(total));
+  for (int id = 0; id < total; ++id) {
+    nodes_.push_back(std::make_unique<Node>(id, id / config_.nodes_per_rack, config_.profile));
+  }
+  for (int id = config_.num_nodes; id < total; ++id) spare_pool_.push_back(id);
+}
+
+Node& Cluster::node(int id) {
+  if (id < 0 || id >= total_nodes()) throw std::out_of_range("Cluster::node: bad id");
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node& Cluster::node(int id) const {
+  if (id < 0 || id >= total_nodes()) throw std::out_of_range("Cluster::node: bad id");
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Cluster::primary_nodes() const {
+  std::vector<int> ids;
+  for (int id = 0; id < config_.num_nodes; ++id) {
+    if (nodes_[static_cast<std::size_t>(id)]->alive()) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::optional<int> Cluster::take_spare() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!spare_pool_.empty()) {
+    const int id = spare_pool_.back();
+    spare_pool_.pop_back();
+    if (nodes_[static_cast<std::size_t>(id)]->alive()) return id;
+  }
+  return std::nullopt;
+}
+
+int Cluster::spares_remaining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int alive = 0;
+  for (int id : spare_pool_) {
+    if (nodes_[static_cast<std::size_t>(id)]->alive()) ++alive;
+  }
+  return alive;
+}
+
+void Cluster::power_off(int node_id, const std::string& reason) {
+  Node& victim = node(node_id);
+  if (!victim.alive()) return;
+  SKT_LOG_WARN("power-off node {} ({})", node_id, reason);
+  victim.power_off();
+  JobAbortHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hook = abort_hook_;
+  }
+  if (hook) hook("node " + std::to_string(node_id) + " powered off: " + reason);
+}
+
+void Cluster::attach_job(JobAbortHook hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  abort_hook_ = std::move(hook);
+}
+
+void Cluster::detach_job() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  abort_hook_ = nullptr;
+}
+
+}  // namespace skt::sim

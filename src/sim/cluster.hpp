@@ -1,0 +1,66 @@
+// The simulated machine: a set of nodes (some of them spares), rack
+// topology, and the hook that aborts a running job when a node it uses is
+// powered off — mirroring the observation in the paper that "almost all
+// current MPI implementations force the whole program to abort after a node
+// failure is detected".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/node.hpp"
+
+namespace skt::sim {
+
+struct ClusterConfig {
+  int num_nodes = 8;       ///< nodes available to the initial job
+  int spare_nodes = 2;     ///< held back for failure replacement
+  int nodes_per_rack = 4;  ///< rack topology for mapping strategies
+  NodeProfile profile;     ///< uniform hardware profile
+};
+
+/// Callback a running job registers so that node power-off can abort it.
+/// Receives a human-readable reason ("node 3 powered off").
+using JobAbortHook = std::function<void(const std::string&)>;
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] int total_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  [[nodiscard]] Node& node(int id);
+  [[nodiscard]] const Node& node(int id) const;
+
+  /// Node ids currently alive and not reserved as spares.
+  [[nodiscard]] std::vector<int> primary_nodes() const;
+
+  /// Claim one alive spare node for failure replacement; nullopt when the
+  /// spare pool is exhausted (the job then cannot be restarted).
+  [[nodiscard]] std::optional<int> take_spare();
+
+  [[nodiscard]] int spares_remaining() const;
+
+  /// Permanently power off a node: wipes its SHM store, marks it dead and
+  /// aborts the registered job, if any. Safe to call from any thread,
+  /// including a rank thread running on the victim node.
+  void power_off(int node_id, const std::string& reason);
+
+  /// Register/unregister the abort hook of the currently running job.
+  void attach_job(JobAbortHook hook);
+  void detach_job();
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<int> spare_pool_;  // ids not yet handed out
+  mutable std::mutex mutex_;
+  JobAbortHook abort_hook_;
+};
+
+}  // namespace skt::sim

@@ -1,0 +1,65 @@
+#include "sim/failure.hpp"
+
+#include <chrono>
+
+#include "sim/cluster.hpp"
+#include "util/log.hpp"
+
+namespace skt::sim {
+
+void FailureInjector::add_rule(FailureRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(Armed{std::move(rule), 0, false});
+}
+
+void FailureInjector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+}
+
+std::optional<int> FailureInjector::should_kill(std::string_view point, int world_rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Armed& armed : rules_) {
+    if (armed.done) continue;
+    if (armed.rule.point != point) continue;
+    if (armed.rule.world_rank != -1 && armed.rule.world_rank != world_rank) continue;
+    if (++armed.hits < armed.rule.hit) continue;
+    if (armed.rule.repeat) {
+      armed.hits = 0;
+    } else {
+      armed.done = true;
+    }
+    triggered_.fetch_add(1, std::memory_order_relaxed);
+    return armed.rule.victim_world_rank;
+  }
+  return std::nullopt;
+}
+
+TimedFailure::TimedFailure(Cluster& cluster, int node_id, double delay_s, std::string reason) {
+  thread_ = std::thread([this, &cluster, node_id, delay_s, reason = std::move(reason)] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(delay_s));
+    cv_.wait_until(lock, deadline, [this] { return cancelled_; });
+    if (cancelled_) return;
+    lock.unlock();
+    fired_.store(true, std::memory_order_release);
+    cluster.power_off(node_id, reason);
+  });
+}
+
+TimedFailure::~TimedFailure() {
+  cancel();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TimedFailure::cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace skt::sim

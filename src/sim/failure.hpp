@@ -1,0 +1,87 @@
+// Failure injection.
+//
+// Two triggers:
+//  * FailureInjector — deterministic: protocol code is instrumented with
+//    named failpoints (Comm::failpoint("ckpt.encode")); a rule kills the
+//    calling rank's node on the k-th hit. Tests sweep rules over every
+//    protocol step to prove the recovery matrix of Figures 2-4.
+//  * TimedFailure — wall-clock: powers a node off after a delay, modelling
+//    the paper's physical power-off experiments (Section 6.2).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace skt::sim {
+
+class Cluster;
+
+struct FailureRule {
+  std::string point;  ///< failpoint name, exact match
+  int world_rank = -1;  ///< rank that must hit it; -1 matches any rank
+  int hit = 1;          ///< trigger on the k-th matching hit (1-based)
+  bool repeat = false;  ///< re-arm after triggering (hit counts anew)
+  /// Node of this world rank is powered off; -1 = the triggering rank's
+  /// own node. A survivor-triggered kill pins the victim's death to a
+  /// known point in the SURVIVOR's execution — the deterministic way to
+  /// hit interleaving-dependent windows (e.g. "a survivor has already
+  /// started overwriting its checkpoint").
+  int victim_world_rank = -1;
+};
+
+class FailureInjector {
+ public:
+  void add_rule(FailureRule rule);
+  void clear();
+
+  /// Called from rank threads at each failpoint. Engaged exactly when a
+  /// rule fires for this (point, rank); the value is the world rank whose
+  /// node must be powered off (-1 = the caller's own node).
+  std::optional<int> should_kill(std::string_view point, int world_rank);
+
+  [[nodiscard]] std::uint64_t triggered_count() const {
+    return triggered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Armed {
+    FailureRule rule;
+    int hits = 0;
+    bool done = false;
+  };
+  std::mutex mutex_;
+  std::vector<Armed> rules_;
+  std::atomic<std::uint64_t> triggered_{0};
+};
+
+/// RAII background thread that powers off `node_id` after `delay_s` seconds
+/// unless cancelled (destroyed) first.
+class TimedFailure {
+ public:
+  TimedFailure(Cluster& cluster, int node_id, double delay_s, std::string reason);
+  ~TimedFailure();
+
+  TimedFailure(const TimedFailure&) = delete;
+  TimedFailure& operator=(const TimedFailure&) = delete;
+
+  /// Cancel without firing (no-op if already fired).
+  void cancel();
+
+  [[nodiscard]] bool fired() const { return fired_.load(std::memory_order_acquire); }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool cancelled_ = false;
+  std::atomic<bool> fired_{false};
+  std::thread thread_;
+};
+
+}  // namespace skt::sim

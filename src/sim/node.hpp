@@ -1,0 +1,70 @@
+// A simulated compute node: identity, hardware profile, rack placement,
+// liveness, and its SHM-model persistent store.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/persistent_store.hpp"
+
+namespace skt::sim {
+
+/// Hardware parameters of one node. Defaults model a generic commodity
+/// server; the bench harnesses install Tianhe-1A / Tianhe-2 profiles from
+/// Table 2 of the paper.
+struct NodeProfile {
+  double peak_gflops = 100.0;          ///< theoretical peak, per node
+  std::size_t memory_bytes = 8ull << 30;  ///< DRAM capacity
+  double nic_bandwidth_Bps = 7.0e9;    ///< node NIC bandwidth (shared by ranks)
+  double nic_latency_s = 2.0e-6;       ///< per-message latency, same rack
+  double inter_rack_latency_s = 6.0e-6;  ///< per-message latency across racks
+  int ranks_per_port = 1;              ///< ranks sharing one network port
+};
+
+class Node {
+ public:
+  Node(int id, int rack, NodeProfile profile)
+      : id_(id), rack_(rack), profile_(profile) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int rack() const { return rack_; }
+  [[nodiscard]] const NodeProfile& profile() const { return profile_; }
+
+  [[nodiscard]] bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+  /// Permanent power-off: wipes the persistent store and marks the node
+  /// dead. Idempotent. The Cluster is responsible for aborting any job
+  /// that has ranks here.
+  void power_off() {
+    bool expected = true;
+    if (alive_.compare_exchange_strong(expected, false, std::memory_order_acq_rel)) {
+      store_.clear();
+      ++boot_generation_;
+    }
+  }
+
+  /// Bring a repaired node back as a blank machine (repaired nodes rejoin
+  /// the spare pool in the paper's recovery story). The store stays empty.
+  void reboot() { alive_.store(true, std::memory_order_release); }
+
+  /// Counts power cycles; lets tests assert a node was actually lost.
+  [[nodiscard]] std::uint64_t boot_generation() const { return boot_generation_.load(); }
+
+  [[nodiscard]] PersistentStore& store() { return store_; }
+  [[nodiscard]] const PersistentStore& store() const { return store_; }
+
+ private:
+  int id_;
+  int rack_;
+  NodeProfile profile_;
+  std::atomic<bool> alive_{true};
+  std::atomic<std::uint64_t> boot_generation_{0};
+  PersistentStore store_;
+};
+
+}  // namespace skt::sim

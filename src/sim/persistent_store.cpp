@@ -1,0 +1,54 @@
+#include "sim/persistent_store.hpp"
+
+#include <stdexcept>
+
+namespace skt::sim {
+
+SegmentPtr PersistentStore::create(const std::string& key, std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = segments_.find(key); it != segments_.end()) {
+    if (it->second->size() != size) {
+      throw std::invalid_argument("PersistentStore::create: key '" + key +
+                                  "' exists with a different size");
+    }
+    return it->second;
+  }
+  auto seg = std::make_shared<Segment>(size);
+  segments_.emplace(key, seg);
+  return seg;
+}
+
+SegmentPtr PersistentStore::attach(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = segments_.find(key);
+  return it == segments_.end() ? nullptr : it->second;
+}
+
+bool PersistentStore::exists(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_.contains(key);
+}
+
+void PersistentStore::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  segments_.erase(key);
+}
+
+void PersistentStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  segments_.clear();
+}
+
+std::size_t PersistentStore::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, seg] : segments_) total += seg->size();
+  return total;
+}
+
+std::size_t PersistentStore::segment_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_.size();
+}
+
+}  // namespace skt::sim

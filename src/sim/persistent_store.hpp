@@ -1,0 +1,76 @@
+// Simulation of Linux SHM (shmget) segment lifetime, per Section 2.3 of the
+// paper: a segment survives the exit of every process attached to it, so a
+// restarted job on a healthy node can re-attach and find its checkpoint.
+// A node power-off destroys the store — exactly the failure the encoding
+// must recover from.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace skt::sim {
+
+/// A named persistent memory segment. Holders keep it alive via shared_ptr,
+/// so wiping the store while a doomed rank still writes is memory-safe; the
+/// rank's writes just land in an orphaned buffer, as they would on real
+/// hardware that lost power mid-write.
+class Segment {
+ public:
+  explicit Segment(std::size_t size) : data_(size) {}
+
+  [[nodiscard]] std::span<std::byte> bytes() { return data_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Typed view; size() must be a multiple of sizeof(T).
+  template <typename T>
+  [[nodiscard]] std::span<T> as() {
+    return {reinterpret_cast<T*>(data_.data()), data_.size() / sizeof(T)};
+  }
+
+ private:
+  std::vector<std::byte> data_;
+};
+
+using SegmentPtr = std::shared_ptr<Segment>;
+
+/// Node-local key → segment map with SHM lifetime semantics.
+/// Thread-safe: multiple ranks of the same node attach concurrently.
+class PersistentStore {
+ public:
+  /// Create a segment. Throws std::invalid_argument if the key exists with a
+  /// different size; attaching to an existing same-size segment returns it
+  /// (matching shmget(key, size, IPC_CREAT) semantics).
+  SegmentPtr create(const std::string& key, std::size_t size);
+
+  /// Attach to an existing segment; nullptr if the key is unknown (e.g. a
+  /// replacement node after power-off).
+  [[nodiscard]] SegmentPtr attach(const std::string& key) const;
+
+  [[nodiscard]] bool exists(const std::string& key) const;
+
+  /// Remove one segment (shmctl IPC_RMID). No-op if absent.
+  void remove(const std::string& key);
+
+  /// Power-off: drop every segment. Attached holders keep their buffers
+  /// alive but the data is unreachable by any future job.
+  void clear();
+
+  /// Total bytes across live segments (memory accounting for Table 1).
+  [[nodiscard]] std::size_t bytes_in_use() const;
+
+  [[nodiscard]] std::size_t segment_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, SegmentPtr> segments_;
+};
+
+}  // namespace skt::sim

@@ -1,0 +1,58 @@
+#include "storage/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace skt::storage {
+
+DeviceProfile hdd_profile(int sharers) {
+  return {.name = "hdd",
+          .write_bandwidth_Bps = 160.0e6,
+          .read_bandwidth_Bps = 180.0e6,
+          .latency_s = 8.0e-3,
+          .sharers = sharers};
+}
+
+DeviceProfile ssd_profile(int sharers) {
+  return {.name = "ssd",
+          .write_bandwidth_Bps = 420.0e6,
+          .read_bandwidth_Bps = 520.0e6,
+          .latency_s = 1.0e-4,
+          .sharers = sharers};
+}
+
+DeviceProfile ramfs_profile(int sharers) {
+  return {.name = "ramfs",
+          .write_bandwidth_Bps = 8.0e9,
+          .read_bandwidth_Bps = 10.0e9,
+          .latency_s = 1.0e-6,
+          .sharers = sharers};
+}
+
+DeviceProfile pfs_profile(int sharers) {
+  return {.name = "pfs",
+          .write_bandwidth_Bps = 2.0e9,
+          .read_bandwidth_Bps = 2.5e9,
+          .latency_s = 2.0e-3,
+          .sharers = sharers};
+}
+
+namespace {
+double transfer_seconds(double bandwidth, double latency, int sharers, std::size_t bytes) {
+  if (bandwidth <= 0.0) throw std::logic_error("Device: zero-bandwidth profile used for IO");
+  const double effective = bandwidth / std::max(1, sharers);
+  return latency + static_cast<double>(bytes) / effective;
+}
+}  // namespace
+
+double Device::write_seconds(std::size_t bytes) const {
+  return transfer_seconds(profile_.write_bandwidth_Bps, profile_.latency_s, profile_.sharers,
+                          bytes);
+}
+
+double Device::read_seconds(std::size_t bytes) const {
+  return transfer_seconds(profile_.read_bandwidth_Bps, profile_.latency_s, profile_.sharers,
+                          bytes);
+}
+
+}  // namespace skt::storage

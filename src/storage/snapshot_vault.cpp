@@ -1,0 +1,40 @@
+#include "storage/snapshot_vault.hpp"
+
+namespace skt::storage {
+
+void SnapshotVault::put(const std::string& key, std::span<const std::byte> blob) {
+  std::vector<std::byte> copy(blob.begin(), blob.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  blobs_[key] = std::move(copy);
+}
+
+std::optional<std::vector<std::byte>> SnapshotVault::get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SnapshotVault::exists(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blobs_.contains(key);
+}
+
+void SnapshotVault::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blobs_.erase(key);
+}
+
+void SnapshotVault::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blobs_.clear();
+}
+
+std::size_t SnapshotVault::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, blob] : blobs_) total += blob.size();
+  return total;
+}
+
+}  // namespace skt::storage

@@ -1,0 +1,39 @@
+// Durable key→blob store modelling checkpoint files on disk.
+//
+// Unlike a node's PersistentStore (volatile DRAM, lost on power-off), the
+// vault survives node loss: it models disks whose contents remain readable
+// after the host dies (the BLCR rows of Table 3 recover this way). Writes
+// are transactional per key — a reader never sees a torn snapshot.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace skt::storage {
+
+class SnapshotVault {
+ public:
+  /// Atomically replace the blob stored under `key`.
+  void put(const std::string& key, std::span<const std::byte> blob);
+
+  /// Copy of the blob, or nullopt if the key is unknown.
+  [[nodiscard]] std::optional<std::vector<std::byte>> get(const std::string& key) const;
+
+  [[nodiscard]] bool exists(const std::string& key) const;
+
+  void remove(const std::string& key);
+  void clear();
+
+  [[nodiscard]] std::size_t bytes_in_use() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<std::byte>> blobs_;
+};
+
+}  // namespace skt::storage

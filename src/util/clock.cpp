@@ -1,0 +1,7 @@
+#include "util/clock.hpp"
+
+// Header-only today; this TU pins the library's symbols and keeps the
+// build target non-empty for tooling that dislikes header-only libs.
+namespace skt::util {
+static_assert(sizeof(VirtualClock) >= sizeof(std::int64_t));
+}  // namespace skt::util

@@ -1,0 +1,51 @@
+// Wall-clock timing plus a virtual clock used to charge simulated device
+// latencies (disk/SSD checkpoint flushes) to a job's reported runtime
+// without actually sleeping.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace skt::util {
+
+/// Simple RAII-free stopwatch over std::chrono::steady_clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static Clock::time_point now() { return Clock::now(); }
+  Clock::time_point start_;
+};
+
+/// Accumulates simulated time (nanoseconds) contributed by modelled devices.
+/// Thread-safe: ranks charge delays concurrently; a job-level reduction
+/// decides how much of the charge is on the critical path (typically the
+/// max across ranks at a collective checkpoint, added once by rank 0).
+class VirtualClock {
+ public:
+  void charge_seconds(double s) {
+    charge_nanos(static_cast<std::int64_t>(s * 1e9));
+  }
+  void charge_nanos(std::int64_t ns) { nanos_.fetch_add(ns, std::memory_order_relaxed); }
+
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+  void reset() { nanos_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> nanos_{0};
+};
+
+}  // namespace skt::util

@@ -1,0 +1,93 @@
+#include "util/format.hpp"
+
+#include <cctype>
+#include <cstring>
+
+namespace skt::util::detail {
+
+std::string render_arithmetic(double value, long long ivalue, bool is_integral,
+                              std::string_view spec) {
+  char buf[64];
+  if (spec.empty()) {
+    if (is_integral) {
+      std::snprintf(buf, sizeof(buf), "%lld", ivalue);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%g", value);
+    }
+    return buf;
+  }
+  // Validate spec: optional width/precision digits plus one conversion char.
+  for (char c : spec) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '+' && c != '-' &&
+        !std::strchr("fegdx%", c)) {
+      throw std::invalid_argument("format: bad spec '" + std::string(spec) + "'");
+    }
+  }
+  const char conv = spec.back();
+  std::string body(spec.substr(0, spec.size() - 1));
+  char fmt[32];
+  switch (conv) {
+    case 'f':
+    case 'e':
+    case 'g':
+      std::snprintf(fmt, sizeof(fmt), "%%%s%c", body.c_str(), conv);
+      std::snprintf(buf, sizeof(buf), fmt, is_integral ? static_cast<double>(ivalue) : value);
+      return buf;
+    case 'd':
+      std::snprintf(fmt, sizeof(fmt), "%%%slld", body.c_str());
+      std::snprintf(buf, sizeof(buf), fmt, is_integral ? ivalue : static_cast<long long>(value));
+      return buf;
+    case 'x':
+      std::snprintf(fmt, sizeof(fmt), "%%%sllx", body.c_str());
+      std::snprintf(buf, sizeof(buf), fmt, is_integral ? ivalue : static_cast<long long>(value));
+      return buf;
+    case '%': {
+      // "{:.1%}" renders a ratio as a percentage.
+      std::snprintf(fmt, sizeof(fmt), "%%%sf%%%%", body.empty() ? ".1" : body.c_str());
+      std::snprintf(buf, sizeof(buf), fmt,
+                    (is_integral ? static_cast<double>(ivalue) : value) * 100.0);
+      return buf;
+    }
+    default:
+      throw std::invalid_argument("format: bad conversion in spec");
+  }
+}
+
+std::string vformat(std::string_view fmt, const std::vector<Renderer>& args) {
+  std::string out;
+  out.reserve(fmt.size() + args.size() * 8);
+  std::size_t next_arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out.push_back('{');
+        ++i;
+        continue;
+      }
+      const std::size_t close = fmt.find('}', i);
+      if (close == std::string_view::npos) {
+        throw std::invalid_argument("format: unmatched '{'");
+      }
+      std::string_view inner = fmt.substr(i + 1, close - i - 1);
+      std::string_view spec;
+      if (const auto colon = inner.find(':'); colon != std::string_view::npos) {
+        spec = inner.substr(colon + 1);
+        inner = inner.substr(0, colon);
+      }
+      if (!inner.empty()) throw std::invalid_argument("format: positional args unsupported");
+      if (next_arg >= args.size()) throw std::invalid_argument("format: too few arguments");
+      out += args[next_arg++](spec);
+      i = close;
+    } else if (c == '}') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '}') ++i;
+      out.push_back('}');
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (next_arg != args.size()) throw std::invalid_argument("format: too many arguments");
+  return out;
+}
+
+}  // namespace skt::util::detail

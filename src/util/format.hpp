@@ -1,0 +1,59 @@
+// Minimal std::format stand-in (libstdc++ 12 ships no <format>).
+//
+// Supports "{}" and "{:spec}" placeholders where spec is a printf-style
+// conversion for arithmetic arguments: [width][.precision][f|e|g|d|x|%].
+// "{{" and "}}" escape literal braces. Unmatched placeholders/arguments
+// throw std::invalid_argument — format strings in this codebase are all
+// compile-time literals, so a throw is a programming error surfaced early.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace skt::util {
+namespace detail {
+
+using Renderer = std::function<std::string(std::string_view spec)>;
+
+std::string render_arithmetic(double value, long long ivalue, bool is_integral,
+                              std::string_view spec);
+
+template <typename T>
+Renderer make_renderer(const T& value) {
+  if constexpr (std::is_same_v<std::decay_t<T>, bool>) {
+    return [v = value](std::string_view) -> std::string { return v ? "true" : "false"; };
+  } else if constexpr (std::is_arithmetic_v<std::decay_t<T>>) {
+    return [v = value](std::string_view spec) -> std::string {
+      if constexpr (std::is_integral_v<std::decay_t<T>>) {
+        return render_arithmetic(static_cast<double>(v), static_cast<long long>(v), true, spec);
+      } else {
+        return render_arithmetic(static_cast<double>(v), 0, false, spec);
+      }
+    };
+  } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+    return [s = std::string(std::string_view(value))](std::string_view) { return s; };
+  } else {
+    static_assert(std::is_convertible_v<T, std::string_view> || std::is_arithmetic_v<T>,
+                  "format: unsupported argument type (add a std::string conversion)");
+    return {};
+  }
+}
+
+std::string vformat(std::string_view fmt, const std::vector<Renderer>& args);
+
+}  // namespace detail
+
+template <typename... Args>
+std::string format(std::string_view fmt, Args&&... args) {
+  std::vector<detail::Renderer> renderers;
+  renderers.reserve(sizeof...(args));
+  (renderers.push_back(detail::make_renderer(args)), ...);
+  return detail::vformat(fmt, renderers);
+}
+
+}  // namespace skt::util

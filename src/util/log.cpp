@@ -1,0 +1,74 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace skt::util {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_io_mutex;
+
+thread_local int t_rank = -1;
+thread_local int t_size = 0;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+bool set_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "trace") set_log_level(LogLevel::kTrace);
+  else if (lower == "debug") set_log_level(LogLevel::kDebug);
+  else if (lower == "info") set_log_level(LogLevel::kInfo);
+  else if (lower == "warn") set_log_level(LogLevel::kWarn);
+  else if (lower == "error") set_log_level(LogLevel::kError);
+  else if (lower == "off") set_log_level(LogLevel::kOff);
+  else return false;
+  return true;
+}
+
+void set_thread_context(int rank, int size) {
+  t_rank = rank;
+  t_size = size;
+}
+
+void log_line(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - process_start()).count();
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  if (t_rank >= 0) {
+    std::fprintf(stderr, "[%8.3fs] [%s] [rank %d/%d] %.*s\n", elapsed, level_tag(level), t_rank,
+                 t_size, static_cast<int>(msg.size()), msg.data());
+  } else {
+    std::fprintf(stderr, "[%8.3fs] [%s] %.*s\n", elapsed, level_tag(level),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+}
+
+}  // namespace skt::util

@@ -1,0 +1,45 @@
+// Leveled, thread-safe logger with an optional per-thread rank prefix.
+//
+// Every rank thread spawned by the simulator registers itself via
+// set_thread_context(), so log lines read like mpirun output:
+//   [ 0.123s] [rank 3/16] checkpoint epoch 2 committed
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/format.hpp"
+
+namespace skt::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Unknown strings leave the level unchanged and return false.
+bool set_log_level(std::string_view name);
+
+/// Attach "[rank r/n]" to all subsequent messages from this thread.
+/// Pass rank < 0 to clear the prefix (e.g. for the launcher daemon).
+void set_thread_context(int rank, int size);
+
+/// Emit one formatted line (already-formatted payload).
+void log_line(LogLevel level, std::string_view msg);
+
+template <typename... Args>
+void log(LogLevel level, std::string_view fmt, Args&&... args) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  log_line(level, format(fmt, std::forward<Args>(args)...));
+}
+
+#define SKT_LOG_TRACE(...) ::skt::util::log(::skt::util::LogLevel::kTrace, __VA_ARGS__)
+#define SKT_LOG_DEBUG(...) ::skt::util::log(::skt::util::LogLevel::kDebug, __VA_ARGS__)
+#define SKT_LOG_INFO(...) ::skt::util::log(::skt::util::LogLevel::kInfo, __VA_ARGS__)
+#define SKT_LOG_WARN(...) ::skt::util::log(::skt::util::LogLevel::kWarn, __VA_ARGS__)
+#define SKT_LOG_ERROR(...) ::skt::util::log(::skt::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace skt::util

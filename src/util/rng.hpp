@@ -1,0 +1,76 @@
+// Deterministic random number generation.
+//
+// Two tools:
+//  * SplitMix64 / Xoshiro256** — fast sequential PRNGs for workload setup.
+//  * element_hash()            — a stateless, location-addressed generator:
+//    HPL regenerates matrix element (i, j) from (seed, i, j) alone, so a
+//    restarted rank on a fresh node can rebuild or verify data without
+//    replaying any sequential stream.
+#pragma once
+
+#include <cstdint>
+
+namespace skt::util {
+
+/// One step of the SplitMix64 sequence starting at `x`. Also usable as a
+/// 64-bit finalizer/hash of `x`.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: small, fast, high-quality.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x = splitmix64(x);
+      s = x;
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [-0.5, 0.5), matching HPL's matrix fill distribution.
+  double next_centered() { return next_double() - 0.5; }
+
+  /// Uniform integer in [0, bound) without modulo bias for small bounds.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;  // bias negligible for bound << 2^64
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+/// Stateless hash of (seed, i, j) to a uint64.
+constexpr std::uint64_t element_hash(std::uint64_t seed, std::uint64_t i, std::uint64_t j) {
+  return splitmix64(splitmix64(seed ^ (i * 0x9e3779b97f4a7c15ULL)) ^
+                    (j * 0xc2b2ae3d27d4eb4fULL));
+}
+
+/// Matrix element A(i, j) in [-0.5, 0.5), regenerable anywhere.
+constexpr double element_value(std::uint64_t seed, std::uint64_t i, std::uint64_t j) {
+  return static_cast<double>(element_hash(seed, i, j) >> 11) * 0x1.0p-53 - 0.5;
+}
+
+}  // namespace skt::util

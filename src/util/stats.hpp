@@ -1,0 +1,31 @@
+// Small statistics helpers: summary stats and the least-squares fits used
+// by the HPL efficiency model (Section 4 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace skt::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+};
+
+/// Summary statistics of a sample; all-zero Summary for an empty span.
+Summary summarize(std::span<const double> xs);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+/// Ordinary least squares y = slope * x + intercept.
+/// Requires xs.size() == ys.size() and at least two points.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace skt::util

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace skt::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) throw std::invalid_argument("Table: too many cells");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+      out += (c + 1 < row.size()) ? "  " : "";
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out.append(widths[c], '-');
+    out += (c + 1 < widths.size()) ? "  " : "";
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void Table::print() const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string format_bytes(std::size_t bytes) {
+  constexpr const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  return u == 0 ? format("{} B", bytes) : format("{:.2f} {}", v, units[u]);
+}
+
+std::string format_seconds(double seconds) {
+  if (seconds < 0) return format("-{}", format_seconds(-seconds));
+  if (seconds < 1e-6) return format("{:.0f} ns", seconds * 1e9);
+  if (seconds < 1e-3) return format("{:.1f} us", seconds * 1e6);
+  if (seconds < 1.0) return format("{:.1f} ms", seconds * 1e3);
+  return format("{:.2f} s", seconds);
+}
+
+}  // namespace skt::util

@@ -1,0 +1,36 @@
+// Fixed-width console table printer used by the bench harnesses to emit
+// the paper's tables/series in a readable, diffable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace skt::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; missing trailing cells render empty, extras throw.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience: render straight to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a byte count with binary units ("1.50 GiB").
+std::string format_bytes(std::size_t bytes);
+
+/// Format seconds adaptively ("312 ms", "4.21 s").
+std::string format_seconds(double seconds);
+
+}  // namespace skt::util

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "encoding/codec.hpp"
+#include "encoding/gf256.hpp"
+#include "encoding/group_codec.hpp"
+#include "encoding/reed_solomon.hpp"
+#include "encoding/stripes.hpp"
+#include "testing.hpp"
+#include "util/rng.hpp"
+
+namespace skt::enc {
+namespace {
+
+using skt::testing::MiniCluster;
+
+std::vector<std::byte> random_bytes(std::size_t size, std::uint64_t seed) {
+  std::vector<std::byte> out(size);
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < size; i += 8) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(out.data() + i, &v, std::min<std::size_t>(8, size - i));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- codec ---
+
+TEST(Codec, XorAccumulateIsSelfInverse) {
+  auto a = random_bytes(64, 1);
+  const auto original = a;
+  const auto b = random_bytes(64, 2);
+  accumulate(CodecKind::kXor, a, b);
+  EXPECT_NE(a, original);
+  retract(CodecKind::kXor, a, b);
+  EXPECT_EQ(a, original);
+}
+
+TEST(Codec, SumAccumulateRetract) {
+  std::vector<double> av{1.0, 2.0, 3.0};
+  std::vector<double> bv{0.5, 0.25, -1.0};
+  auto a = std::as_writable_bytes(std::span<double>(av));
+  const auto b = std::as_bytes(std::span<const double>(bv));
+  accumulate(CodecKind::kSum, a, b);
+  EXPECT_DOUBLE_EQ(av[0], 1.5);
+  retract(CodecKind::kSum, a, b);
+  EXPECT_DOUBLE_EQ(av[0], 1.0);
+  EXPECT_DOUBLE_EQ(av[2], 3.0);
+}
+
+TEST(Codec, RejectsMisalignedOrMismatched) {
+  std::vector<std::byte> a(16);
+  std::vector<std::byte> b(8);
+  EXPECT_THROW(accumulate(CodecKind::kXor, a, b), std::invalid_argument);
+  std::vector<std::byte> c(12);
+  std::vector<std::byte> d(12);
+  EXPECT_THROW(accumulate(CodecKind::kXor, c, d), std::invalid_argument);
+}
+
+TEST(Codec, EqualsXorExactSumTolerant) {
+  auto a = random_bytes(32, 3);
+  auto b = a;
+  EXPECT_TRUE(equals(CodecKind::kXor, a, b));
+  b[0] ^= std::byte{1};
+  EXPECT_FALSE(equals(CodecKind::kXor, a, b));
+
+  std::vector<double> xv{1.0, 2.0};
+  std::vector<double> yv{1.0 + 1e-13, 2.0};
+  EXPECT_TRUE(equals(CodecKind::kSum, std::as_bytes(std::span<const double>(xv)),
+                     std::as_bytes(std::span<const double>(yv))));
+  yv[0] = 1.1;
+  EXPECT_FALSE(equals(CodecKind::kSum, std::as_bytes(std::span<const double>(xv)),
+                      std::as_bytes(std::span<const double>(yv))));
+}
+
+// -------------------------------------------------------------- stripes ---
+
+TEST(Stripes, LayoutSizes) {
+  const StripeLayout layout(1000, 5);  // 4 stripes of ceil(1000/4)=250 -> 256 padded? 250->256
+  EXPECT_EQ(layout.stripe_bytes() % kLane, 0u);
+  EXPECT_GE(layout.stripe_bytes() * 4, 1000u);
+  EXPECT_EQ(layout.padded_bytes(), layout.stripe_bytes() * 4);
+}
+
+TEST(Stripes, StripeIndexSkipsOwnFamily) {
+  const StripeLayout layout(64, 4);
+  EXPECT_EQ(layout.stripe_index(2, 0), 0u);
+  EXPECT_EQ(layout.stripe_index(2, 1), 1u);
+  EXPECT_EQ(layout.stripe_index(2, 3), 2u);
+  EXPECT_THROW((void)layout.stripe_index(2, 2), std::invalid_argument);
+  EXPECT_THROW((void)layout.stripe_index(2, 9), std::out_of_range);
+}
+
+TEST(Stripes, ViewsPartitionTheBuffer) {
+  const StripeLayout layout(64, 3);
+  std::vector<std::byte> buf(layout.padded_bytes());
+  const auto s0 = layout.stripe(std::span<std::byte>(buf), 1, 0);
+  const auto s2 = layout.stripe(std::span<std::byte>(buf), 1, 2);
+  EXPECT_EQ(s0.data(), buf.data());
+  EXPECT_EQ(s2.data(), buf.data() + layout.stripe_bytes());
+  EXPECT_THROW((void)layout.stripe(std::span<std::byte>(buf).subspan(1), 1, 0),
+               std::invalid_argument);
+}
+
+TEST(Stripes, RejectsTinyGroups) { EXPECT_THROW(StripeLayout(64, 1), std::invalid_argument); }
+
+// ---------------------------------------------------------------- gf256 ---
+
+TEST(Gf256, FieldAxiomsSpotChecks) {
+  using namespace gf256;
+  EXPECT_EQ(mul(0, 77), 0);
+  EXPECT_EQ(mul(1, 77), 77);
+  for (int a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(ua, inv(ua)), 1) << a;
+  }
+  // Commutativity + associativity samples.
+  for (int a = 1; a < 256; a += 37) {
+    for (int b = 1; b < 256; b += 29) {
+      const auto ua = static_cast<std::uint8_t>(a);
+      const auto ub = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(mul(ua, ub), mul(ub, ua));
+      EXPECT_EQ(mul(mul(ua, ub), 7), mul(ua, mul(ub, 7)));
+    }
+  }
+  EXPECT_EQ(div(mul(12, 9), 9), 12);
+  EXPECT_EQ(pow(2, 0), 1);
+  EXPECT_EQ(pow(2, 1), 2);
+  EXPECT_EQ(pow(2, 8), mul(pow(2, 4), pow(2, 4)));
+  EXPECT_THROW((void)inv(0), std::domain_error);
+  EXPECT_THROW((void)div(1, 0), std::domain_error);
+}
+
+TEST(Gf256, SolveLinearSystem) {
+  // 2x2 system with known solution.
+  std::vector<std::uint8_t> m{1, 2, 3, 4};
+  const std::uint8_t x0 = 5;
+  const std::uint8_t x1 = 9;
+  std::vector<std::uint8_t> rhs{
+      static_cast<std::uint8_t>(gf256::mul(1, x0) ^ gf256::mul(2, x1)),
+      static_cast<std::uint8_t>(gf256::mul(3, x0) ^ gf256::mul(4, x1))};
+  ASSERT_TRUE(gf256::solve(m, rhs, 2));
+  EXPECT_EQ(rhs[0], x0);
+  EXPECT_EQ(rhs[1], x1);
+}
+
+TEST(Gf256, SolveDetectsSingular) {
+  std::vector<std::uint8_t> m{1, 2, 1, 2};  // rank 1
+  std::vector<std::uint8_t> rhs{3, 3};
+  EXPECT_FALSE(gf256::solve(m, rhs, 2));
+}
+
+// --------------------------------------------------------- reed-solomon ---
+
+class ReedSolomonErasures : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReedSolomonErasures, AnyErasurePatternUpToMRecovers) {
+  const auto [k, m] = GetParam();
+  const std::size_t shard_size = 96;
+  const ReedSolomon rs(k, m);
+
+  std::vector<std::vector<std::uint8_t>> shards(static_cast<std::size_t>(k + m));
+  std::vector<std::span<const std::uint8_t>> data_views;
+  std::vector<std::span<std::uint8_t>> parity_views;
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(k * 100 + m));
+  for (int i = 0; i < k; ++i) {
+    auto& shard = shards[static_cast<std::size_t>(i)];
+    shard.resize(shard_size);
+    for (auto& b : shard) b = static_cast<std::uint8_t>(rng.next());
+    data_views.emplace_back(shard);
+  }
+  for (int j = 0; j < m; ++j) {
+    shards[static_cast<std::size_t>(k + j)].resize(shard_size);
+    parity_views.emplace_back(shards[static_cast<std::size_t>(k + j)]);
+  }
+  rs.encode(data_views, parity_views);
+  const auto golden = shards;
+
+  // Exhaustively erase every subset of size 1..m (k+m is small here).
+  const int total = k + m;
+  for (int mask = 1; mask < (1 << total); ++mask) {
+    if (__builtin_popcount(static_cast<unsigned>(mask)) > m) continue;
+    auto work = golden;
+    std::vector<bool> present(static_cast<std::size_t>(total), true);
+    std::vector<std::span<std::uint8_t>> views;
+    for (int i = 0; i < total; ++i) {
+      if (mask & (1 << i)) {
+        std::fill(work[static_cast<std::size_t>(i)].begin(),
+                  work[static_cast<std::size_t>(i)].end(), std::uint8_t{0xEE});
+        present[static_cast<std::size_t>(i)] = false;
+      }
+      views.emplace_back(work[static_cast<std::size_t>(i)]);
+    }
+    ASSERT_TRUE(rs.reconstruct(views, present)) << "mask " << mask;
+    for (int i = 0; i < total; ++i) {
+      ASSERT_EQ(work[static_cast<std::size_t>(i)], golden[static_cast<std::size_t>(i)])
+          << "shard " << i << " mask " << mask;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ReedSolomonErasures,
+                         ::testing::Values(std::make_tuple(2, 1), std::make_tuple(3, 2),
+                                           std::make_tuple(4, 2), std::make_tuple(5, 3),
+                                           std::make_tuple(7, 3)));
+
+TEST(ReedSolomon, TooManyErasuresRejected) {
+  const ReedSolomon rs(3, 2);
+  std::vector<std::vector<std::uint8_t>> shards(5, std::vector<std::uint8_t>(8));
+  std::vector<std::span<std::uint8_t>> views(shards.begin(), shards.end());
+  const std::vector<bool> present{false, false, false, true, true};
+  EXPECT_FALSE(rs.reconstruct(views, present));
+}
+
+TEST(ReedSolomon, RejectsBadShapes) {
+  EXPECT_THROW(ReedSolomon(0, 1), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(1, 0), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(200, 100), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- group codec ---
+
+class GroupCodecParam
+    : public ::testing::TestWithParam<std::tuple<CodecKind, int /*group size*/>> {};
+
+TEST_P(GroupCodecParam, EncodeThenRebuildEveryMember) {
+  const auto [kind, group_size] = GetParam();
+  const std::size_t data_bytes = 1000;  // deliberately not stripe-aligned
+  MiniCluster mc(group_size, 0);
+
+  for (int victim = 0; victim < group_size; ++victim) {
+    const auto result = mc.run(group_size, [&, victim](mpi::Comm& world) {
+      const GroupCodec codec(kind, data_bytes, world.size());
+      std::vector<std::byte> data(codec.padded_bytes(), std::byte{0});
+      std::vector<std::byte> checksum(codec.checksum_bytes());
+      // Distinct per-rank content; SUM codec needs doubles, so fill the
+      // buffer with valid doubles.
+      std::span<double> lanes{reinterpret_cast<double*>(data.data()),
+                              data.size() / sizeof(double)};
+      for (std::size_t i = 0; i < lanes.size(); ++i) {
+        lanes[i] = util::element_value(99, static_cast<std::uint64_t>(world.rank()), i);
+      }
+      const std::vector<std::byte> golden_data = data;
+
+      codec.encode(world, data, checksum);
+      const std::vector<std::byte> golden_checksum = checksum;
+      EXPECT_TRUE(codec.verify(world, data, checksum));
+
+      if (world.rank() == victim) {
+        std::fill(data.begin(), data.end(), std::byte{0xAB});
+        std::fill(checksum.begin(), checksum.end(), std::byte{0xCD});
+      }
+      codec.rebuild(world, victim, data, checksum);
+
+      const double tol = kind == CodecKind::kXor ? 0.0 : 1e-9;
+      EXPECT_TRUE(equals(kind, data, golden_data, tol == 0.0 ? 1e-30 : tol));
+      if (kind == CodecKind::kXor) {
+        EXPECT_EQ(data, golden_data);
+        EXPECT_EQ(checksum, golden_checksum);
+      }
+      EXPECT_TRUE(codec.verify(world, data, checksum));
+    });
+    ASSERT_TRUE(result.completed) << result.abort_reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, GroupCodecParam,
+    ::testing::Combine(::testing::Values(CodecKind::kXor, CodecKind::kSum),
+                       ::testing::Values(2, 3, 4, 8)));
+
+TEST(GroupCodec, VerifyDetectsCorruption) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    const GroupCodec codec(CodecKind::kXor, 256, world.size());
+    std::vector<std::byte> data(codec.padded_bytes(), std::byte(world.rank() + 1));
+    std::vector<std::byte> checksum(codec.checksum_bytes());
+    codec.encode(world, data, checksum);
+    ASSERT_TRUE(codec.verify(world, data, checksum));
+    if (world.rank() == 2) data[5] ^= std::byte{0x40};
+    EXPECT_FALSE(codec.verify(world, data, checksum));
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(GroupCodec, ChecksumIsStripeFraction) {
+  const GroupCodec codec(CodecKind::kXor, 1 << 20, 16);
+  // Checksum ~= M / (N-1); padding adds at most one lane per stripe.
+  EXPECT_NEAR(static_cast<double>(codec.checksum_bytes()),
+              static_cast<double>(1 << 20) / 15.0, kLane + 1);
+}
+
+TEST(GroupCodec, MismatchedCommSizeThrows) {
+  MiniCluster mc(3, 0);
+  const auto result = mc.run(3, [](mpi::Comm& world) {
+    const GroupCodec codec(CodecKind::kXor, 128, 4);  // wrong group size
+    std::vector<std::byte> data(codec.padded_bytes());
+    std::vector<std::byte> checksum(codec.checksum_bytes());
+    EXPECT_THROW(codec.encode(world, data, checksum), std::invalid_argument);
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+}  // namespace
+}  // namespace skt::enc

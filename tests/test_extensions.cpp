@@ -1,0 +1,272 @@
+// Tests for the paper's extension points: dual-parity (RAID-6-style)
+// group encoding tolerating TWO node losses per group, and the multi-level
+// checkpoint framework that backs the in-memory level with a disk level.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ckpt/multilevel.hpp"
+#include "encoding/dual_parity.hpp"
+#include "mpi/launcher.hpp"
+#include "storage/device.hpp"
+#include "ckpt_harness.hpp"
+#include "testing.hpp"
+#include "util/rng.hpp"
+
+namespace skt {
+namespace {
+
+using skt::testing::MiniCluster;
+
+// ------------------------------------------------------- dual parity ---
+
+void fill_member_data(std::span<std::byte> data, int rank, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(rank) * 1315423911ull);
+  for (std::size_t i = 0; i + 8 <= data.size(); i += 8) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(data.data() + i, &v, 8);
+  }
+}
+
+TEST(DualParity, LayoutInvariants) {
+  const enc::DualParityGroupCodec codec(1000, 6);
+  EXPECT_EQ(codec.padded_bytes(), codec.stripe_bytes() * 4);
+  EXPECT_EQ(codec.parity_bytes(), codec.stripe_bytes() * 2);
+  for (int f = 0; f < 6; ++f) {
+    int contributors = 0;
+    for (int p = 0; p < 6; ++p) {
+      if (codec.contributes(p, f)) {
+        ++contributors;
+        // stripe and contributor indices are dense and in range
+        EXPECT_LT(codec.stripe_index(p, f), 4u);
+        EXPECT_GE(codec.contributor_index(p, f), 0);
+        EXPECT_LT(codec.contributor_index(p, f), 4);
+      }
+    }
+    EXPECT_EQ(contributors, 4);  // N - 2
+    EXPECT_FALSE(codec.contributes(f, f));
+    EXPECT_FALSE(codec.contributes((f + 1) % 6, f));
+  }
+  // Every member fills each of its N-2 stripe slots exactly once.
+  for (int p = 0; p < 6; ++p) {
+    std::vector<bool> used(4, false);
+    for (int f = 0; f < 6; ++f) {
+      if (!codec.contributes(p, f)) continue;
+      const std::size_t idx = codec.stripe_index(p, f);
+      EXPECT_FALSE(used[idx]);
+      used[idx] = true;
+    }
+    for (bool u : used) EXPECT_TRUE(u);
+  }
+  EXPECT_THROW(enc::DualParityGroupCodec(64, 3), std::invalid_argument);
+}
+
+class DualParityErasures : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DualParityErasures, AnyPairOfLossesRecovers) {
+  const auto [group_size, victim_a, victim_b] = GetParam();
+  const std::size_t data_bytes = 1111;  // deliberately unaligned
+  MiniCluster mc(group_size, 0);
+  const auto result = mc.run(group_size, [&, ga = victim_a, gb = victim_b](mpi::Comm& world) {
+    const enc::DualParityGroupCodec codec(data_bytes, world.size());
+    std::vector<std::byte> data(codec.padded_bytes(), std::byte{0});
+    std::vector<std::byte> parity(codec.parity_bytes());
+    fill_member_data(data, world.rank(), 42);
+    const auto golden_data = data;
+
+    codec.encode(world, data, parity);
+    const auto golden_parity = parity;
+    ASSERT_TRUE(codec.verify(world, data, parity));
+
+    std::vector<int> failed{ga};
+    if (gb >= 0) failed.push_back(gb);
+    if (std::find(failed.begin(), failed.end(), world.rank()) != failed.end()) {
+      std::fill(data.begin(), data.end(), std::byte{0xEE});
+      std::fill(parity.begin(), parity.end(), std::byte{0xEE});
+    }
+    codec.rebuild(world, failed, data, parity);
+
+    EXPECT_EQ(data, golden_data) << "rank " << world.rank();
+    EXPECT_EQ(parity, golden_parity) << "rank " << world.rank();
+    EXPECT_TRUE(codec.verify(world, data, parity));
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, DualParityErasures,
+    ::testing::Values(std::make_tuple(4, 1, -1),   // single loss
+                      std::make_tuple(4, 0, 1),    // adjacent pair (P+Q owners overlap)
+                      std::make_tuple(4, 0, 2),
+                      std::make_tuple(4, 1, 3),    // wrap-around adjacency
+                      std::make_tuple(5, 0, 4),
+                      std::make_tuple(6, 2, 5),
+                      std::make_tuple(6, 0, 3)));
+
+TEST(DualParity, ExhaustivePairsGroupOf5) {
+  const int n = 5;
+  const std::size_t data_bytes = 640;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      MiniCluster mc(n, 0);
+      const auto result = mc.run(n, [&, a = a, b = b](mpi::Comm& world) {
+        const enc::DualParityGroupCodec codec(data_bytes, n);
+        std::vector<std::byte> data(codec.padded_bytes());
+        std::vector<std::byte> parity(codec.parity_bytes());
+        fill_member_data(data, world.rank(), 7);
+        const auto golden = data;
+        codec.encode(world, data, parity);
+        if (world.rank() == a || world.rank() == b) {
+          std::fill(data.begin(), data.end(), std::byte{0});
+          std::fill(parity.begin(), parity.end(), std::byte{0});
+        }
+        const std::vector<int> failed{a, b};
+        codec.rebuild(world, failed, data, parity);
+        ASSERT_EQ(data, golden);
+        ASSERT_TRUE(codec.verify(world, data, parity));
+      });
+      ASSERT_TRUE(result.completed) << "pair " << a << "," << b << ": "
+                                    << result.abort_reason;
+    }
+  }
+}
+
+TEST(DualParity, ThreeLossesRejected) {
+  MiniCluster mc(5, 0);
+  const auto result = mc.run(5, [&](mpi::Comm& world) {
+    const enc::DualParityGroupCodec codec(256, 5);
+    std::vector<std::byte> data(codec.padded_bytes());
+    std::vector<std::byte> parity(codec.parity_bytes());
+    const std::vector<int> failed{0, 1, 2};
+    EXPECT_THROW(codec.rebuild(world, failed, data, parity), std::invalid_argument);
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+// -------------------------------------------------------- multi-level ---
+
+ckpt::MultiLevelCheckpoint::Params ml_params(storage::SnapshotVault* vault,
+                                             std::size_t data_bytes = 2048) {
+  ckpt::MultiLevelCheckpoint::Params params;
+  params.key_prefix = "ml";
+  params.data_bytes = data_bytes;
+  params.user_bytes = 16;
+  params.flush_every = 2;
+  params.vault = vault;
+  params.device = storage::pfs_profile();
+  return params;
+}
+
+TEST(MultiLevel, FlushesEveryKCommitsAndKeepsTwoGenerations) {
+  MiniCluster mc(4, 0);
+  storage::SnapshotVault vault;
+  const auto result = mc.run(4, [&](mpi::Comm& world) {
+    ckpt::MultiLevelCheckpoint protocol(ml_params(&vault));
+    ckpt::CommCtx ctx{world, world};
+    EXPECT_FALSE(protocol.open(ctx));
+    for (int i = 0; i < 6; ++i) protocol.commit(ctx);
+    EXPECT_EQ(protocol.flushes(), 3);        // commits 2, 4, 6
+    EXPECT_EQ(protocol.disk_epoch(), 6u);
+    EXPECT_EQ(protocol.committed_epoch(), 6u);
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  // Two generations retained per rank (epochs 4 and 6) plus manifests.
+  EXPECT_TRUE(vault.exists("ml.r0.L2.img.e6"));
+  EXPECT_TRUE(vault.exists("ml.r0.L2.img.e4"));
+  EXPECT_FALSE(vault.exists("ml.r0.L2.img.e2"));  // GC'd
+}
+
+TEST(MultiLevel, SingleFailureUsesFastInMemoryLevel) {
+  MiniCluster mc(4, 2);
+  storage::SnapshotVault vault;
+  sim::FailureInjector injector;
+  injector.add_rule({.point = "app.work", .world_rank = 1, .hit = 3, .repeat = false});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 2});
+  bool used_disk = true;
+  const auto result = launcher.run(4, [&](mpi::Comm& world) {
+    ckpt::MultiLevelCheckpoint protocol(ml_params(&vault));
+    ckpt::CommCtx ctx{world, world};
+    const bool restored = protocol.open(ctx);
+    auto* iter = reinterpret_cast<std::uint64_t*>(protocol.user_state().data());
+    if (restored) {
+      protocol.restore(ctx);
+      if (world.rank() == 0) used_disk = protocol.last_restore_used_disk();
+    } else {
+      *iter = 0;
+      skt::testing::fill_pattern(protocol.data(), 5, world.rank(), 0);
+    }
+    while (*iter < 4) {
+      world.failpoint("app.work");
+      const std::uint64_t next = *iter + 1;
+      skt::testing::fill_pattern(protocol.data(), 5, world.rank(), next);
+      *iter = next;
+      protocol.commit(ctx);
+    }
+    if (!skt::testing::matches_pattern(protocol.data(), 5, world.rank(), 4, 0.0)) {
+      throw std::runtime_error("final data mismatch");
+    }
+  });
+  ASSERT_TRUE(result.success) << result.failure;
+  EXPECT_FALSE(used_disk);  // level 1 was sufficient for a single loss
+}
+
+TEST(MultiLevel, DoubleFailureFallsBackToDiskLevel) {
+  // Two members of the SAME group die: the single-erasure in-memory level
+  // cannot recover, the disk level can — the composition the paper points
+  // at for "a higher degree of fault tolerance".
+  MiniCluster mc(4, 4);
+  storage::SnapshotVault vault;
+  sim::FailureInjector injector;
+  // First failure mid-compute; second failure during the restore of the
+  // first restart, before the group is re-encoded.
+  injector.add_rule({.point = "app.work", .world_rank = 1, .hit = 3, .repeat = false});
+  injector.add_rule({.point = "ckpt.restore", .world_rank = 2, .hit = 1, .repeat = false});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 4});
+  bool used_disk = false;
+  std::uint64_t restored_epoch = 0;
+  const auto result = launcher.run(4, [&](mpi::Comm& world) {
+    ckpt::MultiLevelCheckpoint protocol(ml_params(&vault));
+    ckpt::CommCtx ctx{world, world};
+    const bool restored = protocol.open(ctx);
+    auto* iter = reinterpret_cast<std::uint64_t*>(protocol.user_state().data());
+    if (restored) {
+      const ckpt::RestoreStats rs = protocol.restore(ctx);
+      if (world.rank() == 0 && protocol.last_restore_used_disk()) {
+        used_disk = true;
+        restored_epoch = rs.epoch;
+      }
+      if (!skt::testing::matches_pattern(protocol.data(), 5, world.rank(), *iter, 0.0)) {
+        throw std::runtime_error("restored data mismatch at iteration " +
+                                 std::to_string(*iter));
+      }
+    } else {
+      *iter = 0;
+      skt::testing::fill_pattern(protocol.data(), 5, world.rank(), 0);
+    }
+    while (*iter < 5) {
+      world.failpoint("app.work");
+      const std::uint64_t next = *iter + 1;
+      skt::testing::fill_pattern(protocol.data(), 5, world.rank(), next);
+      *iter = next;
+      protocol.commit(ctx);
+    }
+  });
+  ASSERT_TRUE(result.success) << result.failure;
+  EXPECT_TRUE(used_disk);
+  EXPECT_GE(restored_epoch, 2u);  // a flushed generation, not a fresh start
+}
+
+TEST(MultiLevel, RejectsBadConfigs) {
+  storage::SnapshotVault vault;
+  auto params = ml_params(&vault);
+  params.vault = nullptr;
+  EXPECT_THROW(ckpt::MultiLevelCheckpoint{params}, std::invalid_argument);
+  params = ml_params(&vault);
+  params.level1 = ckpt::Strategy::kBlcr;
+  EXPECT_THROW(ckpt::MultiLevelCheckpoint{params}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace skt

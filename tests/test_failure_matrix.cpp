@@ -1,0 +1,261 @@
+// The recovery matrix: kill a node at EVERY stage of every strategy's
+// commit state machine (and mid-compute, and during restore) and assert
+// the outcome the paper's Figures 2-4 predict:
+//
+//   self-checkpoint  — recovers from every single-node failure
+//   double           — recovers from every single-node failure
+//   single           — recovers outside the update window, is
+//                      *unrecoverable* inside it (CASE 2 of Fig. 2)
+//   blcr             — recovers everywhere (disk survives power-off)
+//
+// Verification is end-to-end: the relaunched application must finish with
+// bit-correct data (see ckpt_harness.hpp).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "ckpt_harness.hpp"
+#include "mpi/launcher.hpp"
+#include "storage/device.hpp"
+#include "testing.hpp"
+
+namespace skt::ckpt {
+namespace {
+
+using skt::testing::CkptAppConfig;
+using skt::testing::checkpointed_app;
+
+struct Case {
+  Strategy strategy;
+  const char* failpoint;
+  bool recoverable;
+  /// Rank whose failpoint visit triggers the kill. -1 = the victim itself.
+  /// At exact step boundaries recoverability can depend on how far the
+  /// SURVIVORS got, so the unrecoverable single-checkpoint cases use a
+  /// survivor (rank 0) as the trigger: when rank 0 stands at
+  /// ckpt.mid_update, rank 0 itself has provably entered the update
+  /// window, which pins the outcome.
+  int trigger = -1;
+};
+
+std::string case_name(const ::testing::TestParamInfo<std::tuple<Case, int, enc::CodecKind>>& i) {
+  const auto& [c, group, codec] = i.param;
+  std::string point = c.failpoint;
+  for (char& ch : point) {
+    if (ch == '.') ch = '_';
+  }
+  std::string strategy(to_string(c.strategy));
+  if (const auto dash = strategy.find('-'); dash != std::string::npos) {
+    strategy = strategy.substr(0, dash);
+  }
+  return strategy + "_" + point + "_g" + std::to_string(group) + "_" +
+         std::string(enc::to_string(codec));
+}
+
+class FailureMatrix
+    : public ::testing::TestWithParam<std::tuple<Case, int /*group*/, enc::CodecKind>> {};
+
+TEST_P(FailureMatrix, KillDuringProtocolStep) {
+  const auto& [c, group_size, codec] = GetParam();
+  const int world = 2 * group_size;  // two groups: cross-group epoch agreement is exercised
+  skt::testing::MiniCluster mc(world, 2);
+
+  storage::SnapshotVault vault;
+  CkptAppConfig config;
+  config.strategy = c.strategy;
+  config.group_size = group_size;
+  config.codec = codec;
+  config.iterations = 4;
+  config.data_bytes = 2048;
+  config.vault = &vault;
+  config.device = storage::ssd_profile();
+
+  sim::FailureInjector injector;
+  // Kill rank 1 (a member of group 0) on the SECOND visit to the failpoint
+  // so at least one full checkpoint exists before the failure. "app.done"
+  // is visited once per run, so it fires on the first visit.
+  const int hit = std::string(c.failpoint) == "app.done" ? 1 : 2;
+  const int trigger = c.trigger < 0 ? 1 : c.trigger;
+  injector.add_rule({.point = c.failpoint,
+                     .world_rank = trigger,
+                     .hit = hit,
+                     .repeat = false,
+                     .victim_world_rank = 1});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector,
+                            {.max_restarts = 3, .ranks_per_node = 1});
+  const auto result = launcher.run(world, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+
+  EXPECT_EQ(injector.triggered_count(), 1u) << "failpoint never fired: " << c.failpoint;
+  if (c.recoverable) {
+    EXPECT_TRUE(result.success) << result.failure;
+    EXPECT_EQ(result.restarts, 1);
+    // The dead node was replaced by a spare.
+    EXPECT_GE(result.final_ranklist[1], world);
+    EXPECT_GT(result.times.count("recover"), 0u);
+  } else {
+    EXPECT_FALSE(result.success);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SelfCheckpoint, FailureMatrix,
+    ::testing::Combine(
+        ::testing::Values(Case{Strategy::kSelf, "app.work", true},
+                          Case{Strategy::kSelf, "ckpt.begin", true},
+                          Case{Strategy::kSelf, "ckpt.copy_a2", true},
+                          Case{Strategy::kSelf, "ckpt.encode_begin", true},
+                          Case{Strategy::kSelf, "ckpt.encode_done", true},
+                          Case{Strategy::kSelf, "ckpt.sealed", true},
+                          Case{Strategy::kSelf, "ckpt.mid_flush", true},
+                          Case{Strategy::kSelf, "ckpt.flushed", true},
+                          Case{Strategy::kSelf, "app.done", true}),
+        ::testing::Values(2, 4), ::testing::Values(enc::CodecKind::kXor)),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    SelfCheckpointSumCodec, FailureMatrix,
+    ::testing::Combine(::testing::Values(Case{Strategy::kSelf, "ckpt.mid_flush", true},
+                                         Case{Strategy::kSelf, "ckpt.encode_done", true}),
+                       ::testing::Values(4), ::testing::Values(enc::CodecKind::kSum)),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    DoubleCheckpoint, FailureMatrix,
+    ::testing::Combine(
+        ::testing::Values(Case{Strategy::kDouble, "app.work", true},
+                          Case{Strategy::kDouble, "ckpt.begin", true},
+                          Case{Strategy::kDouble, "ckpt.mid_update", true},
+                          Case{Strategy::kDouble, "ckpt.encode_done", true},
+                          Case{Strategy::kDouble, "ckpt.flushed", true}),
+        ::testing::Values(2, 4), ::testing::Values(enc::CodecKind::kXor)),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    SingleCheckpoint, FailureMatrix,
+    ::testing::Combine(
+        ::testing::Values(
+            // Outside the update window: recoverable (CASE 1 of Fig. 2).
+            Case{Strategy::kSingle, "app.work", true},
+            Case{Strategy::kSingle, "ckpt.begin", true},
+            // Inside the update window: (B, C) inconsistent (CASE 2).
+            // Survivor-triggered (rank 0 is provably mid-update when the
+            // victim dies) to pin the interleaving.
+            Case{Strategy::kSingle, "ckpt.mid_update", false, 0},
+            Case{Strategy::kSingle, "ckpt.encode_done", false, 0}),
+        ::testing::Values(4), ::testing::Values(enc::CodecKind::kXor)),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    Blcr, FailureMatrix,
+    ::testing::Combine(::testing::Values(Case{Strategy::kBlcr, "app.work", true},
+                                         Case{Strategy::kBlcr, "ckpt.mid_update", true},
+                                         Case{Strategy::kBlcr, "ckpt.flushed", true}),
+                       ::testing::Values(2), ::testing::Values(enc::CodecKind::kXor)),
+    case_name);
+
+// Dual-parity self-checkpoint (the RAID-6-style extension): TWO nodes of
+// the SAME group die in the same instant, at every protocol step, and the
+// degree-2 code still recovers end-to-end.
+class DualParityMatrix : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DualParityMatrix, SimultaneousDoubleKillRecovers) {
+  const char* point = GetParam();
+  skt::testing::MiniCluster mc(5, 3);
+  CkptAppConfig config;
+  config.strategy = Strategy::kSelf;
+  config.parity_degree = 2;
+  config.group_size = 5;
+  config.iterations = 4;
+  config.data_bytes = 2000;
+
+  sim::FailureInjector injector;
+  // Both rules fire at the same failpoint visit; whichever rank arrives
+  // first kills its node, the other dies at the same point of the same
+  // commit — two blank members of one group on restart.
+  injector.add_rule({.point = point, .world_rank = 1, .hit = 2, .repeat = false});
+  injector.add_rule({.point = point, .world_rank = 3, .hit = 2, .repeat = false});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 4});
+  const auto result = launcher.run(5, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  EXPECT_TRUE(result.success) << result.failure;
+  EXPECT_GE(injector.triggered_count(), 1u);
+  // Both victims may die in one cycle or across two (the second rank can
+  // be pre-empted before reaching the failpoint); either way <= 2 cycles.
+  EXPECT_LE(result.restarts, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, DualParityMatrix,
+                         ::testing::Values("app.work", "ckpt.copy_a2", "ckpt.encode_done",
+                                           "ckpt.sealed", "ckpt.mid_flush", "ckpt.flushed"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+// Two failures in ONE group exceed the single-erasure code: unrecoverable
+// for self-checkpoint...
+TEST(FailureMatrixExtra, TwoFailuresInOneGroupUnrecoverable) {
+  skt::testing::MiniCluster mc(4, 4);
+  CkptAppConfig config;
+  config.strategy = Strategy::kSelf;
+  config.group_size = 4;
+  config.iterations = 4;
+
+  sim::FailureInjector injector;
+  // Both failures hit before the next commit completes, so the rebuilt
+  // checkpoint never exists: rank 1 dies at iteration 2's commit, and the
+  // restarted run kills rank 2 immediately during restore.
+  injector.add_rule({.point = "ckpt.begin", .world_rank = 1, .hit = 2, .repeat = false});
+  injector.add_rule({.point = "ckpt.restore", .world_rank = 2, .hit = 1, .repeat = false});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 4});
+  const auto result = launcher.run(4, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  EXPECT_FALSE(result.success);
+}
+
+// ...but two failures in DIFFERENT groups are fine (each group rebuilds
+// its own member).
+TEST(FailureMatrixExtra, TwoFailuresInDifferentGroupsRecover) {
+  skt::testing::MiniCluster mc(8, 4);
+  CkptAppConfig config;
+  config.strategy = Strategy::kSelf;
+  config.group_size = 4;  // groups {0..3} and {4..7}
+  config.iterations = 4;
+
+  sim::FailureInjector injector;
+  injector.add_rule({.point = "ckpt.begin", .world_rank = 1, .hit = 2, .repeat = false});
+  injector.add_rule({.point = "ckpt.restore", .world_rank = 6, .hit = 1, .repeat = false});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 4});
+  const auto result = launcher.run(8, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  EXPECT_TRUE(result.success) << result.failure;
+  EXPECT_EQ(result.restarts, 2);
+}
+
+// Repeated failures across different epochs: the system survives as many
+// sequential single failures as there are spares.
+TEST(FailureMatrixExtra, ThreeSequentialFailures) {
+  skt::testing::MiniCluster mc(4, 3);
+  CkptAppConfig config;
+  config.strategy = Strategy::kSelf;
+  config.group_size = 4;
+  config.iterations = 6;
+
+  sim::FailureInjector injector;
+  injector.add_rule({.point = "ckpt.mid_flush", .world_rank = 0, .hit = 2, .repeat = false});
+  injector.add_rule({.point = "ckpt.encode_done", .world_rank = 2, .hit = 4, .repeat = false});
+  injector.add_rule({.point = "app.work", .world_rank = 3, .hit = 6, .repeat = false});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 5});
+  const auto result = launcher.run(4, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  EXPECT_TRUE(result.success) << result.failure;
+  EXPECT_EQ(result.restarts, 3);
+}
+
+}  // namespace
+}  // namespace skt::ckpt

@@ -1,0 +1,202 @@
+// Unit tests for the HPL substrate's local pieces: BLAS kernels against
+// naive references and block-cyclic index arithmetic properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hpl/blas.hpp"
+#include "hpl/block_cyclic.hpp"
+#include "util/rng.hpp"
+
+namespace skt::hpl {
+namespace {
+
+std::vector<double> random_matrix(std::int64_t m, std::int64_t n, std::uint64_t seed) {
+  std::vector<double> a(static_cast<std::size_t>(m * n));
+  util::Xoshiro256 rng(seed);
+  for (auto& v : a) v = rng.next_centered();
+  return a;
+}
+
+TEST(Blas, GemmMinusMatchesNaive) {
+  const std::int64_t m = 37, n = 29, k = 23;
+  const auto a = random_matrix(m, k, 1);
+  const auto b = random_matrix(k, n, 2);
+  auto c = random_matrix(m, n, 3);
+  auto ref = c;
+
+  blas::gemm_minus(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += a[static_cast<std::size_t>(i * k + kk)] * b[static_cast<std::size_t>(kk * n + j)];
+      }
+      ref[static_cast<std::size_t>(i * n + j)] -= acc;
+    }
+  }
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-12);
+}
+
+TEST(Blas, GemmMinusStridedC) {
+  // C wider than n exercises the ldc path.
+  const std::int64_t m = 8, n = 5, k = 6, ldc = 11;
+  const auto a = random_matrix(m, k, 4);
+  const auto b = random_matrix(k, n, 5);
+  auto c = random_matrix(m, ldc, 6);
+  const auto before = c;
+  blas::gemm_minus(m, n, k, a.data(), k, b.data(), n, c.data(), ldc);
+  // Columns n..ldc untouched.
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = n; j < ldc; ++j) {
+      EXPECT_EQ(c[static_cast<std::size_t>(i * ldc + j)],
+                before[static_cast<std::size_t>(i * ldc + j)]);
+    }
+  }
+}
+
+TEST(Blas, TrsmLowerUnitSolves) {
+  const std::int64_t m = 16, n = 9;
+  auto l = random_matrix(m, m, 7);
+  // Make it unit lower triangular (upper part is ignored by the kernel but
+  // zero it in the reference multiply).
+  for (std::int64_t i = 0; i < m; ++i) {
+    l[static_cast<std::size_t>(i * m + i)] = 1.0;
+    for (std::int64_t j = i + 1; j < m; ++j) l[static_cast<std::size_t>(i * m + j)] = 0.0;
+  }
+  const auto x_true = random_matrix(m, n, 8);
+  // b = L * x
+  std::vector<double> b(static_cast<std::size_t>(m * n), 0.0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t kk = 0; kk <= i; ++kk) {
+        acc += l[static_cast<std::size_t>(i * m + kk)] * x_true[static_cast<std::size_t>(kk * n + j)];
+      }
+      b[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  }
+  blas::trsm_lower_unit(m, n, l.data(), m, b.data(), n);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(b[i], x_true[i], 1e-10);
+}
+
+TEST(Blas, TrsvUpperSolves) {
+  const std::int64_t m = 12;
+  auto u = random_matrix(m, m, 9);
+  for (std::int64_t i = 0; i < m; ++i) {
+    u[static_cast<std::size_t>(i * m + i)] += 4.0;  // well-conditioned diagonal
+    for (std::int64_t j = 0; j < i; ++j) u[static_cast<std::size_t>(i * m + j)] = 0.0;
+  }
+  const auto x_true = random_matrix(m, 1, 10);
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = i; j < m; ++j) {
+      y[static_cast<std::size_t>(i)] +=
+          u[static_cast<std::size_t>(i * m + j)] * x_true[static_cast<std::size_t>(j)];
+    }
+  }
+  blas::trsv_upper(m, u.data(), m, y.data());
+  for (std::int64_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-10);
+  }
+}
+
+TEST(Blas, GemvIamaxSwapScal) {
+  const std::int64_t m = 6, n = 4;
+  const auto a = random_matrix(m, n, 11);
+  const auto x = random_matrix(n, 1, 12);
+  std::vector<double> y(static_cast<std::size_t>(m), 1.0);
+  auto ref = y;
+  blas::gemv_minus(m, n, a.data(), n, x.data(), y.data());
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      ref[static_cast<std::size_t>(i)] -=
+          a[static_cast<std::size_t>(i * n + j)] * x[static_cast<std::size_t>(j)];
+    }
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], ref[static_cast<std::size_t>(i)], 1e-12);
+  }
+
+  const double v[] = {0.1, -3.5, 2.0, 3.5};
+  EXPECT_EQ(blas::iamax(4, v), 1);  // first of the tied |3.5|
+  EXPECT_EQ(blas::iamax(0, v), -1);
+
+  double r1[] = {1, 2, 3};
+  double r2[] = {4, 5, 6};
+  blas::swap_rows(3, r1, r2);
+  EXPECT_EQ(r1[0], 4);
+  EXPECT_EQ(r2[2], 3);
+
+  double s[] = {2, 4};
+  blas::scal(2, 0.5, s);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[1], 2);
+}
+
+// ----------------------------------------------------------- block-cyclic
+
+class BlockCyclicProps
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, int>> {};
+
+TEST_P(BlockCyclicProps, RoundTripAndCounts) {
+  const auto [n, nb, nprocs] = GetParam();
+  const BlockCyclicDim dim(n, nb, nprocs);
+
+  // Every global index maps to exactly one (owner, local) and back.
+  std::int64_t total = 0;
+  for (int p = 0; p < nprocs; ++p) total += dim.count(p);
+  EXPECT_EQ(total, n);
+
+  for (std::int64_t g = 0; g < n; ++g) {
+    const int p = dim.owner(g);
+    const std::int64_t l = dim.local(g);
+    EXPECT_LT(l, dim.count(p));
+    EXPECT_EQ(dim.global(p, l), g);
+  }
+  // local -> global is strictly increasing per process.
+  for (int p = 0; p < nprocs; ++p) {
+    for (std::int64_t l = 1; l < dim.count(p); ++l) {
+      EXPECT_GT(dim.global(p, l), dim.global(p, l - 1));
+    }
+  }
+}
+
+TEST_P(BlockCyclicProps, LowerBoundConsistent) {
+  const auto [n, nb, nprocs] = GetParam();
+  const BlockCyclicDim dim(n, nb, nprocs);
+  for (int p = 0; p < nprocs; ++p) {
+    for (std::int64_t g = 0; g <= n; ++g) {
+      const std::int64_t lb = dim.local_lower_bound(p, g);
+      // Reference: first local index whose global is >= g.
+      std::int64_t ref = dim.count(p);
+      for (std::int64_t l = 0; l < dim.count(p); ++l) {
+        if (dim.global(p, l) >= g) {
+          ref = l;
+          break;
+        }
+      }
+      ASSERT_EQ(lb, ref) << "n=" << n << " nb=" << nb << " P=" << nprocs << " p=" << p
+                         << " g=" << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BlockCyclicProps,
+                         ::testing::Values(std::make_tuple(64, 8, 4),
+                                           std::make_tuple(100, 7, 3),
+                                           std::make_tuple(13, 5, 2),
+                                           std::make_tuple(1, 4, 3),
+                                           std::make_tuple(0, 4, 2),
+                                           std::make_tuple(31, 32, 2),
+                                           std::make_tuple(96, 16, 1)));
+
+TEST(BlockCyclic, RejectsBadParameters) {
+  EXPECT_THROW(BlockCyclicDim(-1, 4, 2), std::invalid_argument);
+  EXPECT_THROW(BlockCyclicDim(4, 0, 2), std::invalid_argument);
+  EXPECT_THROW(BlockCyclicDim(4, 4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace skt::hpl

@@ -1,0 +1,370 @@
+// Distributed LU / back-substitution / verification, checked against a
+// serial reference factorization for a sweep of (N, nb, P, Q) shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hpl/abft.hpp"
+#include "hpl/dist_matrix.hpp"
+#include "hpl/driver.hpp"
+#include "hpl/lu.hpp"
+#include "testing.hpp"
+#include "util/rng.hpp"
+
+namespace skt::hpl {
+namespace {
+
+using skt::testing::MiniCluster;
+
+/// Serial reference: solve [A|b] by Gaussian elimination with partial
+/// pivoting; returns x.
+std::vector<double> reference_solve(std::int64_t n, std::uint64_t seed) {
+  std::vector<double> a(static_cast<std::size_t>(n * (n + 1)));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j <= n; ++j) {
+      a[static_cast<std::size_t>(i * (n + 1) + j)] = util::element_value(
+          seed, static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(j));
+    }
+  }
+  const std::int64_t ld = n + 1;
+  for (std::int64_t k = 0; k < n; ++k) {
+    std::int64_t piv = k;
+    for (std::int64_t i = k + 1; i < n; ++i) {
+      if (std::abs(a[static_cast<std::size_t>(i * ld + k)]) >
+          std::abs(a[static_cast<std::size_t>(piv * ld + k)])) {
+        piv = i;
+      }
+    }
+    if (piv != k) {
+      for (std::int64_t j = 0; j <= n; ++j) {
+        std::swap(a[static_cast<std::size_t>(k * ld + j)],
+                  a[static_cast<std::size_t>(piv * ld + j)]);
+      }
+    }
+    const double pivot = a[static_cast<std::size_t>(k * ld + k)];
+    for (std::int64_t i = k + 1; i < n; ++i) {
+      const double l = a[static_cast<std::size_t>(i * ld + k)] / pivot;
+      for (std::int64_t j = k; j <= n; ++j) {
+        a[static_cast<std::size_t>(i * ld + j)] -= l * a[static_cast<std::size_t>(k * ld + j)];
+      }
+    }
+  }
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    double acc = a[static_cast<std::size_t>(i * ld + n)];
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      acc -= a[static_cast<std::size_t>(i * ld + j)] * x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] = acc / a[static_cast<std::size_t>(i * ld + i)];
+  }
+  return x;
+}
+
+class LuShapes
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, int, int>> {};
+
+TEST_P(LuShapes, SolvesAgainstSerialReference) {
+  const auto [n, nb, P, Q] = GetParam();
+  const std::uint64_t seed = 77;
+  const std::vector<double> x_ref = reference_solve(n, seed);
+
+  MiniCluster mc(P * Q, 0);
+  const auto result = mc.run(P * Q, [&, n = n, nb = nb, P = P, Q = Q](mpi::Comm& world) {
+    mpi::Grid grid(world, P, Q);
+    const std::int64_t elems = DistMatrix::max_local_elements(n, n + 1, nb, P, Q);
+    std::vector<double> storage(static_cast<std::size_t>(elems));
+    DistMatrix a(grid, n, n + 1, nb, storage);
+    generate(a, seed);
+    lu_factorize(grid, a, n, 0);
+    const std::vector<double> x = back_substitute(world, grid, a, n);
+    ASSERT_EQ(x.size(), static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(x[static_cast<std::size_t>(i)], x_ref[static_cast<std::size_t>(i)], 1e-7)
+          << "i=" << i;
+    }
+    const Residual res = verify(world, a, n, seed, x);
+    EXPECT_TRUE(res.pass) << "scaled residual " << res.scaled;
+    EXPECT_LT(res.scaled, 16.0);
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LuShapes,
+    ::testing::Values(std::make_tuple(64, 8, 2, 2),    // aligned
+                      std::make_tuple(60, 8, 2, 2),    // ragged last block
+                      std::make_tuple(65, 16, 2, 3),   // rectangular grid
+                      std::make_tuple(48, 4, 3, 2),    // more rows than cols
+                      std::make_tuple(33, 32, 2, 2),   // nb > n/2
+                      std::make_tuple(96, 8, 1, 4),    // single process row
+                      std::make_tuple(96, 8, 4, 1),    // single process column
+                      std::make_tuple(50, 8, 1, 1)));  // serial grid
+
+TEST(Lu, PanelHookFiresPerPanelAndCanAbort) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [&](mpi::Comm& world) {
+    mpi::Grid grid(world, 2, 2);
+    const std::int64_t n = 64, nb = 8;
+    const std::int64_t elems = DistMatrix::max_local_elements(n, n + 1, nb, 2, 2);
+    std::vector<double> storage(static_cast<std::size_t>(elems));
+    DistMatrix a(grid, n, n + 1, nb, storage);
+    generate(a, 5);
+    int hooks = 0;
+    lu_factorize(grid, a, n, 0, [&](std::int64_t) { return ++hooks < 3; });
+    EXPECT_EQ(hooks, 3);  // aborted after the third panel
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(Lu, RestartFromMidPanelMatchesFullRun) {
+  // Factor to completion in one go; separately factor to panel 4, stop,
+  // then resume from panel 4 — the final solutions must agree, which is
+  // exactly what SKT-HPL's checkpoint/restore depends on.
+  const std::int64_t n = 64, nb = 8;
+  const std::uint64_t seed = 9;
+  std::vector<double> x_full;
+  {
+    MiniCluster mc(4, 0);
+    const auto result = mc.run(4, [&](mpi::Comm& world) {
+      mpi::Grid grid(world, 2, 2);
+      const std::int64_t elems = DistMatrix::max_local_elements(n, n + 1, nb, 2, 2);
+      std::vector<double> storage(static_cast<std::size_t>(elems));
+      DistMatrix a(grid, n, n + 1, nb, storage);
+      generate(a, seed);
+      lu_factorize(grid, a, n, 0);
+      const auto x = back_substitute(world, grid, a, n);
+      if (world.rank() == 0) x_full = x;
+    });
+    ASSERT_TRUE(result.completed) << result.abort_reason;
+  }
+  {
+    MiniCluster mc(4, 0);
+    const auto result = mc.run(4, [&](mpi::Comm& world) {
+      mpi::Grid grid(world, 2, 2);
+      const std::int64_t elems = DistMatrix::max_local_elements(n, n + 1, nb, 2, 2);
+      std::vector<double> storage(static_cast<std::size_t>(elems));
+      DistMatrix a(grid, n, n + 1, nb, storage);
+      generate(a, seed);
+      lu_factorize(grid, a, n, 0, [&](std::int64_t next) { return next < 4; });
+      lu_factorize(grid, a, n, 4);  // resume
+      const auto x = back_substitute(world, grid, a, n);
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        ASSERT_EQ(x[i], x_full[i]) << i;  // bit-identical: same op order
+      }
+    });
+    ASSERT_TRUE(result.completed) << result.abort_reason;
+  }
+}
+
+TEST(Lu, RingPanelBcastIsBitIdenticalToBinomial) {
+  // Both panel broadcast algorithms deliver the same bytes, so the whole
+  // factorization must agree bit-for-bit.
+  const std::int64_t n = 80, nb = 16;
+  const std::uint64_t seed = 33;
+  std::vector<double> x_tree;
+  for (const PanelBcast algo : {PanelBcast::kBinomial, PanelBcast::kRing}) {
+    MiniCluster mc(6, 0);
+    const auto result = mc.run(6, [&](mpi::Comm& world) {
+      mpi::Grid grid(world, 2, 3);
+      const std::int64_t elems = DistMatrix::max_local_elements(n, n + 1, nb, 2, 3);
+      std::vector<double> storage(static_cast<std::size_t>(elems));
+      DistMatrix a(grid, n, n + 1, nb, storage);
+      generate(a, seed);
+      lu_factorize(grid, a, n, 0, {}, nullptr, algo);
+      const auto x = back_substitute(world, grid, a, n);
+      if (world.rank() == 0) {
+        if (algo == PanelBcast::kBinomial) {
+          x_tree = x;
+        } else {
+          ASSERT_EQ(x.size(), x_tree.size());
+          for (std::size_t i = 0; i < x.size(); ++i) ASSERT_EQ(x[i], x_tree[i]) << i;
+        }
+      }
+    });
+    ASSERT_TRUE(result.completed) << result.abort_reason;
+  }
+}
+
+TEST(Lu, PivotValuesGiveDeterminantMagnitude) {
+  // |det(A)| = product of |U(j,j)| — checks the replicated pivot-value
+  // collection against a serial elimination.
+  const std::int64_t n = 24, nb = 4;
+  const std::uint64_t seed = 21;
+  // Serial reference determinant magnitude via the same generator.
+  double ref_logdet = 0.0;
+  {
+    std::vector<double> m(static_cast<std::size_t>(n * n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        m[static_cast<std::size_t>(i * n + j)] = util::element_value(
+            seed, static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(j));
+      }
+    }
+    for (std::int64_t k = 0; k < n; ++k) {
+      std::int64_t piv = k;
+      for (std::int64_t i = k + 1; i < n; ++i) {
+        if (std::abs(m[static_cast<std::size_t>(i * n + k)]) >
+            std::abs(m[static_cast<std::size_t>(piv * n + k)])) {
+          piv = i;
+        }
+      }
+      for (std::int64_t j = 0; j < n; ++j) {
+        std::swap(m[static_cast<std::size_t>(k * n + j)],
+                  m[static_cast<std::size_t>(piv * n + j)]);
+      }
+      const double p = m[static_cast<std::size_t>(k * n + k)];
+      ref_logdet += std::log(std::abs(p));
+      for (std::int64_t i = k + 1; i < n; ++i) {
+        const double l = m[static_cast<std::size_t>(i * n + k)] / p;
+        for (std::int64_t j = k; j < n; ++j) {
+          m[static_cast<std::size_t>(i * n + j)] -= l * m[static_cast<std::size_t>(k * n + j)];
+        }
+      }
+    }
+  }
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [&](mpi::Comm& world) {
+    mpi::Grid grid(world, 2, 2);
+    const std::int64_t elems = DistMatrix::max_local_elements(n, n + 1, nb, 2, 2);
+    std::vector<double> storage(static_cast<std::size_t>(elems));
+    DistMatrix a(grid, n, n + 1, nb, storage);
+    generate(a, seed);
+    std::vector<double> pivots;
+    lu_factorize(grid, a, n, 0, {}, &pivots);
+    ASSERT_EQ(pivots.size(), static_cast<std::size_t>(n));
+    double logdet = 0.0;
+    for (double p : pivots) {
+      ASSERT_NE(p, 0.0);
+      logdet += std::log(std::abs(p));
+    }
+    EXPECT_NEAR(logdet, ref_logdet, 1e-8);
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(Lu, MaxProblemSizeFitsBudget) {
+  const std::size_t budget = 4u << 20;  // 4 MiB per rank
+  const std::int64_t n = max_problem_size(budget, 16, 2, 2);
+  EXPECT_GT(n, 0);
+  EXPECT_EQ(n % 16, 0);
+  EXPECT_LE(
+      static_cast<std::size_t>(DistMatrix::max_local_elements(n, n + 1, 16, 2, 2)) * 8,
+      budget);
+  // One more block row would not fit.
+  const std::int64_t n2 = n + 16;
+  EXPECT_GT(static_cast<std::size_t>(DistMatrix::max_local_elements(n2, n2 + 1, 16, 2, 2)) * 8,
+            budget);
+}
+
+TEST(Hpl, DriverRunsAndVerifies) {
+  MiniCluster mc(4, 0);
+  HplResult out;
+  const auto result = mc.run(4, [&](mpi::Comm& world) {
+    HplConfig config;
+    config.n = 96;
+    config.nb = 16;
+    config.grid_p = 2;
+    config.grid_q = 2;
+    const HplResult r = run_hpl(world, config);
+    if (world.rank() == 0) out = r;
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_TRUE(out.residual.pass) << out.residual.scaled;
+  EXPECT_GT(out.gflops, 0.0);
+}
+
+TEST(Abft, ChecksumsHoldThroughFactorization) {
+  MiniCluster mc(4, 0);
+  AbftResult out;
+  const auto result = mc.run(4, [&](mpi::Comm& world) {
+    AbftConfig config;
+    config.hpl.n = 96;
+    config.hpl.nb = 16;
+    config.hpl.grid_p = 2;
+    config.hpl.grid_q = 2;
+    config.verify_every_panels = 2;
+    const AbftResult r = run_abft_hpl(world, config);
+    if (world.rank() == 0) out = r;
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_TRUE(out.checksum_ok);
+  EXPECT_EQ(out.checks, 3);  // panels 2, 4, 6 of 6 total -> next_panel 2,4,6
+  EXPECT_TRUE(out.hpl.residual.pass) << out.hpl.residual.scaled;
+}
+
+TEST(Abft, DetectsInjectedCorruption) {
+  MiniCluster mc(4, 0);
+  bool detected = false;
+  const auto result = mc.run(4, [&](mpi::Comm& world) {
+    mpi::Grid grid(world, 2, 2);
+    const std::int64_t n = 64, nb = 8;
+    const std::int64_t ncols = n + 2;
+    const std::int64_t elems = DistMatrix::max_local_elements(n, ncols, nb, 2, 2);
+    std::vector<double> storage(static_cast<std::size_t>(elems));
+    DistMatrix a(grid, n, ncols, nb, storage);
+    // Use the abft driver but corrupt one trailing element mid-run via the
+    // hook: simplest path is to run the driver twice; here we corrupt
+    // through a custom factorization instead.
+    for (std::int64_t li = 0; li < a.lrows(); ++li) {
+      const auto gi = static_cast<std::uint64_t>(a.rows().global(a.prow(), li));
+      for (std::int64_t lj = 0; lj < a.lcols(); ++lj) {
+        const std::int64_t gj = a.cols().global(a.pcol(), lj);
+        if (gj <= n) {
+          a.at(li, lj) = util::element_value(3, gi, static_cast<std::uint64_t>(gj));
+        } else {
+          double acc = 0;
+          for (std::int64_t j = 0; j <= n; ++j) {
+            acc += util::element_value(3, gi, static_cast<std::uint64_t>(j));
+          }
+          a.at(li, lj) = acc;
+        }
+      }
+    }
+    // Corrupt one element of the trailing matrix on rank 0 (silent data
+    // corruption model).
+    if (world.rank() == 0 && a.lrows() > 2 && a.lcols() > 2) {
+      a.at(a.lrows() - 1, a.lcols() - 2) += 1000.0;
+    }
+    AbftConfig config;
+    config.hpl.n = n;
+    config.hpl.nb = nb;
+    // Run one panel then verify manually via run_abft-style check: easiest
+    // is to reuse verify() on a bogus solution... instead run the driver's
+    // internal check through run_abft_hpl on a fresh matrix is covered
+    // above; here assert the invariant check itself fails.
+    lu_factorize(grid, a, n, 0, [&](std::int64_t next) { return next < 1; });
+    // After one panel the corrupted element breaks the row-sum invariant.
+    // (Reaching into the internal checker through the public driver isn't
+    // possible, so recompute the invariant here: for active rows the
+    // eliminated columns are mathematically zero, so sum j0..n only.)
+    const std::int64_t j0 = nb;
+    const int qs = a.cols().owner(n + 1);
+    std::vector<double> partial(static_cast<std::size_t>(a.lrows()), 0.0);
+    for (std::int64_t li = a.rows().local_lower_bound(grid.prow(), j0); li < a.lrows(); ++li) {
+      double acc = 0;
+      for (std::int64_t lj = 0; lj < a.lcols(); ++lj) {
+        const std::int64_t gj = a.cols().global(grid.pcol(), lj);
+        if (gj < j0 || gj >= n + 1) continue;
+        acc += a.at(li, lj);
+      }
+      partial[static_cast<std::size_t>(li)] = acc;
+    }
+    std::vector<double> sums(partial.size());
+    grid.row().reduce<double>(qs, partial, sums, mpi::Sum{});
+    if (grid.pcol() == qs) {
+      const std::int64_t lcS = a.cols().local(n + 1);
+      for (std::int64_t li = a.rows().local_lower_bound(grid.prow(), j0); li < a.lrows();
+           ++li) {
+        if (std::abs(a.at(li, lcS) - sums[static_cast<std::size_t>(li)]) > 1.0) {
+          detected = true;
+        }
+      }
+    }
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_TRUE(detected);
+}
+
+}  // namespace
+}  // namespace skt::hpl

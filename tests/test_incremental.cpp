@@ -1,0 +1,174 @@
+// Incremental self-checkpoint: dirty tracking cuts commit cost while the
+// recovery matrix stays identical to the plain self-checkpoint.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ckpt/factory.hpp"
+#include "ckpt/incremental.hpp"
+#include "mpi/launcher.hpp"
+#include "testing.hpp"
+#include "util/rng.hpp"
+
+namespace skt::ckpt {
+namespace {
+
+using skt::testing::MiniCluster;
+
+void fill_region(std::span<std::byte> data, std::uint64_t seed, int rank, std::uint64_t tag) {
+  util::Xoshiro256 rng(seed ^ (static_cast<std::uint64_t>(rank) << 32) ^ tag);
+  for (std::size_t i = 0; i + 8 <= data.size(); i += 8) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(data.data() + i, &v, 8);
+  }
+}
+
+TEST(Incremental, CleanCommitEncodesNoFamilies) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    IncrementalSelfCheckpoint proto({.key_prefix = "i0", .data_bytes = 4096});
+    CommCtx ctx{world, world};
+    proto.open(ctx);
+    fill_region(proto.data(), 1, world.rank(), 0);
+    const CommitStats full = proto.commit(ctx);  // first commit: everything
+    EXPECT_GE(full.checkpoint_bytes, proto.data().size());
+    EXPECT_EQ(proto.last_encoded_families(), world.size());  // all families dirty
+
+    // No data changes: only the A2 tail stripe is re-encoded.
+    const CommitStats clean = proto.commit(ctx);
+    EXPECT_LE(proto.last_encoded_families(), 2);
+    EXPECT_LT(clean.checkpoint_bytes, full.checkpoint_bytes);
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(Incremental, DirtyBytesTrackStripeGranularity) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    IncrementalSelfCheckpoint proto({.key_prefix = "i1", .data_bytes = 3000});
+    CommCtx ctx{world, world};
+    proto.open(ctx);
+    fill_region(proto.data(), 2, world.rank(), 0);
+    proto.commit(ctx);
+    EXPECT_EQ(proto.dirty_bytes(), 0u);
+
+    proto.data()[100] ^= std::byte{1};
+    proto.mark_dirty(100, 1);
+    EXPECT_GT(proto.dirty_bytes(), 0u);
+    EXPECT_LE(proto.dirty_bytes(), 2048u);  // one stripe
+    EXPECT_THROW(proto.mark_dirty(2999, 10), std::out_of_range);
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(Incremental, SparseUpdatesRecoverBitExact) {
+  // The crux: after several sparse, properly-marked updates, a node loss
+  // must restore the exact data — proving the incremental checksum update
+  // D = C xor diff is equivalent to a full re-encode.
+  MiniCluster mc(4, 2);
+  sim::FailureInjector injector;
+  injector.add_rule({.point = "incr.work", .world_rank = 2, .hit = 4, .repeat = false});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 2});
+  const auto result = launcher.run(4, [&](mpi::Comm& world) {
+    IncrementalSelfCheckpoint proto({.key_prefix = "i2", .data_bytes = 8192});
+    CommCtx ctx{world, world};
+    const bool restored = proto.open(ctx);
+    auto* iter = reinterpret_cast<std::uint64_t*>(proto.user_state().data());
+    if (restored) {
+      proto.restore(ctx);
+    } else {
+      *iter = 0;
+      fill_region(proto.data(), 3, world.rank(), 0);
+    }
+    while (*iter < 6) {
+      world.failpoint("incr.work");
+      const std::uint64_t next = *iter + 1;
+      // Sparse update: rewrite one 512-byte window per iteration.
+      const std::size_t offset = (next * 1337) % (8192 - 512);
+      fill_region(proto.data().subspan(offset, 512), 3, world.rank(), next);
+      proto.mark_dirty(offset, 512);
+      *iter = next;
+      proto.commit(ctx);
+    }
+    // Independent full verification: replay the update schedule into a
+    // scratch buffer and compare byte-for-byte.
+    std::vector<std::byte> expect(8192);
+    fill_region(expect, 3, world.rank(), 0);
+    for (std::uint64_t it = 1; it <= 6; ++it) {
+      const std::size_t offset = (it * 1337) % (8192 - 512);
+      fill_region(std::span<std::byte>(expect).subspan(offset, 512), 3, world.rank(), it);
+    }
+    if (std::memcmp(expect.data(), proto.data().data(), expect.size()) != 0) {
+      throw std::runtime_error("incremental state diverged");
+    }
+  });
+  ASSERT_TRUE(result.success) << result.failure;
+  EXPECT_EQ(result.restarts, 1);
+}
+
+TEST(Incremental, KillDuringIncrementalFlushRecovers) {
+  // CASE 2 with a partially-flushed incremental checkpoint: (work, D)
+  // must still restore, exercising the incremental D's correctness.
+  MiniCluster mc(4, 2);
+  sim::FailureInjector injector;
+  injector.add_rule({.point = "ckpt.mid_flush", .world_rank = 1, .hit = 3, .repeat = false});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 2});
+  const auto result = launcher.run(4, [&](mpi::Comm& world) {
+    IncrementalSelfCheckpoint proto({.key_prefix = "i3", .data_bytes = 4096});
+    CommCtx ctx{world, world};
+    const bool restored = proto.open(ctx);
+    auto* iter = reinterpret_cast<std::uint64_t*>(proto.user_state().data());
+    if (restored) {
+      proto.restore(ctx);
+    } else {
+      *iter = 0;
+      fill_region(proto.data(), 4, world.rank(), 0);
+    }
+    while (*iter < 5) {
+      const std::uint64_t next = *iter + 1;
+      fill_region(proto.data().subspan(0, 1024), 4, world.rank(), next);
+      proto.mark_dirty(0, 1024);
+      *iter = next;
+      proto.commit(ctx);
+    }
+  });
+  ASSERT_TRUE(result.success) << result.failure;
+}
+
+TEST(Incremental, UnmarkedChangesAreTheContract) {
+  // Changing data WITHOUT mark_dirty leaves the checkpoint stale — the
+  // documented contract. The next commit must not pick it up. (Group size
+  // 4 gives three stripes per rank, so byte 0 sits in a different stripe
+  // than the always-dirty A2 tail.)
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    IncrementalSelfCheckpoint proto({.key_prefix = "i4", .data_bytes = 3000});
+    CommCtx ctx{world, world};
+    proto.open(ctx);
+    std::memset(proto.data().data(), 0x11, proto.data().size());
+    proto.commit(ctx);
+
+    proto.data()[0] = std::byte{0x99};  // NOT marked
+    proto.commit(ctx);
+    // The committed B still holds the old byte.
+    const auto b = world.store().attach("i4.r" + std::to_string(world.world_rank()) +
+                                        ".incr.B");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->bytes()[0], std::byte{0x11});
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(Incremental, FactoryBuildsIt) {
+  FactoryParams params;
+  params.data_bytes = 128;
+  const auto proto = make_protocol(Strategy::kSelfIncremental, params);
+  EXPECT_EQ(proto->strategy(), Strategy::kSelf);  // reports the self family
+  EXPECT_DOUBLE_EQ(available_fraction(Strategy::kSelfIncremental, 16),
+                   available_fraction(Strategy::kSelf, 16));
+}
+
+}  // namespace
+}  // namespace skt::ckpt

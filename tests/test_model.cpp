@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/efficiency.hpp"
+#include "model/systems.hpp"
+#include "model/top500.hpp"
+
+namespace skt::model {
+namespace {
+
+TEST(EfficiencyModel, FitRecoversKnownParameters) {
+  // Synthesize samples from E(N) = N / (aN + b).
+  const double a = 1.18, b = 4200.0;
+  std::vector<double> sizes{2000, 5000, 10000, 20000, 50000};
+  std::vector<double> effs;
+  for (double n : sizes) effs.push_back(n / (a * n + b));
+  const EfficiencyModel model = fit_efficiency(sizes, effs);
+  EXPECT_NEAR(model.a, a, 1e-9);
+  EXPECT_NEAR(model.b, b, 1e-6);
+  EXPECT_NEAR(model.r2, 1.0, 1e-12);
+}
+
+TEST(EfficiencyModel, EfficiencyIncreasesWithProblemSize) {
+  const EfficiencyModel m{1.1, 3000.0, 1.0};
+  EXPECT_LT(m.efficiency(1000), m.efficiency(10000));
+  EXPECT_LT(m.efficiency(10000), m.efficiency(100000));
+  // Asymptote 1/a, never reached.
+  EXPECT_LT(m.efficiency(1e12), 1.0 / 1.1);
+}
+
+TEST(EfficiencyModel, ProblemSizeForInvertsEfficiency) {
+  const EfficiencyModel m{1.1, 3000.0, 1.0};
+  const double n = m.problem_size_for(0.8);
+  EXPECT_NEAR(m.efficiency(n), 0.8, 1e-12);
+  EXPECT_TRUE(std::isinf(m.problem_size_for(0.95)));  // above asymptote 1/1.1
+  EXPECT_THROW((void)m.problem_size_for(0.0), std::invalid_argument);
+}
+
+TEST(EfficiencyModel, FitRejectsBadInputs) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)fit_efficiency(one, one), std::invalid_argument);
+  const std::vector<double> sizes{100, 200};
+  const std::vector<double> negative{0.5, -0.1};
+  EXPECT_THROW((void)fit_efficiency(sizes, negative), std::invalid_argument);
+}
+
+TEST(Eq8, LowerBoundBehaviour) {
+  // k = 1 is the identity.
+  EXPECT_NEAR(efficiency_lower_bound(0.8, 1.0), 0.8, 1e-12);
+  // Less memory -> lower efficiency, monotone in k.
+  EXPECT_LT(efficiency_lower_bound(0.8, 1.0 / 3.0), efficiency_lower_bound(0.8, 0.5));
+  EXPECT_LT(efficiency_lower_bound(0.8, 0.5), 0.8);
+  // The a -> 1 form is a LOWER bound: a > 1 gives higher efficiency
+  // (that is the ">" step in the paper's Eq. 8 derivation).
+  EXPECT_GT(efficiency_at_fraction(0.8, 0.5, 1.3), efficiency_lower_bound(0.8, 0.5));
+  EXPECT_THROW((void)efficiency_at_fraction(0.8, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)efficiency_at_fraction(1.5, 0.5, 1.0), std::invalid_argument);
+}
+
+TEST(Eq8, PaperAverageImprovementHalfVsThird) {
+  // Section 4: top-10 systems improve ~11.96% on average going from 1/3 to
+  // 1/2 of memory. Reproduce the average relative improvement with the
+  // same lower-bound model; allow a loose band since the paper's exact
+  // fitting inputs are unpublished.
+  double total_gain = 0.0;
+  for (const auto& sys : top10_nov2016()) {
+    const double half = efficiency_lower_bound(sys.efficiency(), 0.5);
+    const double third = efficiency_lower_bound(sys.efficiency(), 1.0 / 3.0);
+    total_gain += (half - third) / third;
+  }
+  const double avg_gain = total_gain / 10.0;
+  EXPECT_GT(avg_gain, 0.08);
+  EXPECT_LT(avg_gain, 0.16);
+}
+
+TEST(Top500, DataSanity) {
+  const auto& systems = top10_nov2016();
+  EXPECT_EQ(systems[0].name, "TaihuLight");
+  EXPECT_EQ(systems[1].name, "Tianhe-2");
+  for (const auto& sys : systems) {
+    EXPECT_GT(sys.rmax_tflops, 0.0);
+    EXPECT_GT(sys.rpeak_tflops, sys.rmax_tflops);
+    EXPECT_GT(sys.efficiency(), 0.4);
+    EXPECT_LT(sys.efficiency(), 1.0);
+  }
+  // K computer has the best efficiency of the ten.
+  for (const auto& sys : systems) {
+    EXPECT_LE(sys.efficiency(), systems[6].efficiency() + 1e-12);
+  }
+}
+
+TEST(Systems, Table2Profiles) {
+  const SystemProfile t1 = tianhe1a();
+  const SystemProfile t2 = tianhe2();
+  EXPECT_DOUBLE_EQ(t1.node.peak_gflops, 140.0);
+  EXPECT_DOUBLE_EQ(t2.node.peak_gflops, 422.0);
+  EXPECT_EQ(t1.node.memory_bytes, 48ull << 30);
+  EXPECT_EQ(t2.node.memory_bytes, 64ull << 30);
+  // Memory per core: 4 GB/core vs ~2.67 GB/core (the paper quotes 2.4 with
+  // some reserved); Tianhe-1A has more per core.
+  EXPECT_GT(static_cast<double>(t1.node.memory_bytes) / t1.cores_per_node,
+            static_cast<double>(t2.node.memory_bytes) / t2.cores_per_node);
+  // Per-process NIC share is higher on Tianhe-1A (the Fig. 13 inversion).
+  EXPECT_GT(t1.node.nic_bandwidth_Bps / t1.node.ranks_per_port,
+            t2.node.nic_bandwidth_Bps / t2.node.ranks_per_port);
+
+  const SystemProfile small = scaled(t2, 1u << 20);
+  EXPECT_EQ(small.node.memory_bytes, 1u << 20);
+  EXPECT_EQ(small.node.ranks_per_port, 24);
+}
+
+}  // namespace
+}  // namespace skt::model

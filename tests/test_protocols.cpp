@@ -1,0 +1,232 @@
+// Fault-free behaviour of every checkpoint strategy, plus memory
+// accounting and epoch bookkeeping.
+#include <gtest/gtest.h>
+
+#include "ckpt_harness.hpp"
+#include "ckpt/blcr_checkpoint.hpp"
+#include "ckpt/double_checkpoint.hpp"
+#include "ckpt/factory.hpp"
+#include "ckpt/self_checkpoint.hpp"
+#include "ckpt/single_checkpoint.hpp"
+#include "storage/device.hpp"
+#include "testing.hpp"
+
+namespace skt::ckpt {
+namespace {
+
+using skt::testing::CkptAppConfig;
+using skt::testing::checkpointed_app;
+using skt::testing::MiniCluster;
+
+class AllStrategies : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(AllStrategies, FaultFreeRunCompletes) {
+  const Strategy strategy = GetParam();
+  MiniCluster mc(4, 0);
+  storage::SnapshotVault vault;
+  CkptAppConfig config;
+  config.strategy = strategy;
+  config.group_size = 4;
+  config.iterations = 3;
+  config.vault = &vault;
+  config.device = storage::ssd_profile();
+  const auto result = mc.run(4, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST_P(AllStrategies, SumCodecFaultFreeRun) {
+  const Strategy strategy = GetParam();
+  if (strategy == Strategy::kBlcr) GTEST_SKIP() << "BLCR does not encode";
+  MiniCluster mc(4, 0);
+  CkptAppConfig config;
+  config.strategy = strategy;
+  config.codec = enc::CodecKind::kSum;
+  config.iterations = 2;
+  const auto result = mc.run(4, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AllStrategies,
+                         ::testing::Values(Strategy::kSingle, Strategy::kDouble,
+                                           Strategy::kSelf, Strategy::kBlcr),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param)).substr(0, 4) == "blcr"
+                                      ? "blcr"
+                                      : std::string(to_string(info.param))
+                                            .substr(0, std::string(to_string(info.param))
+                                                           .find('-'));
+                         });
+
+TEST(SelfCheckpoint, EpochAdvancesPerCommit) {
+  MiniCluster mc(3, 0);
+  const auto result = mc.run(3, [](mpi::Comm& world) {
+    SelfCheckpoint proto({.key_prefix = "e", .data_bytes = 512, .user_bytes = 16,
+                          .codec = enc::CodecKind::kXor});
+    CommCtx ctx{world, world};
+    EXPECT_FALSE(proto.open(ctx));
+    EXPECT_EQ(proto.committed_epoch(), 0u);
+    proto.commit(ctx);
+    EXPECT_EQ(proto.committed_epoch(), 1u);
+    const CommitStats stats = proto.commit(ctx);
+    EXPECT_EQ(stats.epoch, 2u);
+    EXPECT_EQ(proto.committed_epoch(), 2u);
+    EXPECT_GT(stats.checkpoint_bytes, 512u);
+    EXPECT_GT(stats.checksum_bytes, 0u);
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(SelfCheckpoint, MemoryFootprintMatchesTable1) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    const std::size_t m = 3000;
+    SelfCheckpoint proto({.key_prefix = "m", .data_bytes = m, .user_bytes = 8,
+                          .codec = enc::CodecKind::kXor});
+    CommCtx ctx{world, world};
+    proto.open(ctx);
+    // Total ~= 2 M N / (N-1): work + B (each ~M) + C + D (each ~M/(N-1)).
+    const double expect = 2.0 * static_cast<double>(m) * 4.0 / 3.0;
+    EXPECT_NEAR(static_cast<double>(proto.memory_bytes()), expect, 200.0);
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(SelfCheckpoint, DataLivesInSharedMemory) {
+  MiniCluster mc(2, 0);
+  const auto result = mc.run(2, [](mpi::Comm& world) {
+    SelfCheckpoint proto({.key_prefix = "shm", .data_bytes = 256, .user_bytes = 8,
+                          .codec = enc::CodecKind::kXor});
+    CommCtx ctx{world, world};
+    const std::size_t before = world.store().bytes_in_use();
+    proto.open(ctx);
+    // work + B + C + D + header all live in the node store.
+    EXPECT_GT(world.store().bytes_in_use(), before + 2 * 256);
+    // data() points into a store segment (writes are visible through it).
+    proto.data()[0] = std::byte{0x5A};
+    const auto seg = world.store().attach("shm.r" + std::to_string(world.world_rank()) +
+                                          ".self.work");
+    ASSERT_NE(seg, nullptr);
+    EXPECT_EQ(seg->bytes()[0], std::byte{0x5A});
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(SelfCheckpoint, RestoreWithoutCommitIsUnrecoverable) {
+  MiniCluster mc(2, 0);
+  const auto result = mc.run(2, [](mpi::Comm& world) {
+    SelfCheckpoint proto({.key_prefix = "u", .data_bytes = 128, .user_bytes = 8,
+                          .codec = enc::CodecKind::kXor});
+    CommCtx ctx{world, world};
+    EXPECT_FALSE(proto.open(ctx));
+    EXPECT_THROW(proto.restore(ctx), Unrecoverable);
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(SelfCheckpoint, RejectsUnopenedUse) {
+  SelfCheckpoint proto({.key_prefix = "x", .data_bytes = 64, .user_bytes = 8,
+                        .codec = enc::CodecKind::kXor});
+  EXPECT_THROW((void)proto.data(), std::logic_error);
+  EXPECT_THROW((void)SelfCheckpoint({.key_prefix = "x", .data_bytes = 0, .user_bytes = 8,
+                                     .codec = enc::CodecKind::kXor}),
+               std::invalid_argument);
+}
+
+TEST(DoubleCheckpoint, AlternatesPairs) {
+  MiniCluster mc(2, 0);
+  const auto result = mc.run(2, [](mpi::Comm& world) {
+    DoubleCheckpoint proto({.key_prefix = "alt", .data_bytes = 256, .user_bytes = 8,
+                            .codec = enc::CodecKind::kXor});
+    CommCtx ctx{world, world};
+    proto.open(ctx);
+    proto.data()[0] = std::byte{1};
+    proto.commit(ctx);  // epoch 1 -> pair 1
+    proto.data()[0] = std::byte{2};
+    proto.commit(ctx);  // epoch 2 -> pair 0
+    const std::string base = "alt.r" + std::to_string(world.world_rank()) + ".double.";
+    const auto pair0 = world.store().attach(base + "B0");
+    const auto pair1 = world.store().attach(base + "B1");
+    ASSERT_NE(pair0, nullptr);
+    ASSERT_NE(pair1, nullptr);
+    EXPECT_EQ(pair1->bytes()[0], std::byte{1});  // epoch 1
+    EXPECT_EQ(pair0->bytes()[0], std::byte{2});  // epoch 2
+    EXPECT_EQ(proto.committed_epoch(), 2u);
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(DoubleCheckpoint, FootprintHasTwoFullCopies) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    const std::size_t m = 3000;
+    DoubleCheckpoint proto({.key_prefix = "f2", .data_bytes = m, .user_bytes = 8,
+                            .codec = enc::CodecKind::kXor});
+    CommCtx ctx{world, world};
+    proto.open(ctx);
+    // M (app) + 2M (pairs) + 2M/(N-1) (checksums)
+    const double expect = static_cast<double>(m) * (3.0 + 2.0 / 3.0);
+    EXPECT_NEAR(static_cast<double>(proto.memory_bytes()), expect, 300.0);
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(BlcrCheckpoint, WritesChargeDeviceTime) {
+  MiniCluster mc(2, 0);
+  storage::SnapshotVault vault;
+  const auto result = mc.run(2, [&](mpi::Comm& world) {
+    BlcrCheckpoint proto({.key_prefix = "b", .data_bytes = 1 << 20, .user_bytes = 8,
+                          .vault = &vault, .device = storage::hdd_profile()});
+    CommCtx ctx{world, world};
+    EXPECT_FALSE(proto.open(ctx));
+    const CommitStats stats = proto.commit(ctx);
+    // 1 MiB at 160 MB/s ~= 6.5 ms of virtual device time.
+    EXPECT_GT(stats.device_s, 1e-3);
+    EXPECT_GT(world.virtual_seconds(), 1e-3);
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_GT(vault.bytes_in_use(), (1u << 20));
+}
+
+TEST(BlcrCheckpoint, KeepsTwoGenerations) {
+  MiniCluster mc(1, 0);
+  storage::SnapshotVault vault;
+  const auto result = mc.run(1, [&](mpi::Comm& world) {
+    BlcrCheckpoint proto({.key_prefix = "gen", .data_bytes = 64, .user_bytes = 8,
+                          .vault = &vault, .device = storage::ssd_profile()});
+    CommCtx ctx{world, world};
+    proto.open(ctx);
+    for (int i = 0; i < 3; ++i) proto.commit(ctx);
+    EXPECT_FALSE(vault.exists("gen.r0.blcr.img.e1"));  // GC'd
+    EXPECT_TRUE(vault.exists("gen.r0.blcr.img.e2"));
+    EXPECT_TRUE(vault.exists("gen.r0.blcr.img.e3"));
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(Factory, BuildsEveryStrategyAndRejectsNone) {
+  storage::SnapshotVault vault;
+  FactoryParams params;
+  params.data_bytes = 64;
+  params.vault = &vault;
+  params.device = storage::ssd_profile();
+  for (auto s : {Strategy::kSingle, Strategy::kDouble, Strategy::kSelf, Strategy::kBlcr}) {
+    const auto proto = make_protocol(s, params);
+    EXPECT_EQ(proto->strategy(), s);
+  }
+  EXPECT_THROW(make_protocol(Strategy::kNone, params), std::invalid_argument);
+}
+
+TEST(Device, ProfilesOrderSensibly) {
+  const storage::Device hdd(storage::hdd_profile());
+  const storage::Device ssd(storage::ssd_profile());
+  const storage::Device ram(storage::ramfs_profile());
+  const std::size_t gb = 1u << 30;
+  EXPECT_GT(hdd.write_seconds(gb), ssd.write_seconds(gb));
+  EXPECT_GT(ssd.write_seconds(gb), ram.write_seconds(gb));
+  // Sharing divides bandwidth.
+  const storage::Device shared(storage::hdd_profile(4));
+  EXPECT_NEAR(shared.write_seconds(gb), 4 * hdd.write_seconds(gb), 0.1);
+}
+
+}  // namespace
+}  // namespace skt::ckpt

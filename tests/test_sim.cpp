@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "sim/accelerator.hpp"
+#include "sim/cluster.hpp"
+#include "sim/failure.hpp"
+#include "sim/persistent_store.hpp"
+
+namespace skt::sim {
+namespace {
+
+/// Boolean view of FailureInjector::should_kill for the trigger tests.
+bool fired(FailureInjector& injector, std::string_view point, int rank) {
+  return injector.should_kill(point, rank).has_value();
+}
+
+TEST(PersistentStore, CreateAttachRoundTrip) {
+  PersistentStore store;
+  auto seg = store.create("k", 64);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->size(), 64u);
+  seg->bytes()[0] = std::byte{42};
+
+  auto again = store.attach("k");
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->bytes()[0], std::byte{42});
+  EXPECT_EQ(seg.get(), again.get());  // same segment, shmget semantics
+}
+
+TEST(PersistentStore, CreateExistingSameSizeAttaches) {
+  PersistentStore store;
+  auto a = store.create("k", 64);
+  auto b = store.create("k", 64);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(PersistentStore, CreateExistingDifferentSizeThrows) {
+  PersistentStore store;
+  store.create("k", 64);
+  EXPECT_THROW(store.create("k", 128), std::invalid_argument);
+}
+
+TEST(PersistentStore, AttachUnknownReturnsNull) {
+  PersistentStore store;
+  EXPECT_EQ(store.attach("nope"), nullptr);
+}
+
+TEST(PersistentStore, RemoveAndClearAndAccounting) {
+  PersistentStore store;
+  store.create("a", 16);
+  store.create("b", 24);
+  EXPECT_EQ(store.bytes_in_use(), 40u);
+  EXPECT_EQ(store.segment_count(), 2u);
+  store.remove("a");
+  EXPECT_FALSE(store.exists("a"));
+  EXPECT_EQ(store.bytes_in_use(), 24u);
+  store.clear();
+  EXPECT_EQ(store.segment_count(), 0u);
+}
+
+TEST(PersistentStore, HolderSurvivesClear) {
+  PersistentStore store;
+  auto seg = store.create("k", 8);
+  seg->bytes()[0] = std::byte{7};
+  store.clear();
+  // The orphaned buffer stays writable for the holder (no UAF for a rank
+  // that dies mid-write), but the store no longer knows the key.
+  seg->bytes()[1] = std::byte{8};
+  EXPECT_EQ(store.attach("k"), nullptr);
+}
+
+TEST(Node, PowerOffWipesStoreAndCountsBoots) {
+  Node node(0, 0, NodeProfile{});
+  node.store().create("x", 8);
+  EXPECT_TRUE(node.alive());
+  node.power_off();
+  EXPECT_FALSE(node.alive());
+  EXPECT_EQ(node.store().segment_count(), 0u);
+  EXPECT_EQ(node.boot_generation(), 1u);
+  node.power_off();  // idempotent
+  EXPECT_EQ(node.boot_generation(), 1u);
+  node.reboot();
+  EXPECT_TRUE(node.alive());
+}
+
+TEST(Cluster, SparePoolAndPrimaries) {
+  Cluster cluster({.num_nodes = 4, .spare_nodes = 2, .nodes_per_rack = 2, .profile = {}});
+  EXPECT_EQ(cluster.total_nodes(), 6);
+  EXPECT_EQ(cluster.primary_nodes().size(), 4u);
+  EXPECT_EQ(cluster.spares_remaining(), 2);
+  const auto s1 = cluster.take_spare();
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_GE(*s1, 4);
+  EXPECT_EQ(cluster.spares_remaining(), 1);
+  (void)cluster.take_spare();
+  EXPECT_FALSE(cluster.take_spare().has_value());
+}
+
+TEST(Cluster, RackAssignment) {
+  Cluster cluster({.num_nodes = 4, .spare_nodes = 0, .nodes_per_rack = 2, .profile = {}});
+  EXPECT_EQ(cluster.node(0).rack(), 0);
+  EXPECT_EQ(cluster.node(1).rack(), 0);
+  EXPECT_EQ(cluster.node(2).rack(), 1);
+  EXPECT_EQ(cluster.node(3).rack(), 1);
+}
+
+TEST(Cluster, PowerOffFiresAbortHookOnce) {
+  Cluster cluster({.num_nodes = 2, .spare_nodes = 0, .nodes_per_rack = 4, .profile = {}});
+  int called = 0;
+  std::string reason;
+  cluster.attach_job([&](const std::string& r) {
+    ++called;
+    reason = r;
+  });
+  cluster.power_off(1, "test");
+  cluster.power_off(1, "again");  // dead already: no second abort
+  EXPECT_EQ(called, 1);
+  EXPECT_NE(reason.find("node 1"), std::string::npos);
+  cluster.detach_job();
+  EXPECT_FALSE(cluster.node(1).alive());
+}
+
+TEST(Cluster, RejectsBadConfig) {
+  EXPECT_THROW(Cluster({.num_nodes = 0, .spare_nodes = 0, .nodes_per_rack = 1, .profile = {}}),
+               std::invalid_argument);
+  EXPECT_THROW(Cluster({.num_nodes = 1, .spare_nodes = -1, .nodes_per_rack = 1, .profile = {}}),
+               std::invalid_argument);
+}
+
+TEST(FailureInjector, TriggersOnNthHitForMatchingRank) {
+  FailureInjector injector;
+  injector.add_rule({.point = "p", .world_rank = 2, .hit = 3, .repeat = false});
+  EXPECT_FALSE(fired(injector, "p", 2));
+  EXPECT_FALSE(fired(injector, "p", 1));  // wrong rank, not counted
+  EXPECT_FALSE(fired(injector, "q", 2));  // wrong point
+  EXPECT_FALSE(fired(injector, "p", 2));
+  EXPECT_TRUE(fired(injector, "p", 2));
+  EXPECT_FALSE(fired(injector, "p", 2));  // one-shot
+  EXPECT_EQ(injector.triggered_count(), 1u);
+}
+
+TEST(FailureInjector, AnyRankAndRepeat) {
+  FailureInjector injector;
+  injector.add_rule({.point = "p", .world_rank = -1, .hit = 1, .repeat = true});
+  EXPECT_TRUE(fired(injector, "p", 0));
+  EXPECT_TRUE(fired(injector, "p", 5));
+  EXPECT_EQ(injector.triggered_count(), 2u);
+  injector.clear();
+  EXPECT_FALSE(fired(injector, "p", 0));
+}
+
+TEST(Accelerator, UploadDownloadRoundTrip) {
+  Accelerator device(64);
+  std::vector<std::byte> host(64);
+  for (std::size_t i = 0; i < host.size(); ++i) host[i] = static_cast<std::byte>(i);
+  const double up = device.upload(host);
+  EXPECT_GT(up, 0.0);
+  std::vector<std::byte> back(64, std::byte{0});
+  const double down = device.download(back);
+  EXPECT_GT(down, 0.0);
+  EXPECT_EQ(back, host);
+  // Kernels mutate device memory in place and downloads observe it.
+  device.memory()[3] = std::byte{0xAA};
+  device.download(back);
+  EXPECT_EQ(back[3], std::byte{0xAA});
+}
+
+TEST(Accelerator, PartialTransfersAndBounds) {
+  Accelerator device(32);
+  std::vector<std::byte> chunk(8, std::byte{7});
+  device.upload(chunk, 16);
+  std::vector<std::byte> out(8);
+  device.download(out, 16);
+  EXPECT_EQ(out, chunk);
+  EXPECT_THROW(device.upload(chunk, 28), std::out_of_range);
+  EXPECT_THROW(device.download(out, 30), std::out_of_range);
+}
+
+TEST(Accelerator, TransferTimeScalesWithSize) {
+  Accelerator device(2u << 20);
+  std::vector<std::byte> small(1 << 10);
+  std::vector<std::byte> big(1 << 20);
+  EXPECT_LT(device.upload(small), device.upload(big));
+}
+
+TEST(TimedFailure, FiresAfterDelay) {
+  Cluster cluster({.num_nodes = 2, .spare_nodes = 0, .nodes_per_rack = 4, .profile = {}});
+  TimedFailure failure(cluster, 1, 0.02, "timed");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(failure.fired());
+  EXPECT_FALSE(cluster.node(1).alive());
+}
+
+TEST(TimedFailure, CancelPreventsFiring) {
+  Cluster cluster({.num_nodes = 2, .spare_nodes = 0, .nodes_per_rack = 4, .profile = {}});
+  {
+    TimedFailure failure(cluster, 1, 5.0, "never");
+    failure.cancel();
+  }
+  EXPECT_TRUE(cluster.node(1).alive());
+}
+
+}  // namespace
+}  // namespace skt::sim

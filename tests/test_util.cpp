@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/format.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace skt::util {
+namespace {
+
+TEST(Format, PlainPlaceholders) {
+  EXPECT_EQ(format("a {} b {} c", 1, 2), "a 1 b 2 c");
+  EXPECT_EQ(format("{}", "hello"), "hello");
+  EXPECT_EQ(format("{}", true), "true");
+  EXPECT_EQ(format("{}", 3.5), "3.5");
+}
+
+TEST(Format, Specs) {
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:8.3f}", 1.5), "   1.500");
+  EXPECT_EQ(format("{:d}", 42), "42");
+  EXPECT_EQ(format("{:x}", 255), "ff");
+  EXPECT_EQ(format("{:.1%}", 0.4567), "45.7%");
+}
+
+TEST(Format, EscapedBraces) {
+  EXPECT_EQ(format("{{}}"), "{}");
+  EXPECT_EQ(format("{{{}}}", 7), "{7}");
+}
+
+TEST(Format, ArgumentCountMismatchThrows) {
+  EXPECT_THROW(format("{} {}", 1), std::invalid_argument);
+  EXPECT_THROW(format("{}", 1, 2), std::invalid_argument);
+}
+
+TEST(Format, BadSpecThrows) { EXPECT_THROW(format("{:q}", 1), std::invalid_argument); }
+
+TEST(Stats, Summarize) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.1180339887, 1e-9);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, LinearFitExact) {
+  const std::vector<double> xs{0, 1, 2, 3};
+  const std::vector<double> ys{1, 3, 5, 7};  // y = 2x + 1
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitRejectsDegenerate) {
+  const std::vector<double> xs{1, 1};
+  const std::vector<double> ys{2, 3};
+  EXPECT_THROW(fit_linear(xs, ys), std::invalid_argument);
+  EXPECT_THROW(fit_linear(std::vector<double>{1}, std::vector<double>{1}),
+               std::invalid_argument);
+}
+
+TEST(Rng, ElementValueIsDeterministicAndCentered) {
+  EXPECT_EQ(element_value(7, 3, 4), element_value(7, 3, 4));
+  EXPECT_NE(element_value(7, 3, 4), element_value(7, 4, 3));
+  EXPECT_NE(element_value(7, 3, 4), element_value(8, 3, 4));
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = element_value(1, static_cast<std::uint64_t>(i), 0);
+    EXPECT_GE(v, -0.5);
+    EXPECT_LT(v, 0.5);
+    sum += v;
+  }
+  EXPECT_LT(std::abs(sum / 1000.0), 0.05);  // roughly centered
+}
+
+TEST(Rng, XoshiroReproducible) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Xoshiro256 c(43);
+  EXPECT_NE(Xoshiro256(42).next(), c.next());
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  EXPECT_THROW(t.add_row({"a", "b"}), std::invalid_argument);
+}
+
+TEST(Table, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(Table, FormatSeconds) {
+  EXPECT_EQ(format_seconds(0.5), "500.0 ms");
+  EXPECT_EQ(format_seconds(2.0), "2.00 s");
+  EXPECT_EQ(format_seconds(2e-5), "20.0 us");
+}
+
+TEST(Options, ParsesForms) {
+  // Note: a bare "--flag" followed by a non-option word would consume it as
+  // the flag's value, so flags go last or use the = form.
+  const char* argv[] = {"prog", "--a", "1", "--b=2", "pos", "--flag"};
+  Options o(6, const_cast<char**>(argv));
+  EXPECT_EQ(o.get_int("a", 0), 1);
+  EXPECT_EQ(o.get_int("b", 0), 2);
+  EXPECT_TRUE(o.get_bool("flag", false));
+  EXPECT_FALSE(o.get_bool("absent", false));
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "pos");
+  EXPECT_EQ(o.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(o.get_double("a", 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace skt::util

@@ -1,0 +1,34 @@
+// Shared helpers for tests: one-line job execution over a fresh cluster.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mpi/comm.hpp"
+#include "mpi/launcher.hpp"
+#include "mpi/runtime.hpp"
+#include "sim/cluster.hpp"
+
+namespace skt::testing {
+
+struct MiniCluster {
+  explicit MiniCluster(int nodes, int spares = 2, sim::NodeProfile profile = {})
+      : cluster({.num_nodes = nodes,
+                 .spare_nodes = spares,
+                 .nodes_per_rack = 4,
+                 .profile = profile}) {}
+
+  /// Run fn as an nranks job, one rank per node. Asserts completion is up
+  /// to the caller (returns the JobResult).
+  mpi::JobResult run(int nranks, const std::function<void(mpi::Comm&)>& fn,
+                     sim::FailureInjector* injector = nullptr) {
+    std::vector<int> ranklist(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) ranklist[static_cast<std::size_t>(r)] = r;
+    mpi::Runtime rt(cluster, ranklist, injector);
+    return rt.run(fn);
+  }
+
+  sim::Cluster cluster;
+};
+
+}  // namespace skt::testing
