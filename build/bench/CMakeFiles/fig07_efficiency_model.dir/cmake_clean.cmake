@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_efficiency_model.dir/fig07_efficiency_model.cpp.o"
+  "CMakeFiles/fig07_efficiency_model.dir/fig07_efficiency_model.cpp.o.d"
+  "fig07_efficiency_model"
+  "fig07_efficiency_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_efficiency_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

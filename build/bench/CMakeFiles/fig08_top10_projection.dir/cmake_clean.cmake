@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_top10_projection.dir/fig08_top10_projection.cpp.o"
+  "CMakeFiles/fig08_top10_projection.dir/fig08_top10_projection.cpp.o.d"
+  "fig08_top10_projection"
+  "fig08_top10_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_top10_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

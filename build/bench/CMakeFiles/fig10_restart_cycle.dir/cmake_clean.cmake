@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_restart_cycle.dir/fig10_restart_cycle.cpp.o"
+  "CMakeFiles/fig10_restart_cycle.dir/fig10_restart_cycle.cpp.o.d"
+  "fig10_restart_cycle"
+  "fig10_restart_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_restart_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_skt_efficiency.dir/fig11_skt_efficiency.cpp.o"
+  "CMakeFiles/fig11_skt_efficiency.dir/fig11_skt_efficiency.cpp.o.d"
+  "fig11_skt_efficiency"
+  "fig11_skt_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_skt_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_memory_vs_efficiency.dir/fig12_memory_vs_efficiency.cpp.o"
+  "CMakeFiles/fig12_memory_vs_efficiency.dir/fig12_memory_vs_efficiency.cpp.o.d"
+  "fig12_memory_vs_efficiency"
+  "fig12_memory_vs_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_memory_vs_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

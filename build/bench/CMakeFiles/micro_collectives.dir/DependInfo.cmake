@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_collectives.cpp" "bench/CMakeFiles/micro_collectives.dir/micro_collectives.cpp.o" "gcc" "bench/CMakeFiles/micro_collectives.dir/micro_collectives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpl/CMakeFiles/skt_hpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/skt_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/skt_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/skt_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/skt_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/skt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

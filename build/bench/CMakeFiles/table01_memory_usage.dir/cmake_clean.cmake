@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_memory_usage.dir/table01_memory_usage.cpp.o"
+  "CMakeFiles/table01_memory_usage.dir/table01_memory_usage.cpp.o.d"
+  "table01_memory_usage"
+  "table01_memory_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_memory_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

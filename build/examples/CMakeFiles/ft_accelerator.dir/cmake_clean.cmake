@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_accelerator.dir/ft_accelerator.cpp.o"
+  "CMakeFiles/ft_accelerator.dir/ft_accelerator.cpp.o.d"
+  "ft_accelerator"
+  "ft_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_hpl.dir/ft_hpl.cpp.o"
+  "CMakeFiles/ft_hpl.dir/ft_hpl.cpp.o.d"
+  "ft_hpl"
+  "ft_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_jacobi.dir/ft_jacobi.cpp.o"
+  "CMakeFiles/ft_jacobi.dir/ft_jacobi.cpp.o.d"
+  "ft_jacobi"
+  "ft_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_updates.dir/sparse_updates.cpp.o"
+  "CMakeFiles/sparse_updates.dir/sparse_updates.cpp.o.d"
+  "sparse_updates"
+  "sparse_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

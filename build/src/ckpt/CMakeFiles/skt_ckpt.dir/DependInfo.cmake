@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/blcr_checkpoint.cpp" "src/ckpt/CMakeFiles/skt_ckpt.dir/blcr_checkpoint.cpp.o" "gcc" "src/ckpt/CMakeFiles/skt_ckpt.dir/blcr_checkpoint.cpp.o.d"
+  "/root/repo/src/ckpt/double_checkpoint.cpp" "src/ckpt/CMakeFiles/skt_ckpt.dir/double_checkpoint.cpp.o" "gcc" "src/ckpt/CMakeFiles/skt_ckpt.dir/double_checkpoint.cpp.o.d"
+  "/root/repo/src/ckpt/factory.cpp" "src/ckpt/CMakeFiles/skt_ckpt.dir/factory.cpp.o" "gcc" "src/ckpt/CMakeFiles/skt_ckpt.dir/factory.cpp.o.d"
+  "/root/repo/src/ckpt/grouping.cpp" "src/ckpt/CMakeFiles/skt_ckpt.dir/grouping.cpp.o" "gcc" "src/ckpt/CMakeFiles/skt_ckpt.dir/grouping.cpp.o.d"
+  "/root/repo/src/ckpt/incremental.cpp" "src/ckpt/CMakeFiles/skt_ckpt.dir/incremental.cpp.o" "gcc" "src/ckpt/CMakeFiles/skt_ckpt.dir/incremental.cpp.o.d"
+  "/root/repo/src/ckpt/multilevel.cpp" "src/ckpt/CMakeFiles/skt_ckpt.dir/multilevel.cpp.o" "gcc" "src/ckpt/CMakeFiles/skt_ckpt.dir/multilevel.cpp.o.d"
+  "/root/repo/src/ckpt/plan.cpp" "src/ckpt/CMakeFiles/skt_ckpt.dir/plan.cpp.o" "gcc" "src/ckpt/CMakeFiles/skt_ckpt.dir/plan.cpp.o.d"
+  "/root/repo/src/ckpt/self_checkpoint.cpp" "src/ckpt/CMakeFiles/skt_ckpt.dir/self_checkpoint.cpp.o" "gcc" "src/ckpt/CMakeFiles/skt_ckpt.dir/self_checkpoint.cpp.o.d"
+  "/root/repo/src/ckpt/single_checkpoint.cpp" "src/ckpt/CMakeFiles/skt_ckpt.dir/single_checkpoint.cpp.o" "gcc" "src/ckpt/CMakeFiles/skt_ckpt.dir/single_checkpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/encoding/CMakeFiles/skt_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/skt_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/skt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

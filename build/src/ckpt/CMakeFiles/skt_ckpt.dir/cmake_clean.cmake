@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skt_ckpt.dir/blcr_checkpoint.cpp.o"
+  "CMakeFiles/skt_ckpt.dir/blcr_checkpoint.cpp.o.d"
+  "CMakeFiles/skt_ckpt.dir/double_checkpoint.cpp.o"
+  "CMakeFiles/skt_ckpt.dir/double_checkpoint.cpp.o.d"
+  "CMakeFiles/skt_ckpt.dir/factory.cpp.o"
+  "CMakeFiles/skt_ckpt.dir/factory.cpp.o.d"
+  "CMakeFiles/skt_ckpt.dir/grouping.cpp.o"
+  "CMakeFiles/skt_ckpt.dir/grouping.cpp.o.d"
+  "CMakeFiles/skt_ckpt.dir/incremental.cpp.o"
+  "CMakeFiles/skt_ckpt.dir/incremental.cpp.o.d"
+  "CMakeFiles/skt_ckpt.dir/multilevel.cpp.o"
+  "CMakeFiles/skt_ckpt.dir/multilevel.cpp.o.d"
+  "CMakeFiles/skt_ckpt.dir/plan.cpp.o"
+  "CMakeFiles/skt_ckpt.dir/plan.cpp.o.d"
+  "CMakeFiles/skt_ckpt.dir/self_checkpoint.cpp.o"
+  "CMakeFiles/skt_ckpt.dir/self_checkpoint.cpp.o.d"
+  "CMakeFiles/skt_ckpt.dir/single_checkpoint.cpp.o"
+  "CMakeFiles/skt_ckpt.dir/single_checkpoint.cpp.o.d"
+  "libskt_ckpt.a"
+  "libskt_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skt_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

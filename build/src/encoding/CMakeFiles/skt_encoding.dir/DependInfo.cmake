@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/codec.cpp" "src/encoding/CMakeFiles/skt_encoding.dir/codec.cpp.o" "gcc" "src/encoding/CMakeFiles/skt_encoding.dir/codec.cpp.o.d"
+  "/root/repo/src/encoding/dual_parity.cpp" "src/encoding/CMakeFiles/skt_encoding.dir/dual_parity.cpp.o" "gcc" "src/encoding/CMakeFiles/skt_encoding.dir/dual_parity.cpp.o.d"
+  "/root/repo/src/encoding/gf256.cpp" "src/encoding/CMakeFiles/skt_encoding.dir/gf256.cpp.o" "gcc" "src/encoding/CMakeFiles/skt_encoding.dir/gf256.cpp.o.d"
+  "/root/repo/src/encoding/group_codec.cpp" "src/encoding/CMakeFiles/skt_encoding.dir/group_codec.cpp.o" "gcc" "src/encoding/CMakeFiles/skt_encoding.dir/group_codec.cpp.o.d"
+  "/root/repo/src/encoding/reed_solomon.cpp" "src/encoding/CMakeFiles/skt_encoding.dir/reed_solomon.cpp.o" "gcc" "src/encoding/CMakeFiles/skt_encoding.dir/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/skt_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/skt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

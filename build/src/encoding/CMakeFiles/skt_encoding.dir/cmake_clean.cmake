@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skt_encoding.dir/codec.cpp.o"
+  "CMakeFiles/skt_encoding.dir/codec.cpp.o.d"
+  "CMakeFiles/skt_encoding.dir/dual_parity.cpp.o"
+  "CMakeFiles/skt_encoding.dir/dual_parity.cpp.o.d"
+  "CMakeFiles/skt_encoding.dir/gf256.cpp.o"
+  "CMakeFiles/skt_encoding.dir/gf256.cpp.o.d"
+  "CMakeFiles/skt_encoding.dir/group_codec.cpp.o"
+  "CMakeFiles/skt_encoding.dir/group_codec.cpp.o.d"
+  "CMakeFiles/skt_encoding.dir/reed_solomon.cpp.o"
+  "CMakeFiles/skt_encoding.dir/reed_solomon.cpp.o.d"
+  "libskt_encoding.a"
+  "libskt_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skt_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpl/abft.cpp" "src/hpl/CMakeFiles/skt_hpl.dir/abft.cpp.o" "gcc" "src/hpl/CMakeFiles/skt_hpl.dir/abft.cpp.o.d"
+  "/root/repo/src/hpl/blas.cpp" "src/hpl/CMakeFiles/skt_hpl.dir/blas.cpp.o" "gcc" "src/hpl/CMakeFiles/skt_hpl.dir/blas.cpp.o.d"
+  "/root/repo/src/hpl/driver.cpp" "src/hpl/CMakeFiles/skt_hpl.dir/driver.cpp.o" "gcc" "src/hpl/CMakeFiles/skt_hpl.dir/driver.cpp.o.d"
+  "/root/repo/src/hpl/lu.cpp" "src/hpl/CMakeFiles/skt_hpl.dir/lu.cpp.o" "gcc" "src/hpl/CMakeFiles/skt_hpl.dir/lu.cpp.o.d"
+  "/root/repo/src/hpl/skt_hpl.cpp" "src/hpl/CMakeFiles/skt_hpl.dir/skt_hpl.cpp.o" "gcc" "src/hpl/CMakeFiles/skt_hpl.dir/skt_hpl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ckpt/CMakeFiles/skt_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/skt_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/skt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/skt_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skt_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

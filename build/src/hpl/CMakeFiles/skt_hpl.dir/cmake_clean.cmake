@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skt_hpl.dir/abft.cpp.o"
+  "CMakeFiles/skt_hpl.dir/abft.cpp.o.d"
+  "CMakeFiles/skt_hpl.dir/blas.cpp.o"
+  "CMakeFiles/skt_hpl.dir/blas.cpp.o.d"
+  "CMakeFiles/skt_hpl.dir/driver.cpp.o"
+  "CMakeFiles/skt_hpl.dir/driver.cpp.o.d"
+  "CMakeFiles/skt_hpl.dir/lu.cpp.o"
+  "CMakeFiles/skt_hpl.dir/lu.cpp.o.d"
+  "CMakeFiles/skt_hpl.dir/skt_hpl.cpp.o"
+  "CMakeFiles/skt_hpl.dir/skt_hpl.cpp.o.d"
+  "libskt_hpl.a"
+  "libskt_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skt_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

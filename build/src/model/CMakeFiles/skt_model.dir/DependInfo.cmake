@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/efficiency.cpp" "src/model/CMakeFiles/skt_model.dir/efficiency.cpp.o" "gcc" "src/model/CMakeFiles/skt_model.dir/efficiency.cpp.o.d"
+  "/root/repo/src/model/interval.cpp" "src/model/CMakeFiles/skt_model.dir/interval.cpp.o" "gcc" "src/model/CMakeFiles/skt_model.dir/interval.cpp.o.d"
+  "/root/repo/src/model/systems.cpp" "src/model/CMakeFiles/skt_model.dir/systems.cpp.o" "gcc" "src/model/CMakeFiles/skt_model.dir/systems.cpp.o.d"
+  "/root/repo/src/model/top500.cpp" "src/model/CMakeFiles/skt_model.dir/top500.cpp.o" "gcc" "src/model/CMakeFiles/skt_model.dir/top500.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/skt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/skt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skt_model.dir/efficiency.cpp.o"
+  "CMakeFiles/skt_model.dir/efficiency.cpp.o.d"
+  "CMakeFiles/skt_model.dir/interval.cpp.o"
+  "CMakeFiles/skt_model.dir/interval.cpp.o.d"
+  "CMakeFiles/skt_model.dir/systems.cpp.o"
+  "CMakeFiles/skt_model.dir/systems.cpp.o.d"
+  "CMakeFiles/skt_model.dir/top500.cpp.o"
+  "CMakeFiles/skt_model.dir/top500.cpp.o.d"
+  "libskt_model.a"
+  "libskt_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skt_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

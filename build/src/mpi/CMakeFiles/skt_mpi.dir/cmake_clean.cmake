@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skt_mpi.dir/comm.cpp.o"
+  "CMakeFiles/skt_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/skt_mpi.dir/launcher.cpp.o"
+  "CMakeFiles/skt_mpi.dir/launcher.cpp.o.d"
+  "CMakeFiles/skt_mpi.dir/mailbox.cpp.o"
+  "CMakeFiles/skt_mpi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/skt_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/skt_mpi.dir/runtime.cpp.o.d"
+  "libskt_mpi.a"
+  "libskt_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skt_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

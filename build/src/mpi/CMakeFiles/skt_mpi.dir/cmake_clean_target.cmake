@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskt_mpi.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skt_sim.dir/cluster.cpp.o"
+  "CMakeFiles/skt_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/skt_sim.dir/failure.cpp.o"
+  "CMakeFiles/skt_sim.dir/failure.cpp.o.d"
+  "CMakeFiles/skt_sim.dir/persistent_store.cpp.o"
+  "CMakeFiles/skt_sim.dir/persistent_store.cpp.o.d"
+  "libskt_sim.a"
+  "libskt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skt_storage.dir/device.cpp.o"
+  "CMakeFiles/skt_storage.dir/device.cpp.o.d"
+  "CMakeFiles/skt_storage.dir/snapshot_vault.cpp.o"
+  "CMakeFiles/skt_storage.dir/snapshot_vault.cpp.o.d"
+  "libskt_storage.a"
+  "libskt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skt_util.dir/clock.cpp.o"
+  "CMakeFiles/skt_util.dir/clock.cpp.o.d"
+  "CMakeFiles/skt_util.dir/format.cpp.o"
+  "CMakeFiles/skt_util.dir/format.cpp.o.d"
+  "CMakeFiles/skt_util.dir/log.cpp.o"
+  "CMakeFiles/skt_util.dir/log.cpp.o.d"
+  "CMakeFiles/skt_util.dir/options.cpp.o"
+  "CMakeFiles/skt_util.dir/options.cpp.o.d"
+  "CMakeFiles/skt_util.dir/stats.cpp.o"
+  "CMakeFiles/skt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/skt_util.dir/table.cpp.o"
+  "CMakeFiles/skt_util.dir/table.cpp.o.d"
+  "libskt_util.a"
+  "libskt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

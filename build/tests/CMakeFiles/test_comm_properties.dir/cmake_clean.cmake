@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_properties.dir/test_comm_properties.cpp.o"
+  "CMakeFiles/test_comm_properties.dir/test_comm_properties.cpp.o.d"
+  "test_comm_properties"
+  "test_comm_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_matrix.dir/test_failure_matrix.cpp.o"
+  "CMakeFiles/test_failure_matrix.dir/test_failure_matrix.cpp.o.d"
+  "test_failure_matrix"
+  "test_failure_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

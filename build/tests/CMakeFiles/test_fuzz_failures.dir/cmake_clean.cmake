@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_failures.dir/test_fuzz_failures.cpp.o"
+  "CMakeFiles/test_fuzz_failures.dir/test_fuzz_failures.cpp.o.d"
+  "test_fuzz_failures"
+  "test_fuzz_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpl_core.dir/test_hpl_core.cpp.o"
+  "CMakeFiles/test_hpl_core.dir/test_hpl_core.cpp.o.d"
+  "test_hpl_core"
+  "test_hpl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpl_dist.dir/test_hpl_dist.cpp.o"
+  "CMakeFiles/test_hpl_dist.dir/test_hpl_dist.cpp.o.d"
+  "test_hpl_dist"
+  "test_hpl_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpl_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skt_hpl.dir/test_skt_hpl.cpp.o"
+  "CMakeFiles/test_skt_hpl.dir/test_skt_hpl.cpp.o.d"
+  "test_skt_hpl"
+  "test_skt_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skt_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
