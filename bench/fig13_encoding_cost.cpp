@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "json_report.hpp"
 #include "model/systems.hpp"
 
 using namespace skt;
@@ -79,6 +80,18 @@ int main() {
                    util::format_seconds(t2[g].encode_network_s)});
   }
   table.print();
+
+  bench::JsonReport report("fig13_encoding_cost");
+  for (const int g : groups) {
+    const std::string tag = "g" + std::to_string(g);
+    report.set(tag + "_t1a_ckpt_bytes", static_cast<double>(t1[g].ckpt_bytes));
+    report.set(tag + "_t2_ckpt_bytes", static_cast<double>(t2[g].ckpt_bytes));
+    report.set(tag + "_t1a_encode_s", t1[g].total());
+    report.set(tag + "_t2_encode_s", t2[g].total());
+    report.set(tag + "_t1a_net_s", t1[g].encode_network_s);
+    report.set(tag + "_t2_net_s", t2[g].encode_network_s);
+  }
+  report.write();
 
   bool ok = true;
   const double size_spread =

@@ -1,0 +1,44 @@
+// Machine-readable bench output: each binary can drop a flat
+// BENCH_<name>.json next to its human-readable table so plotting and CI
+// scripts don't have to parse stdout.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace skt::bench {
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& key, double value) { entries_.emplace_back(key, value); }
+
+  /// Write BENCH_<name>.json in the working directory; returns false (and
+  /// prints a warning) on I/O failure so benches can keep going.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.17g%s\n", entries_[i].first.c_str(), entries_[i].second,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries)\n", path.c_str(), entries_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+}  // namespace skt::bench

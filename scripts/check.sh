@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 check: the normal build + full ctest, then an ASan/UBSan build
+# (SKT_SANITIZE=ON) running the mpi and encoding suites — the code that
+# moves buffers between threads by move and reinterprets byte spans as
+# uint64/double lanes, i.e. where a sanitizer earns its keep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier 1: build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo
+echo "=== sanitizers: asan+ubsan on mpi/encoding suites ==="
+cmake -B build-asan -S . -DSKT_SANITIZE=ON >/dev/null
+cmake --build build-asan -j --target \
+  test_mailbox test_comm test_collectives test_comm_properties test_encoding
+(cd build-asan && ctest --output-on-failure \
+  -R '^(test_mailbox|test_comm|test_collectives|test_comm_properties|test_encoding)$' -j)
+
+echo
+echo "all checks passed"

@@ -48,6 +48,9 @@ struct CommitStats {
   double device_s = 0.0;       ///< virtual device time (disk strategies)
   std::size_t checkpoint_bytes = 0;  ///< full-copy bytes written
   std::size_t checksum_bytes = 0;    ///< checksum bytes written
+  /// Payload bytes the encode collective put on the (simulated) wire,
+  /// job-wide; 0 for strategies that encode nothing.
+  std::uint64_t encode_wire_bytes = 0;
   [[nodiscard]] double total_s() const {
     return encode_s + encode_virtual_s + flush_s + device_s;
   }

@@ -106,10 +106,12 @@ CommitStats SelfCheckpoint::commit(CommCtx ctx) {
   stats.epoch = next;
   ctx.group.failpoint("ckpt.encode_begin");
   const double encode_virtual_before = ctx.group.virtual_seconds();
+  const std::uint64_t wire_before = ctx.group.runtime().wire_bytes();
   util::WallTimer encode_timer;
   coder_->encode(ctx.group, work_->bytes(), check_d_->bytes());
   stats.encode_s = encode_timer.seconds();
   stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
+  stats.encode_wire_bytes = ctx.group.runtime().wire_bytes() - wire_before;
   ctx.group.failpoint("ckpt.encode_done");
 
   // Seal: after this global barrier every rank knows D is complete

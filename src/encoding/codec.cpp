@@ -12,17 +12,22 @@ void check_pair(std::span<const std::byte> a, std::span<const std::byte> b) {
   if (a.size() % kLane != 0) throw std::invalid_argument("codec: buffers must be lane-aligned");
 }
 
+/// Block-processed combine over contiguous T lanes. The kLane alignment
+/// contract makes the reinterpretation size-exact and 8-byte aligned; the
+/// fixed 32-lane inner block is a countable loop the compiler turns into
+/// packed XOR / addpd, so the codec runs at memcpy speed instead of one
+/// load/store pair per lane.
 template <typename T, typename F>
 void apply_lanes(std::span<std::byte> acc, std::span<const std::byte> in, F combine) {
+  T* a = reinterpret_cast<T*>(acc.data());
+  const T* b = reinterpret_cast<const T*>(in.data());
   const std::size_t n = acc.size() / sizeof(T);
-  for (std::size_t i = 0; i < n; ++i) {
-    T a;
-    T b;
-    std::memcpy(&a, acc.data() + i * sizeof(T), sizeof(T));
-    std::memcpy(&b, in.data() + i * sizeof(T), sizeof(T));
-    a = combine(a, b);
-    std::memcpy(acc.data() + i * sizeof(T), &a, sizeof(T));
+  constexpr std::size_t kBlock = 32;
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    for (std::size_t j = 0; j < kBlock; ++j) a[i + j] = combine(a[i + j], b[i + j]);
   }
+  for (; i < n; ++i) a[i] = combine(a[i], b[i]);
 }
 
 }  // namespace
@@ -51,17 +56,15 @@ void fill_identity(std::span<std::byte> buf) {
 
 bool equals(CodecKind kind, std::span<const std::byte> a, std::span<const std::byte> b,
             double tolerance) {
-  check_pair({const_cast<std::byte*>(a.data()), a.size()}, b);
+  check_pair(a, b);
   if (kind == CodecKind::kXor) {
     return std::memcmp(a.data(), b.data(), a.size()) == 0;
   }
+  const double* x = reinterpret_cast<const double*>(a.data());
+  const double* y = reinterpret_cast<const double*>(b.data());
   const std::size_t n = a.size() / sizeof(double);
   for (std::size_t i = 0; i < n; ++i) {
-    double x;
-    double y;
-    std::memcpy(&x, a.data() + i * sizeof(double), sizeof(double));
-    std::memcpy(&y, b.data() + i * sizeof(double), sizeof(double));
-    if (std::abs(x - y) > tolerance * (std::abs(x) + 1.0)) return false;
+    if (std::abs(x[i] - y[i]) > tolerance * (std::abs(x[i]) + 1.0)) return false;
   }
   return true;
 }

@@ -103,14 +103,38 @@ void DualParityGroupCodec::encode(mpi::Comm& group, std::span<const std::byte> d
                                   std::span<std::byte> parity) const {
   check_args(group, data.size(), parity.size());
   const int me = group.rank();
-  for (int f = 0; f < group_size_; ++f) {
-    const int p_owner = f;
-    const int q_owner = (f + 1) % group_size_;
-    reduce_family(group, f, 0, data, {}, p_owner,
-                  me == p_owner ? parity.subspan(0, stripe_bytes_) : std::span<std::byte>{});
-    reduce_family(group, f, 1, data, {}, q_owner,
-                  me == q_owner ? parity.subspan(stripe_bytes_, stripe_bytes_)
-                                : std::span<std::byte>{});
+  const int n = group_size_;
+  // One reduce-scatter per parity row instead of one reduce per (family,
+  // row). The scatter delivers block b to rank b, so row P maps family f to
+  // block f (owner f) and row Q maps family f to block (f+1)%n (owner
+  // (f+1)%n). Each member pre-multiplies its stripes by the row
+  // coefficients into a scratch contribution buffer; XOR over GF(2^8)
+  // products is exactly the Reed-Solomon sum.
+  std::vector<std::byte> scratch(static_cast<std::size_t>(n) * stripe_bytes_);
+  std::vector<std::span<const std::uint64_t>> blocks(static_cast<std::size_t>(n));
+  const auto block_of = [&](int b) {
+    return std::span<std::byte>(scratch.data() + static_cast<std::size_t>(b) * stripe_bytes_,
+                                stripe_bytes_);
+  };
+  for (int row = 0; row < 2; ++row) {
+    std::memset(scratch.data(), 0, scratch.size());
+    for (int f = 0; f < n; ++f) {
+      const int b = row == 0 ? f : (f + 1) % n;
+      if (contributes(me, f)) {
+        const std::span<const std::byte> mine =
+            data.subspan(stripe_index(me, f) * stripe_bytes_, stripe_bytes_);
+        gf256::mul_acc(as_u8(block_of(b)), as_u8(mine), coefficient(row, me, f));
+      }
+      blocks[static_cast<std::size_t>(b)] = {
+          reinterpret_cast<const std::uint64_t*>(block_of(b).data()),
+          stripe_bytes_ / sizeof(std::uint64_t)};
+    }
+    const std::span<std::byte> out =
+        parity.subspan(row == 0 ? 0 : stripe_bytes_, stripe_bytes_);
+    group.reduce_scatter_blocks<std::uint64_t, mpi::BXor>(
+        blocks,
+        {reinterpret_cast<std::uint64_t*>(out.data()), stripe_bytes_ / sizeof(std::uint64_t)},
+        mpi::BXor{});
   }
 }
 

@@ -27,6 +27,29 @@ void reduce_bytes(mpi::Comm& group, CodecKind kind, int root, std::span<const st
   }
 }
 
+template <typename T>
+std::span<const T> as_lanes(std::span<const std::byte> b) {
+  return {reinterpret_cast<const T*>(b.data()), b.size() / sizeof(T)};
+}
+
+/// One reduce-scatter encodes every family: block f of this member's
+/// contribution is its stripe for family f (identity for its own family),
+/// and the scatter lands family f's finished checksum exactly on member f.
+template <typename T, typename Op>
+void encode_scatter(mpi::Comm& group, const StripeLayout& layout,
+                    std::span<const std::byte> data, std::span<std::byte> checksum,
+                    std::span<const std::byte> identity, Op op) {
+  const int n = layout.group_size();
+  const int me = group.rank();
+  std::vector<std::span<const T>> blocks(static_cast<std::size_t>(n));
+  for (int f = 0; f < n; ++f) {
+    blocks[static_cast<std::size_t>(f)] =
+        as_lanes<T>(f == me ? identity : layout.stripe(data, me, f));
+  }
+  group.reduce_scatter_blocks<T, Op>(
+      blocks, {reinterpret_cast<T*>(checksum.data()), checksum.size() / sizeof(T)}, op);
+}
+
 }  // namespace
 
 GroupCodec::GroupCodec(CodecKind kind, std::size_t data_bytes, int group_size)
@@ -48,6 +71,17 @@ void GroupCodec::check_args(const mpi::Comm& group, std::size_t data_size,
 void GroupCodec::encode(mpi::Comm& group, std::span<const std::byte> data,
                         std::span<std::byte> checksum) const {
   check_args(group, data.size(), checksum.size());
+  const std::vector<std::byte> identity(layout_.stripe_bytes(), std::byte{0});
+  if (kind_ == CodecKind::kXor) {
+    encode_scatter<std::uint64_t>(group, layout_, data, checksum, identity, mpi::BXor{});
+  } else {
+    encode_scatter<double>(group, layout_, data, checksum, identity, mpi::Sum{});
+  }
+}
+
+void GroupCodec::encode_reference(mpi::Comm& group, std::span<const std::byte> data,
+                                  std::span<std::byte> checksum) const {
+  check_args(group, data.size(), checksum.size());
   const int n = layout_.group_size();
   const int me = group.rank();
   const std::vector<std::byte> identity(layout_.stripe_bytes(), std::byte{0});
@@ -66,44 +100,52 @@ void GroupCodec::rebuild(mpi::Comm& group, int failed, std::span<std::byte> data
   const int me = group.rank();
   if (failed < 0 || failed >= n) throw std::invalid_argument("GroupCodec::rebuild: bad member");
 
-  const std::vector<std::byte> identity(layout_.stripe_bytes(), std::byte{0});
-  std::vector<std::byte> scratch(layout_.stripe_bytes());
-
-  // Phase A: for every family f != failed, reconstruct the failed member's
-  // stripe: stripe(failed, f) = checksum_f (-) sum of surviving stripes.
+  // Everything the failed member needs — its n-1 data stripes and its own
+  // checksum stripe — is a sum rooted at `failed`, so the whole rebuild is
+  // ONE pipelined reduce over n stripe blocks instead of n sequential
+  // stripe reduces. Block f (f != failed) combines to the failed member's
+  // stripe for family f: checksum_f (-) sum of surviving stripes. Block
+  // `failed` recomputes its checksum from the survivors' family-`failed`
+  // stripes.
+  const std::size_t stripe = layout_.stripe_bytes();
+  std::vector<std::byte> contrib(stripe * static_cast<std::size_t>(n), std::byte{0});
   for (int f = 0; f < n; ++f) {
-    if (f == failed) continue;
-    std::span<const std::byte> contribution;
-    if (me == failed) {
-      contribution = identity;
-    } else if (me == f) {
-      contribution = checksum;  // this member holds family f's checksum
+    const std::span<std::byte> slot(contrib.data() + static_cast<std::size_t>(f) * stripe,
+                                    stripe);
+    if (f == failed) {
+      if (me != failed) {
+        const std::span<const std::byte> mine =
+            layout_.stripe(std::span<const std::byte>(data), me, failed);
+        std::memcpy(slot.data(), mine.data(), stripe);
+      }
+      continue;
+    }
+    if (me == failed) continue;  // identity contribution
+    if (me == f) {
+      std::memcpy(slot.data(), checksum.data(), stripe);  // family f's checksum holder
     } else {
       const std::span<const std::byte> mine =
           layout_.stripe(std::span<const std::byte>(data), me, f);
       if (kind_ == CodecKind::kXor) {
-        contribution = mine;  // XOR is self-inverse
+        std::memcpy(slot.data(), mine.data(), stripe);  // XOR is self-inverse
       } else {
         // SUM: contribute the negated stripe so the reduce yields
         // checksum - sum(survivors) directly.
-        const std::span<std::byte> neg{scratch.data(), scratch.size()};
-        fill_identity(neg);
-        retract(kind_, neg, mine);
-        contribution = neg;
+        retract(kind_, slot, mine);
       }
     }
-    reduce_bytes(group, kind_, failed, contribution,
-                 me == failed ? layout_.stripe(data, me, f) : std::span<std::byte>{});
   }
 
-  // Phase B: rebuild the failed member's own checksum stripe from the
-  // survivors' stripes of family `failed`.
-  {
-    const std::span<const std::byte> contribution =
-        me == failed ? std::span<const std::byte>(identity)
-                     : layout_.stripe(std::span<const std::byte>(data), me, failed);
-    reduce_bytes(group, kind_, failed, contribution,
-                 me == failed ? checksum : std::span<std::byte>{});
+  std::vector<std::byte> rebuilt(me == failed ? contrib.size() : 0);
+  reduce_bytes(group, kind_, failed, contrib, rebuilt);
+  if (me == failed) {
+    for (int f = 0; f < n; ++f) {
+      const std::span<const std::byte> slot(
+          rebuilt.data() + static_cast<std::size_t>(f) * stripe, stripe);
+      const std::span<std::byte> dst =
+          f == failed ? checksum : layout_.stripe(data, me, f);
+      std::memcpy(dst.data(), slot.data(), stripe);
+    }
   }
 }
 

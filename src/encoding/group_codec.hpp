@@ -1,9 +1,12 @@
 // Distributed group encoding over a communicator (Sections 2.1-2.2).
 //
 // encode() computes, for every family f, the checksum of the other
-// members' stripes with one MPI-style reduce rooted at member f — the
-// rotating roots are what spreads encoding traffic across the group and
-// avoids the single-node hotspot the paper calls out.
+// members' stripes — the paper's round-robin checksum distribution, which
+// is exactly a reduce-scatter: one ring collective encodes all N checksum
+// families at once, each member emitting its stripes block-wise and
+// receiving its own family's finished checksum. The rotating ownership is
+// what spreads encoding traffic across the group and avoids the
+// single-node hotspot the paper calls out.
 //
 // rebuild() reconstructs a failed member's entire padded buffer plus its
 // checksum stripe from the survivors, with the failed (replacement) member
@@ -33,9 +36,17 @@ class GroupCodec {
 
   /// Collective over `group`. `data` is this member's padded buffer;
   /// `checksum` (stripe_bytes) receives the checksum of this member's
-  /// family. Every member ends up holding one checksum stripe.
+  /// family. Every member ends up holding one checksum stripe. Implemented
+  /// as a single ring reduce-scatter over stripe blocks.
   void encode(mpi::Comm& group, std::span<const std::byte> data,
               std::span<std::byte> checksum) const;
+
+  /// The pre-reduce-scatter baseline: one binomial reduce per family,
+  /// rooted round-robin. Same result as encode() (bit-identical for XOR,
+  /// tolerance-equal for SUM, whose combine order differs). Kept for the
+  /// old-vs-new property tests and the bandwidth benches.
+  void encode_reference(mpi::Comm& group, std::span<const std::byte> data,
+                        std::span<std::byte> checksum) const;
 
   /// Collective over `group`: reconstruct member `failed`.
   /// Survivors pass their (intact) data and checksum as inputs; the failed

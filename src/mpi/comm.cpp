@@ -17,27 +17,39 @@ Comm Comm::world(Runtime& rt, int my_world_rank) {
 }
 
 void Comm::send_bytes(int dst, Tag tag, std::span<const std::byte> payload) {
+  rt_->count_copy(payload.size());
+  send_bytes(dst, tag, std::vector<std::byte>(payload.begin(), payload.end()));
+}
+
+void Comm::send_bytes(int dst, Tag tag, std::vector<std::byte>&& payload) {
   if (dst < 0 || dst >= size()) throw std::invalid_argument("send: bad destination rank");
   rt_->check_alive(world_rank());
   const int dst_world = translate(dst);
   const double cost = rt_->message_cost(world_rank(), dst_world, payload.size());
   if (cost > 0) charge_virtual(cost);
+  rt_->count_message(payload.size());
   Message msg;
   msg.src_world = world_rank();
   msg.tag = tag;
   msg.comm_id = group_->id;
-  msg.payload.assign(payload.begin(), payload.end());
+  msg.payload = std::move(payload);
   rt_->mailbox(dst_world).push(std::move(msg));
 }
 
 void Comm::recv_bytes(int src, Tag tag, std::span<std::byte> out) {
+  const std::vector<std::byte> payload = recv_take(src, tag, out.size());
+  rt_->count_copy(payload.size());
+  if (!payload.empty()) std::memcpy(out.data(), payload.data(), payload.size());
+}
+
+std::vector<std::byte> Comm::recv_take(int src, Tag tag, std::size_t expected_bytes) {
   std::vector<std::byte> payload = recv_any(src, tag);
-  if (payload.size() != out.size()) {
+  if (payload.size() != expected_bytes) {
     throw std::logic_error("recv: message size mismatch (expected " +
-                           std::to_string(out.size()) + ", got " +
+                           std::to_string(expected_bytes) + ", got " +
                            std::to_string(payload.size()) + ")");
   }
-  std::memcpy(out.data(), payload.data(), payload.size());
+  return payload;
 }
 
 std::vector<std::byte> Comm::recv_any(int src, Tag tag) {

@@ -8,6 +8,7 @@
 // node unwinds the whole job just like a production MPI.
 #pragma once
 
+#include <bit>
 #include <cstring>
 #include <memory>
 #include <span>
@@ -20,6 +21,15 @@
 #include "sim/node.hpp"
 
 namespace skt::mpi {
+
+/// Default pipeline segment for the chunked collectives: large payloads are
+/// moved in segments of this size so combining overlaps communication.
+inline constexpr std::size_t kCollectiveChunkBytes = 64 << 10;
+
+/// Payloads at least this large take the ring (bandwidth-optimal) allreduce
+/// when the element count divides the communicator size; smaller ones keep
+/// the binomial tree, whose log2(n) latency steps beat the ring's n-1.
+inline constexpr std::size_t kRingMinBytes = 32 << 10;
 
 class Comm {
  public:
@@ -46,16 +56,37 @@ class Comm {
   /// `tag` must be below kUserTagLimit.
   void send_bytes(int dst, Tag tag, std::span<const std::byte> payload);
 
+  /// Zero-copy send: the buffer is moved into the mailbox instead of being
+  /// copied. `payload` is left in the usual moved-from (valid, unspecified)
+  /// state. Preferred for large stripe messages on the encode path.
+  void send_bytes(int dst, Tag tag, std::vector<std::byte>&& payload);
+
   /// Blocking receive into `out`; the message size must equal out.size().
   void recv_bytes(int src, Tag tag, std::span<std::byte> out);
 
   /// Blocking receive of a message of unknown size.
   std::vector<std::byte> recv_any(int src, Tag tag);
 
+  /// Zero-copy receive: returns the mailbox buffer itself after checking the
+  /// size, so the caller can consume (or forward) it without another copy.
+  std::vector<std::byte> recv_take(int src, Tag tag, std::size_t expected_bytes);
+
   template <typename T>
   void send(int dst, Tag tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
     send_bytes(dst, tag, std::as_bytes(data));
+  }
+
+  /// Typed rvalue overload: moves byte buffers into the mailbox; for other
+  /// trivially-copyable T the payload is still serialized with one copy.
+  template <typename T>
+  void send(int dst, Tag tag, std::vector<T>&& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if constexpr (std::is_same_v<T, std::byte>) {
+      send_bytes(dst, tag, std::move(data));
+    } else {
+      send_bytes(dst, tag, std::as_bytes(std::span<const T>(data)));
+    }
   }
 
   template <typename T>
@@ -120,36 +151,199 @@ class Comm {
   /// Element-wise reduction to `root`. `out` must alias or equal-size `in`
   /// at the root; it may be empty elsewhere. In-place (out.data()==in.data())
   /// is allowed.
+  ///
+  /// Binomial tree, pipelined in `chunk_bytes` segments so a parent combines
+  /// chunk c while its children already transmit chunk c+1. Ranks that send
+  /// without combining (odd relative rank) stream straight out of `in`;
+  /// combining ranks consume the mailbox buffers in place and hand their
+  /// accumulator to the mailbox by move when it fits one segment.
   template <typename T, typename Op>
-  void reduce(int root, std::span<const T> in, std::span<T> out, Op op) {
+  void reduce(int root, std::span<const T> in, std::span<T> out, Op op,
+              std::size_t chunk_bytes = kCollectiveChunkBytes) {
     static_assert(std::is_trivially_copyable_v<T>);
+    if (root < 0 || root >= size()) throw std::invalid_argument("reduce: bad root");
+    if (chunk_bytes == 0) throw std::invalid_argument("reduce: zero chunk size");
+    if (rank_ == root && out.size() != in.size()) {
+      throw std::invalid_argument("reduce: bad out size at root");
+    }
     const Tag seq = next_seq();
-    std::vector<T> accum(in.begin(), in.end());
-    std::vector<T> incoming(in.size());
     const int n = size();
     const int relr = relative_rank(root);
-    for (int mask = 1; mask < n; mask <<= 1) {
-      if (relr & mask) {
-        const int dst = absolute_rank((relr - mask), root);
-        send<T>(dst, collective_tag(seq, mask), accum);
-        break;
-      }
-      const int src_rel = relr + mask;
-      if (src_rel < n) {
-        const int src = absolute_rank(src_rel, root);
-        recv<T>(src, collective_tag(seq, mask), std::span<T>(incoming));
-        for (std::size_t i = 0; i < accum.size(); ++i) accum[i] = op(accum[i], incoming[i]);
+    if (n == 1) {
+      if (out.data() != in.data()) std::memcpy(out.data(), in.data(), in.size() * sizeof(T));
+      return;
+    }
+    // Odd relative ranks send to their parent before ever combining, so
+    // they need no local accumulator copy at all.
+    const bool pure_sender = (relr & 1) != 0;
+    std::vector<std::byte> accum;
+    if (!pure_sender) {
+      accum.resize(in.size() * sizeof(T));
+      if (!in.empty()) std::memcpy(accum.data(), in.data(), accum.size());
+    }
+    const std::size_t chunk_elems = std::max<std::size_t>(1, chunk_bytes / sizeof(T));
+    const std::size_t chunks = in.empty() ? 1 : (in.size() + chunk_elems - 1) / chunk_elems;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t off = c * chunk_elems;
+      const std::size_t len = in.empty() ? 0 : std::min(chunk_elems, in.size() - off);
+      for (int mask = 1; mask < n; mask <<= 1) {
+        const Tag tag = collective_tag(seq, std::countr_zero(static_cast<unsigned>(mask)));
+        if (relr & mask) {
+          const int dst = absolute_rank(relr - mask, root);
+          if (pure_sender) {
+            send<T>(dst, tag, in.subspan(off, len));
+          } else if (chunks == 1) {
+            send_bytes(dst, tag, std::move(accum));
+          } else {
+            send_bytes(dst, tag, std::span<const std::byte>(accum.data() + off * sizeof(T),
+                                                            len * sizeof(T)));
+          }
+          break;
+        }
+        const int src_rel = relr + mask;
+        if (src_rel < n) {
+          const int src = absolute_rank(src_rel, root);
+          const std::vector<std::byte> incoming = recv_take(src, tag, len * sizeof(T));
+          combine_inplace<T, Op>(
+              std::span<T>(reinterpret_cast<T*>(accum.data()) + off, len),
+              std::span<const T>(reinterpret_cast<const T*>(incoming.data()), len), op);
+        }
       }
     }
-    if (rank_ == root) {
-      if (out.size() != in.size()) throw std::invalid_argument("reduce: bad out size at root");
-      std::memcpy(out.data(), accum.data(), accum.size() * sizeof(T));
+    if (rank_ == root && !in.empty()) {
+      std::memcpy(out.data(), accum.data(), out.size() * sizeof(T));
     }
   }
 
+  /// Ring reduce-scatter over equal blocks. `blocks` holds size() spans of
+  /// out.size() elements each — blocks[r] is this member's contribution to
+  /// the result that lands on rank r — and `out` receives the fully combined
+  /// block for this rank. Bandwidth-optimal: every rank moves (n-1) blocks
+  /// once, in `chunk_bytes` segments, and partially-reduced mailbox buffers
+  /// are forwarded hop to hop by move. `op` must be commutative (all the
+  /// built-in ones are); SUM combines in ring order, so floating-point
+  /// results are tolerance-equal, not bit-equal, to the binomial reduce.
+  template <typename T, typename Op>
+  void reduce_scatter_blocks(std::span<const std::span<const T>> blocks, std::span<T> out,
+                             Op op, std::size_t chunk_bytes = kCollectiveChunkBytes) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int n = size();
+    if (static_cast<int>(blocks.size()) != n) {
+      throw std::invalid_argument("reduce_scatter: need one block per member");
+    }
+    const std::size_t count = out.size();
+    for (const std::span<const T>& b : blocks) {
+      if (b.size() != count) throw std::invalid_argument("reduce_scatter: unequal block sizes");
+    }
+    if (chunk_bytes == 0) throw std::invalid_argument("reduce_scatter: zero chunk size");
+    const Tag seq = next_seq();
+    if (n == 1) {
+      if (out.data() != blocks[0].data() && count > 0) {
+        std::memcpy(out.data(), blocks[0].data(), count * sizeof(T));
+      }
+      return;
+    }
+    const int next = (rank_ + 1) % n;
+    const int prev = (rank_ - 1 + n) % n;
+    const std::size_t chunk_elems = std::max<std::size_t>(1, chunk_bytes / sizeof(T));
+    const std::size_t chunks = count == 0 ? 1 : (count + chunk_elems - 1) / chunk_elems;
+    // Segments of the partially-reduced block passing through this rank;
+    // each mailbox buffer is combined in place and forwarded by move.
+    std::vector<std::vector<std::byte>> acc(chunks);
+    for (int s = 0; s < n - 1; ++s) {
+      // Block b travels rank b+1 -> b+2 -> ... -> b, gaining one
+      // contribution per hop; at step s this rank emits block r-s-1 and
+      // absorbs its own contribution into incoming block r-s-2.
+      const int send_block = (rank_ - s - 1 + 2 * n) % n;
+      const int recv_block = (rank_ - s - 2 + 2 * n) % n;
+      const Tag tag = collective_tag(seq, static_cast<int>(s % 250));
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t off = c * chunk_elems;
+        const std::size_t len = count == 0 ? 0 : std::min(chunk_elems, count - off);
+        if (s == 0) {
+          send<T>(next, tag, blocks[static_cast<std::size_t>(send_block)].subspan(off, len));
+        } else {
+          send_bytes(next, tag, std::move(acc[c]));
+        }
+        std::vector<std::byte> incoming = recv_take(prev, tag, len * sizeof(T));
+        combine_inplace<T, Op>(
+            std::span<T>(reinterpret_cast<T*>(incoming.data()), len),
+            blocks[static_cast<std::size_t>(recv_block)].subspan(off, len), op);
+        acc[c] = std::move(incoming);
+      }
+    }
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t off = c * chunk_elems;
+      const std::size_t len = count == 0 ? 0 : std::min(chunk_elems, count - off);
+      if (len > 0) std::memcpy(out.data() + off, acc[c].data(), len * sizeof(T));
+    }
+  }
+
+  /// Contiguous-input reduce-scatter: `in` holds size() blocks of
+  /// out.size() elements in rank order.
+  template <typename T, typename Op>
+  void reduce_scatter(std::span<const T> in, std::span<T> out, Op op,
+                      std::size_t chunk_bytes = kCollectiveChunkBytes) {
+    const std::size_t count = out.size();
+    if (in.size() != count * static_cast<std::size_t>(size())) {
+      throw std::invalid_argument("reduce_scatter: in must hold size() blocks of out.size()");
+    }
+    std::vector<std::span<const T>> blocks(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      blocks[static_cast<std::size_t>(r)] = in.subspan(static_cast<std::size_t>(r) * count, count);
+    }
+    reduce_scatter_blocks<T, Op>(blocks, out, op, chunk_bytes);
+  }
+
+  /// Ring allreduce: reduce-scatter followed by a ring allgather. Each rank
+  /// moves 2(n-1)/n of the payload regardless of n — the bandwidth-optimal
+  /// schedule — at the price of 2(n-1) latency steps. Requires
+  /// in.size() % size() == 0; allreduce() falls back to the binomial tree
+  /// otherwise. In-place (out aliasing in) is allowed.
+  template <typename T, typename Op>
+  void allreduce_ring(std::span<const T> in, std::span<T> out, Op op,
+                      std::size_t chunk_bytes = kCollectiveChunkBytes) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int n = size();
+    if (out.size() != in.size()) throw std::invalid_argument("allreduce_ring: size mismatch");
+    if (in.size() % static_cast<std::size_t>(n) != 0) {
+      throw std::invalid_argument("allreduce_ring: element count must divide comm size");
+    }
+    const std::size_t count = in.size() / static_cast<std::size_t>(n);
+    reduce_scatter<T, Op>(in, out.subspan(static_cast<std::size_t>(rank_) * count, count), op,
+                          chunk_bytes);
+    if (n == 1) return;
+    const Tag seq = next_seq();
+    const int next = (rank_ + 1) % n;
+    const int prev = (rank_ - 1 + n) % n;
+    const std::size_t chunk_elems = std::max<std::size_t>(1, chunk_bytes / sizeof(T));
+    const std::size_t chunks = count == 0 ? 1 : (count + chunk_elems - 1) / chunk_elems;
+    for (int s = 0; s < n - 1; ++s) {
+      const int send_block = (rank_ - s + 2 * n) % n;
+      const int recv_block = (rank_ - s - 1 + 2 * n) % n;
+      const Tag tag = collective_tag(seq, static_cast<int>(s % 250));
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t off = c * chunk_elems;
+        const std::size_t len = count == 0 ? 0 : std::min(chunk_elems, count - off);
+        send<T>(next, tag,
+                std::span<const T>(out.subspan(
+                    static_cast<std::size_t>(send_block) * count + off, len)));
+        recv<T>(prev, tag,
+                out.subspan(static_cast<std::size_t>(recv_block) * count + off, len));
+      }
+    }
+  }
+
+  /// Algorithm-selecting allreduce: ring for large evenly-divisible
+  /// payloads, binomial reduce + bcast otherwise (see kRingMinBytes).
   template <typename T, typename Op>
   void allreduce(std::span<const T> in, std::span<T> out, Op op) {
     if (out.size() != in.size()) throw std::invalid_argument("allreduce: size mismatch");
+    if (size() > 2 && in.size() % static_cast<std::size_t>(size()) == 0 &&
+        in.size() * sizeof(T) >= kRingMinBytes) {
+      allreduce_ring<T, Op>(in, out, op);
+      return;
+    }
     reduce<T, Op>(0, in, out, op);
     bcast<T>(0, out);
   }

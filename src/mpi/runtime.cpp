@@ -78,6 +78,9 @@ JobResult Runtime::run(const std::function<void(Comm&)>& fn) {
     std::lock_guard<std::mutex> lock(times_mutex_);
     result.times = times_;
   }
+  result.wire_bytes = wire_bytes();
+  result.wire_messages = wire_messages();
+  result.copied_bytes = copied_bytes();
   return result;
 }
 

@@ -50,6 +50,13 @@ struct JobResult {
   /// Named timing accumulators recorded by ranks (e.g. "checkpoint",
   /// "recover"); values are max across ranks.
   std::map<std::string, double> times;
+  /// Total payload bytes and message count pushed through mailboxes over
+  /// the whole job — the "bytes on the wire" the bandwidth benches report.
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_messages = 0;
+  /// Payload bytes additionally copied through the mailbox layer (the
+  /// zero-copy move/take paths don't pay this).
+  std::uint64_t copied_bytes = 0;
 };
 
 class Runtime {
@@ -91,6 +98,26 @@ class Runtime {
   /// Record a named duration; the JobResult reports the max across ranks.
   void record_time(const std::string& name, double seconds);
 
+  /// Account one sent message; called by Comm on every send.
+  void count_message(std::size_t payload_bytes) {
+    wire_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+    wire_messages_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Account payload bytes copied through the mailbox layer (copy-sends and
+  /// copy-receives); the zero-copy move/take paths never report here.
+  void count_copy(std::size_t payload_bytes) {
+    copied_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    return wire_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t wire_messages() const {
+    return wire_messages_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t copied_bytes() const {
+    return copied_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   sim::Cluster& cluster_;
   std::vector<int> ranklist_;
@@ -104,6 +131,9 @@ class Runtime {
 
   std::vector<double> rank_virtual_s_;
   std::atomic<std::int64_t> job_virtual_ns_{0};
+  std::atomic<std::uint64_t> wire_bytes_{0};
+  std::atomic<std::uint64_t> wire_messages_{0};
+  std::atomic<std::uint64_t> copied_bytes_{0};
 
   std::mutex times_mutex_;
   std::map<std::string, double> times_;

@@ -271,6 +271,44 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(CodecKind::kXor, CodecKind::kSum),
                        ::testing::Values(2, 3, 4, 8)));
 
+// Property: the reduce-scatter encode agrees with the N-sequential-reduce
+// baseline on random payloads across group sizes. XOR must be bit-identical;
+// SUM combines in a different order, so it is tolerance-equal.
+class EncodeEquivalence
+    : public ::testing::TestWithParam<std::tuple<CodecKind, int /*group size*/>> {};
+
+TEST_P(EncodeEquivalence, ScatterEncodeMatchesReferenceEncode) {
+  const auto [kind, group_size] = GetParam();
+  const std::size_t data_bytes = 4096 + 72;  // not stripe-aligned
+  MiniCluster mc(group_size, 0);
+  for (std::uint64_t trial = 0; trial < 3; ++trial) {
+    const auto result = mc.run(group_size, [&, trial](mpi::Comm& world) {
+      const GroupCodec codec(kind, data_bytes, world.size());
+      std::vector<std::byte> data(codec.padded_bytes(), std::byte{0});
+      std::span<double> lanes{reinterpret_cast<double*>(data.data()),
+                              data.size() / sizeof(double)};
+      for (std::size_t i = 0; i < lanes.size(); ++i) {
+        lanes[i] = util::element_value(7 + trial, static_cast<std::uint64_t>(world.rank()), i);
+      }
+      std::vector<std::byte> fast(codec.checksum_bytes());
+      std::vector<std::byte> reference(codec.checksum_bytes());
+      codec.encode(world, data, fast);
+      codec.encode_reference(world, data, reference);
+      if (kind == CodecKind::kXor) {
+        EXPECT_EQ(fast, reference);
+      } else {
+        EXPECT_TRUE(equals(kind, fast, reference, 1e-9));
+      }
+    });
+    ASSERT_TRUE(result.completed) << result.abort_reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, EncodeEquivalence,
+    ::testing::Combine(::testing::Values(CodecKind::kXor, CodecKind::kSum),
+                       ::testing::Values(2, 3, 4, 5, 8, 16)));
+
 TEST(GroupCodec, VerifyDetectsCorruption) {
   MiniCluster mc(4, 0);
   const auto result = mc.run(4, [](mpi::Comm& world) {
