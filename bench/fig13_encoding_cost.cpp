@@ -14,8 +14,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "json_report.hpp"
 #include "model/systems.hpp"
+#include "util/json_writer.hpp"
 
 using namespace skt;
 
@@ -81,17 +81,19 @@ int main() {
   }
   table.print();
 
-  bench::JsonReport report("fig13_encoding_cost");
+  util::JsonWriter report;
+  report.begin_object();
   for (const int g : groups) {
     const std::string tag = "g" + std::to_string(g);
-    report.set(tag + "_t1a_ckpt_bytes", static_cast<double>(t1[g].ckpt_bytes));
-    report.set(tag + "_t2_ckpt_bytes", static_cast<double>(t2[g].ckpt_bytes));
-    report.set(tag + "_t1a_encode_s", t1[g].total());
-    report.set(tag + "_t2_encode_s", t2[g].total());
-    report.set(tag + "_t1a_net_s", t1[g].encode_network_s);
-    report.set(tag + "_t2_net_s", t2[g].encode_network_s);
+    report.field(tag + "_t1a_ckpt_bytes", static_cast<std::uint64_t>(t1[g].ckpt_bytes));
+    report.field(tag + "_t2_ckpt_bytes", static_cast<std::uint64_t>(t2[g].ckpt_bytes));
+    report.field(tag + "_t1a_encode_s", t1[g].total());
+    report.field(tag + "_t2_encode_s", t2[g].total());
+    report.field(tag + "_t1a_net_s", t1[g].encode_network_s);
+    report.field(tag + "_t2_net_s", t2[g].encode_network_s);
   }
-  report.write();
+  report.end_object();
+  util::write_json_file("BENCH_fig13_encoding_cost.json", report);
 
   bool ok = true;
   const double size_spread =

@@ -13,11 +13,11 @@
 #include <vector>
 
 #include "encoding/group_codec.hpp"
-#include "json_report.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/runtime.hpp"
 #include "sim/cluster.hpp"
 #include "util/clock.hpp"
+#include "util/json_writer.hpp"
 
 namespace {
 
@@ -193,7 +193,8 @@ double time_allreduce(int ranks, std::size_t bytes, bool ring) {
 
 int run_allreduce_sweep() {
   std::printf("\n--- allreduce: binomial reduce+bcast vs ring, per-op wall time ---\n");
-  bench::JsonReport report("micro_collectives");
+  util::JsonWriter report;
+  report.begin_object();
   for (const int g : {4, 8, 16}) {
     for (const std::size_t bytes : {std::size_t{64} << 10, std::size_t{1} << 20}) {
       const double binomial = time_allreduce(g, bytes, false);
@@ -202,11 +203,12 @@ int run_allreduce_sweep() {
                   bytes >> 10, binomial * 1e3, ring * 1e3, binomial / ring);
       const std::string tag =
           "allreduce_g" + std::to_string(g) + "_" + std::to_string(bytes >> 10) + "k";
-      report.set(tag + "_binomial_s", binomial);
-      report.set(tag + "_ring_s", ring);
+      report.field(tag + "_binomial_s", binomial);
+      report.field(tag + "_ring_s", ring);
     }
   }
-  report.write();
+  report.end_object();
+  util::write_json_file("BENCH_micro_collectives.json", report);
   return 0;
 }
 

@@ -18,11 +18,11 @@
 #include "encoding/gf256.hpp"
 #include "encoding/group_codec.hpp"
 #include "encoding/reed_solomon.hpp"
-#include "json_report.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/runtime.hpp"
 #include "sim/cluster.hpp"
 #include "util/clock.hpp"
+#include "util/json_writer.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -240,7 +240,8 @@ bool run_encode_comparison() {
 
   constexpr std::size_t kDataBytes = 1 << 20;
   constexpr int kReps = 16;
-  bench::JsonReport report("micro_encoding");
+  util::JsonWriter report;
+  report.begin_object();
   bool ok = true;
   double speedup_g16 = 0.0;
   for (const int g : {4, 8, 16}) {
@@ -255,13 +256,13 @@ bool run_encode_comparison() {
                 static_cast<double>(oldm.copied_bytes) / 1e6,
                 static_cast<double>(newm.copied_bytes) / 1e6);
     const std::string tag = "encode_g" + std::to_string(g);
-    report.set(tag + "_old_wall_s", oldm.wall_s);
-    report.set(tag + "_new_wall_s", newm.wall_s);
-    report.set(tag + "_speedup", speedup);
-    report.set(tag + "_old_wire_bytes", static_cast<double>(oldm.wire_bytes));
-    report.set(tag + "_new_wire_bytes", static_cast<double>(newm.wire_bytes));
-    report.set(tag + "_old_copied_bytes", static_cast<double>(oldm.copied_bytes));
-    report.set(tag + "_new_copied_bytes", static_cast<double>(newm.copied_bytes));
+    report.field(tag + "_old_wall_s", oldm.wall_s);
+    report.field(tag + "_new_wall_s", newm.wall_s);
+    report.field(tag + "_speedup", speedup);
+    report.field(tag + "_old_wire_bytes", static_cast<std::uint64_t>(oldm.wire_bytes));
+    report.field(tag + "_new_wire_bytes", static_cast<std::uint64_t>(newm.wire_bytes));
+    report.field(tag + "_old_copied_bytes", static_cast<std::uint64_t>(oldm.copied_bytes));
+    report.field(tag + "_new_copied_bytes", static_cast<std::uint64_t>(newm.copied_bytes));
     ok &= shape_check("group " + std::to_string(g) +
                           ": reduce-scatter encode puts no more bytes on the wire",
                       newm.wire_bytes <= oldm.wire_bytes);
@@ -295,13 +296,14 @@ bool run_encode_comparison() {
     const double ratio = scalar_s / block_s;
     std::printf("accumulate 4MiB: scalar %.3fms, block %.3fms (%.2fx)\n", scalar_s * 1e3,
                 block_s * 1e3, ratio);
-    report.set("accumulate_scalar_s", scalar_s);
-    report.set("accumulate_block_s", block_s);
-    report.set("accumulate_speedup", ratio);
+    report.field("accumulate_scalar_s", scalar_s);
+    report.field("accumulate_block_s", block_s);
+    report.field("accumulate_speedup", ratio);
     ok &= shape_check("block-processed accumulate is no slower than the scalar baseline",
                       block_s <= scalar_s * 1.25);
   }
-  report.write();
+  report.end_object();
+  util::write_json_file("BENCH_micro_encoding.json", report);
   return ok;
 }
 

@@ -2,15 +2,22 @@
 // self-checkpointing and power off a compute node in the middle — the run
 // recovers from in-memory checkpoints and still passes HPL verification.
 //
+// With --telemetry <prefix> the run records spans and metrics and writes
+// <prefix>_trace.json (Chrome trace_event timeline) plus a RunReport at
+// <prefix>_report.json with the per-phase histograms and wire counters.
+//
 //   ./ft_hpl [--n 384] [--nb 32] [--p 2] [--q 2] [--group 4]
 //            [--strategy self|double|single|blcr] [--ckpt-every 2]
-//            [--kill-panel 4] [--no-kill]
+//            [--kill-panel 4] [--no-kill] [--telemetry out/hpl]
 #include <cstdio>
 #include <string>
 
 #include "hpl/skt_hpl.hpp"
 #include "mpi/launcher.hpp"
 #include "storage/device.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
 #include "util/log.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -41,6 +48,8 @@ int main(int argc, char** argv) {
   config.group_size = static_cast<int>(opts.get_int("group", 4));
   config.ckpt_every_panels = opts.get_int("ckpt-every", 2);
   config.strategy = parse_strategy(opts.get("strategy", "self"));
+  const std::string telemetry_prefix = opts.get("telemetry", "");
+  if (!telemetry_prefix.empty()) telemetry::set_enabled(true);
 
   storage::SnapshotVault vault;
   config.vault = &vault;
@@ -80,6 +89,27 @@ int main(int argc, char** argv) {
   table.add_row({"HPL verification", last.hpl.residual.pass ? "PASSED" : "FAILED"});
   table.add_row({"total wall time", util::format_seconds(result.total_real_s)});
   table.print();
+
+  if (!telemetry_prefix.empty()) {
+    telemetry::Tracer::instance().export_chrome_trace(telemetry_prefix + "_trace.json");
+    telemetry::RunReport report("ft_hpl");
+    report.set("n", config.hpl.n);
+    report.set("nb", config.hpl.nb);
+    report.set("grid_p", static_cast<std::int64_t>(config.hpl.grid_p));
+    report.set("grid_q", static_cast<std::int64_t>(config.hpl.grid_q));
+    report.set("strategy", ckpt::to_string(config.strategy));
+    report.set("completed", result.success);
+    report.set("restarts", static_cast<std::int64_t>(result.restarts));
+    report.set("resumed_from_checkpoint", last.restored);
+    report.set("checkpoints_final_attempt", static_cast<std::int64_t>(last.checkpoints));
+    report.set("ckpt_bytes_per_process", static_cast<std::uint64_t>(last.ckpt_bytes));
+    report.set("checksum_bytes_per_process", static_cast<std::uint64_t>(last.checksum_bytes));
+    report.set("gflops_final_attempt", last.hpl.gflops);
+    report.set("residual_scaled", last.hpl.residual.scaled);
+    report.set("verification_passed", last.hpl.residual.pass);
+    report.set("total_real_s", result.total_real_s);
+    report.write(telemetry_prefix + "_report.json");
+  }
 
   if (!result.success) std::printf("failure: %s\n", result.failure.c_str());
   return result.success && last.hpl.residual.pass ? 0 : 1;

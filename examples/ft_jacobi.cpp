@@ -4,17 +4,31 @@
 // each sweep exchanges halo rows with grid neighbours, then relaxes.
 //
 // The demo runs the solver twice: once fault-free, once with a node
-// powered off mid-run, and asserts the recovered run converges to the
+// powered off mid-commit (inside the ckpt.mid_flush window — CASE 2 of the
+// paper's Fig. 4), and asserts the recovered run converges to the
 // *identical* field (bitwise, XOR codec).
 //
+// With --telemetry <prefix> the run records spans and metrics and writes
+//   <prefix>_trace.json   Chrome trace_event timeline (failpoint hit,
+//                         launcher recovery cycle, rebuild — Perfetto-ready)
+//   <prefix>_report.json  RunReport with phase histograms + wire counters
+// and self-validates that both artifacts contain the expected evidence.
+//
 //   ./ft_jacobi [--grid 128] [--ranks 4] [--iters 60] [--ckpt-every 10]
+//               [--telemetry out/jacobi]
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "ckpt/factory.hpp"
 #include "mpi/launcher.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
 #include "util/log.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -117,6 +131,56 @@ void jacobi(mpi::Comm& world, std::int64_t grid_n, std::int64_t iterations,
   if (me == 0 && final_norm != nullptr) *final_norm = norm;
 }
 
+/// Check the recorded telemetry for the evidence the faulty run must leave:
+/// the failpoint instant, a launcher recovery cycle, and the restore span.
+/// Returns true when everything is present; prints what is missing.
+bool validate_telemetry(std::uint64_t restores_before) {
+  bool saw_fail = false;
+  bool saw_replace = false;
+  bool saw_restore = false;
+  for (const auto& rec : telemetry::Tracer::instance().collect()) {
+    if (std::strcmp(rec.name, "fail:ckpt.mid_flush") == 0 && rec.instant()) saw_fail = true;
+    if (std::strcmp(rec.name, "launcher.replace") == 0) saw_replace = true;
+    if (std::strcmp(rec.name, "ckpt.restore") == 0) saw_restore = true;
+  }
+  const auto snap = telemetry::metrics().snapshot();
+  const auto counter = [&snap](const char* name) -> std::uint64_t {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  bool ok = true;
+  if (!saw_fail) {
+    std::printf("telemetry: missing fail:ckpt.mid_flush instant event\n");
+    ok = false;
+  }
+  if (!saw_replace) {
+    std::printf("telemetry: missing launcher.replace span\n");
+    ok = false;
+  }
+  if (!saw_restore) {
+    std::printf("telemetry: missing ckpt.restore span\n");
+    ok = false;
+  }
+  if (counter("ckpt.commits") == 0) {
+    std::printf("telemetry: ckpt.commits counter is zero\n");
+    ok = false;
+  }
+  if (counter("ckpt.restores") <= restores_before) {
+    std::printf("telemetry: no restore recorded by the faulty run\n");
+    ok = false;
+  }
+  if (counter("mpi.wire_bytes") == 0) {
+    std::printf("telemetry: mpi.wire_bytes counter is zero\n");
+    ok = false;
+  }
+  const auto hist = snap.histograms.find("ckpt.commit_s");
+  if (hist == snap.histograms.end() || hist->second.count == 0) {
+    std::printf("telemetry: ckpt.commit_s histogram is empty\n");
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,6 +190,8 @@ int main(int argc, char** argv) {
   const int ranks = static_cast<int>(opts.get_int("ranks", 4));
   const std::int64_t iterations = opts.get_int("iters", 60);
   const std::int64_t ckpt_every = opts.get_int("ckpt-every", 10);
+  const std::string telemetry_prefix = opts.get("telemetry", "");
+  if (!telemetry_prefix.empty()) telemetry::set_enabled(true);
 
   // Reference: fault-free run.
   double clean_norm = 0.0;
@@ -141,15 +207,24 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Faulty run: power off a node halfway through.
+  // Faulty run: power off a node mid-commit, inside the flush window between
+  // the two checkpoint halves (CASE 2 — the sealed epoch must still recover).
+  std::uint64_t restores_before = 0;
+  {
+    const auto snap = telemetry::metrics().snapshot();
+    const auto it = snap.counters.find("ckpt.restores");
+    if (it != snap.counters.end()) restores_before = it->second;
+  }
   double faulty_norm = -1.0;
   int restarts = 0;
   {
     sim::Cluster cluster({.num_nodes = ranks, .spare_nodes = 2, .nodes_per_rack = 4});
     sim::FailureInjector injector;
-    injector.add_rule({.point = "jacobi.sweep",
+    const int kill_commit =
+        ckpt_every > 0 ? std::max<int>(1, static_cast<int>(iterations / (2 * ckpt_every))) : 1;
+    injector.add_rule({.point = "ckpt.mid_flush",
                        .world_rank = ranks / 2,
-                       .hit = static_cast<int>(iterations / 2),
+                       .hit = kill_commit,
                        .repeat = false});
     mpi::JobLauncher launcher(cluster, &injector, {.max_restarts = 2});
     const auto result = launcher.run(ranks, [&](mpi::Comm& w) {
@@ -163,6 +238,32 @@ int main(int argc, char** argv) {
   }
 
   const bool identical = clean_norm == faulty_norm;
+  bool telemetry_ok = true;
+  if (!telemetry_prefix.empty()) {
+    telemetry_ok = validate_telemetry(restores_before);
+
+    const std::string trace_path = telemetry_prefix + "_trace.json";
+    if (!telemetry::Tracer::instance().export_chrome_trace(trace_path)) {
+      std::printf("telemetry: could not write %s\n", trace_path.c_str());
+      telemetry_ok = false;
+    }
+
+    telemetry::RunReport report("ft_jacobi");
+    report.set("grid_n", grid_n);
+    report.set("ranks", static_cast<std::int64_t>(ranks));
+    report.set("iterations", iterations);
+    report.set("ckpt_every", ckpt_every);
+    report.set("clean_norm", clean_norm);
+    report.set("faulty_norm", faulty_norm);
+    report.set("restarts", static_cast<std::int64_t>(restarts));
+    report.set("identical", identical);
+    const std::string report_path = telemetry_prefix + "_report.json";
+    if (!report.write(report_path)) {
+      std::printf("telemetry: could not write %s\n", report_path.c_str());
+      telemetry_ok = false;
+    }
+  }
+
   std::printf("\n=== fault-tolerant Jacobi ===\n");
   util::Table table({"metric", "value"});
   table.add_row({"grid", std::to_string(grid_n) + " x " + std::to_string(grid_n)});
@@ -171,6 +272,9 @@ int main(int argc, char** argv) {
   table.add_row({"recovered field norm", util::format("{:.9e}", faulty_norm)});
   table.add_row({"node losses survived", std::to_string(restarts)});
   table.add_row({"bitwise identical result", identical ? "yes" : "NO"});
+  if (!telemetry_prefix.empty()) {
+    table.add_row({"telemetry artifacts", telemetry_ok ? "written + validated" : "INCOMPLETE"});
+  }
   table.print();
-  return identical ? 0 : 1;
+  return identical && telemetry_ok ? 0 : 1;
 }

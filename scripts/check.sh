@@ -20,4 +20,12 @@ cmake --build build-asan -j --target \
   -R '^(test_mailbox|test_comm|test_collectives|test_comm_properties|test_encoding)$' -j)
 
 echo
+echo "=== sanitizers: tsan on telemetry suite ==="
+# Rank threads record into the shared registry/tracer concurrently while
+# tests snapshot them — exactly the interleavings TSan exists to check.
+cmake -B build-tsan -S . -DSKT_SANITIZE_THREAD=ON >/dev/null
+cmake --build build-tsan -j --target test_telemetry test_util
+(cd build-tsan && ctest --output-on-failure -R '^(test_telemetry|test_util)$' -j)
+
+echo
 echo "all checks passed"

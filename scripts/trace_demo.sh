@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Produce a sample Chrome trace from the fault-tolerant Jacobi demo with
+# one injected mid-commit node kill, ready to open in chrome://tracing or
+# https://ui.perfetto.dev. Writes (by default, override with $1):
+#   out/trace_demo_trace.json    the span timeline, including the
+#                                "fail:ckpt.mid_flush" instant, the
+#                                launcher recovery cycle, and the restore
+#   out/trace_demo_report.json   the matching RunReport
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+prefix="${1:-out/trace_demo}"
+mkdir -p "$(dirname "$prefix")"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target ft_jacobi
+
+build/examples/ft_jacobi --grid 128 --ranks 4 --iters 60 --ckpt-every 10 \
+  --telemetry "$prefix"
+
+echo
+echo "trace written: ${prefix}_trace.json (load it in https://ui.perfetto.dev)"
+echo "report written: ${prefix}_report.json"

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "telemetry/trace.hpp"
 #include "util/clock.hpp"
 
 namespace skt::ckpt {
@@ -46,11 +47,13 @@ std::span<std::byte> BlcrCheckpoint::user_state() { return user_; }
 
 CommitStats BlcrCheckpoint::commit(CommCtx ctx) {
   require_open();
+  SKT_SPAN("ckpt.commit");
   ctx.group.failpoint("ckpt.begin");
   ctx.world.barrier();
 
   CommitStats stats;
   stats.epoch = epoch_ + 1;
+  telemetry::set_epoch(stats.epoch);
 
   std::vector<std::byte> image(app_.size() + user_.size());
   std::memcpy(image.data(), app_.data(), app_.size());
@@ -58,9 +61,12 @@ CommitStats BlcrCheckpoint::commit(CommCtx ctx) {
   ctx.group.failpoint("ckpt.mid_update");
 
   util::WallTimer timer;
-  params_.vault->put(image_key(stats.epoch), image);
-  stats.device_s = device_.write_seconds(image.size());
-  ctx.group.charge_virtual(stats.device_s);
+  {
+    SKT_SPAN("ckpt.flush");
+    params_.vault->put(image_key(stats.epoch), image);
+    stats.device_s = device_.write_seconds(image.size());
+    ctx.group.charge_virtual(stats.device_s);
+  }
   stats.flush_s = timer.seconds();
   ctx.group.failpoint("ckpt.flushed");
 
@@ -71,12 +77,14 @@ CommitStats BlcrCheckpoint::commit(CommCtx ctx) {
   epoch_ = stats.epoch;
   stats.checkpoint_bytes = image.size();
   ctx.group.record_time("checkpoint", stats.device_s + stats.flush_s);
+  record_commit_telemetry(stats);
   ctx.world.barrier();
   return stats;
 }
 
 RestoreStats BlcrCheckpoint::restore(CommCtx ctx) {
   require_open();
+  SKT_SPAN("ckpt.restore");
   ctx.group.failpoint("ckpt.restore");
 
   // The restart set is the newest epoch every rank has on disk.
@@ -100,6 +108,7 @@ RestoreStats BlcrCheckpoint::restore(CommCtx ctx) {
 
   stats.rebuild_s = timer.seconds() + read_s;
   ctx.group.record_time("recover", stats.rebuild_s);
+  record_restore_telemetry(stats);
   ctx.world.barrier();
   return stats;
 }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 
 #include "ckpt/epoch.hpp"
+#include "telemetry/trace.hpp"
 #include "util/clock.hpp"
 
 namespace skt::ckpt {
@@ -122,6 +124,7 @@ std::size_t IncrementalSelfCheckpoint::dirty_bytes() const {
 
 CommitStats IncrementalSelfCheckpoint::commit(CommCtx ctx) {
   require_open();
+  SKT_SPAN("ckpt.commit");
   Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
                           static_cast<std::uint32_t>(group_size_), kIncrementalTag);
   const std::uint64_t next =
@@ -154,12 +157,14 @@ CommitStats IncrementalSelfCheckpoint::commit(CommCtx ctx) {
 
   CommitStats stats;
   stats.epoch = next;
+  telemetry::set_epoch(next);
   ctx.group.failpoint("ckpt.encode_begin");
   const double encode_virtual_before = ctx.group.virtual_seconds();
   util::WallTimer encode_timer;
   last_encoded_families_ = 0;
   std::vector<std::byte> diff(stripe);
   std::vector<std::byte> reduced(stripe);
+  std::optional<telemetry::Span> encode_span{std::in_place, "ckpt.encode"};
   for (int f = 0; f < n; ++f) {
     if (!global_dirty[static_cast<std::size_t>(f)]) {
       // Nobody touched this family: the old checksum still describes the
@@ -187,6 +192,7 @@ CommitStats IncrementalSelfCheckpoint::commit(CommCtx ctx) {
       for (std::size_t i = 0; i < stripe; ++i) d[i] = c[i] ^ reduced[i];
     }
   }
+  encode_span.reset();
   stats.encode_s = encode_timer.seconds();
   stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
   ctx.group.failpoint("ckpt.encode_done");
@@ -200,14 +206,17 @@ CommitStats IncrementalSelfCheckpoint::commit(CommCtx ctx) {
   // Flush only the dirty stripes (plus the small checksum).
   util::WallTimer flush_timer;
   std::size_t flushed = 0;
-  for (std::size_t s = 0; s < dirty_.size(); ++s) {
-    if (!dirty_[s]) continue;
-    std::memcpy(ckpt_b_->bytes().data() + s * stripe, work_->bytes().data() + s * stripe,
-                stripe);
-    flushed += stripe;
+  {
+    SKT_SPAN("ckpt.flush");
+    for (std::size_t s = 0; s < dirty_.size(); ++s) {
+      if (!dirty_[s]) continue;
+      std::memcpy(ckpt_b_->bytes().data() + s * stripe, work_->bytes().data() + s * stripe,
+                  stripe);
+      flushed += stripe;
+    }
+    ctx.group.failpoint("ckpt.mid_flush");
+    std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), stripe);
   }
-  ctx.group.failpoint("ckpt.mid_flush");
-  std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), stripe);
   stats.flush_s = flush_timer.seconds();
   std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
   h.bc_epoch = next;
@@ -218,11 +227,13 @@ CommitStats IncrementalSelfCheckpoint::commit(CommCtx ctx) {
   stats.checkpoint_bytes = flushed;
   stats.checksum_bytes = stripe;
   ctx.group.record_time("checkpoint", stats.encode_s + stats.flush_s);
+  record_commit_telemetry(stats);
   return stats;
 }
 
 RestoreStats IncrementalSelfCheckpoint::restore(CommCtx ctx) {
   require_open();
+  SKT_SPAN("ckpt.restore");
   ctx.group.failpoint("ckpt.restore");
 
   const Header mine = load_header(header_);
@@ -285,6 +296,7 @@ RestoreStats IncrementalSelfCheckpoint::restore(CommCtx ctx) {
   stats.rebuilt_member =
       std::find(missing.begin(), missing.end(), ctx.group.rank()) != missing.end();
   ctx.group.record_time("recover", stats.rebuild_s);
+  record_restore_telemetry(stats);
   ctx.world.barrier();
   return stats;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ckpt/factory.hpp"
+#include "telemetry/trace.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -86,6 +87,7 @@ CommitStats MultiLevelCheckpoint::commit(CommCtx ctx) {
 }
 
 void MultiLevelCheckpoint::flush_to_disk(CommCtx ctx, std::uint64_t epoch) {
+  SKT_SPAN("ckpt.l2_flush");
   ctx.group.failpoint("ckpt.l2_flush");
   std::vector<std::byte> image(params_.data_bytes + params_.user_bytes);
   std::memcpy(image.data(), inner_->data().data(), params_.data_bytes);
@@ -116,6 +118,7 @@ RestoreStats MultiLevelCheckpoint::restore(CommCtx ctx) {
     SKT_LOG_WARN("multi-level: level 1 unrecoverable ({}); trying disk level", e.what());
   }
   // Level 2: agree on the newest epoch present on every rank's disk.
+  SKT_SPAN("ckpt.l2_restore");
   const std::uint64_t target =
       ctx.world.allreduce_value<std::uint64_t>(newest_disk_epoch(), mpi::Min{});
   if (target == 0) {
@@ -143,6 +146,7 @@ RestoreStats MultiLevelCheckpoint::restore(CommCtx ctx) {
   used_disk_ = true;
   disk_epoch_ = target;
   ctx.group.record_time("recover", stats.rebuild_s);
+  record_restore_telemetry(stats);
   return stats;
 }
 

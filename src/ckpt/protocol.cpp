@@ -1,0 +1,38 @@
+#include "ckpt/protocol.hpp"
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace skt::ckpt {
+
+void record_commit_telemetry(const CommitStats& stats) {
+  telemetry::set_epoch(stats.epoch);
+  auto& reg = telemetry::metrics();
+  static telemetry::Counter& commits = reg.counter("ckpt.commits");
+  static telemetry::Counter& ckpt_bytes = reg.counter("ckpt.checkpoint_bytes");
+  static telemetry::Counter& sum_bytes = reg.counter("ckpt.checksum_bytes");
+  static telemetry::Histogram& h_encode = reg.histogram("ckpt.encode_s");
+  static telemetry::Histogram& h_flush = reg.histogram("ckpt.flush_s");
+  static telemetry::Histogram& h_device = reg.histogram("ckpt.device_s");
+  static telemetry::Histogram& h_total = reg.histogram("ckpt.commit_s");
+  commits.increment();
+  ckpt_bytes.add(stats.checkpoint_bytes);
+  sum_bytes.add(stats.checksum_bytes);
+  h_encode.record(stats.encode_s + stats.encode_virtual_s);
+  h_flush.record(stats.flush_s);
+  if (stats.device_s > 0.0) h_device.record(stats.device_s);
+  h_total.record(stats.total_s());
+}
+
+void record_restore_telemetry(const RestoreStats& stats) {
+  telemetry::set_epoch(stats.epoch);
+  auto& reg = telemetry::metrics();
+  static telemetry::Counter& restores = reg.counter("ckpt.restores");
+  static telemetry::Counter& rebuilds = reg.counter("ckpt.rebuilt_members");
+  static telemetry::Histogram& h_rebuild = reg.histogram("ckpt.restore_s");
+  restores.increment();
+  if (stats.rebuilt_member) rebuilds.increment();
+  h_rebuild.record(stats.rebuild_s);
+}
+
+}  // namespace skt::ckpt

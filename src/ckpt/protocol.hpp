@@ -62,6 +62,17 @@ struct RestoreStats {
   bool rebuilt_member = false;  ///< true on the rank that was reconstructed
 };
 
+/// Publish a finished commit into the process-wide telemetry registry:
+/// ckpt.* phase histograms (encode/flush/device/total seconds), byte
+/// counters, and the commit counter. Also stamps the epoch onto this
+/// thread's subsequent trace spans. Every protocol calls this at the end
+/// of commit() so run reports aggregate identically across strategies.
+void record_commit_telemetry(const CommitStats& stats);
+
+/// Restore-side counterpart: ckpt.restore_s histogram, restore/rebuild
+/// counters, and the trace epoch.
+void record_restore_telemetry(const RestoreStats& stats);
+
 /// Thrown when no consistent checkpoint can recover the data (e.g. the
 /// single-checkpoint strategy killed inside its update window, or two
 /// failures in one group).

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ckpt/epoch.hpp"
+#include "telemetry/trace.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -84,6 +85,7 @@ std::span<std::byte> SelfCheckpoint::user_state() { return user_; }
 
 CommitStats SelfCheckpoint::commit(CommCtx ctx) {
   require_open();
+  SKT_SPAN("ckpt.commit");
   Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
                           static_cast<std::uint32_t>(ctx.group.size()),
                           static_cast<std::uint32_t>(params_.codec) |
@@ -104,30 +106,40 @@ CommitStats SelfCheckpoint::commit(CommCtx ctx) {
   // Step 3: encode the working side's checksum D.
   CommitStats stats;
   stats.epoch = next;
+  telemetry::set_epoch(next);
   ctx.group.failpoint("ckpt.encode_begin");
   const double encode_virtual_before = ctx.group.virtual_seconds();
   const std::uint64_t wire_before = ctx.group.runtime().wire_bytes();
   util::WallTimer encode_timer;
-  coder_->encode(ctx.group, work_->bytes(), check_d_->bytes());
+  {
+    SKT_SPAN("ckpt.encode");
+    coder_->encode(ctx.group, work_->bytes(), check_d_->bytes());
+  }
   stats.encode_s = encode_timer.seconds();
   stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
   stats.encode_wire_bytes = ctx.group.runtime().wire_bytes() - wire_before;
   ctx.group.failpoint("ckpt.encode_done");
 
-  // Seal: after this global barrier every rank knows D is complete
-  // everywhere, so (work, D) becomes a valid recovery set.
-  ctx.world.barrier();
-  h.d_epoch = next;
-  store_header(header_, h);
-  ctx.group.failpoint("ckpt.sealed");
-  ctx.world.barrier();
+  {
+    // Seal: after this global barrier every rank knows D is complete
+    // everywhere, so (work, D) becomes a valid recovery set.
+    SKT_SPAN("ckpt.seal");
+    ctx.world.barrier();
+    h.d_epoch = next;
+    store_header(header_, h);
+    ctx.group.failpoint("ckpt.sealed");
+    ctx.world.barrier();
+  }
 
   // Step 4: flush the working side over the old checkpoint. A failure here
   // is CASE 2 of Fig. 4 — recovery uses (work, D).
   util::WallTimer flush_timer;
-  std::memcpy(ckpt_b_->bytes().data(), work_->bytes().data(), work_->size());
-  ctx.group.failpoint("ckpt.mid_flush");
-  std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
+  {
+    SKT_SPAN("ckpt.flush");
+    std::memcpy(ckpt_b_->bytes().data(), work_->bytes().data(), work_->size());
+    ctx.group.failpoint("ckpt.mid_flush");
+    std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
+  }
   stats.flush_s = flush_timer.seconds();
   h.bc_epoch = next;
   store_header(header_, h);
@@ -137,11 +149,13 @@ CommitStats SelfCheckpoint::commit(CommCtx ctx) {
   stats.checkpoint_bytes = work_->size();
   stats.checksum_bytes = check_d_->size();
   ctx.group.record_time("checkpoint", stats.encode_s + stats.flush_s);
+  record_commit_telemetry(stats);
   return stats;
 }
 
 RestoreStats SelfCheckpoint::restore(CommCtx ctx) {
   require_open();
+  SKT_SPAN("ckpt.restore");
   ctx.group.failpoint("ckpt.restore");
 
   const Header mine = load_header(header_);
@@ -219,6 +233,7 @@ RestoreStats SelfCheckpoint::restore(CommCtx ctx) {
   stats.rebuilt_member =
       std::find(missing.begin(), missing.end(), ctx.group.rank()) != missing.end();
   ctx.group.record_time("recover", stats.rebuild_s);
+  record_restore_telemetry(stats);
   ctx.world.barrier();
   return stats;
 }

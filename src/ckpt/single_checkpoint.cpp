@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ckpt/epoch.hpp"
+#include "telemetry/trace.hpp"
 #include "util/clock.hpp"
 
 namespace skt::ckpt {
@@ -62,6 +63,7 @@ std::span<std::byte> SingleCheckpoint::user_state() { return user_; }
 
 CommitStats SingleCheckpoint::commit(CommCtx ctx) {
   require_open();
+  SKT_SPAN("ckpt.commit");
   Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
                           static_cast<std::uint32_t>(ctx.group.size()),
                           static_cast<std::uint32_t>(params_.codec));
@@ -79,15 +81,22 @@ CommitStats SingleCheckpoint::commit(CommCtx ctx) {
 
   CommitStats stats;
   stats.epoch = next;
+  telemetry::set_epoch(next);
   util::WallTimer flush_timer;
-  std::memcpy(ckpt_b_->bytes().data(), app_.data(), app_.size());
-  std::memcpy(ckpt_b_->bytes().data() + app_.size(), user_.data(), user_.size());
+  {
+    SKT_SPAN("ckpt.flush");
+    std::memcpy(ckpt_b_->bytes().data(), app_.data(), app_.size());
+    std::memcpy(ckpt_b_->bytes().data() + app_.size(), user_.data(), user_.size());
+  }
   stats.flush_s = flush_timer.seconds();
   ctx.group.failpoint("ckpt.mid_update");
 
   const double encode_virtual_before = ctx.group.virtual_seconds();
   util::WallTimer encode_timer;
-  codec_->encode(ctx.group, ckpt_b_->bytes(), check_c_->bytes());
+  {
+    SKT_SPAN("ckpt.encode");
+    codec_->encode(ctx.group, ckpt_b_->bytes(), check_c_->bytes());
+  }
   stats.encode_s = encode_timer.seconds();
   stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
   ctx.group.failpoint("ckpt.encode_done");
@@ -101,11 +110,13 @@ CommitStats SingleCheckpoint::commit(CommCtx ctx) {
   stats.checkpoint_bytes = ckpt_b_->size();
   stats.checksum_bytes = check_c_->size();
   ctx.group.record_time("checkpoint", stats.total_s());
+  record_commit_telemetry(stats);
   return stats;
 }
 
 RestoreStats SingleCheckpoint::restore(CommCtx ctx) {
   require_open();
+  SKT_SPAN("ckpt.restore");
   ctx.group.failpoint("ckpt.restore");
 
   const Header mine = load_header(header_);
@@ -150,6 +161,7 @@ RestoreStats SingleCheckpoint::restore(CommCtx ctx) {
   stats.rebuild_s = timer.seconds();
   stats.rebuilt_member = !missing.empty() && missing.front() == ctx.group.rank();
   ctx.group.record_time("recover", stats.rebuild_s);
+  record_restore_telemetry(stats);
   ctx.world.barrier();
   return stats;
 }

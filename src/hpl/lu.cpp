@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "hpl/blas.hpp"
+#include "telemetry/trace.hpp"
 #include "util/rng.hpp"
 
 namespace skt::hpl {
@@ -129,10 +130,15 @@ void lu_factorize(mpi::Grid& grid, DistMatrix& a, std::int64_t n, std::int64_t s
     const int pcolk = static_cast<int>(k % grid.Q());
     const int prowk = static_cast<int>(k % grid.P());
 
+    SKT_SPAN("hpl.iteration");
+
     // (a) Panel factorization within the owning process column.
     std::vector<std::int64_t> piv(static_cast<std::size_t>(w));
     std::vector<double> pivvals(static_cast<std::size_t>(w));
-    if (pc == pcolk) factor_panel(grid, a, j0, w, piv, pivvals);
+    {
+      SKT_SPAN("hpl.panel");
+      if (pc == pcolk) factor_panel(grid, a, j0, w, piv, pivvals);
+    }
 
     // (b) Pivot list (and, when requested, pivot values) to every column.
     grid.row().bcast<std::int64_t>(pcolk, piv);
@@ -199,6 +205,7 @@ void lu_factorize(mpi::Grid& grid, DistMatrix& a, std::int64_t n, std::int64_t s
     const std::int64_t li1 = a.rows().local_lower_bound(pr, j0 + w);
     const std::int64_t tr = a.lrows() - li1;
     if (tr > 0 && tc > 0) {
+      SKT_SPAN("hpl.update");
       const double* l21 = strip.data() + static_cast<std::size_t>((li1 - li0) * w);
       blas::gemm_minus(tr, tc, w, l21, w, u12.data(), tc, &a.at(li1, lc1), a.ld());
     }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "hpl/dist_matrix.hpp"
+#include "telemetry/trace.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -83,6 +84,7 @@ SktHplResult run_skt_hpl(mpi::Comm& world, const SktHplConfig& config) {
     // Restart path (Fig. 9): restore data + loop position from the
     // checkpoint and skip generation.
     util::WallTimer restore_timer;
+    SKT_SPAN("hpl.restore");
     const ckpt::RestoreStats rs = protocol->restore(ctx);
     result.restored = true;
     result.restore_s = restore_timer.seconds();
@@ -104,6 +106,7 @@ SktHplResult run_skt_hpl(mpi::Comm& world, const SktHplConfig& config) {
   const PanelHook hook = [&](std::int64_t next_panel) {
     world.failpoint("hpl.panel");
     if (config.ckpt_every_panels > 0 && next_panel % config.ckpt_every_panels == 0) {
+      SKT_SPAN("hpl.commit");
       state->next_panel = next_panel;
       const ckpt::CommitStats stats = protocol->commit(ctx);
       ++result.checkpoints;

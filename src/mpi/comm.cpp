@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "telemetry/trace.hpp"
 #include "util/rng.hpp"
 
 namespace skt::mpi {
@@ -65,6 +66,8 @@ std::vector<std::byte> Comm::recv_any(int src, Tag tag) {
 }
 
 void Comm::barrier() {
+  static telemetry::Counter& calls = telemetry::metrics().counter("mpi.coll.barriers");
+  calls.increment();
   const Tag seq = next_seq();
   const int n = size();
   const std::byte token{0};
@@ -79,6 +82,9 @@ void Comm::barrier() {
 
 void Comm::bcast_bytes(int root, std::span<std::byte> data) {
   if (root < 0 || root >= size()) throw std::invalid_argument("bcast: bad root");
+  static telemetry::Histogram& h_bytes =
+      telemetry::metrics().histogram("mpi.coll.bcast_bytes", 1.0);
+  h_bytes.record(static_cast<double>(data.size()));
   const Tag seq = next_seq();
   const int n = size();
   const int relr = relative_rank(root);
@@ -104,6 +110,9 @@ void Comm::bcast_bytes(int root, std::span<std::byte> data) {
 void Comm::bcast_pipeline(int root, std::span<std::byte> data, std::size_t chunk_bytes) {
   if (root < 0 || root >= size()) throw std::invalid_argument("bcast_pipeline: bad root");
   if (chunk_bytes == 0) throw std::invalid_argument("bcast_pipeline: zero chunk size");
+  static telemetry::Histogram& h_bytes =
+      telemetry::metrics().histogram("mpi.coll.bcast_pipeline_bytes", 1.0);
+  h_bytes.record(static_cast<double>(data.size()));
   const int n = size();
   if (n == 1 || data.empty()) return;
   const Tag seq = next_seq();
@@ -161,6 +170,9 @@ void Comm::failpoint(std::string_view name) {
   const std::optional<int> victim = injector->should_kill(name, world_rank());
   if (!victim.has_value()) return;
   const int victim_rank = *victim < 0 ? world_rank() : *victim;
+  // Mark the kill on the triggering rank's trace row before it unwinds, so
+  // the exported timeline shows which protocol step the failure landed in.
+  telemetry::instant("fail:" + std::string(name));
   rt_->cluster().power_off(rt_->node_id_of(victim_rank),
                            "failpoint '" + std::string(name) + "' (triggered by rank " +
                                std::to_string(world_rank()) + ")");

@@ -19,6 +19,7 @@
 #include "mpi/ops.hpp"
 #include "mpi/runtime.hpp"
 #include "sim/node.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace skt::mpi {
 
@@ -163,6 +164,11 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     if (root < 0 || root >= size()) throw std::invalid_argument("reduce: bad root");
     if (chunk_bytes == 0) throw std::invalid_argument("reduce: zero chunk size");
+    // Payload-size histogram per collective; the registry reference is
+    // resolved once per call site (see telemetry/metrics.hpp).
+    static telemetry::Histogram& h_bytes =
+        telemetry::metrics().histogram("mpi.coll.reduce_bytes", 1.0);
+    h_bytes.record(static_cast<double>(in.size() * sizeof(T)));
     if (rank_ == root && out.size() != in.size()) {
       throw std::invalid_argument("reduce: bad out size at root");
     }
@@ -236,6 +242,9 @@ class Comm {
       if (b.size() != count) throw std::invalid_argument("reduce_scatter: unequal block sizes");
     }
     if (chunk_bytes == 0) throw std::invalid_argument("reduce_scatter: zero chunk size");
+    static telemetry::Histogram& h_bytes =
+        telemetry::metrics().histogram("mpi.coll.reduce_scatter_bytes", 1.0);
+    h_bytes.record(static_cast<double>(static_cast<std::size_t>(n) * count * sizeof(T)));
     const Tag seq = next_seq();
     if (n == 1) {
       if (out.data() != blocks[0].data() && count > 0) {
@@ -339,6 +348,9 @@ class Comm {
   template <typename T, typename Op>
   void allreduce(std::span<const T> in, std::span<T> out, Op op) {
     if (out.size() != in.size()) throw std::invalid_argument("allreduce: size mismatch");
+    static telemetry::Histogram& h_bytes =
+        telemetry::metrics().histogram("mpi.coll.allreduce_bytes", 1.0);
+    h_bytes.record(static_cast<double>(in.size() * sizeof(T)));
     if (size() > 2 && in.size() % static_cast<std::size_t>(size()) == 0 &&
         in.size() * sizeof(T) >= kRingMinBytes) {
       allreduce_ring<T, Op>(in, out, op);
@@ -362,6 +374,9 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<T> gather(int root, std::span<const T> in) {
     static_assert(std::is_trivially_copyable_v<T>);
+    static telemetry::Histogram& h_bytes =
+        telemetry::metrics().histogram("mpi.coll.gather_bytes", 1.0);
+    h_bytes.record(static_cast<double>(in.size() * sizeof(T)));
     const Tag seq = next_seq();
     const Tag tag = collective_tag(seq, 0);
     if (rank_ != root) {
@@ -393,6 +408,9 @@ class Comm {
   template <typename T>
   void scatter(int root, std::span<const T> all, std::span<T> out) {
     static_assert(std::is_trivially_copyable_v<T>);
+    static telemetry::Histogram& h_bytes =
+        telemetry::metrics().histogram("mpi.coll.scatter_bytes", 1.0);
+    h_bytes.record(static_cast<double>(out.size() * sizeof(T)));
     const Tag seq = next_seq();
     const Tag tag = collective_tag(seq, 0);
     if (rank_ == root) {

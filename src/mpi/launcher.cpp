@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "telemetry/trace.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -31,10 +32,17 @@ LaunchResult JobLauncher::run(int nranks, const std::function<void(Comm&)>& fn) 
   LaunchResult result;
   std::vector<int> ranklist = default_ranklist(cluster_, nranks, config_.ranks_per_node);
 
+  // The launcher daemon is not a rank; label its log lines (and trace row)
+  // so they don't appear prefix-less between the rank lines.
+  util::set_thread_label("launcher");
   util::WallTimer total_timer;
   for (int attempt = 0; attempt <= config_.max_restarts; ++attempt) {
-    Runtime runtime(cluster_, ranklist, injector_, config_.runtime);
-    JobResult job = runtime.run(fn);
+    JobResult job;
+    {
+      SKT_SPAN("launcher.attempt");
+      Runtime runtime(cluster_, ranklist, injector_, config_.runtime);
+      job = runtime.run(fn);
+    }
     result.total_virtual_s += job.virtual_s;
     for (const auto& [name, seconds] : job.times) {
       double& slot = result.times[name];
@@ -53,35 +61,45 @@ LaunchResult JobLauncher::run(int nranks, const std::function<void(Comm&)>& fn) 
     CycleTiming cycle;
     cycle.reason = job.abort_reason;
 
-    // Phase 1: failure detection (job-manager polling latency, virtual).
-    cycle.detect_s = config_.detect_delay_s;
-    result.total_virtual_s += config_.detect_delay_s;
+    {
+      // Phase 1: failure detection (job-manager polling latency, virtual).
+      SKT_SPAN("launcher.detect");
+      cycle.detect_s = config_.detect_delay_s;
+      result.total_virtual_s += config_.detect_delay_s;
+    }
 
     // Phase 2: health-check the ranklist and swap dead nodes for spares.
     util::WallTimer replace_timer;
     bool replaced_ok = true;
-    std::vector<int> replacement(static_cast<std::size_t>(cluster_.total_nodes()), -1);
-    for (int& node_id : ranklist) {
-      if (cluster_.node(node_id).alive()) continue;
-      int& subst = replacement[static_cast<std::size_t>(node_id)];
-      if (subst < 0) {
-        const auto spare = cluster_.take_spare();
-        if (!spare.has_value()) {
-          result.failure = "spare pool exhausted while replacing node " + std::to_string(node_id);
-          replaced_ok = false;
-          break;
+    {
+      SKT_SPAN("launcher.replace");
+      std::vector<int> replacement(static_cast<std::size_t>(cluster_.total_nodes()), -1);
+      for (int& node_id : ranklist) {
+        if (cluster_.node(node_id).alive()) continue;
+        int& subst = replacement[static_cast<std::size_t>(node_id)];
+        if (subst < 0) {
+          const auto spare = cluster_.take_spare();
+          if (!spare.has_value()) {
+            result.failure =
+                "spare pool exhausted while replacing node " + std::to_string(node_id);
+            replaced_ok = false;
+            break;
+          }
+          subst = *spare;
+          SKT_LOG_INFO("launcher: replacing dead node {} with spare node {}", node_id, subst);
         }
-        subst = *spare;
-        SKT_LOG_INFO("launcher: replacing dead node {} with spare node {}", node_id, subst);
+        node_id = subst;
       }
-      node_id = subst;
     }
     cycle.replace_s = replace_timer.seconds() + config_.replace_delay_s;
     result.total_virtual_s += config_.replace_delay_s;
 
-    // Phase 3: relaunch (charged; the real spawn happens at loop top).
-    cycle.restart_s = config_.restart_delay_s;
-    result.total_virtual_s += config_.restart_delay_s;
+    {
+      // Phase 3: relaunch (charged; the real spawn happens at loop top).
+      SKT_SPAN("launcher.restart");
+      cycle.restart_s = config_.restart_delay_s;
+      result.total_virtual_s += config_.restart_delay_s;
+    }
 
     result.cycles.push_back(std::move(cycle));
     if (!replaced_ok) break;

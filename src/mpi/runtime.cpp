@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "mpi/comm.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -47,6 +49,7 @@ JobResult Runtime::run(const std::function<void(Comm&)>& fn) {
   for (int r = 0; r < world_size(); ++r) {
     threads.emplace_back([this, r, &fn] {
       util::set_thread_context(r, world_size());
+      telemetry::set_thread_rank(r);
       try {
         Comm world = Comm::world(*this, r);
         fn(world);
@@ -57,6 +60,7 @@ JobResult Runtime::run(const std::function<void(Comm&)>& fn) {
         abort(std::string("rank ") + std::to_string(r) + " failed: " + e.what());
       }
       util::set_thread_context(-1, 0);
+      telemetry::set_thread_rank(-1);
     });
   }
   for (auto& t : threads) t.join();

@@ -20,6 +20,7 @@
 #include "mpi/mailbox.hpp"
 #include "sim/cluster.hpp"
 #include "sim/failure.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace skt::mpi {
 
@@ -98,15 +99,23 @@ class Runtime {
   /// Record a named duration; the JobResult reports the max across ranks.
   void record_time(const std::string& name, double seconds);
 
-  /// Account one sent message; called by Comm on every send.
+  /// Account one sent message; called by Comm on every send. Mirrored into
+  /// the process-wide telemetry counters so a RunReport sees cumulative
+  /// traffic across every launcher attempt, not just the last Runtime.
   void count_message(std::size_t payload_bytes) {
     wire_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
     wire_messages_.fetch_add(1, std::memory_order_relaxed);
+    static telemetry::Counter& wire = telemetry::metrics().counter("mpi.wire_bytes");
+    static telemetry::Counter& msgs = telemetry::metrics().counter("mpi.wire_messages");
+    wire.add(payload_bytes);
+    msgs.increment();
   }
   /// Account payload bytes copied through the mailbox layer (copy-sends and
   /// copy-receives); the zero-copy move/take paths never report here.
   void count_copy(std::size_t payload_bytes) {
     copied_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+    static telemetry::Counter& copied = telemetry::metrics().counter("mpi.copied_bytes");
+    copied.add(payload_bytes);
   }
   [[nodiscard]] std::uint64_t wire_bytes() const {
     return wire_bytes_.load(std::memory_order_relaxed);

@@ -1,0 +1,132 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skt::telemetry {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// CAS-free would be nicer but fetch_min/fetch_max for doubles don't exist;
+/// the loop is contested only when two threads race a new extreme.
+void atomic_min(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Histogram::record(double sample) {
+  if (!enabled()) return;
+  if (sample < 0.0 || !std::isfinite(sample)) sample = 0.0;
+
+  const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  if (n == 0) {
+    // First sample seeds min/max; racing later samples still converge via
+    // the CAS loops below.
+    min_.store(sample, std::memory_order_relaxed);
+    max_.store(sample, std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, sample);
+    atomic_max(max_, sample);
+  }
+
+  const double scaled = sample / unit_;
+  std::size_t bucket = 0;
+  if (scaled >= 1.0) {
+    bucket = std::min<std::size_t>(kBuckets - 1,
+                                   1 + static_cast<std::size_t>(std::log2(scaled)));
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+
+  const std::uint64_t slot = reservoir_next_.fetch_add(1, std::memory_order_relaxed);
+  reservoir_[slot % kReservoir].store(sample, std::memory_order_relaxed);
+}
+
+HistogramSummary Histogram::summarize() const {
+  HistogramSummary s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.mean = sum_.load(std::memory_order_relaxed) / static_cast<double>(s.count);
+  s.buckets.resize(kBuckets);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  const std::size_t held =
+      static_cast<std::size_t>(std::min<std::uint64_t>(s.count, kReservoir));
+  std::vector<double> samples(held);
+  for (std::size_t i = 0; i < held; ++i) {
+    samples[i] = reservoir_[i].load(std::memory_order_relaxed);
+  }
+  std::sort(samples.begin(), samples.end());
+  s.quantiles = util::quantiles(samples);
+  return s;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  reservoir_next_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double unit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(unit);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->summarize();
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace skt::telemetry

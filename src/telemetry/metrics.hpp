@@ -1,0 +1,132 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms shared by every rank thread of a simulated job.
+//
+// Recording is lock-free (relaxed atomics) so rank threads pay nanoseconds
+// per event; aggregation happens only at collection points (RunReport
+// emission, tests) via snapshot(). Because SimMPI runs all ranks as threads
+// of one process, a single registry IS the job-wide aggregate — per-rank
+// contributions merge in the atomics instead of over a network.
+//
+// Hot paths keep a `static Histogram&` so the name lookup (a mutex-guarded
+// map) happens once per call site, not per event. Metric objects are never
+// deleted; references stay valid for the process lifetime. reset_values()
+// zeroes every metric in place for test isolation.
+//
+// Histogram recording is additionally gated on telemetry::enabled(): when
+// telemetry is off (the default) a record() is one relaxed load + branch,
+// which keeps the telemetry-off overhead of hot loops within noise.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace skt::telemetry {
+
+/// Global on/off switch for event recording (spans, histogram samples).
+/// Counters and gauges always record — they are already how the runtime
+/// accounts wire bytes, and a relaxed add is cheaper than a branch misses.
+void set_enabled(bool on);
+bool enabled();
+
+class Counter {
+ public:
+  void add(std::uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  util::Quantiles quantiles;  ///< from the sample reservoir (exact until it wraps)
+  /// Occupancy of the 64 power-of-two buckets; bucket b counts samples in
+  /// [2^(b-1), 2^b) after scaling, bucket 0 counts samples < 1 unit.
+  std::vector<std::uint64_t> buckets;
+};
+
+/// Fixed-bucket histogram over non-negative samples (seconds, bytes).
+/// Buckets are powers of two of a configurable unit (default 1 µs for
+/// seconds-valued phases, so bucket 40 ≈ 9 minutes); quantile summaries
+/// come from a bounded sample reservoir sorted at collection time.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  static constexpr std::size_t kReservoir = 4096;
+
+  /// `unit` is the sample magnitude mapped to bucket 1 (default 1e-6: one
+  /// microsecond when recording seconds, one byte when recording bytes
+  /// scaled by callers).
+  explicit Histogram(double unit = 1e-6) : unit_(unit) {}
+
+  /// No-op unless telemetry::enabled().
+  void record(double sample);
+
+  [[nodiscard]] HistogramSummary summarize() const;
+  void reset();
+
+ private:
+  double unit_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  // Overwrite-on-wrap reservoir; slots are atomics so concurrent writers
+  // and the summarizing reader stay race-free without a lock.
+  std::atomic<std::uint64_t> reservoir_next_{0};
+  std::atomic<double> reservoir_[kReservoir]{};
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name. Returned references live forever.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, double unit = 1e-6);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every metric in place (names and references survive).
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry.
+MetricsRegistry& metrics();
+
+}  // namespace skt::telemetry

@@ -1,0 +1,115 @@
+#include "telemetry/report.hpp"
+
+#include <chrono>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#include "util/json_writer.hpp"
+#include "util/log.hpp"
+
+namespace skt::telemetry {
+namespace {
+
+void write_histogram(util::JsonWriter& w, const HistogramSummary& h) {
+  w.begin_object();
+  w.field("count", h.count);
+  w.field("min", h.min);
+  w.field("max", h.max);
+  w.field("mean", h.mean);
+  w.field("p50", h.quantiles.p50);
+  w.field("p90", h.quantiles.p90);
+  w.field("p99", h.quantiles.p99);
+  // Sparse bucket occupancy: [bucket index, count] pairs, zeros omitted.
+  w.key("buckets");
+  w.begin_array();
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    if (h.buckets[b] == 0) continue;
+    w.begin_array();
+    w.value(static_cast<std::uint64_t>(b));
+    w.value(h.buckets[b]);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+RunReport::RunReport(std::string name) : name_(std::move(name)) {}
+
+void RunReport::set_value(const std::string& key, Value v) {
+  for (auto& [k, existing] : values_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  values_.emplace_back(key, std::move(v));
+}
+
+void RunReport::set(const std::string& key, double v) { set_value(key, v); }
+void RunReport::set(const std::string& key, std::int64_t v) { set_value(key, v); }
+void RunReport::set(const std::string& key, std::uint64_t v) { set_value(key, v); }
+void RunReport::set(const std::string& key, bool v) { set_value(key, v); }
+void RunReport::set(const std::string& key, std::string_view v) {
+  set_value(key, std::string(v));
+}
+void RunReport::set(const std::string& key, const char* v) {
+  set_value(key, std::string(v));
+}
+
+std::string RunReport::json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("report", name_);
+  const double unix_seconds =
+      std::chrono::duration<double>(std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  w.field("ts_unix", unix_seconds);
+
+  w.key("values");
+  w.begin_object();
+  for (const auto& [key, value] : values_) {
+    w.key(key);
+    std::visit([&w](const auto& v) { w.value(v); }, value);
+  }
+  w.end_object();
+
+  if (include_metrics_) {
+    const MetricsSnapshot snap = metrics().snapshot();
+    w.key("metrics");
+    w.begin_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, v] : snap.counters) w.field(name, v);
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [name, v] : snap.gauges) w.field(name, v);
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
+    for (const auto& [name, h] : snap.histograms) {
+      w.key(name);
+      write_histogram(w, h);
+    }
+    w.end_object();
+    w.end_object();
+    w.field("trace_spans_dropped", Tracer::instance().total_dropped());
+  }
+
+  w.end_object();
+  return w.str();
+}
+
+bool RunReport::write(const std::string& path) const {
+  if (!util::write_json_file(path, json())) {
+    SKT_LOG_WARN("telemetry: cannot write run report {}", path);
+    return false;
+  }
+  return true;
+}
+
+bool RunReport::write() const { return write("RUN_" + name_ + ".json"); }
+
+}  // namespace skt::telemetry

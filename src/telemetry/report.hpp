@@ -1,0 +1,57 @@
+// Machine-readable run reports.
+//
+// A RunReport is the exit artifact of one run: scalar facts set by the
+// driver (matrix size, iterations, residual, verdict) plus a snapshot of
+// the metrics registry — wire/copied-byte counters and the per-phase
+// timing histograms with p50/p90/p99 — serialized as one JSON document.
+// Examples and benches write `RUN_<name>.json` / `BENCH_<name>.json`
+// next to the binary so sweeps can be diffed and plotted without scraping
+// logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace skt::telemetry {
+
+class RunReport {
+ public:
+  explicit RunReport(std::string name);
+
+  /// Record a scalar fact. Insertion order is preserved; setting an
+  /// existing key overwrites its value in place.
+  void set(const std::string& key, double v);
+  void set(const std::string& key, std::int64_t v);
+  void set(const std::string& key, std::uint64_t v);
+  void set(const std::string& key, bool v);
+  void set(const std::string& key, std::string_view v);
+  void set(const std::string& key, const char* v);
+
+  /// Include the metrics registry snapshot in the document (default on).
+  /// Benches that only publish their own scalars can switch it off.
+  void set_include_metrics(bool on) { include_metrics_ = on; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// The full report as a JSON document.
+  [[nodiscard]] std::string json() const;
+
+  /// json() to `path`; false (with a stderr warning) on I/O error.
+  bool write(const std::string& path) const;
+
+  /// write() to the conventional "RUN_<name>.json" in the working directory.
+  bool write() const;
+
+ private:
+  using Value = std::variant<double, std::int64_t, std::uint64_t, bool, std::string>;
+  std::string name_;
+  bool include_metrics_ = true;
+  std::vector<std::pair<std::string, Value>> values_;
+
+  void set_value(const std::string& key, Value v);
+};
+
+}  // namespace skt::telemetry

@@ -1,0 +1,147 @@
+#include "util/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace skt::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  out_ += '\n';
+  out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+}
+
+void JsonWriter::begin_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (need_comma_) out_ += ',';
+  if (depth_ > 0) indent();
+}
+
+void JsonWriter::begin_object() {
+  begin_value();
+  out_ += '{';
+  ++depth_;
+  need_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  if (depth_ == 0) throw std::logic_error("JsonWriter: end_object without begin_object");
+  --depth_;
+  if (need_comma_) indent();  // had members: close on its own line
+  out_ += '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  begin_value();
+  out_ += '[';
+  ++depth_;
+  need_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  if (depth_ == 0) throw std::logic_error("JsonWriter: end_array without begin_array");
+  --depth_;
+  if (need_comma_) indent();
+  out_ += ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+  if (need_comma_) out_ += ',';
+  indent();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\": ";
+  after_key_ = true;
+  need_comma_ = false;
+}
+
+void JsonWriter::value(double v) {
+  begin_value();
+  if (std::isfinite(v)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no Inf/NaN
+  }
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  begin_value();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  begin_value();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(bool v) {
+  begin_value();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  begin_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  need_comma_ = true;
+}
+
+const std::string& JsonWriter::str() const {
+  if (depth_ != 0) throw std::logic_error("JsonWriter: document has unclosed containers");
+  return out_;
+}
+
+bool write_json_file(const std::string& path, std::string_view doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fputc('\n', f);
+  std::fclose(f);
+  return ok;
+}
+
+bool write_json_file(const std::string& path, const JsonWriter& w) {
+  return write_json_file(path, std::string_view(w.str()));
+}
+
+}  // namespace skt::util

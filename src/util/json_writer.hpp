@@ -1,0 +1,73 @@
+// Streaming JSON writer with correct string escaping and nested
+// objects/arrays — the promoted replacement for the flat bench/json_report
+// emitter. Output is pretty-printed (2-space indent) so BENCH_*.json and
+// telemetry reports stay diffable in review.
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.field("name", "micro_encoding");
+//   w.key("histograms");
+//   w.begin_object();
+//   ...
+//   w.end_object();
+//   w.end_object();
+//   write_json_file("BENCH_micro_encoding.json", w);
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skt::util {
+
+/// Escape the characters JSON strings cannot hold verbatim (quote,
+/// backslash, control bytes) per RFC 8259.
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key for the next value inside an object. Must be followed by a value
+  /// or a begin_object/begin_array.
+  void key(std::string_view name);
+
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(bool v);
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+
+  /// key() + value() in one call.
+  template <typename T>
+  void field(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  /// The serialized document. Valid once every container is closed.
+  [[nodiscard]] const std::string& str() const;
+
+  [[nodiscard]] bool complete() const { return depth_ == 0 && !out_.empty(); }
+
+ private:
+  void begin_value();
+  void indent();
+
+  std::string out_;
+  int depth_ = 0;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+/// Write a completed document to `path`; returns false (and logs a warning
+/// to stderr) on I/O failure so callers can keep going.
+bool write_json_file(const std::string& path, std::string_view doc);
+bool write_json_file(const std::string& path, const JsonWriter& w);
+
+}  // namespace skt::util

@@ -4,7 +4,12 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <mutex>
+
+#include "util/json_writer.hpp"
 
 namespace skt::util {
 namespace {
@@ -14,6 +19,7 @@ std::mutex g_io_mutex;
 
 thread_local int t_rank = -1;
 thread_local int t_size = 0;
+thread_local std::string t_label;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -27,9 +33,38 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
 std::chrono::steady_clock::time_point process_start() {
   static const auto start = std::chrono::steady_clock::now();
   return start;
+}
+
+/// Wall-clock "HH:MM:SS.mmm" (local time) for the human sink.
+void format_wall_clock(char* buf, std::size_t len, double* unix_seconds) {
+  const auto now = std::chrono::system_clock::now();
+  const auto since_epoch = now.time_since_epoch();
+  const auto secs = std::chrono::duration_cast<std::chrono::seconds>(since_epoch);
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(since_epoch - secs).count();
+  if (unix_seconds != nullptr) {
+    *unix_seconds = static_cast<double>(secs.count()) + static_cast<double>(ms) * 1e-3;
+  }
+  const std::time_t tt = std::chrono::system_clock::to_time_t(now);
+  std::tm tm{};
+  localtime_r(&tt, &tm);
+  std::snprintf(buf, len, "%02d:%02d:%02d.%03d", tm.tm_hour, tm.tm_min, tm.tm_sec,
+                static_cast<int>(ms));
 }
 
 }  // namespace
@@ -57,16 +92,66 @@ void set_thread_context(int rank, int size) {
   t_size = size;
 }
 
+void set_thread_label(std::string_view label) { t_label.assign(label); }
+
+bool log_json_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("SKT_LOG_JSON");
+    return v != nullptr && std::strcmp(v, "0") != 0 && *v != '\0';
+  }();
+  return enabled;
+}
+
 void log_line(LogLevel level, std::string_view msg) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - process_start()).count();
+  char wall[16];
+  double unix_seconds = 0.0;
+  format_wall_clock(wall, sizeof(wall), &unix_seconds);
+
+  if (log_json_enabled()) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("ts", unix_seconds);
+    w.field("elapsed_s", elapsed);
+    w.field("level", level_name(level));
+    if (t_rank >= 0) {
+      w.field("rank", static_cast<std::int64_t>(t_rank));
+      w.field("size", static_cast<std::int64_t>(t_size));
+    } else if (!t_label.empty()) {
+      w.field("label", t_label);
+    }
+    w.field("msg", msg);
+    w.end_object();
+    // Re-serialize compactly: JsonWriter pretty-prints; JSON-lines must be
+    // one record per line, so strip the newlines it inserted.
+    std::string line;
+    line.reserve(w.str().size());
+    bool skip_indent = false;
+    for (const char c : w.str()) {
+      if (c == '\n') {
+        skip_indent = true;
+        continue;
+      }
+      if (skip_indent && c == ' ') continue;
+      skip_indent = false;
+      line += c;
+    }
+    std::lock_guard<std::mutex> lock(g_io_mutex);
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
+
   std::lock_guard<std::mutex> lock(g_io_mutex);
   if (t_rank >= 0) {
-    std::fprintf(stderr, "[%8.3fs] [%s] [rank %d/%d] %.*s\n", elapsed, level_tag(level), t_rank,
-                 t_size, static_cast<int>(msg.size()), msg.data());
+    std::fprintf(stderr, "[%s] [%8.3fs] [%s] [rank %d/%d] %.*s\n", wall, elapsed,
+                 level_tag(level), t_rank, t_size, static_cast<int>(msg.size()), msg.data());
+  } else if (!t_label.empty()) {
+    std::fprintf(stderr, "[%s] [%8.3fs] [%s] [%s] %.*s\n", wall, elapsed, level_tag(level),
+                 t_label.c_str(), static_cast<int>(msg.size()), msg.data());
   } else {
-    std::fprintf(stderr, "[%8.3fs] [%s] %.*s\n", elapsed, level_tag(level),
+    std::fprintf(stderr, "[%s] [%8.3fs] [%s] %.*s\n", wall, elapsed, level_tag(level),
                  static_cast<int>(msg.size()), msg.data());
   }
 }

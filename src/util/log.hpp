@@ -2,7 +2,14 @@
 //
 // Every rank thread spawned by the simulator registers itself via
 // set_thread_context(), so log lines read like mpirun output:
-//   [ 0.123s] [rank 3/16] checkpoint epoch 2 committed
+//   [12:34:56.789] [ 0.123s] [rank 3/16] checkpoint epoch 2 committed
+// Non-rank daemon threads (the launcher) register a label instead:
+//   [12:34:56.790] [ 0.124s] [launcher node 0] replacing dead node 2
+//
+// Set SKT_LOG_JSON=1 in the environment to switch the sink to one JSON
+// object per line (wall-clock `ts` in Unix seconds, `elapsed_s`, `level`,
+// `rank`/`label`, `msg`), so log lines join trace spans and RunReports in
+// the same machine-readable pipeline.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,14 @@ bool set_log_level(std::string_view name);
 /// Attach "[rank r/n]" to all subsequent messages from this thread.
 /// Pass rank < 0 to clear the prefix (e.g. for the launcher daemon).
 void set_thread_context(int rank, int size);
+
+/// Attach a "[label]" prefix to this thread's messages instead of a rank —
+/// used by non-rank daemons (the launcher logs "launcher node <id>").
+/// An empty label clears it. A rank context takes precedence when both set.
+void set_thread_label(std::string_view label);
+
+/// True when the JSON-lines sink is active (SKT_LOG_JSON=1).
+bool log_json_enabled();
 
 /// Emit one formatted line (already-formatted payload).
 void log_line(LogLevel level, std::string_view msg);

@@ -24,6 +24,24 @@ Summary summarize(std::span<const double> xs) {
   return s;
 }
 
+double quantile(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q must be in [0, 1]");
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+Quantiles quantiles(std::span<const double> sorted) {
+  Quantiles q;
+  q.p50 = quantile(sorted, 0.50);
+  q.p90 = quantile(sorted, 0.90);
+  q.p99 = quantile(sorted, 0.99);
+  return q;
+}
+
 LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
   if (xs.size() != ys.size()) throw std::invalid_argument("fit_linear: size mismatch");
   if (xs.size() < 2) throw std::invalid_argument("fit_linear: need >= 2 points");

@@ -18,6 +18,19 @@ struct Summary {
 /// Summary statistics of a sample; all-zero Summary for an empty span.
 Summary summarize(std::span<const double> xs);
 
+struct Quantiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Linear-interpolated quantile of an ascending-sorted sample; q in [0, 1].
+/// Returns 0 for an empty span. Requires `sorted` to be sorted ascending.
+double quantile(std::span<const double> sorted, double q);
+
+/// p50/p90/p99 of an ascending-sorted sample (all-zero for an empty span).
+Quantiles quantiles(std::span<const double> sorted);
+
 struct LinearFit {
   double slope = 0.0;
   double intercept = 0.0;

@@ -1,0 +1,203 @@
+// Telemetry layer: metrics aggregation across rank threads, span ring
+// semantics (wrap-around, survival of a killed node's spans), failpoint
+// instants in the exported Chrome trace, and RunReport JSON shape.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ckpt_harness.hpp"
+#include "mpi/launcher.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
+#include "testing.hpp"
+
+namespace skt::telemetry {
+namespace {
+
+using skt::testing::CkptAppConfig;
+using skt::testing::checkpointed_app;
+using skt::testing::MiniCluster;
+
+/// Every test starts from an enabled, empty registry and tracer and leaves
+/// telemetry off again (the process default other suites expect).
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    metrics().reset_values();
+    Tracer::instance().clear();
+  }
+  void TearDown() override { set_enabled(false); }
+};
+
+TEST_F(TelemetryTest, CountersAggregateAcrossRanks) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& w) {
+    // Each rank contributes rank+1; the process-wide registry IS the
+    // job-wide aggregate because ranks are threads.
+    metrics().counter("test.rank_sum").add(static_cast<std::uint64_t>(w.rank()) + 1);
+    w.barrier();
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+
+  const auto snap = metrics().snapshot();
+  ASSERT_TRUE(snap.counters.count("test.rank_sum"));
+  EXPECT_EQ(snap.counters.at("test.rank_sum"), 1u + 2u + 3u + 4u);
+  // The runtime's own wire accounting rode along (the barrier exchanged
+  // messages).
+  ASSERT_TRUE(snap.counters.count("mpi.wire_messages"));
+  EXPECT_GT(snap.counters.at("mpi.wire_messages"), 0u);
+}
+
+TEST_F(TelemetryTest, HistogramSummarizesQuantiles) {
+  Histogram& h = metrics().histogram("test.latency");
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+
+  const HistogramSummary s = h.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_NEAR(s.quantiles.p50, 50.5, 1.0);
+  EXPECT_NEAR(s.quantiles.p90, 90.1, 1.0);
+  EXPECT_NEAR(s.quantiles.p99, 99.0, 1.0);
+  std::uint64_t bucketed = 0;
+  for (const std::uint64_t b : s.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, 100u);
+}
+
+TEST_F(TelemetryTest, HistogramIsNoopWhileDisabled) {
+  Histogram& h = metrics().histogram("test.gated");
+  set_enabled(false);
+  h.record(1.0);
+  EXPECT_EQ(h.summarize().count, 0u);
+  set_enabled(true);
+  h.record(1.0);
+  EXPECT_EQ(h.summarize().count, 1u);
+}
+
+TEST_F(TelemetryTest, SpanRingWrapsAndCountsDropped) {
+  SpanRecord rec;
+  std::strncpy(rec.name, "test.flood", sizeof(rec.name) - 1);
+  rec.rank = 7;
+  const std::uint64_t extra = 10;
+  for (std::uint64_t i = 0; i < Tracer::kRingCapacity + extra; ++i) {
+    rec.t0_us = static_cast<double>(i);
+    Tracer::instance().push(rec);
+  }
+  EXPECT_EQ(Tracer::instance().total_dropped(), extra);
+  const auto records = Tracer::instance().collect();
+  ASSERT_EQ(records.size(), Tracer::kRingCapacity);
+  // Oldest entries were overwritten; the survivors are the newest ones.
+  EXPECT_DOUBLE_EQ(records.front().t0_us, static_cast<double>(extra));
+}
+
+TEST_F(TelemetryTest, NestedSpansRecordParent) {
+  {
+    SKT_SPAN("test.outer");
+    SKT_SPAN("test.inner");
+  }
+  const auto records = Tracer::instance().collect();
+  ASSERT_EQ(records.size(), 2u);
+  // Inner closes first but starts later; collect() sorts by start time.
+  EXPECT_STREQ(records[0].name, "test.outer");
+  EXPECT_STREQ(records[1].name, "test.inner");
+  EXPECT_STREQ(records[1].parent, "test.outer");
+  EXPECT_EQ(records[1].depth, 1u);
+  EXPECT_STREQ(records[0].parent, "");
+}
+
+TEST_F(TelemetryTest, DisabledSpanRecordsNothing) {
+  set_enabled(false);
+  {
+    SKT_SPAN("test.invisible");
+  }
+  EXPECT_TRUE(Tracer::instance().collect().empty());
+}
+
+// The headline scenario: a node is powered off mid-flush (CASE 2). The
+// spans its rank recorded before dying must survive in the tracer — the
+// rings belong to the process-wide Tracer, not to the dead thread — and
+// the exported trace must show the failpoint hit, the launcher recovery
+// cycle, and the restore.
+TEST_F(TelemetryTest, SpansSurviveKilledNodeAndTraceShowsRecovery) {
+  MiniCluster mc(4, 2);
+  CkptAppConfig config;
+  config.strategy = ckpt::Strategy::kSelf;
+  config.group_size = 4;
+  config.iterations = 4;
+
+  sim::FailureInjector injector;
+  injector.add_rule({.point = "ckpt.mid_flush", .world_rank = 1, .hit = 2, .repeat = false});
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 3, .ranks_per_node = 1});
+  const auto result = launcher.run(4, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  ASSERT_TRUE(result.success) << result.failure;
+  ASSERT_EQ(injector.triggered_count(), 1u);
+
+  bool saw_fail = false;
+  bool saw_restore = false;
+  bool saw_replace = false;
+  std::set<int> commit_ranks;
+  for (const auto& rec : Tracer::instance().collect()) {
+    if (std::strcmp(rec.name, "fail:ckpt.mid_flush") == 0 && rec.instant()) {
+      saw_fail = true;
+      EXPECT_EQ(rec.rank, 1);  // recorded on the victim's row before the kill
+    }
+    if (std::strcmp(rec.name, "ckpt.restore") == 0) saw_restore = true;
+    if (std::strcmp(rec.name, "launcher.replace") == 0) saw_replace = true;
+    if (std::strcmp(rec.name, "ckpt.commit") == 0) commit_ranks.insert(rec.rank);
+  }
+  EXPECT_TRUE(saw_fail);
+  EXPECT_TRUE(saw_restore);
+  EXPECT_TRUE(saw_replace);
+  // Every rank's commit spans are present — including the killed rank's
+  // pre-kill commit (epoch 1 completed before the hit-2 kill).
+  EXPECT_EQ(commit_ranks, (std::set<int>{0, 1, 2, 3}));
+
+  const auto snap = metrics().snapshot();
+  EXPECT_GT(snap.counters.at("ckpt.commits"), 0u);
+  EXPECT_GT(snap.counters.at("ckpt.restores"), 0u);
+
+  // The Chrome export carries the same evidence as named events.
+  const std::string json = Tracer::instance().chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("fail:ckpt.mid_flush"), std::string::npos);
+  EXPECT_NE(json.find("ckpt.restore"), std::string::npos);
+  EXPECT_NE(json.find("launcher.replace"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, RunReportCarriesScalarsAndMetrics) {
+  metrics().counter("test.bytes").add(42);
+  Histogram& h = metrics().histogram("test.phase_s");
+  h.record(2.0);
+  h.record(4.0);
+
+  RunReport report("unit");
+  report.set("n", static_cast<std::int64_t>(384));
+  report.set("residual", 1.5e-9);
+  report.set("passed", true);
+  report.set("strategy", "self-checkpoint");
+  report.set("n", static_cast<std::int64_t>(512));  // overwrite in place
+
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"report\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 512"), std::string::npos);
+  EXPECT_EQ(json.find("\"n\": 384"), std::string::npos);
+  EXPECT_NE(json.find("\"passed\": true"), std::string::npos);
+  EXPECT_NE(json.find("self-checkpoint"), std::string::npos);
+  EXPECT_NE(json.find("\"test.bytes\": 42"), std::string::npos);
+  EXPECT_NE(json.find("test.phase_s"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+
+  RunReport bare("bare");
+  bare.set_include_metrics(false);
+  EXPECT_EQ(bare.json().find("test.bytes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skt::telemetry

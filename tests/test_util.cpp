@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "util/format.hpp"
+#include "util/json_writer.hpp"
+#include "util/log.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -61,6 +67,96 @@ TEST(Stats, LinearFitExact) {
   EXPECT_NEAR(f.slope, 2.0, 1e-12);
   EXPECT_NEAR(f.intercept, 1.0, 1e-12);
   EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> sorted{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(sorted, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(sorted, 0.5), 25.0);   // halfway between ranks 1 and 2
+  EXPECT_DOUBLE_EQ(quantile(sorted, 0.25), 17.5);  // rank 0.75: 10 + 0.75 * 10
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{7.0}, 0.99), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Stats, QuantilesP50P90P99) {
+  std::vector<double> sorted(100);
+  for (int i = 0; i < 100; ++i) sorted[static_cast<std::size_t>(i)] = i + 1.0;
+  const Quantiles q = quantiles(sorted);
+  EXPECT_NEAR(q.p50, 50.5, 1e-9);
+  EXPECT_NEAR(q.p90, 90.1, 1e-9);
+  EXPECT_NEAR(q.p99, 99.01, 1e-9);
+  const Quantiles empty = quantiles({});
+  EXPECT_EQ(empty.p50, 0.0);
+  EXPECT_EQ(empty.p99, 0.0);
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, NestsObjectsAndArrays) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "demo \"quoted\"");
+  w.field("count", static_cast<std::int64_t>(-3));
+  w.field("ok", true);
+  w.key("histogram");
+  w.begin_object();
+  w.field("p50", 1.5);
+  w.key("buckets");
+  w.begin_array();
+  w.value(static_cast<std::uint64_t>(1));
+  w.value(static_cast<std::uint64_t>(2));
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  ASSERT_TRUE(w.complete());
+  const std::string& doc = w.str();
+  EXPECT_NE(doc.find("\"name\": \"demo \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(doc.find("\"count\": -3"), std::string::npos);
+  EXPECT_NE(doc.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(doc.find("\"p50\": 1.5"), std::string::npos);
+  // Array elements are comma-separated inside brackets.
+  const auto open = doc.find('[');
+  const auto close = doc.find(']');
+  ASSERT_NE(open, std::string::npos);
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_NE(doc.find(',', open), std::string::npos);
+  EXPECT_LT(doc.find(',', open), close);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("inf", std::numeric_limits<double>::infinity());
+  w.end_object();
+  EXPECT_NE(w.str().find("\"inf\": null"), std::string::npos);
+}
+
+TEST(JsonWriter, WriteJsonFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "skt_json_writer_test.json";
+  ASSERT_TRUE(write_json_file(path, std::string_view("{\"k\": 1}")));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "{\"k\": 1}\n");  // trailing newline appended
+}
+
+TEST(Log, JsonSinkFlagLatchesFromEnv) {
+  ::setenv("SKT_LOG_JSON", "1", 1);
+  if (!log_json_enabled()) GTEST_SKIP() << "sink flag latched before this test set the env";
+  // Exercise the compact one-record-per-line serialization path.
+  set_thread_label("test");
+  SKT_LOG_INFO("json sink smoke {}", 1);
+  set_thread_label("");
 }
 
 TEST(Stats, LinearFitRejectsDegenerate) {
