@@ -8,8 +8,8 @@
 #include <cstring>
 
 #include "bench_common.hpp"
-#include "ckpt/factory.hpp"
 #include "ckpt/plan.hpp"
+#include "ckpt/session.hpp"
 
 using namespace skt;
 
@@ -37,21 +37,18 @@ struct CodecRun {
 CodecRun run_variant(enc::CodecKind codec, int parity_degree) {
   CodecRun out;
   const auto body = [&](mpi::Comm& world, bool measure) {
-    mpi::Comm group = world.split(0, world.rank());
-    ckpt::CommCtx ctx{world, group};
-    ckpt::FactoryParams params;
-    params.key_prefix = "codec";
-    params.data_bytes = kDataBytes;
-    params.codec = codec;
-    params.parity_degree = parity_degree;
-    auto protocol = ckpt::make_protocol(ckpt::Strategy::kSelf, params);
-    const bool restored = protocol->open(ctx);
-    auto* iter = reinterpret_cast<std::uint64_t*>(protocol->user_state().data());
-    if (restored) {
-      protocol->restore(ctx);
-    } else {
+    ckpt::Session session = ckpt::SessionBuilder{}
+                                .strategy(ckpt::Strategy::kSelf)
+                                .key_prefix("codec")
+                                .data_bytes(kDataBytes)
+                                .codec(codec)
+                                .parity_degree(parity_degree)
+                                .build(world);
+    const bool restored = session.open() == ckpt::OpenOutcome::kRestored;
+    auto* iter = reinterpret_cast<std::uint64_t*>(session.user_state().data());
+    if (!restored) {
       *iter = 0;
-      fill_data(protocol->data(), world.rank());
+      fill_data(session.data(), world.rank());
     }
     double total = 0.0;
     int commits = 0;
@@ -59,14 +56,14 @@ CodecRun run_variant(enc::CodecKind codec, int parity_degree) {
     while (*iter < 4) {
       world.failpoint("codec.work");
       *iter += 1;
-      const ckpt::CommitStats stats = protocol->commit(ctx);
+      const ckpt::CommitStats stats = session.commit();
       total += stats.encode_s;
       redundancy = stats.checksum_bytes;
       ++commits;
     }
     if (measure && world.rank() == 0 && commits > 0) {
       out.encode_s = total / commits;
-      out.memory = protocol->memory_bytes();
+      out.memory = session.memory_bytes();
       out.redundancy = redundancy;
     }
   };

@@ -15,8 +15,8 @@
 #include <functional>
 
 #include "bench_common.hpp"
-#include "ckpt/factory.hpp"
 #include "ckpt/grouping.hpp"
+#include "ckpt/session.hpp"
 
 using namespace skt;
 
@@ -48,20 +48,17 @@ void checkpointed_loop(mpi::Comm& world, ckpt::Mapping mapping, int iterations,
     }
     *min_racks = lo;
   }
-  mpi::Comm group = ckpt::make_group_comm(world, assignment);
-  ckpt::CommCtx ctx{world, group};
-
-  ckpt::FactoryParams params;
-  params.key_prefix = "abl";
-  params.data_bytes = kDataBytes;
-  auto protocol = ckpt::make_protocol(ckpt::Strategy::kSelf, params);
-  const bool restored = protocol->open(ctx);
-  auto* iter = reinterpret_cast<std::uint64_t*>(protocol->user_state().data());
-  if (restored) {
-    protocol->restore(ctx);
-  } else {
+  ckpt::Session session = ckpt::SessionBuilder{}
+                              .strategy(ckpt::Strategy::kSelf)
+                              .key_prefix("abl")
+                              .data_bytes(kDataBytes)
+                              .group(ckpt::make_group_comm(world, assignment))
+                              .build(world);
+  const bool restored = session.open() == ckpt::OpenOutcome::kRestored;
+  auto* iter = reinterpret_cast<std::uint64_t*>(session.user_state().data());
+  if (!restored) {
     *iter = 0;
-    std::memset(protocol->data().data(), 0x3c, protocol->data().size());
+    std::memset(session.data().data(), 0x3c, session.data().size());
   }
   double virt = 0.0;
   int commits = 0;
@@ -69,7 +66,7 @@ void checkpointed_loop(mpi::Comm& world, ckpt::Mapping mapping, int iterations,
     world.failpoint("abl.work");
     if (hook) hook(world, *iter);
     *iter += 1;
-    const ckpt::CommitStats stats = protocol->commit(ctx);
+    const ckpt::CommitStats stats = session.commit();
     virt += stats.encode_virtual_s;
     ++commits;
   }

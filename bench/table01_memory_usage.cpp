@@ -5,8 +5,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "ckpt/factory.hpp"
 #include "ckpt/plan.hpp"
+#include "ckpt/session.hpp"
 #include "storage/device.hpp"
 
 using namespace skt;
@@ -21,14 +21,15 @@ std::size_t measured_footprint(ckpt::Strategy strategy, int group, std::size_t m
   spec.ranks = group;
   spec.spares = 0;
   (void)bench::run_job(spec, [&](mpi::Comm& world) {
-    ckpt::FactoryParams params;
-    params.key_prefix = "t1";
-    params.data_bytes = m;
-    params.vault = &vault;
-    params.device = storage::ssd_profile();
-    auto protocol = ckpt::make_protocol(strategy, params);
-    protocol->open({world, world});
-    if (world.rank() == 0) bytes = protocol->memory_bytes();
+    ckpt::Session session = ckpt::SessionBuilder{}
+                                .strategy(strategy)
+                                .key_prefix("t1")
+                                .data_bytes(m)
+                                .vault(&vault)
+                                .device(storage::ssd_profile())
+                                .build(world);
+    (void)session.open();
+    if (world.rank() == 0) bytes = session.memory_bytes();
   });
   return bytes;
 }

@@ -6,7 +6,7 @@
 
 #include <cstddef>
 
-#include "ckpt/factory.hpp"
+#include "ckpt/session.hpp"
 #include "mpi/launcher.hpp"
 #include "storage/device.hpp"
 #include "storage/snapshot_vault.hpp"
@@ -26,30 +26,28 @@ inline StrategyProbe probe_strategy(ckpt::Strategy strategy, int ranks, int grou
   storage::SnapshotVault vault;
 
   const auto app = [&](mpi::Comm& world, bool* done) {
-    mpi::Comm group = world.split(world.rank() / group_size, world.rank());
-    ckpt::CommCtx ctx{world, group};
-    ckpt::FactoryParams params;
-    params.key_prefix = "probe";
-    params.data_bytes = data_bytes;
-    params.vault = &vault;
-    params.device = storage::ssd_profile();
-    auto protocol = ckpt::make_protocol(strategy, params);
-    const bool restored = protocol->open(ctx);
-    auto* iter = reinterpret_cast<std::uint64_t*>(protocol->user_state().data());
-    if (restored) {
-      protocol->restore(ctx);
-    } else {
+    ckpt::Session session = ckpt::SessionBuilder{}
+                                .strategy(strategy)
+                                .key_prefix("probe")
+                                .data_bytes(data_bytes)
+                                .group_size(group_size)
+                                .vault(&vault)
+                                .device(storage::ssd_profile())
+                                .build(world);
+    const bool restored = session.open() == ckpt::OpenOutcome::kRestored;
+    auto* iter = reinterpret_cast<std::uint64_t*>(session.user_state().data());
+    if (!restored) {
       *iter = 0;
-      for (std::size_t i = 0; i < protocol->data().size(); ++i) {
-        protocol->data()[i] = static_cast<std::byte>(i);
+      for (std::size_t i = 0; i < session.data().size(); ++i) {
+        session.data()[i] = static_cast<std::byte>(i);
       }
     }
     while (*iter < 3) {
       *iter += 1;
-      const ckpt::CommitStats stats = protocol->commit(ctx);
+      const ckpt::CommitStats stats = session.commit();
       if (world.rank() == 0) {
         probe.commit_s = stats.total_s() + stats.device_s;
-        probe.memory_bytes = protocol->memory_bytes();
+        probe.memory_bytes = session.memory_bytes();
       }
     }
     if (world.rank() == 0 && done != nullptr) *done = true;

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "ckpt/factory.hpp"
+#include "ckpt/session.hpp"
 #include "mpi/launcher.hpp"
 #include "sim/accelerator.hpp"
 #include "util/log.hpp"
@@ -38,32 +38,29 @@ void device_kernel(std::span<std::byte> device, std::uint64_t iteration, int ran
 
 void worker(mpi::Comm& world, std::size_t data_bytes, int iterations, int kill_at,
             int ckpt_every, double* staging_s_out) {
-  mpi::Comm group = world.split(0, world.rank());
-  ckpt::CommCtx ctx{world, group};
+  ckpt::Session session = ckpt::SessionBuilder{}
+                              .strategy(ckpt::Strategy::kSelf)
+                              .key_prefix("accel")
+                              .data_bytes(data_bytes)
+                              .user_bytes(sizeof(AccelState))
+                              .build(world);
 
-  ckpt::FactoryParams params;
-  params.key_prefix = "accel";
-  params.data_bytes = data_bytes;
-  params.user_bytes = sizeof(AccelState);
-  auto protocol = ckpt::make_protocol(ckpt::Strategy::kSelf, params);
-
-  const bool restored = protocol->open(ctx);
-  auto* state = reinterpret_cast<AccelState*>(protocol->user_state().data());
+  const ckpt::OpenOutcome outcome = session.open();
+  auto* state = reinterpret_cast<AccelState*>(session.user_state().data());
 
   // Device memory is per-job and volatile; a restart always starts blank.
   sim::Accelerator device(data_bytes);
   double staging_s = 0.0;
 
-  if (restored) {
-    protocol->restore(ctx);
+  if (outcome == ckpt::OpenOutcome::kRestored) {
     SKT_LOG_INFO("restored host copy at iteration {}; re-uploading to device",
                  state->iteration);
   } else {
     state->iteration = 0;
-    std::memset(protocol->data().data(), 0x5a, data_bytes);
+    std::memset(session.data().data(), 0x5a, data_bytes);
   }
   // Populate (or repopulate) the device from the authoritative host copy.
-  staging_s += device.upload(protocol->data());
+  staging_s += device.upload(session.data());
 
   while (state->iteration < static_cast<std::uint64_t>(iterations)) {
     const std::uint64_t next = state->iteration + 1;
@@ -74,9 +71,9 @@ void worker(mpi::Comm& world, std::size_t data_bytes, int iterations, int kill_a
         next == static_cast<std::uint64_t>(iterations)) {
       // Section 5.1: device data MUST come back to main memory before the
       // checkpoint — A1 is what the group encodes.
-      staging_s += device.download(protocol->data());
+      staging_s += device.download(session.data());
       state->iteration = next;
-      protocol->commit(ctx);
+      session.commit();
     } else {
       state->iteration = next;
     }

@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "ckpt/factory.hpp"
+#include "ckpt/session.hpp"
 #include "mpi/launcher.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
@@ -53,22 +53,20 @@ void jacobi(mpi::Comm& world, std::int64_t grid_n, std::int64_t iterations,
   if (grid_n % ranks != 0) throw std::invalid_argument("grid must divide ranks");
   const std::int64_t rows = grid_n / ranks;  // interior rows per rank
 
-  mpi::Comm group = world.split(0, me);  // one group spanning the job
-  ckpt::CommCtx ctx{world, group};
+  ckpt::Session session =
+      ckpt::SessionBuilder{}
+          .strategy(ckpt::Strategy::kSelf)
+          .key_prefix("jacobi")
+          .data_bytes(static_cast<std::size_t>(rows * grid_n) * sizeof(double))
+          .user_bytes(sizeof(JacobiState))
+          .build(world);  // group_size 0: one encoding group spanning the job
 
-  ckpt::FactoryParams params;
-  params.key_prefix = "jacobi";
-  params.data_bytes = static_cast<std::size_t>(rows * grid_n) * sizeof(double);
-  params.user_bytes = sizeof(JacobiState);
-  auto protocol = ckpt::make_protocol(ckpt::Strategy::kSelf, params);
-
-  const bool restored = protocol->open(ctx);
-  auto* state = reinterpret_cast<JacobiState*>(protocol->user_state().data());
-  const std::span<double> field{reinterpret_cast<double*>(protocol->data().data()),
+  const ckpt::OpenOutcome outcome = session.open();
+  auto* state = reinterpret_cast<JacobiState*>(session.user_state().data());
+  const std::span<double> field{reinterpret_cast<double*>(session.data().data()),
                                 static_cast<std::size_t>(rows * grid_n)};
 
-  if (restored) {
-    protocol->restore(ctx);
+  if (outcome == ckpt::OpenOutcome::kRestored) {
     SKT_LOG_INFO("jacobi: resumed at iteration {}", state->iteration);
   } else {
     state->iteration = 0;
@@ -122,7 +120,7 @@ void jacobi(mpi::Comm& world, std::int64_t grid_n, std::int64_t iterations,
     }
     std::memcpy(field.data(), next.data(), next.size() * sizeof(double));
     state->iteration += 1;
-    if (ckpt_every > 0 && state->iteration % ckpt_every == 0) protocol->commit(ctx);
+    if (ckpt_every > 0 && state->iteration % ckpt_every == 0) session.commit();
   }
 
   double local = 0.0;

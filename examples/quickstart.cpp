@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "ckpt/factory.hpp"
+#include "ckpt/session.hpp"
 #include "mpi/launcher.hpp"
 #include "util/log.hpp"
 #include "util/options.hpp"
@@ -27,23 +27,23 @@ struct LoopState {
 };
 
 void worker(mpi::Comm& world, int group_size, int iterations, int kill_at) {
-  // One encoding group per `group_size` consecutive ranks.
-  mpi::Comm group = world.split(world.rank() / group_size, world.rank());
-  ckpt::CommCtx ctx{world, group};
+  // The Session owns the encoding-group communicator (one group per
+  // `group_size` consecutive ranks) and restores on open after a restart.
+  ckpt::Session session = ckpt::SessionBuilder{}
+                              .strategy(ckpt::Strategy::kSelf)
+                              .key_prefix("quickstart")
+                              .data_bytes(64 * 1024)
+                              .user_bytes(sizeof(LoopState))
+                              .group_size(group_size)
+                              .build(world);
 
-  ckpt::FactoryParams params;
-  params.key_prefix = "quickstart";
-  params.data_bytes = 64 * 1024;
-  params.user_bytes = sizeof(LoopState);
-  auto protocol = ckpt::make_protocol(ckpt::Strategy::kSelf, params);
+  const ckpt::OpenOutcome outcome = session.open();
+  auto* state = reinterpret_cast<LoopState*>(session.user_state().data());
+  const std::span<double> data{reinterpret_cast<double*>(session.data().data()),
+                               session.data().size() / sizeof(double)};
 
-  const bool restored = protocol->open(ctx);
-  auto* state = reinterpret_cast<LoopState*>(protocol->user_state().data());
-  const std::span<double> data{reinterpret_cast<double*>(protocol->data().data()),
-                               protocol->data().size() / sizeof(double)};
-
-  if (restored) {
-    const ckpt::RestoreStats rs = protocol->restore(ctx);
+  if (outcome == ckpt::OpenOutcome::kRestored) {
+    const ckpt::RestoreStats rs = session.last_restore().value();
     SKT_LOG_INFO("recovered to iteration {} (epoch {}, rebuilt={})", state->iteration,
                  rs.epoch, rs.rebuilt_member);
   } else {
@@ -64,7 +64,7 @@ void worker(mpi::Comm& world, int group_size, int iterations, int kill_at) {
     }
     state->iteration = next;
     if (next == kill_at) world.failpoint("quickstart.kill");
-    protocol->commit(ctx);
+    session.commit();
     if (world.rank() == 0) SKT_LOG_INFO("committed iteration {}", next);
   }
 }

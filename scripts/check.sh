@@ -20,12 +20,15 @@ cmake --build build-asan -j --target \
   -R '^(test_mailbox|test_comm|test_collectives|test_comm_properties|test_encoding)$' -j)
 
 echo
-echo "=== sanitizers: tsan on telemetry suite ==="
+echo "=== sanitizers: tsan on telemetry + async-commit suites ==="
 # Rank threads record into the shared registry/tracer concurrently while
-# tests snapshot them — exactly the interleavings TSan exists to check.
+# tests snapshot them, and the Session async pipeline overlaps the rank
+# thread (mutating data(), staging) with the per-process commit worker
+# (encoding the staged copy) — exactly the interleavings TSan exists to
+# check. test_session's SessionAsyncStress is the dedicated workload.
 cmake -B build-tsan -S . -DSKT_SANITIZE_THREAD=ON >/dev/null
-cmake --build build-tsan -j --target test_telemetry test_util
-(cd build-tsan && ctest --output-on-failure -R '^(test_telemetry|test_util)$' -j)
+cmake --build build-tsan -j --target test_telemetry test_util test_session
+(cd build-tsan && ctest --output-on-failure -R '^(test_telemetry|test_util|test_session)$' -j)
 
 echo
 echo "all checks passed"

@@ -15,6 +15,9 @@ BlcrCheckpoint::BlcrCheckpoint(Params params)
   if (params_.vault == nullptr) throw std::invalid_argument("BlcrCheckpoint: vault required");
   app_.assign(params_.data_bytes, std::byte{0});
   user_.assign(params_.user_bytes, std::byte{0});
+  if (params_.async_staging) {
+    stage_.assign(params_.data_bytes + params_.user_bytes, std::byte{0});
+  }
 }
 
 std::string BlcrCheckpoint::image_key(std::uint64_t epoch) const {
@@ -45,20 +48,50 @@ std::span<std::byte> BlcrCheckpoint::data() {
 
 std::span<std::byte> BlcrCheckpoint::user_state() { return user_; }
 
+double BlcrCheckpoint::stage() {
+  require_open();
+  if (!params_.async_staging) {
+    throw std::logic_error("BlcrCheckpoint: stage() without async_staging");
+  }
+  SKT_SPAN("ckpt.stage");
+  util::WallTimer timer;
+  std::memcpy(stage_.data(), app_.data(), app_.size());
+  std::memcpy(stage_.data() + app_.size(), user_.data(), user_.size());
+  return timer.seconds();
+}
+
+std::span<const std::byte> BlcrCheckpoint::staged() const { return stage_; }
+
 CommitStats BlcrCheckpoint::commit(CommCtx ctx) {
   require_open();
+  return commit_impl(ctx, /*async=*/false);
+}
+
+CommitStats BlcrCheckpoint::commit_staged(CommCtx ctx) {
+  require_open();
+  if (!params_.async_staging) {
+    throw std::logic_error("BlcrCheckpoint: commit_staged() without async_staging");
+  }
+  return commit_impl(ctx, /*async=*/true);
+}
+
+CommitStats BlcrCheckpoint::commit_impl(CommCtx ctx, bool async) {
   SKT_SPAN("ckpt.commit");
-  ctx.group.failpoint("ckpt.begin");
+  ctx.group.failpoint(async ? "ckpt.async_begin" : "ckpt.begin");
   ctx.world.barrier();
 
   CommitStats stats;
-  stats.epoch = epoch_ + 1;
+  stats.epoch = epoch_.load(std::memory_order_relaxed) + 1;
   telemetry::set_epoch(stats.epoch);
 
   std::vector<std::byte> image(app_.size() + user_.size());
-  std::memcpy(image.data(), app_.data(), app_.size());
-  std::memcpy(image.data() + app_.size(), user_.data(), user_.size());
-  ctx.group.failpoint("ckpt.mid_update");
+  if (async) {
+    std::memcpy(image.data(), stage_.data(), image.size());
+  } else {
+    std::memcpy(image.data(), app_.data(), app_.size());
+    std::memcpy(image.data() + app_.size(), user_.data(), user_.size());
+  }
+  ctx.group.failpoint(async ? "ckpt.async_mid_update" : "ckpt.mid_update");
 
   util::WallTimer timer;
   {
@@ -68,16 +101,15 @@ CommitStats BlcrCheckpoint::commit(CommCtx ctx) {
     ctx.group.charge_virtual(stats.device_s);
   }
   stats.flush_s = timer.seconds();
-  ctx.group.failpoint("ckpt.flushed");
+  ctx.group.failpoint(async ? "ckpt.async_flushed" : "ckpt.flushed");
 
   // Garbage-collect the grandparent image; parent is kept so a failure
   // during the next write still has a complete fallback.
   if (stats.epoch >= 2) params_.vault->remove(image_key(stats.epoch - 2));
 
-  epoch_ = stats.epoch;
+  epoch_.store(stats.epoch, std::memory_order_release);
   stats.checkpoint_bytes = image.size();
-  ctx.group.record_time("checkpoint", stats.device_s + stats.flush_s);
-  record_commit_telemetry(stats);
+  if (!async) ctx.group.record_time("checkpoint", stats.device_s + stats.flush_s);
   ctx.world.barrier();
   return stats;
 }
@@ -108,15 +140,16 @@ RestoreStats BlcrCheckpoint::restore(CommCtx ctx) {
 
   stats.rebuild_s = timer.seconds() + read_s;
   ctx.group.record_time("recover", stats.rebuild_s);
-  record_restore_telemetry(stats);
   ctx.world.barrier();
   return stats;
 }
 
 std::size_t BlcrCheckpoint::memory_bytes() const {
-  return app_.size() + user_.size();  // images live on disk
+  return app_.size() + user_.size() + stage_.size();  // images live on disk
 }
 
-std::uint64_t BlcrCheckpoint::committed_epoch() const { return epoch_; }
+std::uint64_t BlcrCheckpoint::committed_epoch() const {
+  return epoch_.load(std::memory_order_acquire);
+}
 
 }  // namespace skt::ckpt

@@ -8,6 +8,7 @@
 // the newest epoch present on every rank.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,9 @@ class BlcrCheckpoint final : public CheckpointProtocol {
     std::size_t user_bytes = 64;
     storage::SnapshotVault* vault = nullptr;  ///< required
     storage::DeviceProfile device;            ///< e.g. hdd_profile(ranks_per_node)
+    /// Heap staging buffer for stage()/commit_staged(); the vault keeps a
+    /// complete previous image either way, so recovery is unchanged.
+    bool async_staging = false;
   };
 
   explicit BlcrCheckpoint(Params params);
@@ -34,6 +38,10 @@ class BlcrCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::span<std::byte> user_state() override;
   CommitStats commit(CommCtx ctx) override;
   RestoreStats restore(CommCtx ctx) override;
+  [[nodiscard]] bool supports_async() const override { return params_.async_staging; }
+  double stage() override;
+  CommitStats commit_staged(CommCtx ctx) override;
+  [[nodiscard]] std::span<const std::byte> staged() const override;
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] Strategy strategy() const override { return Strategy::kBlcr; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
@@ -41,13 +49,17 @@ class BlcrCheckpoint final : public CheckpointProtocol {
  private:
   [[nodiscard]] std::string image_key(std::uint64_t epoch) const;
   void require_open() const;
+  CommitStats commit_impl(CommCtx ctx, bool async);
 
   Params params_;
   storage::Device device_;
   std::vector<std::byte> app_;
   std::vector<std::byte> user_;
+  std::vector<std::byte> stage_;  // [A|A2] snapshot, async_staging only
   int world_rank_ = -1;
-  std::uint64_t epoch_ = 0;  ///< newest image this rank has written/read
+  /// Newest image this rank has written/read. Atomic: the async worker
+  /// publishes it while the rank thread may poll committed_epoch().
+  std::atomic<std::uint64_t> epoch_ = 0;
 };
 
 }  // namespace skt::ckpt

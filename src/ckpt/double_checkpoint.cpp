@@ -16,6 +16,7 @@ DoubleCheckpoint::DoubleCheckpoint(Params params) : params_(std::move(params)) {
   combined_bytes_ = params_.data_bytes + params_.user_bytes;
   app_.assign(params_.data_bytes, std::byte{0});
   user_.assign(params_.user_bytes, std::byte{0});
+  if (params_.async_staging) stage_.assign(combined_bytes_, std::byte{0});
 }
 
 std::string DoubleCheckpoint::key(const char* part, int pair) const {
@@ -68,9 +69,37 @@ std::span<std::byte> DoubleCheckpoint::data() {
 
 std::span<std::byte> DoubleCheckpoint::user_state() { return user_; }
 
+double DoubleCheckpoint::stage() {
+  require_open();
+  if (!params_.async_staging) {
+    throw std::logic_error("DoubleCheckpoint: stage() without async_staging");
+  }
+  SKT_SPAN("ckpt.stage");
+  util::WallTimer timer;
+  std::memcpy(stage_.data(), app_.data(), app_.size());
+  std::memcpy(stage_.data() + app_.size(), user_.data(), user_.size());
+  return timer.seconds();
+}
+
+std::span<const std::byte> DoubleCheckpoint::staged() const { return stage_; }
+
 CommitStats DoubleCheckpoint::commit(CommCtx ctx) {
   require_open();
+  return commit_impl(ctx, /*async=*/false);
+}
+
+CommitStats DoubleCheckpoint::commit_staged(CommCtx ctx) {
+  require_open();
+  if (!params_.async_staging) {
+    throw std::logic_error("DoubleCheckpoint: commit_staged() without async_staging");
+  }
+  return commit_impl(ctx, /*async=*/true);
+}
+
+CommitStats DoubleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   SKT_SPAN("ckpt.commit");
+  const std::byte* data_src = async ? stage_.data() : app_.data();
+  const std::byte* user_src = async ? stage_.data() + app_.size() : user_.data();
   Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
                           static_cast<std::uint32_t>(ctx.group.size()),
                           static_cast<std::uint32_t>(params_.codec));
@@ -82,7 +111,7 @@ CommitStats DoubleCheckpoint::commit(CommCtx ctx) {
   // overwrites the older pair and the newer one stays intact throughout.
   const int target = static_cast<int>(next % 2);
 
-  ctx.group.failpoint("ckpt.begin");
+  ctx.group.failpoint(async ? "ckpt.async_begin" : "ckpt.begin");
   ctx.world.barrier();
 
   CommitStats stats;
@@ -91,11 +120,11 @@ CommitStats DoubleCheckpoint::commit(CommCtx ctx) {
   util::WallTimer flush_timer;
   {
     SKT_SPAN("ckpt.flush");
-    std::memcpy(ckpt_[target]->bytes().data(), app_.data(), app_.size());
-    std::memcpy(ckpt_[target]->bytes().data() + app_.size(), user_.data(), user_.size());
+    std::memcpy(ckpt_[target]->bytes().data(), data_src, app_.size());
+    std::memcpy(ckpt_[target]->bytes().data() + app_.size(), user_src, user_.size());
   }
   stats.flush_s = flush_timer.seconds();
-  ctx.group.failpoint("ckpt.mid_update");
+  ctx.group.failpoint(async ? "ckpt.async_mid_update" : "ckpt.mid_update");
 
   const double encode_virtual_before = ctx.group.virtual_seconds();
   util::WallTimer encode_timer;
@@ -105,7 +134,7 @@ CommitStats DoubleCheckpoint::commit(CommCtx ctx) {
   }
   stats.encode_s = encode_timer.seconds();
   stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
-  ctx.group.failpoint("ckpt.encode_done");
+  ctx.group.failpoint(async ? "ckpt.async_encode_done" : "ckpt.encode_done");
 
   // Global barrier before publication: no rank may declare the new pair
   // committed until every rank finished writing it.
@@ -116,13 +145,12 @@ CommitStats DoubleCheckpoint::commit(CommCtx ctx) {
     h.d_epoch = next;
   }
   store_header(header_, h);
-  ctx.group.failpoint("ckpt.flushed");
+  ctx.group.failpoint(async ? "ckpt.async_flushed" : "ckpt.flushed");
   ctx.world.barrier();
 
   stats.checkpoint_bytes = ckpt_[target]->size();
   stats.checksum_bytes = check_[target]->size();
-  ctx.group.record_time("checkpoint", stats.total_s());
-  record_commit_telemetry(stats);
+  if (!async) ctx.group.record_time("checkpoint", stats.total_s());
   return stats;
 }
 
@@ -187,15 +215,14 @@ RestoreStats DoubleCheckpoint::restore(CommCtx ctx) {
   stats.rebuild_s = timer.seconds();
   stats.rebuilt_member = !missing.empty() && missing.front() == ctx.group.rank();
   ctx.group.record_time("recover", stats.rebuild_s);
-  record_restore_telemetry(stats);
   ctx.world.barrier();
   return stats;
 }
 
 std::size_t DoubleCheckpoint::memory_bytes() const {
   if (!ckpt_[0]) return 0;
-  return app_.size() + user_.size() + ckpt_[0]->size() + ckpt_[1]->size() + check_[0]->size() +
-         check_[1]->size() + sizeof(Header);
+  return app_.size() + user_.size() + stage_.size() + ckpt_[0]->size() + ckpt_[1]->size() +
+         check_[0]->size() + check_[1]->size() + sizeof(Header);
 }
 
 std::uint64_t DoubleCheckpoint::committed_epoch() const {

@@ -22,6 +22,9 @@ class DoubleCheckpoint final : public CheckpointProtocol {
     std::size_t data_bytes = 0;
     std::size_t user_bytes = 64;
     enc::CodecKind codec = enc::CodecKind::kXor;
+    /// Heap staging buffer for stage()/commit_staged(); recovery never
+    /// reads it (the untouched pair covers every failure window).
+    bool async_staging = false;
   };
 
   explicit DoubleCheckpoint(Params params);
@@ -31,6 +34,10 @@ class DoubleCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::span<std::byte> user_state() override;
   CommitStats commit(CommCtx ctx) override;
   RestoreStats restore(CommCtx ctx) override;
+  [[nodiscard]] bool supports_async() const override { return params_.async_staging; }
+  double stage() override;
+  CommitStats commit_staged(CommCtx ctx) override;
+  [[nodiscard]] std::span<const std::byte> staged() const override;
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] Strategy strategy() const override { return Strategy::kDouble; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
@@ -39,6 +46,7 @@ class DoubleCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::string key(const char* part, int pair) const;
   [[nodiscard]] std::string key(const char* part) const;
   void require_open() const;
+  CommitStats commit_impl(CommCtx ctx, bool async);
 
   Params params_;
   std::size_t combined_bytes_ = 0;
@@ -46,6 +54,7 @@ class DoubleCheckpoint final : public CheckpointProtocol {
 
   std::vector<std::byte> app_;
   std::vector<std::byte> user_;
+  std::vector<std::byte> stage_;  // [A|A2] snapshot, async_staging only
 
   int world_rank_ = -1;
   bool survivor_ = false;

@@ -1,5 +1,10 @@
 // Strategy factory: one place that maps a Strategy enum plus common
 // parameters onto a concrete CheckpointProtocol.
+//
+// SPI note: make_protocol is the service-provider entry point. Application
+// code should build a ckpt::Session (session.hpp) instead; the Session —
+// and layered strategies like MultiLevelCheckpoint — call make_protocol
+// internally.
 #pragma once
 
 #include <memory>
@@ -23,6 +28,11 @@ struct FactoryParams {
   /// BLCR only:
   storage::SnapshotVault* vault = nullptr;
   storage::DeviceProfile device;
+  /// Allocate the staging buffer for stage()/commit_staged(). Changes the
+  /// persistent-store layout for the SHM strategies (self, incremental),
+  /// so a run cannot restart with a different setting than it committed
+  /// with — the header codec field records it.
+  bool async_staging = false;
 };
 
 /// Strategy::kNone is rejected (there is no protocol object for it).

@@ -42,6 +42,10 @@ std::string IncrementalSelfCheckpoint::key(const char* part) const {
   return params_.key_prefix + ".r" + std::to_string(world_rank_) + ".incr." + part;
 }
 
+std::uint32_t IncrementalSelfCheckpoint::codec_field() const {
+  return kIncrementalTag | (params_.async_staging ? 1u << 16 : 0u);
+}
+
 void IncrementalSelfCheckpoint::require_open() const {
   if (!work_) throw std::logic_error("IncrementalSelfCheckpoint: open() not called");
 }
@@ -61,7 +65,7 @@ bool IncrementalSelfCheckpoint::open(CommCtx ctx) {
     if (h.valid()) {
       if (h.data_bytes != params_.data_bytes || h.user_bytes != params_.user_bytes ||
           h.group_size != static_cast<std::uint32_t>(group_size_) ||
-          h.codec != kIncrementalTag) {
+          h.codec != codec_field()) {
         throw std::logic_error("IncrementalSelfCheckpoint: layout mismatch");
       }
       survivor_ = true;
@@ -72,6 +76,10 @@ bool IncrementalSelfCheckpoint::open(CommCtx ctx) {
   ckpt_b_ = store.create(key("B"), codec_->padded_bytes());
   check_c_ = store.create(key("C"), codec_->checksum_bytes());
   check_d_ = store.create(key("D"), codec_->checksum_bytes());
+  if (params_.async_staging) {
+    stage_ = store.create(key("S"), codec_->padded_bytes());
+    staged_dirty_.assign(dirty_.size(), 0);
+  }
   header_ = store.create(hdr_key, sizeof(Header));
 
   const Header mine = load_header(header_);
@@ -80,7 +88,7 @@ bool IncrementalSelfCheckpoint::open(CommCtx ctx) {
   if (!global.any_survivor) {
     store_header(header_, load_or_init(header_, params_.data_bytes, params_.user_bytes,
                                        static_cast<std::uint32_t>(group_size_),
-                                       kIncrementalTag));
+                                       codec_field()));
     survivor_ = true;
     return false;
   }
@@ -122,21 +130,74 @@ std::size_t IncrementalSelfCheckpoint::dirty_bytes() const {
   return total;
 }
 
+double IncrementalSelfCheckpoint::stage() {
+  require_open();
+  if (!params_.async_staging) {
+    throw std::logic_error("IncrementalSelfCheckpoint: stage() without async_staging");
+  }
+  SKT_SPAN("ckpt.stage");
+  util::WallTimer timer;
+  const std::size_t stripe = codec_->layout().stripe_bytes();
+  // The user-state tail is part of every snapshot.
+  mark_dirty_stripes(params_.data_bytes, params_.user_bytes);
+  // S already equals the working buffer as of the previous stage() on every
+  // clean stripe, so only the stripes dirtied since then need copying — the
+  // critical path keeps the dirty-footprint scaling.
+  staged_dirty_.assign(dirty_.size(), 0);
+  for (std::size_t s = 0; s < dirty_.size(); ++s) {
+    if (!dirty_[s]) continue;
+    std::memcpy(stage_->bytes().data() + s * stripe, work_->bytes().data() + s * stripe,
+                stripe);
+    staged_dirty_[s] = 1;
+  }
+  std::memcpy(stage_->bytes().data() + params_.data_bytes, user_.data(), params_.user_bytes);
+  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+  return timer.seconds();
+}
+
+std::span<const std::byte> IncrementalSelfCheckpoint::staged() const {
+  if (!stage_) return {};
+  return std::span<const std::byte>(stage_->bytes()).subspan(0, combined_bytes_);
+}
+
 CommitStats IncrementalSelfCheckpoint::commit(CommCtx ctx) {
   require_open();
+  // With staging enabled even a synchronous commit encodes from S (see
+  // SelfCheckpoint::commit).
+  if (params_.async_staging) stage();
+  return commit_impl(ctx, /*async=*/false);
+}
+
+CommitStats IncrementalSelfCheckpoint::commit_staged(CommCtx ctx) {
+  require_open();
+  if (!params_.async_staging) {
+    throw std::logic_error("IncrementalSelfCheckpoint: commit_staged() without async_staging");
+  }
+  return commit_impl(ctx, /*async=*/true);
+}
+
+CommitStats IncrementalSelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
   SKT_SPAN("ckpt.commit");
+  // The encoded side and its dirty set: the staged copy S with the stripes
+  // stage() captured, or the working buffer with the live dirty set.
+  const bool staging = params_.async_staging;
+  const std::span<std::byte> source = staging ? stage_->bytes() : work_->bytes();
+  std::vector<std::uint8_t>& dset = staging ? staged_dirty_ : dirty_;
   Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
-                          static_cast<std::uint32_t>(group_size_), kIncrementalTag);
+                          static_cast<std::uint32_t>(group_size_), codec_field());
   const std::uint64_t next =
       ctx.world.allreduce_value<std::uint64_t>(h.bc_epoch, mpi::Max{}) + 1;
 
-  ctx.group.failpoint("ckpt.begin");
+  ctx.group.failpoint(async ? "ckpt.async_begin" : "ckpt.begin");
   ctx.world.barrier();
 
-  // A2 -> B2; the user-state tail always counts as dirty.
-  std::memcpy(work_->bytes().data() + params_.data_bytes, user_.data(), params_.user_bytes);
-  mark_dirty_stripes(params_.data_bytes, params_.user_bytes);
-  ctx.group.failpoint("ckpt.copy_a2");
+  if (!staging) {
+    // A2 -> B2; the user-state tail always counts as dirty. (When staging,
+    // stage() already folded A2 into S and its dirty set.)
+    std::memcpy(work_->bytes().data() + params_.data_bytes, user_.data(), params_.user_bytes);
+    mark_dirty_stripes(params_.data_bytes, params_.user_bytes);
+    ctx.group.failpoint("ckpt.copy_a2");
+  }
 
   const enc::StripeLayout& layout = codec_->layout();
   const std::size_t stripe = layout.stripe_bytes();
@@ -146,8 +207,8 @@ CommitStats IncrementalSelfCheckpoint::commit(CommCtx ctx) {
   // Which families does anyone need re-encoded? My local stripe s belongs
   // to family f = s < me ? s : s + 1 (the inverse of stripe_index).
   std::vector<std::uint8_t> family_dirty(static_cast<std::size_t>(n), 0);
-  for (std::size_t s = 0; s < dirty_.size(); ++s) {
-    if (dirty_[s]) {
+  for (std::size_t s = 0; s < dset.size(); ++s) {
+    if (dset[s]) {
       const auto f = static_cast<std::size_t>(static_cast<int>(s) < me ? s : s + 1);
       family_dirty[f] = 1;
     }
@@ -158,7 +219,7 @@ CommitStats IncrementalSelfCheckpoint::commit(CommCtx ctx) {
   CommitStats stats;
   stats.epoch = next;
   telemetry::set_epoch(next);
-  ctx.group.failpoint("ckpt.encode_begin");
+  ctx.group.failpoint(async ? "ckpt.async_encode_begin" : "ckpt.encode_begin");
   const double encode_virtual_before = ctx.group.virtual_seconds();
   util::WallTimer encode_timer;
   last_encoded_families_ = 0;
@@ -179,9 +240,9 @@ CommitStats IncrementalSelfCheckpoint::commit(CommCtx ctx) {
     std::fill(diff.begin(), diff.end(), std::byte{0});
     if (me != f) {
       const std::size_t s = layout.stripe_index(me, f);
-      if (dirty_[s]) {
+      if (dset[s]) {
         const std::byte* b = ckpt_b_->bytes().data() + s * stripe;
-        const std::byte* w = work_->bytes().data() + s * stripe;
+        const std::byte* w = source.data() + s * stripe;
         for (std::size_t i = 0; i < stripe; ++i) diff[i] = b[i] ^ w[i];
       }
     }
@@ -195,12 +256,12 @@ CommitStats IncrementalSelfCheckpoint::commit(CommCtx ctx) {
   encode_span.reset();
   stats.encode_s = encode_timer.seconds();
   stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
-  ctx.group.failpoint("ckpt.encode_done");
+  ctx.group.failpoint(async ? "ckpt.async_encode_done" : "ckpt.encode_done");
 
   ctx.world.barrier();
   h.d_epoch = next;
   store_header(header_, h);
-  ctx.group.failpoint("ckpt.sealed");
+  ctx.group.failpoint(async ? "ckpt.async_sealed" : "ckpt.sealed");
   ctx.world.barrier();
 
   // Flush only the dirty stripes (plus the small checksum).
@@ -208,26 +269,24 @@ CommitStats IncrementalSelfCheckpoint::commit(CommCtx ctx) {
   std::size_t flushed = 0;
   {
     SKT_SPAN("ckpt.flush");
-    for (std::size_t s = 0; s < dirty_.size(); ++s) {
-      if (!dirty_[s]) continue;
-      std::memcpy(ckpt_b_->bytes().data() + s * stripe, work_->bytes().data() + s * stripe,
-                  stripe);
+    for (std::size_t s = 0; s < dset.size(); ++s) {
+      if (!dset[s]) continue;
+      std::memcpy(ckpt_b_->bytes().data() + s * stripe, source.data() + s * stripe, stripe);
       flushed += stripe;
     }
-    ctx.group.failpoint("ckpt.mid_flush");
+    ctx.group.failpoint(async ? "ckpt.async_mid_flush" : "ckpt.mid_flush");
     std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), stripe);
   }
   stats.flush_s = flush_timer.seconds();
-  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+  std::fill(dset.begin(), dset.end(), std::uint8_t{0});
   h.bc_epoch = next;
   store_header(header_, h);
-  ctx.group.failpoint("ckpt.flushed");
+  ctx.group.failpoint(async ? "ckpt.async_flushed" : "ckpt.flushed");
   ctx.world.barrier();
 
   stats.checkpoint_bytes = flushed;
   stats.checksum_bytes = stripe;
-  ctx.group.record_time("checkpoint", stats.encode_s + stats.flush_s);
-  record_commit_telemetry(stats);
+  if (!async) ctx.group.record_time("checkpoint", stats.encode_s + stats.flush_s);
   return stats;
 }
 
@@ -274,6 +333,16 @@ RestoreStats IncrementalSelfCheckpoint::restore(CommCtx ctx) {
         std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
       }
     }
+  } else if (params_.async_staging) {
+    // CASE 2, staged: the newest consistent set is (S, D). Rebuild the
+    // lost member's S, complete the interrupted flush, and roll the
+    // working buffer back to the staged image.
+    if (!missing.empty()) {
+      codec_->rebuild(ctx.group, missing.front(), stage_->bytes(), check_d_->bytes());
+    }
+    std::memcpy(ckpt_b_->bytes().data(), stage_->bytes().data(), stage_->size());
+    std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
+    std::memcpy(work_->bytes().data(), stage_->bytes().data(), stage_->size());
   } else {
     if (!missing.empty()) {
       codec_->rebuild(ctx.group, missing.front(), work_->bytes(), check_d_->bytes());
@@ -283,8 +352,14 @@ RestoreStats IncrementalSelfCheckpoint::restore(CommCtx ctx) {
   }
 
   std::memcpy(user_.data(), work_->bytes().data() + params_.data_bytes, params_.user_bytes);
+  if (params_.async_staging) {
+    // Re-establish the staging invariant S == B == work so the next
+    // stage() may copy dirty stripes only.
+    std::memcpy(stage_->bytes().data(), work_->bytes().data(), work_->size());
+    std::fill(staged_dirty_.begin(), staged_dirty_.end(), std::uint8_t{0});
+  }
   Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
-                          static_cast<std::uint32_t>(group_size_), kIncrementalTag);
+                          static_cast<std::uint32_t>(group_size_), codec_field());
   h.bc_epoch = target;
   h.d_epoch = target;
   store_header(header_, h);
@@ -296,15 +371,15 @@ RestoreStats IncrementalSelfCheckpoint::restore(CommCtx ctx) {
   stats.rebuilt_member =
       std::find(missing.begin(), missing.end(), ctx.group.rank()) != missing.end();
   ctx.group.record_time("recover", stats.rebuild_s);
-  record_restore_telemetry(stats);
   ctx.world.barrier();
   return stats;
 }
 
 std::size_t IncrementalSelfCheckpoint::memory_bytes() const {
   if (!work_) return 0;
-  return work_->size() + ckpt_b_->size() + check_c_->size() + check_d_->size() + user_.size() +
-         sizeof(Header) + dirty_.size();
+  return work_->size() + ckpt_b_->size() + check_c_->size() + check_d_->size() +
+         (stage_ ? stage_->size() : 0) + user_.size() + sizeof(Header) + dirty_.size() +
+         staged_dirty_.size();
 }
 
 std::uint64_t IncrementalSelfCheckpoint::committed_epoch() const {

@@ -17,6 +17,13 @@
 // The paper's point stands and is measured in bench/ablation_incremental:
 // HPL dirties almost every byte between checkpoints, so incremental buys
 // nothing there; for sparse-update applications it is a large win.
+//
+// Async staging (Params::async_staging): stage() copies only the stripes
+// dirtied since the previous stage into the SHM-resident S — the critical
+// path keeps the dirty-footprint scaling — and the background pipeline
+// encodes/flushes from S using the staged dirty set. S always equals the
+// working buffer as of the last stage(), so (S, D) is a full recovery set
+// and the CASE 1/2 analysis again carries over unchanged.
 #pragma once
 
 #include <memory>
@@ -36,6 +43,9 @@ class IncrementalSelfCheckpoint final : public CheckpointProtocol {
     std::size_t data_bytes = 0;
     std::size_t user_bytes = 64;
     // XOR only: the incremental identity needs a self-inverse "+".
+    /// Allocate the S staging segment and route every encode through it.
+    /// Recorded in the checkpoint header; a restart must match.
+    bool async_staging = false;
   };
 
   explicit IncrementalSelfCheckpoint(Params params);
@@ -45,6 +55,10 @@ class IncrementalSelfCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::span<std::byte> user_state() override;
   CommitStats commit(CommCtx ctx) override;
   RestoreStats restore(CommCtx ctx) override;
+  [[nodiscard]] bool supports_async() const override { return params_.async_staging; }
+  double stage() override;
+  CommitStats commit_staged(CommCtx ctx) override;
+  [[nodiscard]] std::span<const std::byte> staged() const override;
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] Strategy strategy() const override { return Strategy::kSelf; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
@@ -69,12 +83,18 @@ class IncrementalSelfCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::string key(const char* part) const;
   void require_open() const;
   void mark_dirty_stripes(std::size_t offset, std::size_t len);
+  [[nodiscard]] std::uint32_t codec_field() const;
+  CommitStats commit_impl(CommCtx ctx, bool async);
 
   Params params_;
   std::size_t combined_bytes_ = 0;
   std::unique_ptr<enc::GroupCodec> codec_;
   std::vector<std::byte> user_;
   std::vector<std::uint8_t> dirty_;  // per local stripe (N-1 entries)
+  /// Stripes the staged copy S differs from B on — the encode/flush set of
+  /// the in-flight staged commit. Populated by stage(), cleared by its
+  /// flush. Async staging only.
+  std::vector<std::uint8_t> staged_dirty_;
   int last_encoded_families_ = 0;
 
   int world_rank_ = -1;
@@ -84,6 +104,7 @@ class IncrementalSelfCheckpoint final : public CheckpointProtocol {
   sim::SegmentPtr ckpt_b_;
   sim::SegmentPtr check_c_;
   sim::SegmentPtr check_d_;
+  sim::SegmentPtr stage_;  // S, async_staging only
   sim::SegmentPtr header_;
 };
 

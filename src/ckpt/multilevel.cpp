@@ -18,11 +18,15 @@ MultiLevelCheckpoint::MultiLevelCheckpoint(Params params)
   if (params_.level1 == Strategy::kNone || params_.level1 == Strategy::kBlcr) {
     throw std::invalid_argument("MultiLevelCheckpoint: level 1 must be an in-memory strategy");
   }
+  // Composition through the SPI: the level-1 protocol is built with the
+  // same make_protocol entry point a Session uses, under a nested key
+  // prefix so its store segments never collide with a sibling instance.
   FactoryParams inner;
   inner.key_prefix = params_.key_prefix + ".L1";
   inner.data_bytes = params_.data_bytes;
   inner.user_bytes = params_.user_bytes;
   inner.codec = params_.codec;
+  inner.async_staging = params_.async_staging;
   inner_ = make_protocol(params_.level1, inner);
 }
 
@@ -77,22 +81,38 @@ std::span<std::byte> MultiLevelCheckpoint::data() { return inner_->data(); }
 std::span<std::byte> MultiLevelCheckpoint::user_state() { return inner_->user_state(); }
 
 CommitStats MultiLevelCheckpoint::commit(CommCtx ctx) {
-  CommitStats stats = inner_->commit(ctx);
+  return commit_impl(ctx, inner_->commit(ctx), /*from_staged=*/false);
+}
+
+CommitStats MultiLevelCheckpoint::commit_staged(CommCtx ctx) {
+  // The async worker must not touch the live working buffer, so the
+  // level-2 flush reads the staged image the level-1 commit just encoded.
+  return commit_impl(ctx, inner_->commit_staged(ctx), /*from_staged=*/true);
+}
+
+CommitStats MultiLevelCheckpoint::commit_impl(CommCtx ctx, CommitStats stats,
+                                              bool from_staged) {
   if (params_.flush_every > 0 && ++commits_since_flush_ >= params_.flush_every) {
     commits_since_flush_ = 0;
-    flush_to_disk(ctx, stats.epoch);
+    flush_to_disk(ctx, stats.epoch, from_staged);
     stats.device_s = device_.write_seconds(params_.data_bytes + params_.user_bytes);
   }
   return stats;
 }
 
-void MultiLevelCheckpoint::flush_to_disk(CommCtx ctx, std::uint64_t epoch) {
+void MultiLevelCheckpoint::flush_to_disk(CommCtx ctx, std::uint64_t epoch,
+                                         bool from_staged) {
   SKT_SPAN("ckpt.l2_flush");
-  ctx.group.failpoint("ckpt.l2_flush");
+  ctx.group.failpoint(from_staged ? "ckpt.async_l2_flush" : "ckpt.l2_flush");
   std::vector<std::byte> image(params_.data_bytes + params_.user_bytes);
-  std::memcpy(image.data(), inner_->data().data(), params_.data_bytes);
-  std::memcpy(image.data() + params_.data_bytes, inner_->user_state().data(),
-              params_.user_bytes);
+  if (from_staged) {
+    const std::span<const std::byte> staged = inner_->staged();
+    std::memcpy(image.data(), staged.data(), image.size());
+  } else {
+    std::memcpy(image.data(), inner_->data().data(), params_.data_bytes);
+    std::memcpy(image.data() + params_.data_bytes, inner_->user_state().data(),
+                params_.user_bytes);
+  }
   params_.vault->put(image_key(epoch), image);
   ctx.group.charge_virtual(device_.write_seconds(image.size()));
 
@@ -104,8 +124,8 @@ void MultiLevelCheckpoint::flush_to_disk(CommCtx ctx, std::uint64_t epoch) {
   manifest.newest = epoch;
   store_manifest(manifest);
 
-  disk_epoch_ = epoch;
-  ++flushes_;
+  disk_epoch_.store(epoch, std::memory_order_release);
+  flushes_.fetch_add(1, std::memory_order_acq_rel);
   // A disk generation is only usable if every rank finished writing it.
   ctx.world.barrier();
 }
@@ -144,16 +164,15 @@ RestoreStats MultiLevelCheckpoint::restore(CommCtx ctx) {
   stats.epoch = target;
   stats.rebuild_s = timer.seconds() + read_s;
   used_disk_ = true;
-  disk_epoch_ = target;
+  disk_epoch_.store(target, std::memory_order_release);
   ctx.group.record_time("recover", stats.rebuild_s);
-  record_restore_telemetry(stats);
   return stats;
 }
 
 std::size_t MultiLevelCheckpoint::memory_bytes() const { return inner_->memory_bytes(); }
 
 std::uint64_t MultiLevelCheckpoint::committed_epoch() const {
-  return std::max(inner_->committed_epoch(), disk_epoch_);
+  return std::max(inner_->committed_epoch(), disk_epoch_.load(std::memory_order_acquire));
 }
 
 }  // namespace skt::ckpt

@@ -11,6 +11,7 @@
 // generation, trading recovery time for coverage.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -35,6 +36,9 @@ class MultiLevelCheckpoint final : public CheckpointProtocol {
     int flush_every = 4;
     storage::SnapshotVault* vault = nullptr;  ///< required
     storage::DeviceProfile device;            ///< e.g. pfs_profile(ranks)
+    /// Forwarded to the level-1 protocol; the level-2 flush then reads the
+    /// staged image instead of the live working buffer.
+    bool async_staging = false;
   };
 
   explicit MultiLevelCheckpoint(Params params);
@@ -44,14 +48,22 @@ class MultiLevelCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::span<std::byte> user_state() override;
   CommitStats commit(CommCtx ctx) override;
   RestoreStats restore(CommCtx ctx) override;
+  [[nodiscard]] bool supports_async() const override { return inner_->supports_async(); }
+  double stage() override { return inner_->stage(); }
+  CommitStats commit_staged(CommCtx ctx) override;
+  [[nodiscard]] std::span<const std::byte> staged() const override {
+    return inner_->staged();
+  }
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] Strategy strategy() const override { return inner_->strategy(); }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
 
   /// Epoch of the newest complete disk generation (0 = none).
-  [[nodiscard]] std::uint64_t disk_epoch() const { return disk_epoch_; }
+  [[nodiscard]] std::uint64_t disk_epoch() const {
+    return disk_epoch_.load(std::memory_order_acquire);
+  }
   /// Number of level-2 flushes performed by this instance.
-  [[nodiscard]] int flushes() const { return flushes_; }
+  [[nodiscard]] int flushes() const { return flushes_.load(std::memory_order_acquire); }
   /// True when the last restore() had to fall back to the disk level.
   [[nodiscard]] bool last_restore_used_disk() const { return used_disk_; }
 
@@ -66,18 +78,23 @@ class MultiLevelCheckpoint final : public CheckpointProtocol {
 
   [[nodiscard]] std::string image_key(std::uint64_t epoch) const;
   [[nodiscard]] std::string manifest_key() const;
-  void flush_to_disk(CommCtx ctx, std::uint64_t epoch);
+  void flush_to_disk(CommCtx ctx, std::uint64_t epoch, bool from_staged);
   [[nodiscard]] Manifest load_manifest() const;
   void store_manifest(const Manifest& manifest);
   [[nodiscard]] std::uint64_t newest_disk_epoch() const;
+  CommitStats commit_impl(CommCtx ctx, CommitStats stats, bool from_staged);
 
   Params params_;
   storage::Device device_;
   std::unique_ptr<CheckpointProtocol> inner_;
   int world_rank_ = -1;
+  /// Flush cadence counter. Touched by whichever thread runs the commit;
+  /// the async engine's ticket hand-off orders those accesses.
   int commits_since_flush_ = 0;
-  std::uint64_t disk_epoch_ = 0;
-  int flushes_ = 0;
+  /// Atomic: the async worker publishes flush results while the rank
+  /// thread may poll disk_epoch()/flushes().
+  std::atomic<std::uint64_t> disk_epoch_ = 0;
+  std::atomic<int> flushes_ = 0;
   bool used_disk_ = false;
 };
 

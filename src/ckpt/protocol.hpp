@@ -1,4 +1,9 @@
-// The checkpoint protocol interface shared by every strategy.
+// The checkpoint protocol SPI (service-provider interface) shared by every
+// strategy. Applications should NOT program against this header directly:
+// the front door is ckpt::Session (session.hpp), which owns the group
+// communicator, drives restore-on-open, publishes telemetry, and runs the
+// async commit pipeline. CheckpointProtocol is what a new *strategy*
+// implements, and what layered strategies (MultiLevelCheckpoint) compose.
 //
 // Lifecycle (all calls are collective):
 //
@@ -12,14 +17,31 @@
 //               newest consistent checkpoint, rebuilding any member whose
 //               node was lost.
 //
+// Strategies that support the asynchronous pipeline additionally implement
+// the staged pair:
+//
+//   stage()         — LOCAL, non-collective: seal a point-in-time copy of
+//                     data()+user_state() into a staging buffer. This is
+//                     the only step the application's critical path pays.
+//   commit_staged() — collective: run the full encode/seal/flush state
+//                     machine from the staged copy. Called from the async
+//                     worker thread; plants "ckpt.async_*" failpoints in
+//                     place of the synchronous "ckpt.*" ones.
+//
+// Between stage() and the end of commit_staged() the application may keep
+// mutating data(); the staged copy is immutable. Strategies whose recovery
+// reads the staging buffer (self, incremental) place it in the persistent
+// store so a failure inside commit_staged() still recovers.
+//
 // Encoding happens inside a small *group* communicator (Section 2.1), but
 // the commit state machine is synchronized over the *world* communicator:
 // without global barriers between the seal and flush steps, two groups
 // could roll back to different epochs after a failure. CommCtx carries
 // both.
 //
-// Failpoints named "ckpt.*" are planted between protocol steps so tests
-// and benches can kill a node at every stage of the commit state machine.
+// Failpoints named "ckpt.*" (sync) / "ckpt.async_*" (staged) are planted
+// between protocol steps so tests and benches can kill a node at every
+// stage of the commit state machine.
 #pragma once
 
 #include <cstddef>
@@ -65,12 +87,17 @@ struct RestoreStats {
 /// Publish a finished commit into the process-wide telemetry registry:
 /// ckpt.* phase histograms (encode/flush/device/total seconds), byte
 /// counters, and the commit counter. Also stamps the epoch onto this
-/// thread's subsequent trace spans. Every protocol calls this at the end
-/// of commit() so run reports aggregate identically across strategies.
+/// thread's subsequent trace spans.
+///
+/// SPI hook: ckpt::Session (and its async engine) calls this once per
+/// completed commit, so protocols themselves must NOT. Embedders that
+/// drive a CheckpointProtocol directly should call it after each commit
+/// if they want run reports to aggregate identically across strategies.
 void record_commit_telemetry(const CommitStats& stats);
 
 /// Restore-side counterpart: ckpt.restore_s histogram, restore/rebuild
-/// counters, and the trace epoch.
+/// counters, and the trace epoch. Same contract: called by the Session
+/// layer, or by embedders driving the SPI directly.
 void record_restore_telemetry(const RestoreStats& stats);
 
 /// Thrown when no consistent checkpoint can recover the data (e.g. the
@@ -98,6 +125,31 @@ class CheckpointProtocol {
 
   /// Collective: checkpoint the current contents.
   virtual CommitStats commit(CommCtx ctx) = 0;
+
+  /// True when this strategy implements the staged (asynchronous) commit
+  /// pair below. Construct the protocol with async staging enabled (see
+  /// FactoryParams::async_staging) before relying on it.
+  [[nodiscard]] virtual bool supports_async() const { return false; }
+
+  /// LOCAL, non-collective: copy the current data()+user_state() into the
+  /// staging buffer. Returns the seconds the copy took (the critical-path
+  /// cost of an async commit). Precondition: no commit_staged() in flight.
+  virtual double stage() {
+    throw std::logic_error("stage(): strategy does not support async commit");
+  }
+
+  /// Collective: run the encode/seal/flush state machine over the staged
+  /// copy, planting ckpt.async_* failpoints. Called from the async worker
+  /// thread; must not touch data()/user_state().
+  virtual CommitStats commit_staged(CommCtx ctx) {
+    (void)ctx;
+    throw std::logic_error("commit_staged(): strategy does not support async commit");
+  }
+
+  /// The sealed staging copy, laid out [data | user_state]. Valid between
+  /// stage() and the next stage(). Layered strategies (multilevel) use
+  /// this to flush the staged image instead of the live buffers.
+  [[nodiscard]] virtual std::span<const std::byte> staged() const { return {}; }
 
   /// Collective: recover after a restart. Throws Unrecoverable when no
   /// consistent checkpoint exists.

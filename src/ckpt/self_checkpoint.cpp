@@ -22,6 +22,12 @@ std::string SelfCheckpoint::key(const char* part) const {
   return params_.key_prefix + ".r" + std::to_string(world_rank_) + ".self." + part;
 }
 
+std::uint32_t SelfCheckpoint::codec_field() const {
+  return static_cast<std::uint32_t>(params_.codec) |
+         static_cast<std::uint32_t>(params_.parity_degree) << 8 |
+         (params_.async_staging ? 1u << 16 : 0u);
+}
+
 void SelfCheckpoint::require_open() const {
   if (!work_) throw std::logic_error("SelfCheckpoint: open() has not been called");
 }
@@ -39,8 +45,7 @@ bool SelfCheckpoint::open(CommCtx ctx) {
     if (h.valid()) {
       if (h.data_bytes != params_.data_bytes || h.user_bytes != params_.user_bytes ||
           h.group_size != static_cast<std::uint32_t>(ctx.group.size()) ||
-          h.codec != (static_cast<std::uint32_t>(params_.codec) |
-                      static_cast<std::uint32_t>(params_.parity_degree) << 8)) {
+          h.codec != codec_field()) {
         throw std::logic_error("SelfCheckpoint: existing checkpoint layout mismatch");
       }
       survivor_ = true;
@@ -53,6 +58,7 @@ bool SelfCheckpoint::open(CommCtx ctx) {
   ckpt_b_ = store.create(key("B"), padded);
   check_c_ = store.create(key("C"), stripe);
   check_d_ = store.create(key("D"), stripe);
+  if (params_.async_staging) stage_ = store.create(key("S"), padded);
   header_ = store.create(hdr_key, sizeof(Header));
 
   const Header mine = load_header(header_);
@@ -63,11 +69,9 @@ bool SelfCheckpoint::open(CommCtx ctx) {
     // A blank node joining a job that has survivors must NOT write one —
     // it would masquerade as an epoch-0 survivor if a second failure hits
     // before its restore completes.
-    store_header(header_,
-                 load_or_init(header_, params_.data_bytes, params_.user_bytes,
-                              static_cast<std::uint32_t>(ctx.group.size()),
-                              static_cast<std::uint32_t>(params_.codec) |
-                                  static_cast<std::uint32_t>(params_.parity_degree) << 8));
+    store_header(header_, load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                                       static_cast<std::uint32_t>(ctx.group.size()),
+                                       codec_field()));
     survivor_ = true;
     return false;
   }
@@ -83,73 +87,112 @@ std::span<std::byte> SelfCheckpoint::data() {
 
 std::span<std::byte> SelfCheckpoint::user_state() { return user_; }
 
+double SelfCheckpoint::stage() {
+  require_open();
+  if (!params_.async_staging) {
+    throw std::logic_error("SelfCheckpoint: stage() without async_staging");
+  }
+  SKT_SPAN("ckpt.stage");
+  util::WallTimer timer;
+  // Seal [A1|B2|pad] into S; the user-space A2 lands directly in S's B2
+  // slot, so the staged domain is self-contained.
+  std::memcpy(stage_->bytes().data(), work_->bytes().data(), work_->size());
+  std::memcpy(stage_->bytes().data() + params_.data_bytes, user_.data(), params_.user_bytes);
+  return timer.seconds();
+}
+
+std::span<const std::byte> SelfCheckpoint::staged() const {
+  if (!stage_) return {};
+  return std::span<const std::byte>(stage_->bytes()).subspan(0, combined_bytes_);
+}
+
 CommitStats SelfCheckpoint::commit(CommCtx ctx) {
   require_open();
+  // With staging enabled even a synchronous commit encodes from S, so the
+  // CASE-2 recovery set is (S, D) no matter which pipeline was interrupted.
+  if (params_.async_staging) stage();
+  return commit_impl(ctx, /*async=*/false);
+}
+
+CommitStats SelfCheckpoint::commit_staged(CommCtx ctx) {
+  require_open();
+  if (!params_.async_staging) {
+    throw std::logic_error("SelfCheckpoint: commit_staged() without async_staging");
+  }
+  return commit_impl(ctx, /*async=*/true);
+}
+
+CommitStats SelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
   SKT_SPAN("ckpt.commit");
+  // The encoded domain: the staged copy S when staging, else work itself.
+  const std::span<std::byte> source =
+      params_.async_staging ? stage_->bytes() : work_->bytes();
   Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
-                          static_cast<std::uint32_t>(ctx.group.size()),
-                          static_cast<std::uint32_t>(params_.codec) |
-                                           static_cast<std::uint32_t>(params_.parity_degree) << 8);
+                          static_cast<std::uint32_t>(ctx.group.size()), codec_field());
   // Agree on the epoch globally: after a disk-level fallback restore (see
   // MultiLevelCheckpoint) a replacement's header may lag the survivors'.
   const std::uint64_t next =
       ctx.world.allreduce_value<std::uint64_t>(h.bc_epoch, mpi::Max{}) + 1;
 
-  ctx.group.failpoint("ckpt.begin");
+  ctx.group.failpoint(async ? "ckpt.async_begin" : "ckpt.begin");
   ctx.world.barrier();
 
-  // Step 2 (Fig. 5): copy the user-space A2 into the SHM-resident B2 so
-  // the encoded domain [A1|B2] is one contiguous buffer.
-  std::memcpy(work_->bytes().data() + params_.data_bytes, user_.data(), params_.user_bytes);
-  ctx.group.failpoint("ckpt.copy_a2");
+  if (!params_.async_staging) {
+    // Step 2 (Fig. 5): copy the user-space A2 into the SHM-resident B2 so
+    // the encoded domain [A1|B2] is one contiguous buffer. (When staging,
+    // stage() already placed A2 into S.)
+    std::memcpy(work_->bytes().data() + params_.data_bytes, user_.data(), params_.user_bytes);
+    ctx.group.failpoint("ckpt.copy_a2");
+  }
 
-  // Step 3: encode the working side's checksum D.
+  // Step 3: encode the source side's checksum D.
   CommitStats stats;
   stats.epoch = next;
   telemetry::set_epoch(next);
-  ctx.group.failpoint("ckpt.encode_begin");
+  ctx.group.failpoint(async ? "ckpt.async_encode_begin" : "ckpt.encode_begin");
   const double encode_virtual_before = ctx.group.virtual_seconds();
   const std::uint64_t wire_before = ctx.group.runtime().wire_bytes();
   util::WallTimer encode_timer;
   {
     SKT_SPAN("ckpt.encode");
-    coder_->encode(ctx.group, work_->bytes(), check_d_->bytes());
+    coder_->encode(ctx.group, source, check_d_->bytes());
   }
   stats.encode_s = encode_timer.seconds();
   stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
   stats.encode_wire_bytes = ctx.group.runtime().wire_bytes() - wire_before;
-  ctx.group.failpoint("ckpt.encode_done");
+  ctx.group.failpoint(async ? "ckpt.async_encode_done" : "ckpt.encode_done");
 
   {
     // Seal: after this global barrier every rank knows D is complete
-    // everywhere, so (work, D) becomes a valid recovery set.
+    // everywhere, so (source, D) becomes a valid recovery set.
     SKT_SPAN("ckpt.seal");
     ctx.world.barrier();
     h.d_epoch = next;
     store_header(header_, h);
-    ctx.group.failpoint("ckpt.sealed");
+    ctx.group.failpoint(async ? "ckpt.async_sealed" : "ckpt.sealed");
     ctx.world.barrier();
   }
 
-  // Step 4: flush the working side over the old checkpoint. A failure here
-  // is CASE 2 of Fig. 4 — recovery uses (work, D).
+  // Step 4: flush the source side over the old checkpoint. A failure here
+  // is CASE 2 of Fig. 4 — recovery uses (source, D).
   util::WallTimer flush_timer;
   {
     SKT_SPAN("ckpt.flush");
-    std::memcpy(ckpt_b_->bytes().data(), work_->bytes().data(), work_->size());
-    ctx.group.failpoint("ckpt.mid_flush");
+    std::memcpy(ckpt_b_->bytes().data(), source.data(), source.size());
+    ctx.group.failpoint(async ? "ckpt.async_mid_flush" : "ckpt.mid_flush");
     std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
   }
   stats.flush_s = flush_timer.seconds();
   h.bc_epoch = next;
   store_header(header_, h);
-  ctx.group.failpoint("ckpt.flushed");
+  ctx.group.failpoint(async ? "ckpt.async_flushed" : "ckpt.flushed");
   ctx.world.barrier();
 
   stats.checkpoint_bytes = work_->size();
   stats.checksum_bytes = check_d_->size();
-  ctx.group.record_time("checkpoint", stats.encode_s + stats.flush_s);
-  record_commit_telemetry(stats);
+  // The async worker's pipeline time is recorded as "ckpt_worker" by the
+  // engine; only a synchronous commit charges the critical-path slot here.
+  if (!async) ctx.group.record_time("checkpoint", stats.encode_s + stats.flush_s);
   return stats;
 }
 
@@ -208,6 +251,17 @@ RestoreStats SelfCheckpoint::restore(CommCtx ctx) {
         std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
       }
     }
+  } else if (params_.async_staging) {
+    // CASE 2, staged: the newest consistent set is (S, D) — the staged
+    // copy, not the live working buffer the application kept mutating.
+    // Rebuild the lost member's S, complete the interrupted flush, then
+    // roll the working buffer back to the staged image.
+    if (!missing.empty()) {
+      coder_->rebuild(ctx.group, missing, stage_->bytes(), check_d_->bytes());
+    }
+    std::memcpy(ckpt_b_->bytes().data(), stage_->bytes().data(), stage_->size());
+    std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
+    std::memcpy(work_->bytes().data(), stage_->bytes().data(), stage_->size());
   } else {
     // CASE 2 (Fig. 4): the working side (work, D) is the newest consistent
     // set. Rebuild the lost member, then complete the interrupted flush.
@@ -220,10 +274,13 @@ RestoreStats SelfCheckpoint::restore(CommCtx ctx) {
 
   // Restore A2 from the checkpointed B2 area and re-sync the header.
   std::memcpy(user_.data(), work_->bytes().data() + params_.data_bytes, params_.user_bytes);
+  if (params_.async_staging) {
+    // Re-seed S from the restored state: the (S, D) recovery-set rule
+    // requires S to match the encoded domain before the next commit.
+    std::memcpy(stage_->bytes().data(), work_->bytes().data(), work_->size());
+  }
   Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
-                          static_cast<std::uint32_t>(ctx.group.size()),
-                          static_cast<std::uint32_t>(params_.codec) |
-                                           static_cast<std::uint32_t>(params_.parity_degree) << 8);
+                          static_cast<std::uint32_t>(ctx.group.size()), codec_field());
   h.bc_epoch = target;
   h.d_epoch = target;
   store_header(header_, h);
@@ -233,16 +290,15 @@ RestoreStats SelfCheckpoint::restore(CommCtx ctx) {
   stats.rebuilt_member =
       std::find(missing.begin(), missing.end(), ctx.group.rank()) != missing.end();
   ctx.group.record_time("recover", stats.rebuild_s);
-  record_restore_telemetry(stats);
   ctx.world.barrier();
   return stats;
 }
 
 std::size_t SelfCheckpoint::memory_bytes() const {
   if (!work_) return 0;
-  // work (A1+B2) + B + C + D + A2 + header
-  return work_->size() + ckpt_b_->size() + check_c_->size() + check_d_->size() + user_.size() +
-         sizeof(Header);
+  // work (A1+B2) + B + C + D + [S] + A2 + header
+  return work_->size() + ckpt_b_->size() + check_c_->size() + check_d_->size() +
+         (stage_ ? stage_->size() : 0) + user_.size() + sizeof(Header);
 }
 
 std::uint64_t SelfCheckpoint::committed_epoch() const {

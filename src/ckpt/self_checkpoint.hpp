@@ -15,6 +15,15 @@
 // phases, so after any single node failure either (B, C) or (work, D) is
 // a consistent erasure-coded set across the whole job — CASE 1 / CASE 2
 // of Fig. 4.
+//
+// Async staging (Params::async_staging): a fifth SHM segment S receives a
+// sealed point-in-time copy of [A1|B2] at stage(); the whole state machine
+// above then runs from S on the async worker (commit_staged), while the
+// application keeps mutating A1. Because S lives in the persistent store,
+// CASE 2 simply swaps (work, D) for (S, D): a failure anywhere in the
+// background pipeline recovers from the staged copy. In this mode even a
+// synchronous commit() encodes from S, so the recovery-set rule never
+// depends on which pipeline the interrupted commit used.
 #pragma once
 
 #include <memory>
@@ -38,6 +47,10 @@ class SelfCheckpoint final : public CheckpointProtocol {
     /// extension tolerating two simultaneous node losses per group (needs
     /// group size >= 4; codec is GF(2^8)-based regardless of `codec`).
     int parity_degree = 1;
+    /// Allocate the S staging segment and route every encode through it
+    /// (see the header comment). Recorded in the checkpoint header, so a
+    /// restart must use the same setting.
+    bool async_staging = false;
   };
 
   explicit SelfCheckpoint(Params params);
@@ -47,6 +60,10 @@ class SelfCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::span<std::byte> user_state() override;
   CommitStats commit(CommCtx ctx) override;
   RestoreStats restore(CommCtx ctx) override;
+  [[nodiscard]] bool supports_async() const override { return params_.async_staging; }
+  double stage() override;
+  CommitStats commit_staged(CommCtx ctx) override;
+  [[nodiscard]] std::span<const std::byte> staged() const override;
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] Strategy strategy() const override { return Strategy::kSelf; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
@@ -55,6 +72,8 @@ class SelfCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::string key(const char* part) const;
   void require_open() const;
   [[nodiscard]] std::span<std::byte> work_span() { return work_->bytes(); }
+  [[nodiscard]] std::uint32_t codec_field() const;
+  CommitStats commit_impl(CommCtx ctx, bool async);
 
   Params params_;
   std::size_t combined_bytes_ = 0;  // A1 + B2 payload
@@ -67,6 +86,7 @@ class SelfCheckpoint final : public CheckpointProtocol {
   sim::SegmentPtr ckpt_b_;
   sim::SegmentPtr check_c_;
   sim::SegmentPtr check_d_;
+  sim::SegmentPtr stage_;  // S, async_staging only
   sim::SegmentPtr header_;
 };
 

@@ -1,0 +1,103 @@
+#include "ckpt/session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "ckpt/multilevel.hpp"
+
+namespace skt::ckpt {
+
+Session SessionBuilder::build(mpi::Comm& world) const {
+  if (group_size_ > 0 && world.size() % group_size_ != 0) {
+    throw std::invalid_argument("SessionBuilder: group size must divide world size");
+  }
+  std::unique_ptr<mpi::Comm> group;
+  if (group_.has_value()) {
+    group = std::make_unique<mpi::Comm>(*group_);
+  } else {
+    const int color = group_size_ > 0 ? world.rank() / group_size_ : 0;
+    group = std::make_unique<mpi::Comm>(world.split(color, world.rank()));
+  }
+
+  FactoryParams params = params_;
+  params.async_staging = (mode_ == CommitMode::kAsync);
+
+  std::unique_ptr<CheckpointProtocol> protocol;
+  if (level2_flush_every_ > 0) {
+    MultiLevelCheckpoint::Params ml;
+    ml.key_prefix = params.key_prefix;
+    ml.data_bytes = params.data_bytes;
+    ml.user_bytes = params.user_bytes;
+    ml.codec = params.codec;
+    ml.level1 = strategy_;
+    ml.flush_every = level2_flush_every_;
+    ml.vault = params.vault;
+    ml.device = params.device;
+    ml.async_staging = params.async_staging;
+    protocol = std::make_unique<MultiLevelCheckpoint>(ml);
+  } else {
+    protocol = make_protocol(strategy_, params);
+  }
+
+  std::unique_ptr<AsyncCommitEngine> engine;
+  if (mode_ == CommitMode::kAsync) {
+    if (!protocol->supports_async()) {
+      throw std::invalid_argument("SessionBuilder: strategy does not support async commit");
+    }
+    // The worker thread gets private communicators: sim::Comm is not
+    // thread-safe, so it must not share the rank thread's handles. dup()
+    // is communication-free but the derivation is ordered — every rank
+    // dups world first, then its group.
+    engine = std::make_unique<AsyncCommitEngine>(*protocol, world.dup(), group->dup(),
+                                                 world.world_rank());
+  }
+  return Session(world, std::move(group), std::move(protocol), std::move(engine), mode_);
+}
+
+Session::Session(mpi::Comm& world, std::unique_ptr<mpi::Comm> group,
+                 std::unique_ptr<CheckpointProtocol> protocol,
+                 std::unique_ptr<AsyncCommitEngine> engine, CommitMode mode)
+    : world_(&world),
+      group_(std::move(group)),
+      protocol_(std::move(protocol)),
+      engine_(std::move(engine)),
+      mode_(mode) {}
+
+void Session::require_open() const {
+  if (!opened_) throw std::logic_error("Session: open() has not been called");
+}
+
+OpenOutcome Session::open() {
+  if (opened_) throw std::logic_error("Session: open() called twice");
+  opened_ = true;
+  CommCtx ctx{*world_, *group_};
+  if (!protocol_->open(ctx)) {
+    return OpenOutcome::kFresh;
+  }
+  const RestoreStats stats = protocol_->restore(ctx);
+  last_restore_ = stats;
+  record_restore_telemetry(stats);
+  return OpenOutcome::kRestored;
+}
+
+CommitStats Session::commit() {
+  require_open();
+  drain();
+  const CommitStats stats = protocol_->commit({*world_, *group_});
+  record_commit_telemetry(stats);
+  return stats;
+}
+
+CommitTicket Session::commit_async() {
+  require_open();
+  if (engine_ == nullptr) {
+    throw std::logic_error("Session: commit_async() requires CommitMode::kAsync");
+  }
+  return engine_->commit_async(*group_);
+}
+
+void Session::drain() {
+  if (engine_ != nullptr) engine_->drain();
+}
+
+}  // namespace skt::ckpt

@@ -1,0 +1,169 @@
+// ckpt::Session — the front door of the checkpoint library.
+//
+// A Session bundles everything an application previously wired by hand:
+// the encoding-group communicator (split from world by group size), the
+// concrete CheckpointProtocol (built through the make_protocol SPI,
+// optionally wrapped in MultiLevelCheckpoint), restore-on-open, commit
+// telemetry, and — in CommitMode::kAsync — the background commit pipeline.
+//
+//   auto session = ckpt::SessionBuilder{}
+//                      .strategy(ckpt::Strategy::kSelf)
+//                      .data_bytes(n)
+//                      .user_bytes(sizeof(State))
+//                      .mode(ckpt::CommitMode::kAsync)
+//                      .build(world);
+//   if (session.open() == ckpt::OpenOutcome::kRestored) { ...resume... }
+//   ...mutate session.data()...
+//   session.commit_async();   // critical path pays only the stage copy
+//
+// open() performs the restore itself: on a restart it rebuilds
+// data()/user_state() from the newest consistent checkpoint and returns
+// kRestored; the caller never sequences open/restore by hand.
+//
+// commit() and commit_async() are collective over the world communicator
+// the Session was built from. In async mode at most ONE epoch is in
+// flight: a second commit_async() first waits out the previous ticket
+// (bounded staleness), and the destructor drains any in-flight commit
+// before tearing the worker down.
+//
+// Strategy authors and embedders who need the raw state machine can still
+// reach the SPI through protocol(); see protocol.hpp for that contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ckpt/async_engine.hpp"
+#include "ckpt/factory.hpp"
+#include "ckpt/protocol.hpp"
+#include "mpi/comm.hpp"
+
+namespace skt::ckpt {
+
+enum class CommitMode {
+  kSync,   ///< commit() runs the full state machine on the calling thread
+  kAsync,  ///< commit_async() stages locally; a worker thread encodes/flushes
+};
+
+enum class OpenOutcome {
+  kFresh,     ///< no committed checkpoint anywhere; caller initializes data
+  kRestored,  ///< data()/user_state() rebuilt from the newest checkpoint
+};
+
+class Session;
+
+/// Fluent configuration for a Session. build() is collective (it splits
+/// the encoding-group communicator off `world`), so every rank must call
+/// it with identical settings.
+class SessionBuilder {
+ public:
+  SessionBuilder& strategy(Strategy s) { strategy_ = s; return *this; }
+  SessionBuilder& data_bytes(std::size_t n) { params_.data_bytes = n; return *this; }
+  SessionBuilder& user_bytes(std::size_t n) { params_.user_bytes = n; return *this; }
+  SessionBuilder& codec(enc::CodecKind c) { params_.codec = c; return *this; }
+  /// Self-checkpoint only: 1 = single erasure (default), 2 = dual.
+  SessionBuilder& parity_degree(int d) { params_.parity_degree = d; return *this; }
+  SessionBuilder& key_prefix(std::string p) { params_.key_prefix = std::move(p); return *this; }
+  /// Durable store; required for Strategy::kBlcr and level2_flush_every.
+  SessionBuilder& vault(storage::SnapshotVault* v) { params_.vault = v; return *this; }
+  SessionBuilder& device(storage::DeviceProfile d) { params_.device = d; return *this; }
+  /// Ranks per encoding group (0 = one job-wide group). Must divide the
+  /// world size.
+  SessionBuilder& group_size(int n) { group_size_ = n; return *this; }
+  /// Hand the Session a pre-built encoding-group communicator (e.g. a
+  /// topology-aware one from ckpt::make_group_comm) instead of the plain
+  /// rank/group_size split. The Session takes the communicator over; the
+  /// caller must not keep using another handle to it.
+  SessionBuilder& group(mpi::Comm g) { group_ = std::move(g); return *this; }
+  SessionBuilder& mode(CommitMode m) { mode_ = m; return *this; }
+  /// > 0 wraps the strategy in MultiLevelCheckpoint flushing to the vault
+  /// every N commits (SCR/FTI-style level 2).
+  SessionBuilder& level2_flush_every(int n) { level2_flush_every_ = n; return *this; }
+
+  /// Collective. `world` must outlive the Session.
+  [[nodiscard]] Session build(mpi::Comm& world) const;
+
+ private:
+  Strategy strategy_ = Strategy::kSelf;
+  FactoryParams params_;
+  int group_size_ = 0;
+  std::optional<mpi::Comm> group_;
+  CommitMode mode_ = CommitMode::kSync;
+  int level2_flush_every_ = 0;
+};
+
+class Session {
+ public:
+  Session(Session&&) noexcept = default;
+  Session& operator=(Session&&) noexcept = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  /// Drains any in-flight async commit, then stops the worker.
+  ~Session() = default;
+
+  /// Collective. Attaches/creates the checkpoint state; on a restart it
+  /// ALSO restores data()/user_state() (recording restore telemetry) and
+  /// returns kRestored. Must be called exactly once, before any commit.
+  OpenOutcome open();
+
+  /// The protected working buffer / small user-state area (see
+  /// CheckpointProtocol). Valid after open().
+  [[nodiscard]] std::span<std::byte> data() { return protocol_->data(); }
+  [[nodiscard]] std::span<std::byte> user_state() { return protocol_->user_state(); }
+
+  /// Collective synchronous commit. In async mode this first drains the
+  /// in-flight epoch, so it is safe to mix the two (e.g. a final sync
+  /// commit before shutdown).
+  CommitStats commit();
+
+  /// Collective asynchronous commit (CommitMode::kAsync only). Blocks for
+  /// the previous epoch if one is still in flight — at most one epoch of
+  /// staleness — then stages locally and returns a ticket for the
+  /// background encode+flush.
+  CommitTicket commit_async();
+
+  /// Wait for any in-flight async commit; rethrows its failure. No-op in
+  /// sync mode or when idle.
+  void drain();
+
+  /// Stats of the restore open() performed, when it returned kRestored.
+  [[nodiscard]] const std::optional<RestoreStats>& last_restore() const {
+    return last_restore_;
+  }
+
+  [[nodiscard]] CommitMode mode() const { return mode_; }
+  [[nodiscard]] Strategy strategy() const { return protocol_->strategy(); }
+  [[nodiscard]] std::size_t memory_bytes() const { return protocol_->memory_bytes(); }
+  /// Newest locally committed epoch. In async mode call drain() first for
+  /// a settled value — the worker publishes it mid-pipeline.
+  [[nodiscard]] std::uint64_t committed_epoch() const { return protocol_->committed_epoch(); }
+
+  /// The encoding-group communicator the Session owns (split from world).
+  [[nodiscard]] mpi::Comm& group() { return *group_; }
+
+  /// SPI escape hatch: the underlying protocol, for tests and embedders
+  /// that need strategy-specific calls (e.g. incremental dirty marking).
+  [[nodiscard]] CheckpointProtocol& protocol() { return *protocol_; }
+
+ private:
+  friend class SessionBuilder;
+  Session(mpi::Comm& world, std::unique_ptr<mpi::Comm> group,
+          std::unique_ptr<CheckpointProtocol> protocol,
+          std::unique_ptr<AsyncCommitEngine> engine, CommitMode mode);
+
+  void require_open() const;
+
+  mpi::Comm* world_;                             // borrowed; outlives the Session
+  std::unique_ptr<mpi::Comm> group_;             // owned encoding group
+  std::unique_ptr<CheckpointProtocol> protocol_;
+  // Declared after protocol_/group_ so the worker is joined before the
+  // protocol and comms it uses are destroyed.
+  std::unique_ptr<AsyncCommitEngine> engine_;
+  CommitMode mode_;
+  bool opened_ = false;
+  std::optional<RestoreStats> last_restore_;
+};
+
+}  // namespace skt::ckpt

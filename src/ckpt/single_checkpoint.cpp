@@ -15,6 +15,7 @@ SingleCheckpoint::SingleCheckpoint(Params params) : params_(std::move(params)) {
   combined_bytes_ = params_.data_bytes + params_.user_bytes;
   app_.assign(params_.data_bytes, std::byte{0});
   user_.assign(params_.user_bytes, std::byte{0});
+  if (params_.async_staging) stage_.assign(combined_bytes_, std::byte{0});
 }
 
 std::string SingleCheckpoint::key(const char* part) const {
@@ -61,9 +62,38 @@ std::span<std::byte> SingleCheckpoint::data() {
 
 std::span<std::byte> SingleCheckpoint::user_state() { return user_; }
 
+double SingleCheckpoint::stage() {
+  require_open();
+  if (!params_.async_staging) {
+    throw std::logic_error("SingleCheckpoint: stage() without async_staging");
+  }
+  SKT_SPAN("ckpt.stage");
+  util::WallTimer timer;
+  std::memcpy(stage_.data(), app_.data(), app_.size());
+  std::memcpy(stage_.data() + app_.size(), user_.data(), user_.size());
+  return timer.seconds();
+}
+
+std::span<const std::byte> SingleCheckpoint::staged() const { return stage_; }
+
 CommitStats SingleCheckpoint::commit(CommCtx ctx) {
   require_open();
+  return commit_impl(ctx, /*async=*/false);
+}
+
+CommitStats SingleCheckpoint::commit_staged(CommCtx ctx) {
+  require_open();
+  if (!params_.async_staging) {
+    throw std::logic_error("SingleCheckpoint: commit_staged() without async_staging");
+  }
+  return commit_impl(ctx, /*async=*/true);
+}
+
+CommitStats SingleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   SKT_SPAN("ckpt.commit");
+  // What goes into B: the staged snapshot (async) or the live [A|A2].
+  const std::byte* data_src = async ? stage_.data() : app_.data();
+  const std::byte* user_src = async ? stage_.data() + app_.size() : user_.data();
   Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
                           static_cast<std::uint32_t>(ctx.group.size()),
                           static_cast<std::uint32_t>(params_.codec));
@@ -71,7 +101,7 @@ CommitStats SingleCheckpoint::commit(CommCtx ctx) {
   const std::uint64_t next =
       ctx.world.allreduce_value<std::uint64_t>(h.bc_epoch, mpi::Max{}) + 1;
 
-  ctx.group.failpoint("ckpt.begin");
+  ctx.group.failpoint(async ? "ckpt.async_begin" : "ckpt.begin");
   ctx.world.barrier();
 
   // Mark the update window: from here until the final header write, (B, C)
@@ -85,11 +115,11 @@ CommitStats SingleCheckpoint::commit(CommCtx ctx) {
   util::WallTimer flush_timer;
   {
     SKT_SPAN("ckpt.flush");
-    std::memcpy(ckpt_b_->bytes().data(), app_.data(), app_.size());
-    std::memcpy(ckpt_b_->bytes().data() + app_.size(), user_.data(), user_.size());
+    std::memcpy(ckpt_b_->bytes().data(), data_src, app_.size());
+    std::memcpy(ckpt_b_->bytes().data() + app_.size(), user_src, user_.size());
   }
   stats.flush_s = flush_timer.seconds();
-  ctx.group.failpoint("ckpt.mid_update");
+  ctx.group.failpoint(async ? "ckpt.async_mid_update" : "ckpt.mid_update");
 
   const double encode_virtual_before = ctx.group.virtual_seconds();
   util::WallTimer encode_timer;
@@ -99,18 +129,17 @@ CommitStats SingleCheckpoint::commit(CommCtx ctx) {
   }
   stats.encode_s = encode_timer.seconds();
   stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
-  ctx.group.failpoint("ckpt.encode_done");
+  ctx.group.failpoint(async ? "ckpt.async_encode_done" : "ckpt.encode_done");
 
   h.bc_epoch = next;
   h.d_epoch = next;
   store_header(header_, h);
-  ctx.group.failpoint("ckpt.flushed");
+  ctx.group.failpoint(async ? "ckpt.async_flushed" : "ckpt.flushed");
   ctx.world.barrier();
 
   stats.checkpoint_bytes = ckpt_b_->size();
   stats.checksum_bytes = check_c_->size();
-  ctx.group.record_time("checkpoint", stats.total_s());
-  record_commit_telemetry(stats);
+  if (!async) ctx.group.record_time("checkpoint", stats.total_s());
   return stats;
 }
 
@@ -161,14 +190,14 @@ RestoreStats SingleCheckpoint::restore(CommCtx ctx) {
   stats.rebuild_s = timer.seconds();
   stats.rebuilt_member = !missing.empty() && missing.front() == ctx.group.rank();
   ctx.group.record_time("recover", stats.rebuild_s);
-  record_restore_telemetry(stats);
   ctx.world.barrier();
   return stats;
 }
 
 std::size_t SingleCheckpoint::memory_bytes() const {
   if (!ckpt_b_) return 0;
-  return app_.size() + user_.size() + ckpt_b_->size() + check_c_->size() + sizeof(Header);
+  return app_.size() + user_.size() + stage_.size() + ckpt_b_->size() + check_c_->size() +
+         sizeof(Header);
 }
 
 std::uint64_t SingleCheckpoint::committed_epoch() const {

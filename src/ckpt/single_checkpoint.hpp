@@ -22,6 +22,11 @@ class SingleCheckpoint final : public CheckpointProtocol {
     std::size_t data_bytes = 0;
     std::size_t user_bytes = 64;
     enc::CodecKind codec = enc::CodecKind::kXor;
+    /// Allocate a heap staging buffer for stage()/commit_staged(). Unlike
+    /// the self-checkpoint S it is NOT in SHM: this strategy's recovery
+    /// never reads the staging copy (a failure inside the update window is
+    /// unrecoverable either way), so nothing persistent changes.
+    bool async_staging = false;
   };
 
   explicit SingleCheckpoint(Params params);
@@ -31,6 +36,10 @@ class SingleCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::span<std::byte> user_state() override;
   CommitStats commit(CommCtx ctx) override;
   RestoreStats restore(CommCtx ctx) override;
+  [[nodiscard]] bool supports_async() const override { return params_.async_staging; }
+  double stage() override;
+  CommitStats commit_staged(CommCtx ctx) override;
+  [[nodiscard]] std::span<const std::byte> staged() const override;
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] Strategy strategy() const override { return Strategy::kSingle; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
@@ -38,13 +47,15 @@ class SingleCheckpoint final : public CheckpointProtocol {
  private:
   [[nodiscard]] std::string key(const char* part) const;
   void require_open() const;
+  CommitStats commit_impl(CommCtx ctx, bool async);
 
   Params params_;
   std::size_t combined_bytes_ = 0;
   std::optional<enc::GroupCodec> codec_;
 
-  std::vector<std::byte> app_;   // A — ordinary memory
-  std::vector<std::byte> user_;  // A2
+  std::vector<std::byte> app_;    // A — ordinary memory
+  std::vector<std::byte> user_;   // A2
+  std::vector<std::byte> stage_;  // [A|A2] snapshot, async_staging only
 
   int world_rank_ = -1;
   bool survivor_ = false;

@@ -57,42 +57,41 @@ SktHplResult run_skt_hpl(mpi::Comm& world, const SktHplConfig& config) {
     return result;
   }
 
-  mpi::Comm group = build_group_comm(world, config.group_size, config.mapping);
-  ckpt::CommCtx ctx{world, group};
-
-  ckpt::FactoryParams params;
-  params.key_prefix = config.key_prefix;
-  params.data_bytes = data_bytes;
-  params.user_bytes = sizeof(SktState);
-  params.codec = config.codec;
-  params.vault = config.vault;
-  params.device = config.device;
-  auto protocol = ckpt::make_protocol(config.strategy, params);
-
-  const bool has_ckpt = protocol->open(ctx);
-  auto* state = reinterpret_cast<SktState*>(protocol->user_state().data());
-
-  // data() is at least data_bytes long; alias it as the local matrix.
-  const std::span<double> storage{reinterpret_cast<double*>(protocol->data().data()),
-                                  static_cast<std::size_t>(elems)};
-  DistMatrix a(grid, h.n, h.n + 1, h.nb, storage);
+  ckpt::Session session =
+      ckpt::SessionBuilder{}
+          .strategy(config.strategy)
+          .key_prefix(config.key_prefix)
+          .data_bytes(data_bytes)
+          .user_bytes(sizeof(SktState))
+          .codec(config.codec)
+          .vault(config.vault)
+          .device(config.device)
+          .group(build_group_comm(world, config.group_size, config.mapping))
+          .mode(config.async ? ckpt::CommitMode::kAsync : ckpt::CommitMode::kSync)
+          .build(world);
 
   const double virtual_before = world.virtual_seconds();
   util::WallTimer timer;
 
-  if (has_ckpt) {
-    // Restart path (Fig. 9): restore data + loop position from the
-    // checkpoint and skip generation.
-    util::WallTimer restore_timer;
-    SKT_SPAN("hpl.restore");
-    const ckpt::RestoreStats rs = protocol->restore(ctx);
+  util::WallTimer open_timer;
+  const ckpt::OpenOutcome outcome = session.open();
+  auto* state = reinterpret_cast<SktState*>(session.user_state().data());
+
+  // data() is at least data_bytes long; alias it as the local matrix.
+  const std::span<double> storage{reinterpret_cast<double*>(session.data().data()),
+                                  static_cast<std::size_t>(elems)};
+  DistMatrix a(grid, h.n, h.n + 1, h.nb, storage);
+
+  if (outcome == ckpt::OpenOutcome::kRestored) {
+    // Restart path (Fig. 9): open() restored data + loop position from the
+    // checkpoint, so generation is skipped.
     result.restored = true;
-    result.restore_s = restore_timer.seconds();
+    result.restore_s = open_timer.seconds();
     if (!state->valid(h)) {
       throw std::runtime_error("skt-hpl: restored state does not match this configuration");
     }
-    SKT_LOG_INFO("skt-hpl: restored epoch {} -> resuming at panel {}", rs.epoch,
-                 state->next_panel);
+    SKT_LOG_INFO("skt-hpl: restored epoch {} -> resuming at panel {}",
+                 session.last_restore()->epoch, state->next_panel);
   } else {
     *state = SktState{};
     state->next_panel = 0;
@@ -103,24 +102,55 @@ SktHplResult run_skt_hpl(mpi::Comm& world, const SktHplConfig& config) {
   }
   world.barrier();
 
+  // Worker-side stats of an async epoch; reaped when its ticket resolves.
+  const auto absorb_pipeline = [&result](const ckpt::CommitStats& stats) {
+    result.encode_total_s += stats.encode_s;
+    result.encode_virtual_total_s += stats.encode_virtual_s;
+    result.encode_last_s = stats.encode_s + stats.encode_virtual_s;
+    result.ckpt_bytes = stats.checkpoint_bytes;
+    result.checksum_bytes = stats.checksum_bytes;
+  };
+
+  ckpt::CommitTicket pending;
   const PanelHook hook = [&](std::int64_t next_panel) {
     world.failpoint("hpl.panel");
     if (config.ckpt_every_panels > 0 && next_panel % config.ckpt_every_panels == 0) {
       SKT_SPAN("hpl.commit");
       state->next_panel = next_panel;
-      const ckpt::CommitStats stats = protocol->commit(ctx);
-      ++result.checkpoints;
-      result.ckpt_total_s += stats.total_s();
-      result.encode_total_s += stats.encode_s;
-      result.encode_virtual_total_s += stats.encode_virtual_s;
-      result.encode_last_s = stats.encode_s + stats.encode_virtual_s;
-      result.ckpt_bytes = stats.checkpoint_bytes;
-      result.checksum_bytes = stats.checksum_bytes;
+      if (config.async) {
+        // Reap the previous epoch first: commit_async would block on it
+        // anyway (staleness is bounded to one epoch), so the wait here
+        // adds no latency but lets us account the worker's time.
+        if (pending.valid()) {
+          const ckpt::CommitStats done = pending.wait();
+          absorb_pipeline(done);
+          result.ckpt_worker_total_s += done.total_s();
+        }
+        pending = session.commit_async();
+        ++result.checkpoints;
+        // The loop only ever pays the stage copy.
+        result.ckpt_stage_total_s += pending.stage_seconds();
+        result.ckpt_total_s += pending.stage_seconds();
+      } else {
+        const ckpt::CommitStats stats = session.commit();
+        ++result.checkpoints;
+        result.ckpt_total_s += stats.total_s();
+        absorb_pipeline(stats);
+      }
     }
     return true;
   };
 
   lu_factorize(grid, a, h.n, state->next_panel, hook, nullptr, h.panel_bcast);
+  if (pending.valid()) {
+    const ckpt::CommitStats done = pending.wait();
+    absorb_pipeline(done);
+    result.ckpt_worker_total_s += done.total_s();
+  }
+  if (result.ckpt_stage_total_s + result.ckpt_worker_total_s > 0.0) {
+    result.overlap_fraction = result.ckpt_worker_total_s /
+                              (result.ckpt_stage_total_s + result.ckpt_worker_total_s);
+  }
   const std::vector<double> x = back_substitute(world, grid, a, h.n);
   const double elapsed = timer.seconds();
   const double virtual_delta = world.virtual_seconds() - virtual_before;
@@ -130,7 +160,7 @@ SktHplResult run_skt_hpl(mpi::Comm& world, const SktHplConfig& config) {
   result.hpl.virtual_s = virtual_delta;
   result.hpl.gflops = hpl_flops(h.n) / (elapsed + virtual_delta) * 1e-9;
   result.hpl.residual = verify(world, a, h.n, h.seed, x);
-  result.memory_bytes = protocol->memory_bytes();
+  result.memory_bytes = session.memory_bytes();
   return result;
 }
 

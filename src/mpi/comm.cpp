@@ -163,6 +163,19 @@ Comm Comm::split(int color, int key) {
   return Comm(*rt_, std::move(group), my_new_rank);
 }
 
+Comm Comm::dup() {
+  auto group = std::make_shared<Group>();
+  // Derived purely from (parent id, per-handle dup ordinal): every member
+  // computes the same id without communication, and successive dups of the
+  // same parent get distinct ids.
+  group->id = util::splitmix64(
+      util::splitmix64(group_->id ^ 0xd5b4'7c3a'9e11'f06bULL) +
+      static_cast<std::uint64_t>(dup_count_));
+  ++dup_count_;
+  group->members = group_->members;
+  return Comm(*rt_, std::move(group), rank_);
+}
+
 void Comm::failpoint(std::string_view name) {
   rt_->check_alive(world_rank());
   sim::FailureInjector* injector = rt_->injector();

@@ -434,6 +434,20 @@ class Comm {
   /// ordered by (key, parent rank). color must be >= 0.
   [[nodiscard]] Comm split(int color, int key);
 
+  /// MPI_Comm_dup, communication-free: same members and ranks, but a fresh
+  /// communicator id and collective sequence, so traffic on the duplicate
+  /// never matches traffic on the parent. This is how a second thread of
+  /// the same rank (the async checkpoint worker) gets communicators it can
+  /// use concurrently with the rank thread: a Comm object is NOT
+  /// thread-safe, but two Comms of the same rank with distinct ids are —
+  /// the mailbox keys every message by (source, tag, comm id).
+  ///
+  /// Determinism contract (like any collective): all members must call
+  /// dup() on their handle of this communicator the same number of times,
+  /// in the same order relative to other dup() calls on it. The n-th dup
+  /// of a given communicator yields the same id on every member.
+  [[nodiscard]] Comm dup();
+
   // --- environment --------------------------------------------------------
 
   [[nodiscard]] sim::Node& node() { return rt_->node_of(world_rank()); }
@@ -470,6 +484,7 @@ class Comm {
   std::shared_ptr<const Group> group_;
   int rank_;
   Tag collective_seq_ = 0;
+  int dup_count_ = 0;  ///< how many times dup() was called on this handle
 };
 
 }  // namespace skt::mpi

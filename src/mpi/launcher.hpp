@@ -46,8 +46,15 @@ struct LaunchResult {
   double total_real_s = 0.0;
   double total_virtual_s = 0.0;
   std::vector<CycleTiming> cycles;
-  /// Named durations recorded by ranks across all attempts (max-merged),
-  /// e.g. "checkpoint" and "recover".
+  /// Named durations recorded by ranks, e.g. "checkpoint" (critical-path
+  /// commit cost: the full sync commit, or only the staging copy in async
+  /// mode), "ckpt_worker" (one async worker pipeline, off the critical
+  /// path), and "recover". Max-merge semantics, at both levels: within an
+  /// attempt each value is the largest single observation across ranks and
+  /// calls (JobResult::times), and across attempts the per-attempt maxima
+  /// are max-merged again. So times["checkpoint"] is the worst-case cost
+  /// of ONE commit anywhere in the whole launch — not a total, not an
+  /// average, and not summed over restarts.
   std::map<std::string, double> times;
   std::vector<int> final_ranklist;
 };

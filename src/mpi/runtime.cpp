@@ -24,7 +24,8 @@ Runtime::Runtime(sim::Cluster& cluster, std::vector<int> ranklist,
   for (std::size_t i = 0; i < ranklist_.size(); ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
-  rank_virtual_s_.assign(ranklist_.size(), 0.0);
+  rank_virtual_s_ = std::make_unique<std::atomic<double>[]>(ranklist_.size());
+  for (std::size_t i = 0; i < ranklist_.size(); ++i) rank_virtual_s_[i].store(0.0);
 }
 
 JobResult Runtime::run(const std::function<void(Comm&)>& fn) {
@@ -73,9 +74,10 @@ JobResult Runtime::run(const std::function<void(Comm&)>& fn) {
     result.abort_reason = abort_reason_;
   }
   result.elapsed_real_s = timer.seconds();
-  const double max_rank_virtual =
-      rank_virtual_s_.empty() ? 0.0
-                              : *std::max_element(rank_virtual_s_.begin(), rank_virtual_s_.end());
+  double max_rank_virtual = 0.0;
+  for (std::size_t i = 0; i < ranklist_.size(); ++i) {
+    max_rank_virtual = std::max(max_rank_virtual, rank_virtual_s_[i].load());
+  }
   result.virtual_s =
       max_rank_virtual + static_cast<double>(job_virtual_ns_.load(std::memory_order_relaxed)) * 1e-9;
   {
@@ -144,11 +146,18 @@ double Runtime::message_cost(int src_world, int dst_world, std::size_t bytes) co
 }
 
 void Runtime::charge_rank_virtual(int world_rank, double seconds) {
-  rank_virtual_s_.at(static_cast<std::size_t>(world_rank)) += seconds;
+  if (world_rank < 0 || world_rank >= world_size()) {
+    throw std::out_of_range("charge_rank_virtual: bad rank");
+  }
+  rank_virtual_s_[static_cast<std::size_t>(world_rank)].fetch_add(seconds,
+                                                                  std::memory_order_relaxed);
 }
 
 double Runtime::rank_virtual(int world_rank) const {
-  return rank_virtual_s_.at(static_cast<std::size_t>(world_rank));
+  if (world_rank < 0 || world_rank >= world_size()) {
+    throw std::out_of_range("rank_virtual: bad rank");
+  }
+  return rank_virtual_s_[static_cast<std::size_t>(world_rank)].load(std::memory_order_relaxed);
 }
 
 void Runtime::charge_job_virtual(double seconds) {

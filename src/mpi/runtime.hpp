@@ -48,8 +48,10 @@ struct JobResult {
   /// Critical-path virtual seconds: max over ranks of per-rank charges,
   /// plus job-level charges (device flushes accounted collectively).
   double virtual_s = 0.0;
-  /// Named timing accumulators recorded by ranks (e.g. "checkpoint",
-  /// "recover"); values are max across ranks.
+  /// Named durations recorded by ranks (e.g. "checkpoint", "recover",
+  /// "ckpt_worker"). Each record_time() call max-merges: the stored value
+  /// is the LARGEST single observation across all ranks and calls — a
+  /// worst-case per-event duration, not a sum over the run.
   std::map<std::string, double> times;
   /// Total payload bytes and message count pushed through mailboxes over
   /// the whole job — the "bytes on the wire" the bandwidth benches report.
@@ -92,11 +94,14 @@ class Runtime {
   /// configured network model; 0 when modelling is off or intra-node.
   [[nodiscard]] double message_cost(int src_world, int dst_world, std::size_t bytes) const;
 
+  /// Thread-safe: a rank thread and its async checkpoint worker may charge
+  /// the same rank's virtual clock concurrently.
   void charge_rank_virtual(int world_rank, double seconds);
   [[nodiscard]] double rank_virtual(int world_rank) const;
   void charge_job_virtual(double seconds);
 
-  /// Record a named duration; the JobResult reports the max across ranks.
+  /// Record a named duration. Max-merged per call: JobResult::times keeps
+  /// the largest single observation across ranks and calls.
   void record_time(const std::string& name, double seconds);
 
   /// Account one sent message; called by Comm on every send. Mirrored into
@@ -138,7 +143,9 @@ class Runtime {
   std::mutex abort_mutex_;
   std::string abort_reason_;
 
-  std::vector<double> rank_virtual_s_;
+  // Atomic because async checkpoint workers charge virtual time from their
+  // own thread while the rank thread keeps communicating.
+  std::unique_ptr<std::atomic<double>[]> rank_virtual_s_;
   std::atomic<std::int64_t> job_virtual_ns_{0};
   std::atomic<std::uint64_t> wire_bytes_{0};
   std::atomic<std::uint64_t> wire_messages_{0};

@@ -128,8 +128,12 @@ void Tracer::clear() {
 
 namespace {
 
+/// Async checkpoint workers get rows of their own: worker of rank r is
+/// registered under kWorkerRowBase + r (see set_thread_async_worker).
+constexpr int kWorkerRowBase = 1'000'000;
+
 /// Trace rows: rank r maps to tid r, the shared non-rank row to a high tid so
-/// it sorts below the ranks in the viewer.
+/// it sorts below the ranks in the viewer; worker rows sort below that.
 int row_tid(int rank) { return rank >= 0 ? rank : 999; }
 
 /// Event category from the dotted name prefix ("ckpt.encode" -> "ckpt").
@@ -164,7 +168,9 @@ std::string Tracer::chrome_trace_json() const {
     w.field("tid", static_cast<std::int64_t>(row_tid(rank)));
     w.key("args");
     w.begin_object();
-    if (rank >= 0) {
+    if (rank >= kWorkerRowBase) {
+      w.field("name", "ckpt-worker " + std::to_string(rank - kWorkerRowBase));
+    } else if (rank >= 0) {
       w.field("name", "rank " + std::to_string(rank));
     } else {
       w.field("name", "launcher");
@@ -214,6 +220,10 @@ bool Tracer::export_chrome_trace(const std::string& path) const {
 }
 
 void set_thread_rank(int rank) { t_rank = rank; }
+
+void set_thread_async_worker(int rank) {
+  t_rank = rank >= 0 ? kWorkerRowBase + rank : -1;
+}
 
 void set_epoch(std::uint64_t epoch) { t_epoch = epoch; }
 

@@ -50,6 +50,12 @@ struct SpanRecord {
 /// thread to the shared non-rank row.
 void set_thread_rank(int rank);
 
+/// Attribute this thread's spans to rank `rank`'s async checkpoint WORKER
+/// row instead of the rank row itself, so overlap between the rank thread
+/// and its background commit pipeline is visible as two parallel rows in
+/// the exported timeline ("ckpt-worker <r>").
+void set_thread_async_worker(int rank);
+
 /// Checkpoint epoch stamped onto spans closed by this thread from now on.
 void set_epoch(std::uint64_t epoch);
 

@@ -5,14 +5,19 @@
 // harness restores and continues, and the caller verifies the final
 // pattern — so a wrong epoch, a torn checkpoint, or a bad rebuild all
 // surface as data mismatches.
+//
+// The harness drives the library the way applications do: through
+// ckpt::Session. CommitMode::kAsync runs the asynchronous pipeline — the
+// loop keeps mutating data() while the worker encodes the staged copy —
+// so the same consistency checks cover both commit paths.
 #pragma once
 
 #include <cstring>
 #include <stdexcept>
 #include <string>
 
-#include "ckpt/factory.hpp"
-#include "ckpt/protocol.hpp"
+#include "ckpt/incremental.hpp"
+#include "ckpt/session.hpp"
 #include "mpi/comm.hpp"
 #include "util/rng.hpp"
 
@@ -26,8 +31,12 @@ struct CkptAppConfig {
   int parity_degree = 1;       ///< self-checkpoint only
   int iterations = 5;
   std::uint64_t seed = 2017;
-  storage::SnapshotVault* vault = nullptr;  ///< BLCR only
-  storage::DeviceProfile device;            ///< BLCR only
+  storage::SnapshotVault* vault = nullptr;  ///< BLCR / level 2 only
+  storage::DeviceProfile device;            ///< BLCR / level 2 only
+  ckpt::CommitMode mode = ckpt::CommitMode::kSync;
+  /// > 0 wraps the strategy in a multi-level session (level-2 disk flush
+  /// every N commits).
+  int level2_every = 0;
 };
 
 struct LoopState {
@@ -57,33 +66,30 @@ inline bool matches_pattern(std::span<const std::byte> data, std::uint64_t seed,
 /// The rank body. Throws (aborting the job) on any consistency violation so
 /// the test's final success assertion catches protocol bugs.
 inline void checkpointed_app(mpi::Comm& world, const CkptAppConfig& config) {
-  if (world.size() % config.group_size != 0) {
-    throw std::invalid_argument("checkpointed_app: group size must divide world size");
-  }
-  mpi::Comm group = world.split(world.rank() / config.group_size, world.rank());
-  ckpt::CommCtx ctx{world, group};
+  ckpt::Session session = ckpt::SessionBuilder{}
+                              .strategy(config.strategy)
+                              .group_size(config.group_size)
+                              .data_bytes(config.data_bytes)
+                              .user_bytes(sizeof(LoopState))
+                              .codec(config.codec)
+                              .parity_degree(config.parity_degree)
+                              .key_prefix("test")
+                              .vault(config.vault)
+                              .device(config.device)
+                              .mode(config.mode)
+                              .level2_flush_every(config.level2_every)
+                              .build(world);
 
-  ckpt::FactoryParams params;
-  params.key_prefix = "test";
-  params.data_bytes = config.data_bytes;
-  params.user_bytes = sizeof(LoopState);
-  params.codec = config.codec;
-  params.parity_degree = config.parity_degree;
-  params.vault = config.vault;
-  params.device = config.device;
-  auto protocol = ckpt::make_protocol(config.strategy, params);
-
-  const bool restored = protocol->open(ctx);
-  auto* state = reinterpret_cast<LoopState*>(protocol->user_state().data());
-  if (restored) {
-    const ckpt::RestoreStats rs = protocol->restore(ctx);
+  auto* state = reinterpret_cast<LoopState*>(session.user_state().data());
+  if (session.open() == ckpt::OpenOutcome::kRestored) {
     // The restored data must match the pattern of the restored iteration —
     // commit runs once per iteration, so epoch and iteration move together.
     const double tol = config.codec == enc::CodecKind::kXor ? 0.0 : 1e-9;
-    if (!matches_pattern(protocol->data(), config.seed, world.rank(), state->iteration, tol)) {
+    if (!matches_pattern(session.data(), config.seed, world.rank(), state->iteration, tol)) {
       throw std::runtime_error("restored data does not match iteration " +
                                std::to_string(state->iteration));
     }
+    const ckpt::RestoreStats rs = session.last_restore().value();
     if (rs.epoch != state->iteration) {
       throw std::runtime_error("restored epoch " + std::to_string(rs.epoch) +
                                " disagrees with iteration counter " +
@@ -91,24 +97,40 @@ inline void checkpointed_app(mpi::Comm& world, const CkptAppConfig& config) {
     }
   } else {
     state->iteration = 0;
-    fill_pattern(protocol->data(), config.seed, world.rank(), 0);
+    fill_pattern(session.data(), config.seed, world.rank(), 0);
   }
 
+  const bool async = config.mode == ckpt::CommitMode::kAsync;
   while (state->iteration < static_cast<std::uint64_t>(config.iterations)) {
     world.failpoint("app.work");
     const std::uint64_t next = state->iteration + 1;
-    fill_pattern(protocol->data(), config.seed, world.rank(), next);
+    fill_pattern(session.data(), config.seed, world.rank(), next);
+    // The harness rewrites the full buffer, so the incremental strategy's
+    // dirty contract means: everything is dirty. (Sparse-update coverage
+    // lives in test_incremental.cpp, which marks real ranges.)
+    if (auto* incr = dynamic_cast<ckpt::IncrementalSelfCheckpoint*>(&session.protocol())) {
+      incr->mark_all_dirty();
+    }
     state->iteration = next;
     try {
-      protocol->commit(ctx);
+      if (async) {
+        // The ticket is deliberately dropped: the next commit_async() (or
+        // the drain below) provides the backpressure. The loop immediately
+        // continues mutating data() while the worker runs — that overlap
+        // is exactly what the staged pipeline must tolerate.
+        session.commit_async();
+      } else {
+        session.commit();
+      }
     } catch (const ckpt::Unrecoverable& e) {
       throw std::runtime_error(std::string("unrecoverable during commit: ") + e.what());
     }
   }
+  if (async) session.drain();
 
   world.failpoint("app.done");
   const double tol = config.codec == enc::CodecKind::kXor ? 0.0 : 1e-9;
-  if (!matches_pattern(protocol->data(), config.seed, world.rank(),
+  if (!matches_pattern(session.data(), config.seed, world.rank(),
                        static_cast<std::uint64_t>(config.iterations), tol)) {
     throw std::runtime_error("final data mismatch");
   }

@@ -155,6 +155,144 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(2), ::testing::Values(enc::CodecKind::kXor)),
     case_name);
 
+// The same sweep through the ASYNCHRONOUS pipeline: the kill lands inside
+// the background worker's ckpt.async_* window (or the rank thread's
+// ckpt.async_stage), while the application loop is already mutating the
+// next iteration's data. Recovery must still converge on a globally
+// consistent epoch — the staged copy S is what the group encoded, so a
+// CASE-2 rebuild reads (S, D), never the torn live buffer.
+struct AsyncCase {
+  Strategy strategy;
+  const char* failpoint;
+  bool recoverable = true;
+  /// See Case::trigger; -1 = the victim itself.
+  int trigger = -1;
+  /// > 0: wrap in a multi-level session flushing to disk every N commits.
+  int level2_every = 0;
+};
+
+std::string async_case_name(
+    const ::testing::TestParamInfo<std::tuple<AsyncCase, int>>& i) {
+  const auto& [c, group] = i.param;
+  std::string point = c.failpoint;
+  for (char& ch : point) {
+    if (ch == '.') ch = '_';
+  }
+  std::string strategy(to_string(c.strategy));
+  if (const auto dash = strategy.find('-'); dash != std::string::npos) {
+    strategy = strategy.substr(0, dash);
+  }
+  if (c.strategy == Strategy::kSelfIncremental) strategy = "incr";
+  if (c.level2_every > 0) strategy += "_l2";
+  return strategy + "_" + point + "_g" + std::to_string(group);
+}
+
+class AsyncFailureMatrix
+    : public ::testing::TestWithParam<std::tuple<AsyncCase, int /*group*/>> {};
+
+TEST_P(AsyncFailureMatrix, KillDuringAsyncPipelineStep) {
+  const auto& [c, group_size] = GetParam();
+  const int world = 2 * group_size;
+  skt::testing::MiniCluster mc(world, 2);
+
+  storage::SnapshotVault vault;
+  CkptAppConfig config;
+  config.strategy = c.strategy;
+  config.group_size = group_size;
+  config.iterations = 4;
+  config.data_bytes = 2048;
+  config.vault = &vault;
+  config.device = storage::ssd_profile();
+  config.mode = CommitMode::kAsync;
+  config.level2_every = c.level2_every;
+
+  sim::FailureInjector injector;
+  const int trigger = c.trigger < 0 ? 1 : c.trigger;
+  injector.add_rule({.point = c.failpoint,
+                     .world_rank = trigger,
+                     .hit = 2,
+                     .repeat = false,
+                     .victim_world_rank = 1});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector,
+                            {.max_restarts = 3, .ranks_per_node = 1});
+  const auto result = launcher.run(world, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+
+  EXPECT_EQ(injector.triggered_count(), 1u) << "failpoint never fired: " << c.failpoint;
+  if (c.recoverable) {
+    EXPECT_TRUE(result.success) << result.failure;
+    EXPECT_EQ(result.restarts, 1);
+    EXPECT_GE(result.final_ranklist[1], world);
+    EXPECT_GT(result.times.count("recover"), 0u);
+  } else {
+    EXPECT_FALSE(result.success);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SelfAsync, AsyncFailureMatrix,
+    ::testing::Combine(
+        ::testing::Values(AsyncCase{Strategy::kSelf, "ckpt.async_stage", true},
+                          AsyncCase{Strategy::kSelf, "ckpt.async_begin", true},
+                          AsyncCase{Strategy::kSelf, "ckpt.async_encode_begin", true},
+                          AsyncCase{Strategy::kSelf, "ckpt.async_encode_done", true},
+                          AsyncCase{Strategy::kSelf, "ckpt.async_sealed", true},
+                          AsyncCase{Strategy::kSelf, "ckpt.async_mid_flush", true},
+                          AsyncCase{Strategy::kSelf, "ckpt.async_flushed", true}),
+        ::testing::Values(2, 4)),
+    async_case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    IncrementalAsync, AsyncFailureMatrix,
+    ::testing::Combine(
+        ::testing::Values(AsyncCase{Strategy::kSelfIncremental, "ckpt.async_stage", true},
+                          AsyncCase{Strategy::kSelfIncremental, "ckpt.async_encode_done", true},
+                          AsyncCase{Strategy::kSelfIncremental, "ckpt.async_mid_flush", true},
+                          AsyncCase{Strategy::kSelfIncremental, "ckpt.async_flushed", true}),
+        ::testing::Values(4)),
+    async_case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    DoubleAsync, AsyncFailureMatrix,
+    ::testing::Combine(
+        ::testing::Values(AsyncCase{Strategy::kDouble, "ckpt.async_begin", true},
+                          AsyncCase{Strategy::kDouble, "ckpt.async_mid_update", true},
+                          AsyncCase{Strategy::kDouble, "ckpt.async_encode_done", true},
+                          AsyncCase{Strategy::kDouble, "ckpt.async_flushed", true}),
+        ::testing::Values(4)),
+    async_case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    SingleAsync, AsyncFailureMatrix,
+    ::testing::Combine(
+        ::testing::Values(
+            // The update-window semantics survive the move to the worker:
+            // outside the window recoverable, inside it unrecoverable
+            // (survivor-triggered, as in the sync matrix).
+            AsyncCase{Strategy::kSingle, "ckpt.async_begin", true},
+            AsyncCase{Strategy::kSingle, "ckpt.async_mid_update", false, 0},
+            AsyncCase{Strategy::kSingle, "ckpt.async_encode_done", false, 0}),
+        ::testing::Values(4)),
+    async_case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    BlcrAsync, AsyncFailureMatrix,
+    ::testing::Combine(
+        ::testing::Values(AsyncCase{Strategy::kBlcr, "ckpt.async_begin", true},
+                          AsyncCase{Strategy::kBlcr, "ckpt.async_mid_update", true},
+                          AsyncCase{Strategy::kBlcr, "ckpt.async_flushed", true}),
+        ::testing::Values(2)),
+    async_case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    MultiLevelAsync, AsyncFailureMatrix,
+    ::testing::Combine(
+        ::testing::Values(
+            AsyncCase{Strategy::kSelf, "ckpt.async_sealed", true, -1, 2},
+            AsyncCase{Strategy::kSelf, "ckpt.async_l2_flush", true, -1, 2}),
+        ::testing::Values(4)),
+    async_case_name);
+
 // Dual-parity self-checkpoint (the RAID-6-style extension): TWO nodes of
 // the SAME group die in the same instant, at every protocol step, and the
 // degree-2 code still recovers end-to-end.

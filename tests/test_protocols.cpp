@@ -34,6 +34,21 @@ TEST_P(AllStrategies, FaultFreeRunCompletes) {
   EXPECT_TRUE(result.completed) << result.abort_reason;
 }
 
+TEST_P(AllStrategies, AsyncFaultFreeRunCompletes) {
+  const Strategy strategy = GetParam();
+  MiniCluster mc(4, 0);
+  storage::SnapshotVault vault;
+  CkptAppConfig config;
+  config.strategy = strategy;
+  config.group_size = 4;
+  config.iterations = 4;
+  config.vault = &vault;
+  config.device = storage::ssd_profile();
+  config.mode = CommitMode::kAsync;
+  const auto result = mc.run(4, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
 TEST_P(AllStrategies, SumCodecFaultFreeRun) {
   const Strategy strategy = GetParam();
   if (strategy == Strategy::kBlcr) GTEST_SKIP() << "BLCR does not encode";

@@ -1,0 +1,215 @@
+// ckpt::Session API contract: open semantics (fresh vs restored), the
+// async pipeline's bounded staleness and snapshot isolation, destructor
+// drain, and misuse errors.
+//
+// The async stress test at the bottom doubles as the TSan workload (see
+// scripts/check.sh): the rank thread mutates data() while the worker
+// encodes the staged copy, which is exactly the overlap the staging
+// design must make race-free.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ckpt_harness.hpp"
+#include "storage/device.hpp"
+#include "testing.hpp"
+
+namespace skt::ckpt {
+namespace {
+
+using skt::testing::MiniCluster;
+using skt::testing::fill_pattern;
+using skt::testing::matches_pattern;
+
+constexpr std::size_t kBytes = 2048;
+constexpr std::uint64_t kSeed = 42;
+
+Session make_session(mpi::Comm& world, CommitMode mode, const char* key = "s") {
+  return SessionBuilder{}
+      .strategy(Strategy::kSelf)
+      .key_prefix(key)
+      .data_bytes(kBytes)
+      .user_bytes(16)
+      .mode(mode)
+      .build(world);
+}
+
+TEST(Session, FreshOpenThenCommitAdvancesEpoch) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    Session session = make_session(world, CommitMode::kSync);
+    EXPECT_EQ(session.open(), OpenOutcome::kFresh);
+    EXPECT_FALSE(session.last_restore().has_value());
+    EXPECT_EQ(session.committed_epoch(), 0u);
+    EXPECT_EQ(session.strategy(), Strategy::kSelf);
+    EXPECT_EQ(session.mode(), CommitMode::kSync);
+    fill_pattern(session.data(), kSeed, world.rank(), 1);
+    const CommitStats stats = session.commit();
+    EXPECT_EQ(stats.epoch, 1u);
+    EXPECT_EQ(session.committed_epoch(), 1u);
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+// A second Session over the same keys (same job, protocol state lives in
+// the node-local store) opens as kRestored and performs the restore
+// itself — the caller never sequences open/restore by hand.
+TEST(Session, ReopenRestoresNewestEpoch) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    {
+      Session first = make_session(world, CommitMode::kSync);
+      ASSERT_EQ(first.open(), OpenOutcome::kFresh);
+      for (std::uint64_t e = 1; e <= 2; ++e) {
+        fill_pattern(first.data(), kSeed, world.rank(), e);
+        first.commit();
+      }
+    }
+    Session second = make_session(world, CommitMode::kSync);
+    EXPECT_EQ(second.open(), OpenOutcome::kRestored);
+    ASSERT_TRUE(second.last_restore().has_value());
+    EXPECT_EQ(second.last_restore()->epoch, 2u);
+    EXPECT_TRUE(matches_pattern(second.data(), kSeed, world.rank(), 2, 0.0));
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+// Snapshot isolation: once commit_async() returns, later mutations of
+// data() must not leak into the committed epoch — the worker encodes the
+// sealed staging copy, not the live buffer.
+TEST(Session, AsyncCommitIsIsolatedFromLaterMutations) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    {
+      Session session = make_session(world, CommitMode::kAsync, "iso");
+      ASSERT_EQ(session.open(), OpenOutcome::kFresh);
+      fill_pattern(session.data(), kSeed, world.rank(), 1);
+      CommitTicket ticket = session.commit_async();
+      // Scribble over the live buffer while the worker may still encode.
+      std::memset(session.data().data(), 0xEE, session.data().size());
+      const CommitStats stats = ticket.wait();
+      EXPECT_EQ(stats.epoch, 1u);
+      EXPECT_GE(ticket.stage_seconds(), 0.0);
+    }
+    Session reopened = make_session(world, CommitMode::kAsync, "iso");
+    EXPECT_EQ(reopened.open(), OpenOutcome::kRestored);
+    EXPECT_EQ(reopened.last_restore()->epoch, 1u);
+    EXPECT_TRUE(matches_pattern(reopened.data(), kSeed, world.rank(), 1, 0.0));
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+// Bounded staleness: a second commit_async() blocks until the previous
+// epoch has fully landed, so the first ticket polls done the moment the
+// second call returns.
+TEST(Session, SecondCommitAsyncAppliesBackpressure) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    Session session = make_session(world, CommitMode::kAsync, "bp");
+    ASSERT_EQ(session.open(), OpenOutcome::kFresh);
+    fill_pattern(session.data(), kSeed, world.rank(), 1);
+    CommitTicket first = session.commit_async();
+    fill_pattern(session.data(), kSeed, world.rank(), 2);
+    CommitTicket second = session.commit_async();
+    EXPECT_TRUE(first.poll());
+    EXPECT_EQ(first.wait().epoch, 1u);
+    EXPECT_EQ(second.wait().epoch, 2u);
+    // wait() is idempotent.
+    EXPECT_EQ(second.wait().epoch, 2u);
+    session.drain();
+    EXPECT_EQ(session.committed_epoch(), 2u);
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+// A mixed commit() in async mode drains the in-flight epoch first.
+TEST(Session, SyncCommitDrainsInFlightEpoch) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    Session session = make_session(world, CommitMode::kAsync, "mix");
+    ASSERT_EQ(session.open(), OpenOutcome::kFresh);
+    fill_pattern(session.data(), kSeed, world.rank(), 1);
+    session.commit_async();
+    fill_pattern(session.data(), kSeed, world.rank(), 2);
+    const CommitStats stats = session.commit();
+    EXPECT_EQ(stats.epoch, 2u);
+    EXPECT_EQ(session.committed_epoch(), 2u);
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+// The destructor drains: the epoch in flight when the Session goes out of
+// scope is durably committed, as a reopen proves.
+TEST(Session, DestructorDrainsInFlightCommit) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    {
+      Session session = make_session(world, CommitMode::kAsync, "dtor");
+      ASSERT_EQ(session.open(), OpenOutcome::kFresh);
+      fill_pattern(session.data(), kSeed, world.rank(), 1);
+      session.commit_async();  // ticket dropped; destructor must drain
+    }
+    Session reopened = make_session(world, CommitMode::kAsync, "dtor");
+    EXPECT_EQ(reopened.open(), OpenOutcome::kRestored);
+    EXPECT_EQ(reopened.last_restore()->epoch, 1u);
+    EXPECT_TRUE(matches_pattern(reopened.data(), kSeed, world.rank(), 1, 0.0));
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(Session, MisuseThrows) {
+  MiniCluster mc(2, 0);
+  const auto result = mc.run(2, [](mpi::Comm& world) {
+    Session session = make_session(world, CommitMode::kSync);
+    EXPECT_THROW((void)session.commit(), std::logic_error);  // before open()
+    EXPECT_EQ(session.open(), OpenOutcome::kFresh);
+    EXPECT_THROW((void)session.open(), std::logic_error);          // twice
+    EXPECT_THROW((void)session.commit_async(), std::logic_error);  // sync mode
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(Session, GroupSizeMustDivideWorld) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    EXPECT_THROW((void)SessionBuilder{}
+                     .strategy(Strategy::kSelf)
+                     .key_prefix("bad")
+                     .data_bytes(kBytes)
+                     .group_size(3)
+                     .build(world),
+                 std::invalid_argument);
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+// TSan workload: sustained overlap between the rank thread (mutating
+// data(), staging) and the worker (encoding the staged copy, flushing,
+// running collectives on its dup()'d comms). Any missing synchronization
+// between the two threads shows up here under -fsanitize=thread.
+TEST(SessionAsyncStress, OverlappedCommitLoop) {
+  MiniCluster mc(8, 0);
+  const auto result = mc.run(8, [](mpi::Comm& world) {
+    Session session = SessionBuilder{}
+                          .strategy(Strategy::kSelf)
+                          .key_prefix("stress")
+                          .data_bytes(8192)
+                          .user_bytes(16)
+                          .group_size(4)
+                          .mode(CommitMode::kAsync)
+                          .build(world);
+    ASSERT_EQ(session.open(), OpenOutcome::kFresh);
+    constexpr std::uint64_t kEpochs = 16;
+    for (std::uint64_t e = 1; e <= kEpochs; ++e) {
+      fill_pattern(session.data(), kSeed, world.rank(), e);
+      session.commit_async();
+    }
+    session.drain();
+    EXPECT_EQ(session.committed_epoch(), kEpochs);
+    EXPECT_TRUE(matches_pattern(session.data(), kSeed, world.rank(), kEpochs, 0.0));
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+}  // namespace
+}  // namespace skt::ckpt
