@@ -17,6 +17,7 @@
 #include "encoding/codec.hpp"
 #include "encoding/gf256.hpp"
 #include "encoding/group_codec.hpp"
+#include "encoding/kernels.hpp"
 #include "encoding/reed_solomon.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/runtime.hpp"
@@ -301,6 +302,74 @@ bool run_encode_comparison() {
     report.field("accumulate_speedup", ratio);
     ok &= shape_check("block-processed accumulate is no slower than the scalar baseline",
                       block_s <= scalar_s * 1.25);
+  }
+
+  // GF(2^8) multiply-accumulate: PSHUFB split-nibble tier vs the log/exp
+  // scalar loop, pinned via force_tier so the comparison measures the
+  // kernels, not the dispatch. Outputs are asserted bit-identical first —
+  // a fast-but-wrong kernel must fail loudly, not report a speedup.
+  {
+    constexpr std::size_t kBuf = 256 << 10;
+    std::vector<std::uint8_t> in(kBuf);
+    util::Xoshiro256 rng(9);
+    for (auto& b : in) b = static_cast<std::uint8_t>(rng.next());
+    std::vector<std::uint8_t> out_scalar(kBuf, 0x3c);
+    std::vector<std::uint8_t> out_simd = out_scalar;
+    constexpr std::uint8_t kCoeff = 0x1d;
+
+    {
+      const enc::kernels::Tier prev = enc::kernels::force_tier(enc::kernels::Tier::kScalar);
+      enc::kernels::gf256_mul_acc(out_scalar, in, kCoeff);
+      enc::kernels::force_tier(prev);
+    }
+    {
+      const enc::kernels::Tier prev = enc::kernels::force_tier(enc::kernels::Tier::kAvx2);
+      enc::kernels::gf256_mul_acc(out_simd, in, kCoeff);
+      enc::kernels::force_tier(prev);
+    }
+    ok &= shape_check("gf256 mul-acc: SIMD output is bit-identical to scalar",
+                      out_scalar == out_simd);
+
+    constexpr int kGfReps = 16;
+    const auto best_at = [&](enc::kernels::Tier tier) {
+      const enc::kernels::Tier prev = enc::kernels::force_tier(tier);
+      enc::kernels::gf256_mul_acc(out_simd, in, kCoeff);  // warm
+      double best = 1e30;
+      for (int round = 0; round < 5; ++round) {
+        util::WallTimer t;
+        for (int i = 0; i < kGfReps; ++i) {
+          enc::kernels::gf256_mul_acc(out_simd, in, kCoeff);
+          benchmark::DoNotOptimize(out_simd.data());
+        }
+        best = std::min(best, t.seconds() / kGfReps);
+      }
+      enc::kernels::force_tier(prev);
+      return best;
+    };
+    const double gf_scalar_s = best_at(enc::kernels::Tier::kScalar);
+    const bool have_simd = [] {
+      const enc::kernels::Tier prev = enc::kernels::force_tier(enc::kernels::Tier::kAvx2);
+      const bool on = enc::kernels::active_tier() == enc::kernels::Tier::kAvx2;
+      enc::kernels::force_tier(prev);
+      return on;
+    }();
+    const double gf_simd_s = have_simd ? best_at(enc::kernels::Tier::kAvx2) : gf_scalar_s;
+    const double gf_speedup = gf_scalar_s / gf_simd_s;
+    std::printf("gf256 mul-acc 256KiB: scalar %.3fms, %s %.3fms (%.2fx)\n",
+                gf_scalar_s * 1e3, have_simd ? "avx2" : "scalar", gf_simd_s * 1e3,
+                gf_speedup);
+    report.field("gf256_scalar_s", gf_scalar_s);
+    report.field("gf256_simd_s", gf_simd_s);
+    report.field("gf256_simd_speedup", gf_speedup);
+    report.field("kernel_tier",
+                 std::string(to_string(have_simd ? enc::kernels::Tier::kAvx2
+                                                 : enc::kernels::Tier::kScalar)));
+    if (have_simd) {
+      ok &= shape_check("gf256 mul-acc: SIMD tier is >= 3x the scalar loop",
+                        gf_speedup >= 3.0);
+    } else {
+      std::printf("[SKIP] gf256 SIMD speedup check (AVX2 tier not available)\n");
+    }
   }
   report.end_object();
   util::write_json_file("BENCH_micro_encoding.json", report);

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 check: the normal build + full ctest, then an ASan/UBSan build
-# (SKT_SANITIZE=ON) running the mpi and encoding suites — the code that
-# moves buffers between threads by move and reinterprets byte spans as
-# uint64/double lanes, i.e. where a sanitizer earns its keep.
+# Tier-1 check: the normal build + full ctest, then a -DSKT_SIMD=OFF lane
+# (the scalar kernel paths must be a complete, bit-identical implementation,
+# not a vestige), an ASan/UBSan build (SKT_SANITIZE=ON) running the mpi and
+# encoding suites — the code that moves buffers between threads by move,
+# reinterprets byte spans as uint64/double lanes, and issues unaligned
+# vector loads — a TSan pass over the async pipeline, and finally a bench
+# regression gate against the committed micro_encoding baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,12 +15,27 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 echo
+echo "=== scalar lane: -DSKT_SIMD=OFF build, kernel + protocol suites ==="
+# The SIMD tier must be droppable at configure time with zero behaviour
+# change: the kernels' scalar paths and the runtime dispatcher carry the
+# same contracts, so the full kernel/codec/protocol suites run against a
+# build where AVX2 code does not even exist.
+cmake -B build-scalar -S . -DSKT_SIMD=OFF >/dev/null
+cmake --build build-scalar -j --target \
+  test_kernels test_encoding test_protocols test_incremental
+(cd build-scalar && ctest --output-on-failure \
+  -R '^(test_kernels|test_encoding|test_protocols|test_incremental)$' -j)
+
+echo
 echo "=== sanitizers: asan+ubsan on mpi/encoding suites ==="
+# test_kernels rides along for UBSan in particular: the vector kernels take
+# arbitrarily misaligned spans and the property tests feed them offset
+# slices, so any alignment-assuming load is caught here.
 cmake -B build-asan -S . -DSKT_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target \
-  test_mailbox test_comm test_collectives test_comm_properties test_encoding
+  test_mailbox test_comm test_collectives test_comm_properties test_encoding test_kernels
 (cd build-asan && ctest --output-on-failure \
-  -R '^(test_mailbox|test_comm|test_collectives|test_comm_properties|test_encoding)$' -j)
+  -R '^(test_mailbox|test_comm|test_collectives|test_comm_properties|test_encoding|test_kernels)$' -j)
 
 echo
 echo "=== sanitizers: tsan on telemetry + async-commit suites ==="
@@ -29,6 +47,37 @@ echo "=== sanitizers: tsan on telemetry + async-commit suites ==="
 cmake -B build-tsan -S . -DSKT_SANITIZE_THREAD=ON >/dev/null
 cmake --build build-tsan -j --target test_telemetry test_util test_session
 (cd build-tsan && ctest --output-on-failure -R '^(test_telemetry|test_util|test_session)$' -j)
+
+echo
+echo "=== bench regression gate: micro_encoding vs committed baseline ==="
+# Two tiers of gate, matched to how reproducible each metric is. Wire and
+# mailbox-copy byte counts are exact functions of the algorithms — any
+# growth past 10% of the committed baseline is a real regression. Wall
+# -clock speedups wobble with machine load, so they only have to stay
+# above half the committed value; the bench's own internal bars (encode
+# >= 2x sequential, GF(256) SIMD >= 3x scalar, bit-identical outputs)
+# already run first and fail the script on their own.
+cmake --build build -j --target micro_encoding
+(cd build && ./bench/micro_encoding >/dev/null)
+baseline=bench/BENCH_micro_encoding.baseline.json
+current=build/BENCH_micro_encoding.json
+jval() { awk -F: -v k="\"$2\"" '$1 ~ k {gsub(/[ ,]/, "", $2); print $2; exit}' "$1"; }
+for k in encode_g4_new_wire_bytes encode_g8_new_wire_bytes encode_g16_new_wire_bytes \
+         encode_g4_new_copied_bytes encode_g8_new_copied_bytes encode_g16_new_copied_bytes; do
+  awk -v c="$(jval "$current" "$k")" -v b="$(jval "$baseline" "$k")" -v k="$k" 'BEGIN {
+    ok = (c <= 1.10 * b)
+    printf "[%s] %s: %s vs baseline %s (must stay within +10%%)\n", ok ? "PASS" : "FAIL", k, c, b
+    exit ok ? 0 : 1
+  }'
+done
+for k in encode_g4_speedup encode_g8_speedup encode_g16_speedup \
+         gf256_simd_speedup accumulate_speedup; do
+  awk -v c="$(jval "$current" "$k")" -v b="$(jval "$baseline" "$k")" -v k="$k" 'BEGIN {
+    ok = (c >= 0.5 * b)
+    printf "[%s] %s: %.2fx vs baseline %.2fx (must keep half)\n", ok ? "PASS" : "FAIL", k, c, b
+    exit ok ? 0 : 1
+  }'
+done
 
 echo
 echo "all checks passed"

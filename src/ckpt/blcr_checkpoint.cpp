@@ -1,5 +1,6 @@
 #include "ckpt/blcr_checkpoint.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -31,6 +32,9 @@ void BlcrCheckpoint::require_open() const {
 
 bool BlcrCheckpoint::open(CommCtx ctx) {
   world_rank_ = ctx.group.world_rank();
+  const std::size_t combined = params_.data_bytes + params_.user_bytes;
+  tracker_.reset(params_.data_bytes, params_.user_bytes, kStripeBytes,
+                 (combined + kStripeBytes - 1) / kStripeBytes);
   // Find this rank's newest image on disk (disk survives node loss).
   epoch_ = 0;
   for (std::uint64_t e = 1;; ++e) {
@@ -55,8 +59,31 @@ double BlcrCheckpoint::stage() {
   }
   SKT_SPAN("ckpt.stage");
   util::WallTimer timer;
-  std::memcpy(stage_.data(), app_.data(), app_.size());
-  std::memcpy(stage_.data() + app_.size(), user_.data(), user_.size());
+  // stage_ equals [A|A2] as of the previous stage() on every clean stripe,
+  // so only the stripes dirtied since then need copying.
+  tracker_.mark_user_tail();
+  const std::vector<std::uint8_t> eff = tracker_.effective();
+  std::size_t dirty_stripes = 0;
+  for (std::size_t s = 0; s < eff.size(); ++s) {
+    if (!eff[s]) continue;
+    ++dirty_stripes;
+    const std::size_t begin = s * kStripeBytes;
+    const std::size_t end = std::min(begin + kStripeBytes, stage_.size());
+    std::size_t pos = begin;
+    if (pos < app_.size()) {
+      const std::size_t len = std::min(end, app_.size()) - pos;
+      std::memcpy(stage_.data() + pos, app_.data() + pos, len);
+      pos += len;
+    }
+    if (pos < end) {
+      std::memcpy(stage_.data() + pos, user_.data() + (pos - app_.size()), end - pos);
+    }
+  }
+  staged_dirty_bytes_ = dirty_stripes * kStripeBytes;
+  staged_dirty_fraction_ =
+      eff.empty() ? 0.0
+                  : static_cast<double>(dirty_stripes) / static_cast<double>(eff.size());
+  tracker_.clear();
   return timer.seconds();
 }
 
@@ -87,9 +114,15 @@ CommitStats BlcrCheckpoint::commit_impl(CommCtx ctx, bool async) {
   std::vector<std::byte> image(app_.size() + user_.size());
   if (async) {
     std::memcpy(image.data(), stage_.data(), image.size());
+    stats.dirty_bytes = staged_dirty_bytes_;
+    stats.dirty_fraction = staged_dirty_fraction_;
   } else {
     std::memcpy(image.data(), app_.data(), app_.size());
     std::memcpy(image.data() + app_.size(), user_.data(), user_.size());
+    tracker_.mark_user_tail();
+    stats.dirty_bytes = tracker_.dirty_stripes() * kStripeBytes;
+    stats.dirty_fraction = tracker_.dirty_fraction();
+    tracker_.clear();
   }
   ctx.group.failpoint(async ? "ckpt.async_mid_update" : "ckpt.mid_update");
 
@@ -136,6 +169,8 @@ RestoreStats BlcrCheckpoint::restore(CommCtx ctx) {
   ctx.group.charge_virtual(read_s);
   std::memcpy(app_.data(), image->data(), app_.size());
   std::memcpy(user_.data(), image->data() + app_.size(), user_.size());
+  if (params_.async_staging) std::memcpy(stage_.data(), image->data(), stage_.size());
+  tracker_.clear();
   epoch_ = target;
 
   stats.rebuild_s = timer.seconds() + read_s;

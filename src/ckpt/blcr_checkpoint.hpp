@@ -45,8 +45,13 @@ class BlcrCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] Strategy strategy() const override { return Strategy::kBlcr; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
+  [[nodiscard]] DirtyTracker* dirty_tracker() override { return &tracker_; }
 
  private:
+  /// No codec dictates a stripe size here, so dirty tracking uses a fixed
+  /// page-like granule.
+  static constexpr std::size_t kStripeBytes = 4096;
+
   [[nodiscard]] std::string image_key(std::uint64_t epoch) const;
   void require_open() const;
   CommitStats commit_impl(CommCtx ctx, bool async);
@@ -56,6 +61,12 @@ class BlcrCheckpoint final : public CheckpointProtocol {
   std::vector<std::byte> app_;
   std::vector<std::byte> user_;
   std::vector<std::byte> stage_;  // [A|A2] snapshot, async_staging only
+  /// Stripes dirtied since the last stage()/sync commit. The vault write
+  /// is a full image either way (the strategy's defining cost), but the
+  /// stage() copy is dirty-stripes-only and commits report dirty stats.
+  DirtyTracker tracker_;
+  std::size_t staged_dirty_bytes_ = 0;
+  double staged_dirty_fraction_ = 1.0;
   int world_rank_ = -1;
   /// Newest image this rank has written/read. Atomic: the async worker
   /// publishes it while the rank thread may poll committed_epoch().

@@ -16,7 +16,6 @@ DoubleCheckpoint::DoubleCheckpoint(Params params) : params_(std::move(params)) {
   combined_bytes_ = params_.data_bytes + params_.user_bytes;
   app_.assign(params_.data_bytes, std::byte{0});
   user_.assign(params_.user_bytes, std::byte{0});
-  if (params_.async_staging) stage_.assign(combined_bytes_, std::byte{0});
 }
 
 std::string DoubleCheckpoint::key(const char* part, int pair) const {
@@ -35,6 +34,14 @@ void DoubleCheckpoint::require_open() const {
 bool DoubleCheckpoint::open(CommCtx ctx) {
   world_rank_ = ctx.group.world_rank();
   codec_.emplace(params_.codec, combined_bytes_, ctx.group.size());
+  const std::size_t stripes = codec_->padded_bytes() / codec_->layout().stripe_bytes();
+  tracker_.reset(params_.data_bytes, params_.user_bytes, codec_->layout().stripe_bytes(),
+                 stripes);
+  if (params_.async_staging) image_.assign(codec_->padded_bytes(), std::byte{0});
+  // Until a commit establishes the pair-content invariant, every stripe of
+  // both pairs must be treated as stale.
+  pair_dirty_[0].assign(stripes, 1);
+  pair_dirty_[1].assign(stripes, 1);
 
   sim::PersistentStore& store = ctx.group.store();
   const std::string hdr_key = key("hdr");
@@ -69,6 +76,35 @@ std::span<std::byte> DoubleCheckpoint::data() {
 
 std::span<std::byte> DoubleCheckpoint::user_state() { return user_; }
 
+std::vector<std::uint8_t> DoubleCheckpoint::fold_dirty() {
+  // The user-state tail is part of every snapshot.
+  tracker_.mark_user_tail();
+  std::vector<std::uint8_t> eff = tracker_.effective();
+  for (std::size_t s = 0; s < eff.size(); ++s) {
+    if (!eff[s]) continue;
+    pair_dirty_[0][s] = 1;
+    pair_dirty_[1][s] = 1;
+  }
+  tracker_.clear();
+  return eff;
+}
+
+void DoubleCheckpoint::copy_stripe_to(std::size_t s, std::byte* dst) const {
+  const std::size_t stripe = tracker_.stripe_bytes();
+  const std::size_t begin = s * stripe;
+  if (begin >= combined_bytes_) return;  // padding-only stripe
+  const std::size_t end = std::min(begin + stripe, combined_bytes_);
+  std::size_t pos = begin;
+  if (pos < params_.data_bytes) {
+    const std::size_t len = std::min(end, params_.data_bytes) - pos;
+    std::memcpy(dst + pos, app_.data() + pos, len);
+    pos += len;
+  }
+  if (pos < end) {
+    std::memcpy(dst + pos, user_.data() + (pos - params_.data_bytes), end - pos);
+  }
+}
+
 double DoubleCheckpoint::stage() {
   require_open();
   if (!params_.async_staging) {
@@ -76,15 +112,26 @@ double DoubleCheckpoint::stage() {
   }
   SKT_SPAN("ckpt.stage");
   util::WallTimer timer;
-  std::memcpy(stage_.data(), app_.data(), app_.size());
-  std::memcpy(stage_.data() + app_.size(), user_.data(), user_.size());
+  // image_ equals the working content as of the previous stage() on every
+  // clean stripe, so only the stripes dirtied since then need copying.
+  const std::vector<std::uint8_t> eff = fold_dirty();
+  for (std::size_t s = 0; s < eff.size(); ++s) {
+    if (eff[s]) copy_stripe_to(s, image_.data());
+  }
   return timer.seconds();
 }
 
-std::span<const std::byte> DoubleCheckpoint::staged() const { return stage_; }
+std::span<const std::byte> DoubleCheckpoint::staged() const {
+  if (!params_.async_staging || image_.empty()) return {};
+  return std::span<const std::byte>(image_.data(), combined_bytes_);
+}
 
 CommitStats DoubleCheckpoint::commit(CommCtx ctx) {
   require_open();
+  // With staging enabled even a synchronous commit snapshots through the
+  // image so its dirty-mirror invariant survives interleaving with the
+  // async pipeline (cf. SelfCheckpoint::commit).
+  if (params_.async_staging) stage();
   return commit_impl(ctx, /*async=*/false);
 }
 
@@ -98,8 +145,6 @@ CommitStats DoubleCheckpoint::commit_staged(CommCtx ctx) {
 
 CommitStats DoubleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   SKT_SPAN("ckpt.commit");
-  const std::byte* data_src = async ? stage_.data() : app_.data();
-  const std::byte* user_src = async ? stage_.data() + app_.size() : user_.data();
   Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
                           static_cast<std::uint32_t>(ctx.group.size()),
                           static_cast<std::uint32_t>(params_.codec));
@@ -114,14 +159,40 @@ CommitStats DoubleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   ctx.group.failpoint(async ? "ckpt.async_begin" : "ckpt.begin");
   ctx.world.barrier();
 
+  // Staged commits snapshotted (flags + image) in stage(); synchronous
+  // ones fold the live flags here.
+  const bool staging = params_.async_staging;
+  if (!staging) fold_dirty();
+  std::vector<std::uint8_t>& dirty = pair_dirty_[target];
+  std::size_t dirty_stripes = 0;
+  for (std::uint8_t d : dirty) dirty_stripes += d;
+  const std::size_t stripe = tracker_.stripe_bytes();
+
   CommitStats stats;
   stats.epoch = next;
   telemetry::set_epoch(next);
+
+  // Save the target pair's OLD content of the dirty stripes — the delta
+  // base the flush is about to overwrite. Deliberately uninitialized: the
+  // codec never reads the base on clean stripes (and its full-encode
+  // fallback reads only `next`, the fully flushed pair).
+  util::AlignedBuffer base(ckpt_[target]->size());
   util::WallTimer flush_timer;
+  std::size_t flushed = 0;
   {
     SKT_SPAN("ckpt.flush");
-    std::memcpy(ckpt_[target]->bytes().data(), data_src, app_.size());
-    std::memcpy(ckpt_[target]->bytes().data() + app_.size(), user_src, user_.size());
+    for (std::size_t s = 0; s < dirty.size(); ++s) {
+      if (!dirty[s]) continue;
+      std::memcpy(base.data() + s * stripe, ckpt_[target]->bytes().data() + s * stripe,
+                  stripe);
+      if (staging) {
+        std::memcpy(ckpt_[target]->bytes().data() + s * stripe, image_.data() + s * stripe,
+                    stripe);
+      } else {
+        copy_stripe_to(s, ckpt_[target]->bytes().data());
+      }
+      flushed += stripe;
+    }
   }
   stats.flush_s = flush_timer.seconds();
   ctx.group.failpoint(async ? "ckpt.async_mid_update" : "ckpt.mid_update");
@@ -130,11 +201,13 @@ CommitStats DoubleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   util::WallTimer encode_timer;
   {
     SKT_SPAN("ckpt.encode");
-    codec_->encode(ctx.group, ckpt_[target]->bytes(), check_[target]->bytes());
+    codec_->encode_delta(ctx.group, {base.data(), base.size()}, ckpt_[target]->bytes(),
+                         check_[target]->bytes(), check_[target]->bytes(), dirty);
   }
   stats.encode_s = encode_timer.seconds();
   stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
   ctx.group.failpoint(async ? "ckpt.async_encode_done" : "ckpt.encode_done");
+  std::fill(dirty.begin(), dirty.end(), std::uint8_t{0});
 
   // Global barrier before publication: no rank may declare the new pair
   // committed until every rank finished writing it.
@@ -148,8 +221,12 @@ CommitStats DoubleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   ctx.group.failpoint(async ? "ckpt.async_flushed" : "ckpt.flushed");
   ctx.world.barrier();
 
-  stats.checkpoint_bytes = ckpt_[target]->size();
+  stats.checkpoint_bytes = flushed;
   stats.checksum_bytes = check_[target]->size();
+  stats.dirty_bytes = dirty_stripes * stripe;
+  stats.dirty_fraction = dirty.empty() ? 0.0
+                                       : static_cast<double>(dirty_stripes) /
+                                             static_cast<double>(dirty.size());
   if (!async) ctx.group.record_time("checkpoint", stats.total_s());
   return stats;
 }
@@ -196,6 +273,17 @@ RestoreStats DoubleCheckpoint::restore(CommCtx ctx) {
   std::memcpy(app_.data(), ckpt_[pair]->bytes().data(), app_.size());
   std::memcpy(user_.data(), ckpt_[pair]->bytes().data() + app_.size(), user_.size());
 
+  // Re-establish the dirty-accumulation invariants: the staging image (if
+  // any) mirrors the restored pair exactly, the other pair's content is
+  // unknown (a rebuilt member's is zeros), and nothing is dirty relative
+  // to the snapshot.
+  if (!image_.empty()) {
+    std::memcpy(image_.data(), ckpt_[pair]->bytes().data(), image_.size());
+  }
+  std::fill(pair_dirty_[pair].begin(), pair_dirty_[pair].end(), std::uint8_t{0});
+  std::fill(pair_dirty_[1 - pair].begin(), pair_dirty_[1 - pair].end(), std::uint8_t{1});
+  tracker_.clear();
+
   // Re-sync the header. A rebuilt member only holds the restored pair; its
   // other pair reads epoch 0 until the next commit overwrites it, which the
   // newest-usable-pair rule tolerates.
@@ -221,8 +309,9 @@ RestoreStats DoubleCheckpoint::restore(CommCtx ctx) {
 
 std::size_t DoubleCheckpoint::memory_bytes() const {
   if (!ckpt_[0]) return 0;
-  return app_.size() + user_.size() + stage_.size() + ckpt_[0]->size() + ckpt_[1]->size() +
-         check_[0]->size() + check_[1]->size() + sizeof(Header);
+  return app_.size() + user_.size() + image_.size() + ckpt_[0]->size() + ckpt_[1]->size() +
+         check_[0]->size() + check_[1]->size() + sizeof(Header) + pair_dirty_[0].size() +
+         pair_dirty_[1].size() + tracker_.stripe_count();
 }
 
 std::uint64_t DoubleCheckpoint::committed_epoch() const {

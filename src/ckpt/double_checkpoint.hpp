@@ -3,6 +3,18 @@
 // groups). Two (checkpoint, checksum) pairs alternate as commit targets,
 // so one complete pair always exists; the price is a second full copy,
 // leaving less than 1/3 of memory for the application (Eq. 3).
+//
+// Dirty-stripe commits: because epoch e overwrites pair e % 2, the target
+// pair's content is two commits old, so each pair carries its own
+// accumulated dirty set (`pair_dirty_`): every snapshot's dirty flags fold
+// into BOTH pairs, and a pair's set is cleared only when that pair
+// commits. A clean stripe of the target pair therefore already equals the
+// content to commit, so the flush copies only dirty stripes and the
+// encode goes through GroupCodec::encode_delta — the old content of the
+// dirty stripes (the delta base) is saved into a transient scratch just
+// before the flush overwrites them. With async staging, the padded
+// aligned `image_` mirror (the old full-copy stage buffer) is refreshed
+// dirty-stripes-only by stage() and serves as the commit source.
 #pragma once
 
 #include <optional>
@@ -12,6 +24,7 @@
 #include "ckpt/header.hpp"
 #include "ckpt/protocol.hpp"
 #include "encoding/group_codec.hpp"
+#include "util/aligned.hpp"
 
 namespace skt::ckpt {
 
@@ -41,11 +54,18 @@ class DoubleCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] Strategy strategy() const override { return Strategy::kDouble; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
+  [[nodiscard]] DirtyTracker* dirty_tracker() override { return &tracker_; }
 
  private:
   [[nodiscard]] std::string key(const char* part, int pair) const;
   [[nodiscard]] std::string key(const char* part) const;
   void require_open() const;
+  /// Fold the tracker's effective dirty set (tail included) into both
+  /// pairs' accumulated sets, clear the tracker, and return the set.
+  std::vector<std::uint8_t> fold_dirty();
+  /// Copy stripe `s` of the split [app_ | user_] view into `dst` (a padded
+  /// combined-layout buffer); a stripe may straddle the boundary.
+  void copy_stripe_to(std::size_t s, std::byte* dst) const;
   CommitStats commit_impl(CommCtx ctx, bool async);
 
   Params params_;
@@ -54,7 +74,15 @@ class DoubleCheckpoint final : public CheckpointProtocol {
 
   std::vector<std::byte> app_;
   std::vector<std::byte> user_;
-  std::vector<std::byte> stage_;  // [A|A2] snapshot, async_staging only
+  /// Padded [A|A2] snapshot mirror — the staged commit source, allocated
+  /// only with async_staging. Outside a commit it equals the content of
+  /// the last stage(), so stage() refreshes dirty stripes only.
+  util::AlignedBytes image_;
+  /// Stripes dirtied since the last snapshot (stage() or sync commit).
+  DirtyTracker tracker_;
+  /// Per pair: stripes where image_ may differ from that pair's committed
+  /// content. Cleared only when the pair commits.
+  std::vector<std::uint8_t> pair_dirty_[2];
 
   int world_rank_ = -1;
   bool survivor_ = false;

@@ -6,7 +6,9 @@
 #include <stdexcept>
 
 #include "ckpt/epoch.hpp"
+#include "encoding/kernels.hpp"
 #include "telemetry/trace.hpp"
+#include "util/aligned.hpp"
 #include "util/clock.hpp"
 
 namespace skt::ckpt {
@@ -55,7 +57,9 @@ bool IncrementalSelfCheckpoint::open(CommCtx ctx) {
   group_size_ = ctx.group.size();
   codec_ = std::make_unique<enc::GroupCodec>(enc::CodecKind::kXor, combined_bytes_,
                                              group_size_);
-  dirty_.assign(static_cast<std::size_t>(group_size_ - 1), 1);  // first commit is full
+  tracker_.reset(params_.data_bytes, params_.user_bytes, codec_->layout().stripe_bytes(),
+                 static_cast<std::size_t>(group_size_ - 1));
+  tracker_.mark_all();  // first commit is full
 
   sim::PersistentStore& store = ctx.group.store();
   const std::string hdr_key = key("hdr");
@@ -78,7 +82,7 @@ bool IncrementalSelfCheckpoint::open(CommCtx ctx) {
   check_d_ = store.create(key("D"), codec_->checksum_bytes());
   if (params_.async_staging) {
     stage_ = store.create(key("S"), codec_->padded_bytes());
-    staged_dirty_.assign(dirty_.size(), 0);
+    staged_dirty_.assign(tracker_.stripe_count(), 0);
   }
   header_ = store.create(hdr_key, sizeof(Header));
 
@@ -102,32 +106,21 @@ std::span<std::byte> IncrementalSelfCheckpoint::data() {
 
 std::span<std::byte> IncrementalSelfCheckpoint::user_state() { return user_; }
 
-void IncrementalSelfCheckpoint::mark_dirty_stripes(std::size_t offset, std::size_t len) {
-  if (len == 0) return;
-  const std::size_t stripe = codec_->layout().stripe_bytes();
-  const std::size_t first = offset / stripe;
-  const std::size_t last = (offset + len - 1) / stripe;
-  for (std::size_t s = first; s <= last && s < dirty_.size(); ++s) dirty_[s] = 1;
-}
-
 void IncrementalSelfCheckpoint::mark_dirty(std::size_t offset, std::size_t len) {
   require_open();
-  if (offset + len > params_.data_bytes) {
-    throw std::out_of_range("mark_dirty: range exceeds data()");
-  }
-  mark_dirty_stripes(offset, len);
+  tracker_.mark(offset, len);
 }
 
 void IncrementalSelfCheckpoint::mark_all_dirty() {
   require_open();
-  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{1});
+  tracker_.mark_all();
 }
 
 std::size_t IncrementalSelfCheckpoint::dirty_bytes() const {
-  const std::size_t stripe = codec_ ? codec_->layout().stripe_bytes() : 0;
-  std::size_t total = 0;
-  for (std::uint8_t d : dirty_) total += d ? stripe : 0;
-  return total;
+  if (!tracker_.configured()) return 0;
+  std::size_t stripes = 0;
+  for (std::uint8_t d : tracker_.flags()) stripes += d;
+  return stripes * tracker_.stripe_bytes();
 }
 
 double IncrementalSelfCheckpoint::stage() {
@@ -137,21 +130,20 @@ double IncrementalSelfCheckpoint::stage() {
   }
   SKT_SPAN("ckpt.stage");
   util::WallTimer timer;
-  const std::size_t stripe = codec_->layout().stripe_bytes();
+  const std::size_t stripe = tracker_.stripe_bytes();
   // The user-state tail is part of every snapshot.
-  mark_dirty_stripes(params_.data_bytes, params_.user_bytes);
+  tracker_.mark_user_tail();
   // S already equals the working buffer as of the previous stage() on every
   // clean stripe, so only the stripes dirtied since then need copying — the
   // critical path keeps the dirty-footprint scaling.
-  staged_dirty_.assign(dirty_.size(), 0);
-  for (std::size_t s = 0; s < dirty_.size(); ++s) {
-    if (!dirty_[s]) continue;
+  staged_dirty_ = tracker_.flags();
+  for (std::size_t s = 0; s < staged_dirty_.size(); ++s) {
+    if (!staged_dirty_[s]) continue;
     std::memcpy(stage_->bytes().data() + s * stripe, work_->bytes().data() + s * stripe,
                 stripe);
-    staged_dirty_[s] = 1;
   }
   std::memcpy(stage_->bytes().data() + params_.data_bytes, user_.data(), params_.user_bytes);
-  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+  tracker_.clear();
   return timer.seconds();
 }
 
@@ -182,7 +174,6 @@ CommitStats IncrementalSelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
   // stage() captured, or the working buffer with the live dirty set.
   const bool staging = params_.async_staging;
   const std::span<std::byte> source = staging ? stage_->bytes() : work_->bytes();
-  std::vector<std::uint8_t>& dset = staging ? staged_dirty_ : dirty_;
   Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
                           static_cast<std::uint32_t>(group_size_), codec_field());
   const std::uint64_t next =
@@ -195,9 +186,12 @@ CommitStats IncrementalSelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
     // A2 -> B2; the user-state tail always counts as dirty. (When staging,
     // stage() already folded A2 into S and its dirty set.)
     std::memcpy(work_->bytes().data() + params_.data_bytes, user_.data(), params_.user_bytes);
-    mark_dirty_stripes(params_.data_bytes, params_.user_bytes);
+    tracker_.mark_user_tail();
     ctx.group.failpoint("ckpt.copy_a2");
   }
+  // Raw flags on purpose: incremental's contract is that unmarked means
+  // clean, so no unannotated all-dirty fallback here.
+  const std::vector<std::uint8_t> dset = staging ? staged_dirty_ : tracker_.flags();
 
   const enc::StripeLayout& layout = codec_->layout();
   const std::size_t stripe = layout.stripe_bytes();
@@ -223,8 +217,8 @@ CommitStats IncrementalSelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
   const double encode_virtual_before = ctx.group.virtual_seconds();
   util::WallTimer encode_timer;
   last_encoded_families_ = 0;
-  std::vector<std::byte> diff(stripe);
-  std::vector<std::byte> reduced(stripe);
+  util::AlignedBytes diff(stripe);
+  util::AlignedBytes reduced(stripe);
   std::optional<telemetry::Span> encode_span{std::in_place, "ckpt.encode"};
   for (int f = 0; f < n; ++f) {
     if (!global_dirty[static_cast<std::size_t>(f)]) {
@@ -241,16 +235,14 @@ CommitStats IncrementalSelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
     if (me != f) {
       const std::size_t s = layout.stripe_index(me, f);
       if (dset[s]) {
-        const std::byte* b = ckpt_b_->bytes().data() + s * stripe;
-        const std::byte* w = source.data() + s * stripe;
-        for (std::size_t i = 0; i < stripe; ++i) diff[i] = b[i] ^ w[i];
+        enc::kernels::xor_delta(diff, {ckpt_b_->bytes().data() + s * stripe, stripe},
+                                {source.data() + s * stripe, stripe});
       }
     }
     xor_reduce(ctx.group, f, diff, me == f ? std::span<std::byte>(reduced) : std::span<std::byte>{});
     if (me == f) {
-      std::byte* d = check_d_->bytes().data();
-      const std::byte* c = check_c_->bytes().data();
-      for (std::size_t i = 0; i < stripe; ++i) d[i] = c[i] ^ reduced[i];
+      enc::kernels::xor_delta(check_d_->bytes().subspan(0, stripe),
+                              check_c_->bytes().subspan(0, stripe), reduced);
     }
   }
   encode_span.reset();
@@ -278,7 +270,11 @@ CommitStats IncrementalSelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
     std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), stripe);
   }
   stats.flush_s = flush_timer.seconds();
-  std::fill(dset.begin(), dset.end(), std::uint8_t{0});
+  if (staging) {
+    std::fill(staged_dirty_.begin(), staged_dirty_.end(), std::uint8_t{0});
+  } else {
+    tracker_.clear();
+  }
   h.bc_epoch = next;
   store_header(header_, h);
   ctx.group.failpoint(async ? "ckpt.async_flushed" : "ckpt.flushed");
@@ -286,6 +282,10 @@ CommitStats IncrementalSelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
 
   stats.checkpoint_bytes = flushed;
   stats.checksum_bytes = stripe;
+  stats.dirty_bytes = flushed;
+  stats.dirty_fraction = dset.empty() ? 0.0
+                                      : static_cast<double>(flushed) /
+                                            static_cast<double>(dset.size() * stripe);
   if (!async) ctx.group.record_time("checkpoint", stats.encode_s + stats.flush_s);
   return stats;
 }
@@ -365,7 +365,7 @@ RestoreStats IncrementalSelfCheckpoint::restore(CommCtx ctx) {
   store_header(header_, h);
   survivor_ = true;
   // B == work everywhere now, so nothing is dirty.
-  std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
+  tracker_.clear();
 
   stats.rebuild_s = timer.seconds();
   stats.rebuilt_member =
@@ -378,8 +378,8 @@ RestoreStats IncrementalSelfCheckpoint::restore(CommCtx ctx) {
 std::size_t IncrementalSelfCheckpoint::memory_bytes() const {
   if (!work_) return 0;
   return work_->size() + ckpt_b_->size() + check_c_->size() + check_d_->size() +
-         (stage_ ? stage_->size() : 0) + user_.size() + sizeof(Header) + dirty_.size() +
-         staged_dirty_.size();
+         (stage_ ? stage_->size() : 0) + user_.size() + sizeof(Header) +
+         tracker_.stripe_count() + staged_dirty_.size();
 }
 
 std::uint64_t IncrementalSelfCheckpoint::committed_epoch() const {

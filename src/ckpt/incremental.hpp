@@ -62,6 +62,7 @@ class IncrementalSelfCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] Strategy strategy() const override { return Strategy::kSelf; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
+  [[nodiscard]] DirtyTracker* dirty_tracker() override { return &tracker_; }
 
   /// Declare [offset, offset+len) of data() modified since the last
   /// commit. Unmarked changes would silently corrupt the checkpoint, so
@@ -72,7 +73,9 @@ class IncrementalSelfCheckpoint final : public CheckpointProtocol {
   /// Mark the whole working buffer dirty (full-footprint applications).
   void mark_all_dirty();
 
-  /// Dirty payload bytes that the next commit will encode/flush.
+  /// Dirty payload bytes that the next commit will encode/flush. Counts the
+  /// tracker's raw flags: unlike the non-incremental protocols, unmarked
+  /// means clean here (the documented contract), so no all-dirty fallback.
   [[nodiscard]] std::size_t dirty_bytes() const;
 
   /// Families (stripes) the last commit actually encoded — the measure of
@@ -82,7 +85,6 @@ class IncrementalSelfCheckpoint final : public CheckpointProtocol {
  private:
   [[nodiscard]] std::string key(const char* part) const;
   void require_open() const;
-  void mark_dirty_stripes(std::size_t offset, std::size_t len);
   [[nodiscard]] std::uint32_t codec_field() const;
   CommitStats commit_impl(CommCtx ctx, bool async);
 
@@ -90,7 +92,9 @@ class IncrementalSelfCheckpoint final : public CheckpointProtocol {
   std::size_t combined_bytes_ = 0;
   std::unique_ptr<enc::GroupCodec> codec_;
   std::vector<std::byte> user_;
-  std::vector<std::uint8_t> dirty_;  // per local stripe (N-1 entries)
+  /// Stripes dirtied since the last commit (sync) / last stage() (async).
+  /// Read through flags() — raw incremental semantics, N-1 local stripes.
+  DirtyTracker tracker_;
   /// Stripes the staged copy S differs from B on — the encode/flush set of
   /// the in-flight staged commit. Populated by stage(), cleared by its
   /// flush. Async staging only.

@@ -57,6 +57,7 @@ class MultiLevelCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] Strategy strategy() const override { return inner_->strategy(); }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
+  [[nodiscard]] DirtyTracker* dirty_tracker() override { return inner_->dirty_tracker(); }
 
   /// Epoch of the newest complete disk generation (0 = none).
   [[nodiscard]] std::uint64_t disk_epoch() const {

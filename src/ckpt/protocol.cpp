@@ -15,9 +15,13 @@ void record_commit_telemetry(const CommitStats& stats) {
   static telemetry::Histogram& h_flush = reg.histogram("ckpt.flush_s");
   static telemetry::Histogram& h_device = reg.histogram("ckpt.device_s");
   static telemetry::Histogram& h_total = reg.histogram("ckpt.commit_s");
+  static telemetry::Gauge& g_dirty = reg.gauge("ckpt.dirty_bytes");
+  static telemetry::Histogram& h_dirty_frac = reg.histogram("ckpt.dirty_fraction", 1.0);
   commits.increment();
   ckpt_bytes.add(stats.checkpoint_bytes);
   sum_bytes.add(stats.checksum_bytes);
+  g_dirty.set(static_cast<double>(stats.dirty_bytes));
+  h_dirty_frac.record(stats.dirty_fraction);
   h_encode.record(stats.encode_s + stats.encode_virtual_s);
   h_flush.record(stats.flush_s);
   if (stats.device_s > 0.0) h_device.record(stats.device_s);

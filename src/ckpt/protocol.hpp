@@ -50,6 +50,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "ckpt/dirty_tracker.hpp"
 #include "ckpt/plan.hpp"
 #include "mpi/comm.hpp"
 
@@ -73,6 +74,11 @@ struct CommitStats {
   /// Payload bytes the encode collective put on the (simulated) wire,
   /// job-wide; 0 for strategies that encode nothing.
   std::uint64_t encode_wire_bytes = 0;
+  /// Dirty payload this commit actually had to move (stripe-granular).
+  /// Equals the full image for un-annotated applications.
+  std::size_t dirty_bytes = 0;
+  /// dirty_bytes over the tracked image size; 1.0 when untracked.
+  double dirty_fraction = 1.0;
   [[nodiscard]] double total_s() const {
     return encode_s + encode_virtual_s + flush_s + device_s;
   }
@@ -150,6 +156,12 @@ class CheckpointProtocol {
   /// stage() and the next stage(). Layered strategies (multilevel) use
   /// this to flush the staged image instead of the live buffers.
   [[nodiscard]] virtual std::span<const std::byte> staged() const { return {}; }
+
+  /// The strategy's dirty tracker, or nullptr when it tracks nothing.
+  /// Valid after open(). Applications annotate writes through it (usually
+  /// via Session::mark_dirty) so stage()/commit() copy and encode only the
+  /// dirty stripes; an un-annotated tracker degrades to full-cost commits.
+  [[nodiscard]] virtual DirtyTracker* dirty_tracker() { return nullptr; }
 
   /// Collective: recover after a restart. Throws Unrecoverable when no
   /// consistent checkpoint exists.

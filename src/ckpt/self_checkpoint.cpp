@@ -54,6 +54,9 @@ bool SelfCheckpoint::open(CommCtx ctx) {
 
   const std::size_t padded = coder_->padded_bytes();
   const std::size_t stripe = coder_->redundancy_bytes();
+  tracker_.reset(params_.data_bytes, params_.user_bytes, coder_->stripe_bytes(),
+                 coder_->stripe_count());
+  staged_dirty_.assign(coder_->stripe_count(), 1);
   work_ = store.create(key("work"), padded);
   ckpt_b_ = store.create(key("B"), padded);
   check_c_ = store.create(key("C"), stripe);
@@ -95,9 +98,20 @@ double SelfCheckpoint::stage() {
   SKT_SPAN("ckpt.stage");
   util::WallTimer timer;
   // Seal [A1|B2|pad] into S; the user-space A2 lands directly in S's B2
-  // slot, so the staged domain is self-contained.
-  std::memcpy(stage_->bytes().data(), work_->bytes().data(), work_->size());
+  // slot, so the staged domain is self-contained. S equals B (and work as
+  // of the previous stage) on every clean stripe, so an annotated
+  // application pays only its dirty footprint here — the whole critical
+  // path of an async commit.
+  tracker_.mark_user_tail();
+  staged_dirty_ = tracker_.effective();
+  const std::size_t stripe = tracker_.stripe_bytes();
+  for (std::size_t s = 0; s < staged_dirty_.size(); ++s) {
+    if (!staged_dirty_[s]) continue;
+    std::memcpy(stage_->bytes().data() + s * stripe, work_->bytes().data() + s * stripe,
+                stripe);
+  }
   std::memcpy(stage_->bytes().data() + params_.data_bytes, user_.data(), params_.user_bytes);
+  tracker_.clear();
   return timer.seconds();
 }
 
@@ -142,12 +156,27 @@ CommitStats SelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
     // the encoded domain [A1|B2] is one contiguous buffer. (When staging,
     // stage() already placed A2 into S.)
     std::memcpy(work_->bytes().data() + params_.data_bytes, user_.data(), params_.user_bytes);
+    tracker_.mark_user_tail();
     ctx.group.failpoint("ckpt.copy_a2");
   }
 
-  // Step 3: encode the source side's checksum D.
+  // The stripes the source side differs from the committed B on: the
+  // staged set captured by stage(), or the live tracker. Un-annotated
+  // applications resolve to all-dirty (full encode + flush).
+  const std::vector<std::uint8_t> dirty =
+      params_.async_staging ? staged_dirty_ : tracker_.effective();
+  std::size_t dirty_stripes = 0;
+  for (std::uint8_t d : dirty) dirty_stripes += d;
+
+  // Step 3: encode the source side's checksum D. The delta form reuses the
+  // sealed (B, C) pair as the base — parity moves only for dirty families
+  // and falls back to the full reduce-scatter when most of the image
+  // changed, so this is never slower than a full encode.
   CommitStats stats;
   stats.epoch = next;
+  stats.dirty_bytes = dirty_stripes * tracker_.stripe_bytes();
+  stats.dirty_fraction =
+      dirty.empty() ? 1.0 : static_cast<double>(dirty_stripes) / static_cast<double>(dirty.size());
   telemetry::set_epoch(next);
   ctx.group.failpoint(async ? "ckpt.async_encode_begin" : "ckpt.encode_begin");
   const double encode_virtual_before = ctx.group.virtual_seconds();
@@ -155,7 +184,8 @@ CommitStats SelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
   util::WallTimer encode_timer;
   {
     SKT_SPAN("ckpt.encode");
-    coder_->encode(ctx.group, source, check_d_->bytes());
+    coder_->encode_delta(ctx.group, ckpt_b_->bytes(), source, check_c_->bytes(),
+                         check_d_->bytes(), dirty);
   }
   stats.encode_s = encode_timer.seconds();
   stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
@@ -176,19 +206,29 @@ CommitStats SelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
   // Step 4: flush the source side over the old checkpoint. A failure here
   // is CASE 2 of Fig. 4 — recovery uses (source, D).
   util::WallTimer flush_timer;
+  std::size_t flushed = 0;
   {
     SKT_SPAN("ckpt.flush");
-    std::memcpy(ckpt_b_->bytes().data(), source.data(), source.size());
+    // B equals the source on every clean stripe (the previous flush made
+    // them identical and clean means untouched since), so only dirty
+    // stripes move.
+    const std::size_t stripe = tracker_.stripe_bytes();
+    for (std::size_t s = 0; s < dirty.size(); ++s) {
+      if (!dirty[s]) continue;
+      std::memcpy(ckpt_b_->bytes().data() + s * stripe, source.data() + s * stripe, stripe);
+      flushed += stripe;
+    }
     ctx.group.failpoint(async ? "ckpt.async_mid_flush" : "ckpt.mid_flush");
     std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
   }
   stats.flush_s = flush_timer.seconds();
+  if (!params_.async_staging) tracker_.clear();
   h.bc_epoch = next;
   store_header(header_, h);
   ctx.group.failpoint(async ? "ckpt.async_flushed" : "ckpt.flushed");
   ctx.world.barrier();
 
-  stats.checkpoint_bytes = work_->size();
+  stats.checkpoint_bytes = flushed;
   stats.checksum_bytes = check_d_->size();
   // The async worker's pipeline time is recorded as "ckpt_worker" by the
   // engine; only a synchronous commit charges the critical-path slot here.
@@ -285,6 +325,9 @@ RestoreStats SelfCheckpoint::restore(CommCtx ctx) {
   h.d_epoch = target;
   store_header(header_, h);
   survivor_ = true;
+  // work == B (== S) everywhere now, so nothing is dirty.
+  tracker_.clear();
+  std::fill(staged_dirty_.begin(), staged_dirty_.end(), std::uint8_t{0});
 
   stats.rebuild_s = timer.seconds();
   stats.rebuilt_member =

@@ -67,6 +67,7 @@ class SelfCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] Strategy strategy() const override { return Strategy::kSelf; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
+  [[nodiscard]] DirtyTracker* dirty_tracker() override { return &tracker_; }
 
  private:
   [[nodiscard]] std::string key(const char* part) const;
@@ -79,6 +80,11 @@ class SelfCheckpoint final : public CheckpointProtocol {
   std::size_t combined_bytes_ = 0;  // A1 + B2 payload
   std::unique_ptr<enc::ErasureCoder> coder_;
   std::vector<std::byte> user_;  // A2, ordinary (non-SHM) memory
+  /// Stripes dirtied since the last commit (sync) / last stage() (async).
+  DirtyTracker tracker_;
+  /// Stripes the staged copy S differs from B on — the encode/flush set of
+  /// the in-flight staged commit. Populated by stage(). Async only.
+  std::vector<std::uint8_t> staged_dirty_;
 
   int world_rank_ = -1;
   bool survivor_ = false;  // header existed at open()

@@ -143,6 +143,20 @@ class Session {
   /// The encoding-group communicator the Session owns (split from world).
   [[nodiscard]] mpi::Comm& group() { return *group_; }
 
+  /// Declare [offset, offset+len) of data() modified since the last
+  /// commit/stage so the next commit copies and encodes only the touched
+  /// stripes. Optional: protocols treat un-annotated epochs as all-dirty.
+  /// No-op for strategies without a dirty tracker.
+  void mark_dirty(std::size_t offset, std::size_t len) {
+    if (DirtyTracker* t = protocol_->dirty_tracker()) t->mark(offset, len);
+  }
+
+  /// Mark the whole working buffer dirty (full-footprint epochs of an
+  /// otherwise-annotating application).
+  void mark_all_dirty() {
+    if (DirtyTracker* t = protocol_->dirty_tracker()) t->mark_all();
+  }
+
   /// SPI escape hatch: the underlying protocol, for tests and embedders
   /// that need strategy-specific calls (e.g. incremental dirty marking).
   [[nodiscard]] CheckpointProtocol& protocol() { return *protocol_; }

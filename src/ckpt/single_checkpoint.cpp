@@ -1,5 +1,6 @@
 #include "ckpt/single_checkpoint.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -15,7 +16,6 @@ SingleCheckpoint::SingleCheckpoint(Params params) : params_(std::move(params)) {
   combined_bytes_ = params_.data_bytes + params_.user_bytes;
   app_.assign(params_.data_bytes, std::byte{0});
   user_.assign(params_.user_bytes, std::byte{0});
-  if (params_.async_staging) stage_.assign(combined_bytes_, std::byte{0});
 }
 
 std::string SingleCheckpoint::key(const char* part) const {
@@ -29,6 +29,13 @@ void SingleCheckpoint::require_open() const {
 bool SingleCheckpoint::open(CommCtx ctx) {
   world_rank_ = ctx.group.world_rank();
   codec_.emplace(params_.codec, combined_bytes_, ctx.group.size());
+  const std::size_t stripes = codec_->padded_bytes() / codec_->layout().stripe_bytes();
+  tracker_.reset(params_.data_bytes, params_.user_bytes, codec_->layout().stripe_bytes(),
+                 stripes);
+  if (params_.async_staging) {
+    image_.assign(codec_->padded_bytes(), std::byte{0});
+    staged_dirty_.assign(stripes, 1);  // image_ != committed B until proven
+  }
 
   sim::PersistentStore& store = ctx.group.store();
   const std::string hdr_key = key("hdr");
@@ -62,6 +69,22 @@ std::span<std::byte> SingleCheckpoint::data() {
 
 std::span<std::byte> SingleCheckpoint::user_state() { return user_; }
 
+void SingleCheckpoint::copy_stripe_to(std::size_t s, std::byte* dst) const {
+  const std::size_t stripe = tracker_.stripe_bytes();
+  const std::size_t begin = s * stripe;
+  if (begin >= combined_bytes_) return;  // padding-only stripe
+  const std::size_t end = std::min(begin + stripe, combined_bytes_);
+  std::size_t pos = begin;
+  if (pos < params_.data_bytes) {
+    const std::size_t len = std::min(end, params_.data_bytes) - pos;
+    std::memcpy(dst + pos, app_.data() + pos, len);
+    pos += len;
+  }
+  if (pos < end) {
+    std::memcpy(dst + pos, user_.data() + (pos - params_.data_bytes), end - pos);
+  }
+}
+
 double SingleCheckpoint::stage() {
   require_open();
   if (!params_.async_staging) {
@@ -69,15 +92,30 @@ double SingleCheckpoint::stage() {
   }
   SKT_SPAN("ckpt.stage");
   util::WallTimer timer;
-  std::memcpy(stage_.data(), app_.data(), app_.size());
-  std::memcpy(stage_.data() + app_.size(), user_.data(), user_.size());
+  // image_ equals the working content as of the previous stage() on every
+  // clean stripe, so only the stripes dirtied since then need copying.
+  tracker_.mark_user_tail();
+  const std::vector<std::uint8_t> eff = tracker_.effective();
+  for (std::size_t s = 0; s < eff.size(); ++s) {
+    if (!eff[s]) continue;
+    copy_stripe_to(s, image_.data());
+    staged_dirty_[s] = 1;
+  }
+  tracker_.clear();
   return timer.seconds();
 }
 
-std::span<const std::byte> SingleCheckpoint::staged() const { return stage_; }
+std::span<const std::byte> SingleCheckpoint::staged() const {
+  if (!params_.async_staging || image_.empty()) return {};
+  return std::span<const std::byte>(image_.data(), combined_bytes_);
+}
 
 CommitStats SingleCheckpoint::commit(CommCtx ctx) {
   require_open();
+  // With staging enabled even a synchronous commit snapshots through the
+  // image so its dirty-mirror invariant survives interleaving with the
+  // async pipeline (cf. SelfCheckpoint::commit).
+  if (params_.async_staging) stage();
   return commit_impl(ctx, /*async=*/false);
 }
 
@@ -91,9 +129,6 @@ CommitStats SingleCheckpoint::commit_staged(CommCtx ctx) {
 
 CommitStats SingleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   SKT_SPAN("ckpt.commit");
-  // What goes into B: the staged snapshot (async) or the live [A|A2].
-  const std::byte* data_src = async ? stage_.data() : app_.data();
-  const std::byte* user_src = async ? stage_.data() + app_.size() : user_.data();
   Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
                           static_cast<std::uint32_t>(ctx.group.size()),
                           static_cast<std::uint32_t>(params_.codec));
@@ -104,6 +139,20 @@ CommitStats SingleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   ctx.group.failpoint(async ? "ckpt.async_begin" : "ckpt.begin");
   ctx.world.barrier();
 
+  // What goes into B and which stripes differ from it: the staged image
+  // with its accumulated set, or the live [A|A2] with the tracker's.
+  const bool staging = params_.async_staging;
+  std::vector<std::uint8_t> dirty;
+  if (staging) {
+    dirty = staged_dirty_;
+  } else {
+    tracker_.mark_user_tail();
+    dirty = tracker_.effective();
+  }
+  std::size_t dirty_stripes = 0;
+  for (std::uint8_t d : dirty) dirty_stripes += d;
+  const std::size_t stripe = tracker_.stripe_bytes();
+
   // Mark the update window: from here until the final header write, (B, C)
   // is not a trustworthy pair.
   h.d_epoch = next;
@@ -112,11 +161,26 @@ CommitStats SingleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   CommitStats stats;
   stats.epoch = next;
   telemetry::set_epoch(next);
+
+  // Save B's old content of the dirty stripes — the delta base the flush
+  // overwrites. Deliberately uninitialized: the codec never reads the base
+  // on clean stripes (its full-encode fallback reads only `next`).
+  util::AlignedBuffer base(ckpt_b_->size());
   util::WallTimer flush_timer;
+  std::size_t flushed = 0;
   {
     SKT_SPAN("ckpt.flush");
-    std::memcpy(ckpt_b_->bytes().data(), data_src, app_.size());
-    std::memcpy(ckpt_b_->bytes().data() + app_.size(), user_src, user_.size());
+    for (std::size_t s = 0; s < dirty.size(); ++s) {
+      if (!dirty[s]) continue;
+      std::memcpy(base.data() + s * stripe, ckpt_b_->bytes().data() + s * stripe, stripe);
+      if (staging) {
+        std::memcpy(ckpt_b_->bytes().data() + s * stripe, image_.data() + s * stripe,
+                    stripe);
+      } else {
+        copy_stripe_to(s, ckpt_b_->bytes().data());
+      }
+      flushed += stripe;
+    }
   }
   stats.flush_s = flush_timer.seconds();
   ctx.group.failpoint(async ? "ckpt.async_mid_update" : "ckpt.mid_update");
@@ -125,11 +189,17 @@ CommitStats SingleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   util::WallTimer encode_timer;
   {
     SKT_SPAN("ckpt.encode");
-    codec_->encode(ctx.group, ckpt_b_->bytes(), check_c_->bytes());
+    codec_->encode_delta(ctx.group, {base.data(), base.size()}, ckpt_b_->bytes(),
+                         check_c_->bytes(), check_c_->bytes(), dirty);
   }
   stats.encode_s = encode_timer.seconds();
   stats.encode_virtual_s = ctx.group.virtual_seconds() - encode_virtual_before;
   ctx.group.failpoint(async ? "ckpt.async_encode_done" : "ckpt.encode_done");
+  if (staging) {
+    std::fill(staged_dirty_.begin(), staged_dirty_.end(), std::uint8_t{0});
+  } else {
+    tracker_.clear();
+  }
 
   h.bc_epoch = next;
   h.d_epoch = next;
@@ -137,8 +207,12 @@ CommitStats SingleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   ctx.group.failpoint(async ? "ckpt.async_flushed" : "ckpt.flushed");
   ctx.world.barrier();
 
-  stats.checkpoint_bytes = ckpt_b_->size();
+  stats.checkpoint_bytes = flushed;
   stats.checksum_bytes = check_c_->size();
+  stats.dirty_bytes = dirty_stripes * stripe;
+  stats.dirty_fraction = dirty.empty() ? 0.0
+                                       : static_cast<double>(dirty_stripes) /
+                                             static_cast<double>(dirty.size());
   if (!async) ctx.group.record_time("checkpoint", stats.total_s());
   return stats;
 }
@@ -176,6 +250,14 @@ RestoreStats SingleCheckpoint::restore(CommCtx ctx) {
   std::memcpy(app_.data(), ckpt_b_->bytes().data(), app_.size());
   std::memcpy(user_.data(), ckpt_b_->bytes().data() + app_.size(), user_.size());
 
+  // Re-establish the dirty-mirror invariants: the working view (and the
+  // staging image, if any) now equals B exactly.
+  tracker_.clear();
+  if (!image_.empty()) {
+    std::memcpy(image_.data(), ckpt_b_->bytes().data(), image_.size());
+    std::fill(staged_dirty_.begin(), staged_dirty_.end(), std::uint8_t{0});
+  }
+
   Header h = load_header(header_);
   h.bc_epoch = stats.epoch;
   h.d_epoch = stats.epoch;
@@ -196,8 +278,8 @@ RestoreStats SingleCheckpoint::restore(CommCtx ctx) {
 
 std::size_t SingleCheckpoint::memory_bytes() const {
   if (!ckpt_b_) return 0;
-  return app_.size() + user_.size() + stage_.size() + ckpt_b_->size() + check_c_->size() +
-         sizeof(Header);
+  return app_.size() + user_.size() + image_.size() + ckpt_b_->size() + check_c_->size() +
+         sizeof(Header) + tracker_.stripe_count() + staged_dirty_.size();
 }
 
 std::uint64_t SingleCheckpoint::committed_epoch() const {

@@ -12,6 +12,7 @@
 #include "ckpt/header.hpp"
 #include "ckpt/protocol.hpp"
 #include "encoding/group_codec.hpp"
+#include "util/aligned.hpp"
 
 namespace skt::ckpt {
 
@@ -43,19 +44,30 @@ class SingleCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] Strategy strategy() const override { return Strategy::kSingle; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
+  [[nodiscard]] DirtyTracker* dirty_tracker() override { return &tracker_; }
 
  private:
   [[nodiscard]] std::string key(const char* part) const;
   void require_open() const;
+  /// Copy stripe `s` of the split [app_ | user_] view into `dst` (a padded
+  /// combined-layout buffer); a stripe may straddle the boundary.
+  void copy_stripe_to(std::size_t s, std::byte* dst) const;
   CommitStats commit_impl(CommCtx ctx, bool async);
 
   Params params_;
   std::size_t combined_bytes_ = 0;
   std::optional<enc::GroupCodec> codec_;
 
-  std::vector<std::byte> app_;    // A — ordinary memory
-  std::vector<std::byte> user_;   // A2
-  std::vector<std::byte> stage_;  // [A|A2] snapshot, async_staging only
+  std::vector<std::byte> app_;   // A — ordinary memory
+  std::vector<std::byte> user_;  // A2
+  /// Padded [A|A2] snapshot mirror — the staged commit source, allocated
+  /// only with async_staging; stage() refreshes dirty stripes only.
+  util::AlignedBytes image_;
+  /// Stripes dirtied since the last snapshot (stage() or sync commit).
+  DirtyTracker tracker_;
+  /// Stripes where image_ may differ from the committed B (accumulates
+  /// across stage() calls, cleared by the staged commit's flush).
+  std::vector<std::uint8_t> staged_dirty_;
 
   int world_rank_ = -1;
   bool survivor_ = false;

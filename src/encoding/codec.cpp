@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "encoding/kernels.hpp"
+
 namespace skt::enc {
 namespace {
 
@@ -12,22 +14,11 @@ void check_pair(std::span<const std::byte> a, std::span<const std::byte> b) {
   if (a.size() % kLane != 0) throw std::invalid_argument("codec: buffers must be lane-aligned");
 }
 
-/// Block-processed combine over contiguous T lanes. The kLane alignment
-/// contract makes the reinterpretation size-exact and 8-byte aligned; the
-/// fixed 32-lane inner block is a countable loop the compiler turns into
-/// packed XOR / addpd, so the codec runs at memcpy speed instead of one
-/// load/store pair per lane.
-template <typename T, typename F>
-void apply_lanes(std::span<std::byte> acc, std::span<const std::byte> in, F combine) {
-  T* a = reinterpret_cast<T*>(acc.data());
-  const T* b = reinterpret_cast<const T*>(in.data());
-  const std::size_t n = acc.size() / sizeof(T);
-  constexpr std::size_t kBlock = 32;
-  std::size_t i = 0;
-  for (; i + kBlock <= n; i += kBlock) {
-    for (std::size_t j = 0; j < kBlock; ++j) a[i + j] = combine(a[i + j], b[i + j]);
-  }
-  for (; i < n; ++i) a[i] = combine(a[i], b[i]);
+std::span<double> as_doubles(std::span<std::byte> b) {
+  return {reinterpret_cast<double*>(b.data()), b.size() / sizeof(double)};
+}
+std::span<const double> as_doubles(std::span<const std::byte> b) {
+  return {reinterpret_cast<const double*>(b.data()), b.size() / sizeof(double)};
 }
 
 }  // namespace
@@ -35,18 +26,18 @@ void apply_lanes(std::span<std::byte> acc, std::span<const std::byte> in, F comb
 void accumulate(CodecKind kind, std::span<std::byte> acc, std::span<const std::byte> in) {
   check_pair(acc, in);
   if (kind == CodecKind::kXor) {
-    apply_lanes<std::uint64_t>(acc, in, [](std::uint64_t a, std::uint64_t b) { return a ^ b; });
+    kernels::xor_acc(acc, in);
   } else {
-    apply_lanes<double>(acc, in, [](double a, double b) { return a + b; });
+    kernels::sum_acc(as_doubles(acc), as_doubles(in));
   }
 }
 
 void retract(CodecKind kind, std::span<std::byte> acc, std::span<const std::byte> in) {
   check_pair(acc, in);
   if (kind == CodecKind::kXor) {
-    apply_lanes<std::uint64_t>(acc, in, [](std::uint64_t a, std::uint64_t b) { return a ^ b; });
+    kernels::xor_acc(acc, in);
   } else {
-    apply_lanes<double>(acc, in, [](double a, double b) { return a - b; });
+    kernels::sum_sub(as_doubles(acc), as_doubles(in));
   }
 }
 

@@ -6,6 +6,8 @@
 
 #include "encoding/codec.hpp"
 #include "encoding/gf256.hpp"
+#include "encoding/kernels.hpp"
+#include "util/aligned.hpp"
 
 namespace skt::enc {
 namespace {
@@ -37,8 +39,11 @@ DualParityGroupCodec::DualParityGroupCodec(std::size_t data_bytes, int group_siz
   }
   const auto stripes = static_cast<std::size_t>(group_size - 2);
   const std::size_t raw = (data_bytes + stripes - 1) / stripes;
-  stripe_bytes_ = (raw + kLane - 1) / kLane * kLane;
-  if (stripe_bytes_ == 0) stripe_bytes_ = kLane;
+  // Stripes are padded to the cache-line / vector-register width so every
+  // GF multiply-accumulate in encode and rebuild starts on an aligned
+  // boundary (the wider pad is noise next to the payload).
+  stripe_bytes_ = (raw + util::kBufferAlign - 1) / util::kBufferAlign * util::kBufferAlign;
+  if (stripe_bytes_ == 0) stripe_bytes_ = util::kBufferAlign;
 }
 
 bool DualParityGroupCodec::contributes(int p, int f) const {
@@ -89,7 +94,7 @@ void DualParityGroupCodec::reduce_family(mpi::Comm& group, int f, int row,
                                          const std::vector<int>& skip, int root,
                                          std::span<std::byte> out) const {
   const int me = group.rank();
-  std::vector<std::byte> scratch(stripe_bytes_, std::byte{0});
+  util::AlignedBytes scratch(stripe_bytes_, std::byte{0});
   if (contributes(me, f) && std::find(skip.begin(), skip.end(), me) == skip.end()) {
     const std::span<const std::byte> mine =
         data.subspan(stripe_index(me, f) * stripe_bytes_, stripe_bytes_);
@@ -110,7 +115,7 @@ void DualParityGroupCodec::encode(mpi::Comm& group, std::span<const std::byte> d
   // (f+1)%n). Each member pre-multiplies its stripes by the row
   // coefficients into a scratch contribution buffer; XOR over GF(2^8)
   // products is exactly the Reed-Solomon sum.
-  std::vector<std::byte> scratch(static_cast<std::size_t>(n) * stripe_bytes_);
+  util::AlignedBytes scratch(static_cast<std::size_t>(n) * stripe_bytes_);
   std::vector<std::span<const std::uint64_t>> blocks(static_cast<std::size_t>(n));
   const auto block_of = [&](int b) {
     return std::span<std::byte>(scratch.data() + static_cast<std::size_t>(b) * stripe_bytes_,
@@ -138,6 +143,65 @@ void DualParityGroupCodec::encode(mpi::Comm& group, std::span<const std::byte> d
   }
 }
 
+void DualParityGroupCodec::encode_delta(mpi::Comm& group, std::span<const std::byte> base,
+                                        std::span<const std::byte> next,
+                                        std::span<const std::byte> old_parity,
+                                        std::span<std::byte> parity,
+                                        std::span<const std::uint8_t> dirty) const {
+  check_args(group, next.size(), parity.size());
+  if (base.size() != next.size() || old_parity.size() != parity.size()) {
+    throw std::invalid_argument("DualParityGroupCodec::encode_delta: buffer size mismatch");
+  }
+  const int n = group_size_;
+  const int me = group.rank();
+  if (dirty.size() != static_cast<std::size_t>(n - 2)) {
+    throw std::invalid_argument(
+        "DualParityGroupCodec::encode_delta: dirty flags must cover all stripes");
+  }
+
+  std::vector<std::uint8_t> family_dirty(static_cast<std::size_t>(n), 0);
+  for (int f = 0; f < n; ++f) {
+    if (contributes(me, f)) family_dirty[static_cast<std::size_t>(f)] = dirty[stripe_index(me, f)];
+  }
+  std::vector<std::uint8_t> global_dirty(static_cast<std::size_t>(n));
+  group.allreduce<std::uint8_t>(family_dirty, global_dirty, mpi::Max{});
+  int dirty_families = 0;
+  for (std::uint8_t d : global_dirty) dirty_families += d;
+  if (2 * dirty_families >= n) {
+    encode(group, next, parity);
+    return;
+  }
+
+  if (parity.data() != old_parity.data()) {
+    std::memcpy(parity.data(), old_parity.data(), parity.size());
+  }
+  util::AlignedBytes diff(stripe_bytes_);
+  util::AlignedBytes scratch(stripe_bytes_);
+  util::AlignedBytes reduced(stripe_bytes_);
+  for (int f = 0; f < n; ++f) {
+    if (!global_dirty[static_cast<std::size_t>(f)]) continue;
+    const bool mine_dirty = contributes(me, f) && dirty[stripe_index(me, f)] != 0;
+    if (mine_dirty) {
+      kernels::xor_delta(diff, base.subspan(stripe_index(me, f) * stripe_bytes_, stripe_bytes_),
+                         next.subspan(stripe_index(me, f) * stripe_bytes_, stripe_bytes_));
+    }
+    for (int row = 0; row < 2; ++row) {
+      const int owner = row == 0 ? f : (f + 1) % n;
+      std::memset(scratch.data(), 0, stripe_bytes_);
+      if (mine_dirty) {
+        kernels::gf256_mul_acc(as_u8(std::span<std::byte>(scratch)),
+                               as_u8(std::span<const std::byte>(diff)),
+                               coefficient(row, me, f));
+      }
+      xor_reduce(group, owner, scratch,
+                 me == owner ? std::span<std::byte>(reduced) : std::span<std::byte>{});
+      if (me == owner) {
+        kernels::xor_acc(parity.subspan(row == 0 ? 0 : stripe_bytes_, stripe_bytes_), reduced);
+      }
+    }
+  }
+}
+
 void DualParityGroupCodec::rebuild(mpi::Comm& group, std::span<const int> failed,
                                    std::span<std::byte> data,
                                    std::span<std::byte> parity) const {
@@ -160,7 +224,7 @@ void DualParityGroupCodec::rebuild(mpi::Comm& group, std::span<const int> failed
   // contributions: P xor sum(surviving c0*D) = sum(lost c0*D), etc.
   const auto reduce_syndrome = [&](int f, int row, int root, std::span<std::byte> out) {
     const int owner = row == 0 ? f : (f + 1) % group_size_;
-    std::vector<std::byte> scratch(stripe_bytes_, std::byte{0});
+    util::AlignedBytes scratch(stripe_bytes_, std::byte{0});
     if (contributes(me, f) &&
         std::find(lost.begin(), lost.end(), me) == lost.end()) {
       const std::span<const std::byte> mine =
@@ -257,7 +321,7 @@ void DualParityGroupCodec::rebuild(mpi::Comm& group, std::span<const int> failed
 bool DualParityGroupCodec::verify(mpi::Comm& group, std::span<const std::byte> data,
                                   std::span<const std::byte> parity) const {
   check_args(group, data.size(), parity.size());
-  std::vector<std::byte> recomputed(parity_bytes());
+  util::AlignedBytes recomputed(parity_bytes());
   // encode() writes only this member's slots; compare locally afterwards.
   encode(group, data, recomputed);
   const std::uint8_t ok =

@@ -44,6 +44,19 @@ class DualParityGroupCodec {
   void encode(mpi::Comm& group, std::span<const std::byte> data,
               std::span<std::byte> parity) const;
 
+  /// Collective delta re-encode: `dirty` flags this member's stripes
+  /// (group_size-2 entries, indexed by stripe_index) that may differ
+  /// between `base` and `next`. Both parity rows of each dirty family are
+  /// updated from the GF(2^8)-weighted stripe diffs folded into
+  /// `old_parity` (P' = P ^ sum c_i * (old_i ^ new_i)); clean families
+  /// copy through with no traffic. Result is bit-identical to
+  /// encode(next). Falls back to the full two-pass reduce-scatter encode
+  /// when at least half the families are dirty. The dirty set is
+  /// allreduced internally.
+  void encode_delta(mpi::Comm& group, std::span<const std::byte> base,
+                    std::span<const std::byte> next, std::span<const std::byte> old_parity,
+                    std::span<std::byte> parity, std::span<const std::uint8_t> dirty) const;
+
   /// Collective: reconstruct up to two failed members' data + parity.
   /// Survivors pass intact buffers; failed members' buffer contents are
   /// rebuilt in place. Throws std::invalid_argument for > 2 failures.

@@ -24,9 +24,30 @@ class ErasureCoder {
   /// Simultaneous member losses the code repairs.
   [[nodiscard]] virtual int max_failures() const = 0;
 
+  /// Stripe geometry: the padded buffer is stripe_count() stripes of
+  /// stripe_bytes() each. Dirty tracking is done at this granularity.
+  [[nodiscard]] virtual std::size_t stripe_bytes() const = 0;
+  [[nodiscard]] std::size_t stripe_count() const { return padded_bytes() / stripe_bytes(); }
+
   /// Collective: fill this member's redundancy buffer.
   virtual void encode(mpi::Comm& group, std::span<const std::byte> data,
                       std::span<std::byte> redundancy) const = 0;
+
+  /// Collective delta re-encode: update `redundancy` from `old_redundancy`
+  /// given that only the stripes flagged in `dirty` (stripe_count()
+  /// entries) differ between `base` and `next`. Equivalent to
+  /// encode(next); clean families move no bytes. The default ignores the
+  /// delta inputs and re-encodes from scratch.
+  virtual void encode_delta(mpi::Comm& group, std::span<const std::byte> base,
+                            std::span<const std::byte> next,
+                            std::span<const std::byte> old_redundancy,
+                            std::span<std::byte> redundancy,
+                            std::span<const std::uint8_t> dirty) const {
+    (void)base;
+    (void)old_redundancy;
+    (void)dirty;
+    encode(group, next, redundancy);
+  }
   /// Collective: reconstruct the listed members (size <= max_failures()).
   virtual void rebuild(mpi::Comm& group, std::span<const int> missing,
                        std::span<std::byte> data, std::span<std::byte> redundancy) const = 0;
@@ -46,10 +67,19 @@ class SingleParityCoder final : public ErasureCoder {
     return codec_.checksum_bytes();
   }
   [[nodiscard]] int max_failures() const override { return 1; }
+  [[nodiscard]] std::size_t stripe_bytes() const override {
+    return codec_.layout().stripe_bytes();
+  }
 
   void encode(mpi::Comm& group, std::span<const std::byte> data,
               std::span<std::byte> redundancy) const override {
     codec_.encode(group, data, redundancy);
+  }
+  void encode_delta(mpi::Comm& group, std::span<const std::byte> base,
+                    std::span<const std::byte> next, std::span<const std::byte> old_redundancy,
+                    std::span<std::byte> redundancy,
+                    std::span<const std::uint8_t> dirty) const override {
+    codec_.encode_delta(group, base, next, old_redundancy, redundancy, dirty);
   }
   void rebuild(mpi::Comm& group, std::span<const int> missing, std::span<std::byte> data,
                std::span<std::byte> redundancy) const override {
@@ -78,10 +108,17 @@ class DualParityCoder final : public ErasureCoder {
     return codec_.parity_bytes();
   }
   [[nodiscard]] int max_failures() const override { return 2; }
+  [[nodiscard]] std::size_t stripe_bytes() const override { return codec_.stripe_bytes(); }
 
   void encode(mpi::Comm& group, std::span<const std::byte> data,
               std::span<std::byte> redundancy) const override {
     codec_.encode(group, data, redundancy);
+  }
+  void encode_delta(mpi::Comm& group, std::span<const std::byte> base,
+                    std::span<const std::byte> next, std::span<const std::byte> old_redundancy,
+                    std::span<std::byte> redundancy,
+                    std::span<const std::uint8_t> dirty) const override {
+    codec_.encode_delta(group, base, next, old_redundancy, redundancy, dirty);
   }
   void rebuild(mpi::Comm& group, std::span<const int> missing, std::span<std::byte> data,
                std::span<std::byte> redundancy) const override {

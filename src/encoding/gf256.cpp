@@ -2,36 +2,42 @@
 
 #include <stdexcept>
 
+#include "encoding/kernels.hpp"
+
 namespace skt::enc::gf256 {
+namespace detail {
+
 namespace {
 
-struct Tables {
-  std::array<std::uint8_t, 256> log{};
-  std::array<std::uint8_t, 512> exp{};
-
-  Tables() {
-    // Generator 3 for polynomial 0x11b. exp is doubled so mul can skip the
-    // mod-255 reduction.
-    std::uint16_t x = 1;
-    for (int i = 0; i < 255; ++i) {
-      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
-      log[static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(i);
-      // multiply x by 3 = x + 2x in GF(2^8)
-      std::uint16_t x2 = x << 1;
-      if (x2 & 0x100) x2 ^= 0x11b;
-      x = static_cast<std::uint16_t>(x2 ^ x);
-    }
-    for (int i = 255; i < 512; ++i) {
-      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
-    }
+Tables build_tables() {
+  Tables t;
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    t.log[static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(i);
+    // multiply x by 3 = x + 2x in GF(2^8)
+    std::uint16_t x2 = x << 1;
+    if (x2 & 0x100) x2 ^= 0x11b;
+    x = static_cast<std::uint16_t>(x2 ^ x);
   }
-};
-
-const Tables& tables() {
-  static const Tables t;
+  for (int i = 255; i < 512; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = t.exp[static_cast<std::size_t>(i - 255)];
+  }
   return t;
 }
 
+}  // namespace
+
+const Tables& tables() {
+  static const Tables t = build_tables();
+  return t;
+}
+
+}  // namespace detail
+
+namespace {
+using detail::Tables;
+using detail::tables;
 }  // namespace
 
 std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
@@ -62,18 +68,9 @@ std::uint8_t pow(std::uint8_t base, unsigned e) {
 }
 
 void mul_acc(std::span<std::uint8_t> out, std::span<const std::uint8_t> in, std::uint8_t coeff) {
-  if (out.size() != in.size()) throw std::invalid_argument("gf256::mul_acc: size mismatch");
-  if (coeff == 0) return;
-  if (coeff == 1) {
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] ^= in[i];
-    return;
-  }
-  const Tables& t = tables();
-  const std::uint8_t lc = t.log[coeff];
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const std::uint8_t v = in[i];
-    if (v != 0) out[i] ^= t.exp[static_cast<std::size_t>(t.log[v]) + lc];
-  }
+  // The byte loop lives in the dispatched kernel layer (scalar tier is the
+  // old log/exp walk; AVX2 tier is the PSHUFB split-nibble multiply).
+  kernels::gf256_mul_acc(out, in, coeff);
 }
 
 bool solve(std::span<std::uint8_t> matrix, std::span<std::uint8_t> rhs, int k) {

@@ -10,6 +10,17 @@
 
 namespace skt::enc::gf256 {
 
+namespace detail {
+/// log/exp tables (generator 3); exp is doubled so mul skips the mod-255
+/// reduction. Shared with the kernel layer, which builds its PSHUFB
+/// nibble-product tables from them.
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};
+};
+const Tables& tables();
+}  // namespace detail
+
 /// Multiplication in GF(2^8) via log/exp tables (generator 3).
 [[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b);
 

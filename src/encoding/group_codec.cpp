@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "encoding/kernels.hpp"
+#include "util/aligned.hpp"
+
 namespace skt::enc {
 namespace {
 
@@ -79,6 +82,69 @@ void GroupCodec::encode(mpi::Comm& group, std::span<const std::byte> data,
   }
 }
 
+void GroupCodec::encode_delta(mpi::Comm& group, std::span<const std::byte> base,
+                              std::span<const std::byte> next,
+                              std::span<const std::byte> old_checksum,
+                              std::span<std::byte> checksum,
+                              std::span<const std::uint8_t> dirty) const {
+  check_args(group, next.size(), checksum.size());
+  if (base.size() != next.size() || old_checksum.size() != checksum.size()) {
+    throw std::invalid_argument("GroupCodec::encode_delta: base/old buffer size mismatch");
+  }
+  const int n = layout_.group_size();
+  const int me = group.rank();
+  if (dirty.size() != static_cast<std::size_t>(n - 1)) {
+    throw std::invalid_argument("GroupCodec::encode_delta: dirty flags must cover all stripes");
+  }
+
+  // Agree on which families changed anywhere in the group: family f is
+  // dirty when ANY member's stripe for f is flagged.
+  std::vector<std::uint8_t> family_dirty(static_cast<std::size_t>(n), 0);
+  for (int f = 0; f < n; ++f) {
+    if (f != me) family_dirty[static_cast<std::size_t>(f)] = dirty[layout_.stripe_index(me, f)];
+  }
+  std::vector<std::uint8_t> global_dirty(static_cast<std::size_t>(n));
+  group.allreduce<std::uint8_t>(family_dirty, global_dirty, mpi::Max{});
+  int dirty_families = 0;
+  for (std::uint8_t d : global_dirty) dirty_families += d;
+
+  // Mostly-dirty commits: one bandwidth-optimal reduce-scatter over all
+  // families beats per-family binomial reduces once half the group changed.
+  if (2 * dirty_families >= n) {
+    encode(group, next, checksum);
+    return;
+  }
+
+  // Seed with the previous checksum, then fold each dirty family's reduced
+  // diff into its owner's copy. Clean families need no traffic at all.
+  if (checksum.data() != old_checksum.data()) {
+    std::memcpy(checksum.data(), old_checksum.data(), checksum.size());
+  }
+  const std::size_t stripe = layout_.stripe_bytes();
+  util::AlignedBytes diff(stripe);
+  util::AlignedBytes reduced(stripe);
+  for (int f = 0; f < n; ++f) {
+    if (!global_dirty[static_cast<std::size_t>(f)]) continue;
+    const bool mine_dirty = f != me && dirty[layout_.stripe_index(me, f)] != 0;
+    if (mine_dirty) {
+      const std::span<const std::byte> b = layout_.stripe(base, me, f);
+      const std::span<const std::byte> x = layout_.stripe(next, me, f);
+      if (kind_ == CodecKind::kXor) {
+        kernels::xor_delta(diff, b, x);
+      } else {
+        std::memcpy(diff.data(), x.data(), stripe);
+        kernels::sum_sub({reinterpret_cast<double*>(diff.data()), stripe / sizeof(double)},
+                         {reinterpret_cast<const double*>(b.data()), stripe / sizeof(double)});
+      }
+    } else {
+      std::memset(diff.data(), 0, stripe);
+    }
+    reduce_bytes(group, kind_, f, diff, f == me ? std::span<std::byte>(reduced)
+                                                : std::span<std::byte>{});
+    if (f == me) accumulate(kind_, checksum, reduced);
+  }
+}
+
 void GroupCodec::encode_reference(mpi::Comm& group, std::span<const std::byte> data,
                                   std::span<std::byte> checksum) const {
   check_args(group, data.size(), checksum.size());
@@ -108,7 +174,7 @@ void GroupCodec::rebuild(mpi::Comm& group, int failed, std::span<std::byte> data
   // `failed` recomputes its checksum from the survivors' family-`failed`
   // stripes.
   const std::size_t stripe = layout_.stripe_bytes();
-  std::vector<std::byte> contrib(stripe * static_cast<std::size_t>(n), std::byte{0});
+  util::AlignedBytes contrib(stripe * static_cast<std::size_t>(n), std::byte{0});
   for (int f = 0; f < n; ++f) {
     const std::span<std::byte> slot(contrib.data() + static_cast<std::size_t>(f) * stripe,
                                     stripe);
@@ -136,7 +202,7 @@ void GroupCodec::rebuild(mpi::Comm& group, int failed, std::span<std::byte> data
     }
   }
 
-  std::vector<std::byte> rebuilt(me == failed ? contrib.size() : 0);
+  util::AlignedBytes rebuilt(me == failed ? contrib.size() : 0);
   reduce_bytes(group, kind_, failed, contrib, rebuilt);
   if (me == failed) {
     for (int f = 0; f < n; ++f) {
@@ -152,7 +218,7 @@ void GroupCodec::rebuild(mpi::Comm& group, int failed, std::span<std::byte> data
 bool GroupCodec::verify(mpi::Comm& group, std::span<const std::byte> data,
                         std::span<const std::byte> checksum) const {
   check_args(group, data.size(), checksum.size());
-  std::vector<std::byte> recomputed(checksum_bytes());
+  util::AlignedBytes recomputed(checksum_bytes());
   encode(group, data, recomputed);
   const std::uint8_t ok =
       equals(kind_, std::span<const std::byte>(recomputed), checksum) ? 1 : 0;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "encoding/codec.hpp"
@@ -40,6 +41,22 @@ class GroupCodec {
   /// as a single ring reduce-scatter over stripe blocks.
   void encode(mpi::Comm& group, std::span<const std::byte> data,
               std::span<std::byte> checksum) const;
+
+  /// Collective delta re-encode (incremental commits). `base` is the
+  /// buffer `old_checksum` was encoded from, `next` the current buffer,
+  /// and `dirty` a per-stripe flag vector (group_size-1 entries, indexed
+  /// by stripe_index) marking which of THIS member's stripes may differ
+  /// between the two. Produces the same `checksum` as encode(next) —
+  /// bit-identical for XOR — but only dirty families move bytes on the
+  /// wire: family f's owner folds the XOR (or SUM) of the members' stripe
+  /// diffs into the old checksum (parity ^= old ^ new). Falls back to the
+  /// full reduce-scatter encode when at least half the families are dirty,
+  /// where one ring pass beats per-family reduces. The dirty set is
+  /// allreduced internally, so members may pass different flags.
+  void encode_delta(mpi::Comm& group, std::span<const std::byte> base,
+                    std::span<const std::byte> next,
+                    std::span<const std::byte> old_checksum, std::span<std::byte> checksum,
+                    std::span<const std::uint8_t> dirty) const;
 
   /// The pre-reduce-scatter baseline: one binomial reduce per family,
   /// rooted round-robin. Same result as encode() (bit-identical for XOR,

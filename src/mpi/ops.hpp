@@ -9,25 +9,9 @@
 #include <span>
 #include <type_traits>
 
-namespace skt::mpi {
+#include "encoding/kernels.hpp"
 
-/// acc[i] = op(acc[i], in[i]) over equal-length spans. The fixed-length
-/// inner block gives the compiler a countable loop it auto-vectorizes
-/// (XOR/SUM over uint64/double lanes compile to packed instructions),
-/// which is what makes the collectives' combine step memory-bound instead
-/// of instruction-bound.
-template <typename T, typename Op>
-inline void combine_inplace(std::span<T> acc, std::span<const T> in, Op op) {
-  constexpr std::size_t kBlock = 32;
-  T* a = acc.data();
-  const T* b = in.data();
-  const std::size_t n = acc.size();
-  std::size_t i = 0;
-  for (; i + kBlock <= n; i += kBlock) {
-    for (std::size_t j = 0; j < kBlock; ++j) a[i + j] = op(a[i + j], b[i + j]);
-  }
-  for (; i < n; ++i) a[i] = op(a[i], b[i]);
-}
+namespace skt::mpi {
 
 struct Sum {
   template <typename T>
@@ -69,6 +53,31 @@ struct BXor {
 struct LAnd {
   bool operator()(bool a, bool b) const { return a && b; }
 };
+
+/// acc[i] = op(acc[i], in[i]) over equal-length spans — the combine step of
+/// every collective. The two bulk-data cases (XOR over uint64 lanes, SUM
+/// over doubles) dispatch into the runtime-selected SIMD kernels; the
+/// generic fallback keeps the fixed-length inner block the compiler
+/// auto-vectorizes, so either way the combine is memory-bound instead of
+/// instruction-bound.
+template <typename T, typename Op>
+inline void combine_inplace(std::span<T> acc, std::span<const T> in, Op op) {
+  if constexpr (std::is_same_v<Op, BXor> && std::is_same_v<T, std::uint64_t>) {
+    enc::kernels::xor_acc(std::as_writable_bytes(acc), std::as_bytes(in));
+  } else if constexpr (std::is_same_v<Op, Sum> && std::is_same_v<T, double>) {
+    enc::kernels::sum_acc(acc, in);
+  } else {
+    constexpr std::size_t kBlock = 32;
+    T* a = acc.data();
+    const T* b = in.data();
+    const std::size_t n = acc.size();
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock) {
+      for (std::size_t j = 0; j < kBlock; ++j) a[i + j] = op(a[i + j], b[i + j]);
+    }
+    for (; i < n; ++i) a[i] = op(a[i], b[i]);
+  }
+}
 
 struct LOr {
   bool operator()(bool a, bool b) const { return a || b; }

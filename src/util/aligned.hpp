@@ -1,0 +1,95 @@
+// 64-byte-aligned allocation for staging and parity buffers.
+//
+// The vectorized kernels (encoding/kernels.hpp) use unaligned loads, so
+// alignment is a performance contract, not a correctness one: a 64-byte
+// start keeps every 32-byte AVX2 access inside one cache line and lets the
+// store half of xor/mul-accumulate hit aligned paths on the common case of
+// whole-buffer operations.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace skt::util {
+
+/// Cache-line / AVX-512-friendly alignment for bulk byte buffers.
+inline constexpr std::size_t kBufferAlign = 64;
+
+template <typename T, std::size_t Align = kBufferAlign>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T), "AlignedAllocator: alignment below alignof(T)");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) { return false; }
+};
+
+/// std::vector whose data() is 64-byte aligned. Drop-in for the staging /
+/// parity / scratch buffers the codecs and protocols own on the heap.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+using AlignedBytes = aligned_vector<std::byte>;
+
+/// UNINITIALIZED 64-byte-aligned byte buffer (RAII). For transient
+/// commit-time scratch where zero-filling the whole allocation would
+/// defeat O(dirty-bytes) scaling — the caller writes the ranges it will
+/// read and must never read the rest.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n) : size_(n) {
+    if (n != 0) {
+      data_ = static_cast<std::byte*>(::operator new(n, std::align_val_t{kBufferAlign}));
+    }
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~AlignedBuffer() { release(); }
+
+  [[nodiscard]] std::byte* data() { return data_; }
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr) ::operator delete(data_, std::align_val_t{kBufferAlign});
+    data_ = nullptr;
+  }
+
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace skt::util

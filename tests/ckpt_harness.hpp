@@ -37,6 +37,13 @@ struct CkptAppConfig {
   /// > 0 wraps the strategy in a multi-level session (level-2 disk flush
   /// every N commits).
   int level2_every = 0;
+  /// > 0: after the initial full fill, every iteration rewrites only the
+  /// first `hot_bytes` of data() and annotates the write through
+  /// Session::mark_dirty, so commits run the partially-dirty staging and
+  /// delta-encode paths. The cold remainder keeps its iteration-0 pattern
+  /// and is verified against it — a protocol that forgets to carry clean
+  /// stripes (in S, B, or the parity delta) fails the data check.
+  std::size_t hot_bytes = 0;
 };
 
 struct LoopState {
@@ -51,13 +58,20 @@ inline void fill_pattern(std::span<std::byte> data, std::uint64_t seed, int rank
   }
 }
 
+/// Verify data against the harness pattern. `hot_bytes` == 0 (or >= size):
+/// the whole buffer carries `iteration`'s pattern. Otherwise only the hot
+/// prefix does, and the cold remainder must still hold iteration 0's.
 inline bool matches_pattern(std::span<const std::byte> data, std::uint64_t seed, int rank,
-                            std::uint64_t iteration, double tolerance) {
+                            std::uint64_t iteration, double tolerance,
+                            std::size_t hot_bytes = 0) {
   std::span<const double> lanes{reinterpret_cast<const double*>(data.data()),
                                 data.size() / sizeof(double)};
+  const std::size_t hot_lanes = hot_bytes == 0
+                                    ? lanes.size()
+                                    : std::min(hot_bytes / sizeof(double), lanes.size());
   for (std::size_t i = 0; i < lanes.size(); ++i) {
-    const double expect =
-        util::element_value(seed + iteration, static_cast<std::uint64_t>(rank), i);
+    const std::uint64_t it = iteration == 0 || i < hot_lanes ? iteration : 0;
+    const double expect = util::element_value(seed + it, static_cast<std::uint64_t>(rank), i);
     if (std::abs(lanes[i] - expect) > tolerance * (std::abs(expect) + 1.0)) return false;
   }
   return true;
@@ -80,12 +94,18 @@ inline void checkpointed_app(mpi::Comm& world, const CkptAppConfig& config) {
                               .level2_flush_every(config.level2_every)
                               .build(world);
 
+  // Partial-write mode: hot prefix rewritten (and annotated) per iteration,
+  // cold remainder written once. Clamped so 0 and "everything" coincide.
+  const std::size_t hot =
+      config.hot_bytes == 0 || config.hot_bytes >= config.data_bytes ? 0 : config.hot_bytes;
+
   auto* state = reinterpret_cast<LoopState*>(session.user_state().data());
   if (session.open() == ckpt::OpenOutcome::kRestored) {
     // The restored data must match the pattern of the restored iteration —
     // commit runs once per iteration, so epoch and iteration move together.
     const double tol = config.codec == enc::CodecKind::kXor ? 0.0 : 1e-9;
-    if (!matches_pattern(session.data(), config.seed, world.rank(), state->iteration, tol)) {
+    if (!matches_pattern(session.data(), config.seed, world.rank(), state->iteration, tol,
+                         hot)) {
       throw std::runtime_error("restored data does not match iteration " +
                                std::to_string(state->iteration));
     }
@@ -98,18 +118,29 @@ inline void checkpointed_app(mpi::Comm& world, const CkptAppConfig& config) {
   } else {
     state->iteration = 0;
     fill_pattern(session.data(), config.seed, world.rank(), 0);
+    // The initial full fill must be declared too: once the app starts
+    // annotating (partial mode), an unmarked cold region would never reach
+    // the first checkpoint.
+    if (hot != 0) session.mark_all_dirty();
   }
 
   const bool async = config.mode == ckpt::CommitMode::kAsync;
   while (state->iteration < static_cast<std::uint64_t>(config.iterations)) {
     world.failpoint("app.work");
     const std::uint64_t next = state->iteration + 1;
-    fill_pattern(session.data(), config.seed, world.rank(), next);
-    // The harness rewrites the full buffer, so the incremental strategy's
-    // dirty contract means: everything is dirty. (Sparse-update coverage
-    // lives in test_incremental.cpp, which marks real ranges.)
-    if (auto* incr = dynamic_cast<ckpt::IncrementalSelfCheckpoint*>(&session.protocol())) {
-      incr->mark_all_dirty();
+    if (hot != 0) {
+      // Rewrite only the hot prefix and declare it — every strategy's
+      // commit then copies/encodes just the covering stripes.
+      fill_pattern(session.data().subspan(0, hot), config.seed, world.rank(), next);
+      session.mark_dirty(0, hot);
+    } else {
+      fill_pattern(session.data(), config.seed, world.rank(), next);
+      // Full rewrite: everything is dirty. Required annotation for the
+      // incremental strategy (unmarked means clean there); a no-op
+      // degradation for the others, whose un-annotated trackers already
+      // report all-dirty. (Sparse-update coverage for incremental lives in
+      // test_incremental.cpp, which marks real ranges.)
+      session.mark_all_dirty();
     }
     state->iteration = next;
     try {
@@ -131,7 +162,7 @@ inline void checkpointed_app(mpi::Comm& world, const CkptAppConfig& config) {
   world.failpoint("app.done");
   const double tol = config.codec == enc::CodecKind::kXor ? 0.0 : 1e-9;
   if (!matches_pattern(session.data(), config.seed, world.rank(),
-                       static_cast<std::uint64_t>(config.iterations), tol)) {
+                       static_cast<std::uint64_t>(config.iterations), tol, hot)) {
     throw std::runtime_error("final data mismatch");
   }
 }

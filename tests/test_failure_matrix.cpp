@@ -169,6 +169,10 @@ struct AsyncCase {
   int trigger = -1;
   /// > 0: wrap in a multi-level session flushing to disk every N commits.
   int level2_every = 0;
+  /// > 0: partial-dirty mode — the app rewrites/annotates only this many
+  /// bytes per iteration, so the kill lands inside a commit_staged whose
+  /// staging and parity delta covered a strict subset of the stripes.
+  std::size_t hot_bytes = 0;
 };
 
 std::string async_case_name(
@@ -184,6 +188,7 @@ std::string async_case_name(
   }
   if (c.strategy == Strategy::kSelfIncremental) strategy = "incr";
   if (c.level2_every > 0) strategy += "_l2";
+  if (c.hot_bytes > 0) strategy += "_pd";
   return strategy + "_" + point + "_g" + std::to_string(group);
 }
 
@@ -205,6 +210,7 @@ TEST_P(AsyncFailureMatrix, KillDuringAsyncPipelineStep) {
   config.device = storage::ssd_profile();
   config.mode = CommitMode::kAsync;
   config.level2_every = c.level2_every;
+  config.hot_bytes = c.hot_bytes;
 
   sim::FailureInjector injector;
   const int trigger = c.trigger < 0 ? 1 : c.trigger;
@@ -282,6 +288,27 @@ INSTANTIATE_TEST_SUITE_P(
                           AsyncCase{Strategy::kBlcr, "ckpt.async_mid_update", true},
                           AsyncCase{Strategy::kBlcr, "ckpt.async_flushed", true}),
         ::testing::Values(2)),
+    async_case_name);
+
+// Partially-dirty staging under failure: the app annotates a 512-byte hot
+// prefix (of 2048), so the staged copy S refreshed only the hot stripes
+// and the worker's encode was a clean-majority delta fold when the victim
+// died mid commit_staged. Recovery reads (S, D) — the cold stripes of S
+// (carried, not recopied) and the delta-updated parity must still agree
+// bit-for-bit, and the rebuilt rank's cold region must reproduce the
+// iteration-0 pattern end-to-end.
+INSTANTIATE_TEST_SUITE_P(
+    PartialDirtyAsync, AsyncFailureMatrix,
+    ::testing::Combine(
+        ::testing::Values(
+            AsyncCase{Strategy::kSelf, "ckpt.async_stage", true, -1, 0, 512},
+            AsyncCase{Strategy::kSelf, "ckpt.async_encode_done", true, -1, 0, 512},
+            AsyncCase{Strategy::kSelf, "ckpt.async_mid_flush", true, -1, 0, 512},
+            AsyncCase{Strategy::kSelfIncremental, "ckpt.async_encode_done", true, -1, 0, 512},
+            AsyncCase{Strategy::kSelfIncremental, "ckpt.async_mid_flush", true, -1, 0, 512},
+            AsyncCase{Strategy::kDouble, "ckpt.async_mid_update", true, -1, 0, 512},
+            AsyncCase{Strategy::kDouble, "ckpt.async_encode_done", true, -1, 0, 512}),
+        ::testing::Values(4)),
     async_case_name);
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,451 @@
+// Property tests for the vectorized kernel layer: every kernel must be
+// BIT-IDENTICAL across dispatch tiers (the AVX2 lane is an optimization,
+// never a semantic change), at every size and alignment a codec can throw
+// at it — sub-lane tails, exact lanes, odd offsets into oversized
+// allocations. Plus the DirtyTracker unit contract and the
+// encode_delta == encode equivalence the dirty-stripe commits rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "ckpt/dirty_tracker.hpp"
+#include "encoding/dual_parity.hpp"
+#include "encoding/gf256.hpp"
+#include "encoding/group_codec.hpp"
+#include "encoding/kernels.hpp"
+#include "testing.hpp"
+#include "util/rng.hpp"
+
+namespace skt::enc {
+namespace {
+
+using skt::testing::MiniCluster;
+
+std::vector<std::byte> random_bytes(std::size_t size, std::uint64_t seed) {
+  std::vector<std::byte> out(size);
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < size; i += 8) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(out.data() + i, &v, std::min<std::size_t>(8, size - i));
+  }
+  return out;
+}
+
+/// Pins a dispatch tier for one scope; restores the previous tier on exit.
+struct TierGuard {
+  explicit TierGuard(kernels::Tier t) : prev(kernels::force_tier(t)) {}
+  ~TierGuard() { kernels::force_tier(prev); }
+  kernels::Tier prev;
+};
+
+bool avx2_available() {
+  const TierGuard guard(kernels::Tier::kAvx2);
+  return kernels::active_tier() == kernels::Tier::kAvx2;
+}
+
+// Sizes crossing every code path: sub-lane, one lane (32B vectors, 64B
+// unrolled blocks), multi-lane, and ragged tails past each.
+constexpr std::size_t kSizes[] = {1,  2,  3,  7,  8,  15, 16,  31,  32,  33,
+                                  63, 64, 65, 95, 96, 97, 255, 256, 1037};
+constexpr std::size_t kOffsets[] = {0, 1, 3, 17};  // misalign inside a big buffer
+
+class KernelTierEquivalence : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!avx2_available()) {
+      GTEST_SKIP() << "AVX2 tier not compiled in or not supported on this CPU";
+    }
+  }
+};
+
+TEST_F(KernelTierEquivalence, XorAcc) {
+  for (const std::size_t size : kSizes) {
+    for (const std::size_t off : kOffsets) {
+      const auto acc0 = random_bytes(size + off, 1000 + size);
+      const auto in = random_bytes(size + off, 2000 + size);
+      auto scalar = acc0;
+      auto simd = acc0;
+      {
+        const TierGuard g(kernels::Tier::kScalar);
+        kernels::xor_acc(std::span(scalar).subspan(off), std::span<const std::byte>(in).subspan(off));
+      }
+      {
+        const TierGuard g(kernels::Tier::kAvx2);
+        kernels::xor_acc(std::span(simd).subspan(off), std::span<const std::byte>(in).subspan(off));
+      }
+      ASSERT_EQ(scalar, simd) << "size=" << size << " off=" << off;
+      // Sanity against the definition, not just cross-tier agreement.
+      for (std::size_t i = off; i < size + off; ++i) {
+        ASSERT_EQ(scalar[i], acc0[i] ^ in[i]) << "size=" << size << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(KernelTierEquivalence, XorDelta) {
+  for (const std::size_t size : kSizes) {
+    for (const std::size_t off : kOffsets) {
+      const auto a = random_bytes(size + off, 3000 + size);
+      const auto b = random_bytes(size + off, 4000 + size);
+      std::vector<std::byte> scalar(size + off), simd(size + off);
+      {
+        const TierGuard g(kernels::Tier::kScalar);
+        kernels::xor_delta(std::span(scalar).subspan(off),
+                           std::span<const std::byte>(a).subspan(off),
+                           std::span<const std::byte>(b).subspan(off));
+      }
+      {
+        const TierGuard g(kernels::Tier::kAvx2);
+        kernels::xor_delta(std::span(simd).subspan(off),
+                           std::span<const std::byte>(a).subspan(off),
+                           std::span<const std::byte>(b).subspan(off));
+      }
+      ASSERT_EQ(scalar, simd) << "size=" << size << " off=" << off;
+    }
+  }
+}
+
+TEST_F(KernelTierEquivalence, XorDeltaAliasingOut) {
+  // The staging path computes diffs in place: out aliases a (and, for
+  // symmetry, b). Both tiers must tolerate it.
+  for (const std::size_t size : {std::size_t{31}, std::size_t{64}, std::size_t{97}}) {
+    const auto a0 = random_bytes(size, 71);
+    const auto b = random_bytes(size, 72);
+    for (const kernels::Tier tier : {kernels::Tier::kScalar, kernels::Tier::kAvx2}) {
+      const TierGuard g(tier);
+      auto out_a = a0;  // out == a
+      kernels::xor_delta(out_a, out_a, b);
+      auto out_b = b;  // out == b
+      kernels::xor_delta(out_b, a0, out_b);
+      for (std::size_t i = 0; i < size; ++i) {
+        ASSERT_EQ(out_a[i], a0[i] ^ b[i]) << "tier=" << to_string(tier) << " i=" << i;
+        ASSERT_EQ(out_b[i], a0[i] ^ b[i]) << "tier=" << to_string(tier) << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(KernelTierEquivalence, SumAccAndSub) {
+  // Element-wise adds happen in the same order in both tiers, so the
+  // comparison is exact, not tolerance-based.
+  constexpr std::size_t kCounts[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 130};
+  for (const std::size_t n : kCounts) {
+    util::Xoshiro256 rng(500 + n);
+    std::vector<double> acc0(n), in(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc0[i] = static_cast<double>(static_cast<std::int64_t>(rng.next() >> 16)) * 1e-5;
+      in[i] = static_cast<double>(static_cast<std::int64_t>(rng.next() >> 16)) * 1e-7;
+    }
+    auto s_acc = acc0;
+    auto v_acc = acc0;
+    {
+      const TierGuard g(kernels::Tier::kScalar);
+      kernels::sum_acc(s_acc, in);
+      kernels::sum_sub(s_acc, in);
+      kernels::sum_acc(s_acc, in);
+    }
+    {
+      const TierGuard g(kernels::Tier::kAvx2);
+      kernels::sum_acc(v_acc, in);
+      kernels::sum_sub(v_acc, in);
+      kernels::sum_acc(v_acc, in);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(s_acc[i], v_acc[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(KernelTierEquivalence, Gf256MulAcc) {
+  const std::uint8_t coeffs[] = {0, 1, 2, 3, 0x1d, 0x53, 0x80, 0xfe, 0xff};
+  for (const std::uint8_t coeff : coeffs) {
+    for (const std::size_t size : kSizes) {
+      for (const std::size_t off : {std::size_t{0}, std::size_t{5}}) {
+        const auto out0 = random_bytes(size + off, 6000 + size + coeff);
+        const auto in = random_bytes(size + off, 7000 + size + coeff);
+        auto scalar = out0;
+        auto simd = out0;
+        const auto u8 = [](std::vector<std::byte>& v, std::size_t skip) {
+          return std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(v.data()) + skip,
+                                         v.size() - skip);
+        };
+        const auto cu8 = [](const std::vector<std::byte>& v, std::size_t skip) {
+          return std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(v.data()) + skip, v.size() - skip);
+        };
+        {
+          const TierGuard g(kernels::Tier::kScalar);
+          kernels::gf256_mul_acc(u8(scalar, off), cu8(in, off), coeff);
+        }
+        {
+          const TierGuard g(kernels::Tier::kAvx2);
+          kernels::gf256_mul_acc(u8(simd, off), cu8(in, off), coeff);
+        }
+        ASSERT_EQ(scalar, simd) << "coeff=" << int(coeff) << " size=" << size << " off=" << off;
+        // And against the field-arithmetic reference.
+        for (std::size_t i = off; i < size + off; ++i) {
+          const auto expect = static_cast<std::uint8_t>(
+              std::to_integer<std::uint8_t>(out0[i]) ^
+              gf256::mul(coeff, std::to_integer<std::uint8_t>(in[i])));
+          ASSERT_EQ(std::to_integer<std::uint8_t>(scalar[i]), expect)
+              << "coeff=" << int(coeff) << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, ForceTierReturnsPrevious) {
+  const kernels::Tier original = kernels::active_tier();
+  const kernels::Tier prev = kernels::force_tier(kernels::Tier::kScalar);
+  EXPECT_EQ(prev, original);
+  EXPECT_EQ(kernels::active_tier(), kernels::Tier::kScalar);
+  kernels::force_tier(original);
+  EXPECT_EQ(kernels::active_tier(), original);
+}
+
+TEST(Kernels, ScalarTierAlwaysAvailable) {
+  const TierGuard g(kernels::Tier::kScalar);
+  EXPECT_EQ(kernels::active_tier(), kernels::Tier::kScalar);
+  std::vector<std::byte> a(17, std::byte{0x5a});
+  const std::vector<std::byte> b(17, std::byte{0xa5});
+  kernels::xor_acc(a, b);
+  EXPECT_TRUE(std::all_of(a.begin(), a.end(), [](std::byte v) { return v == std::byte{0xff}; }));
+}
+
+}  // namespace
+}  // namespace skt::enc
+
+// ----------------------------------------------------------------------
+// DirtyTracker: the shared annotation contract every protocol now builds
+// its staging and delta-encode decisions on.
+namespace skt::ckpt {
+namespace {
+
+TEST(DirtyTracker, UnannotatedReportsAllDirty) {
+  DirtyTracker t;
+  t.reset(/*data=*/1000, /*user=*/64, /*stripe=*/256, /*count=*/5);
+  EXPECT_FALSE(t.annotated());
+  const auto eff = t.effective();
+  EXPECT_EQ(eff.size(), 5u);
+  EXPECT_TRUE(std::all_of(eff.begin(), eff.end(), [](std::uint8_t f) { return f == 1; }));
+  EXPECT_EQ(t.dirty_stripes(), 5u);
+  EXPECT_DOUBLE_EQ(t.dirty_fraction(), 1.0);
+  // Raw flags stay zero — the fallback lives in effective(), not flags().
+  EXPECT_TRUE(std::all_of(t.flags().begin(), t.flags().end(),
+                          [](std::uint8_t f) { return f == 0; }));
+}
+
+TEST(DirtyTracker, MarkFlagsExactlyTheCoveredStripes) {
+  DirtyTracker t;
+  t.reset(1000, 64, 256, 5);
+  t.mark(300, 10);  // inside stripe 1
+  EXPECT_TRUE(t.annotated());
+  const auto eff = t.effective();
+  EXPECT_EQ(eff, (std::vector<std::uint8_t>{0, 1, 0, 0, 0}));
+  t.mark(255, 2);  // straddles stripes 0 and 1
+  EXPECT_EQ(t.effective(), (std::vector<std::uint8_t>{1, 1, 0, 0, 0}));
+  EXPECT_EQ(t.dirty_stripes(), 2u);
+  EXPECT_EQ(t.dirty_bytes(), 512u);
+  EXPECT_DOUBLE_EQ(t.dirty_fraction(), 2.0 / 5.0);
+}
+
+TEST(DirtyTracker, MarkBoundsAreLoud) {
+  DirtyTracker t;
+  t.reset(1000, 64, 256, 5);
+  EXPECT_THROW(t.mark(1000, 1), std::out_of_range);
+  EXPECT_THROW(t.mark(995, 10), std::out_of_range);
+  t.mark(999, 0);  // len == 0 is a no-op, not an annotation
+  EXPECT_FALSE(t.annotated());
+  t.mark(999, 1);  // last valid byte
+  EXPECT_TRUE(t.annotated());
+}
+
+TEST(DirtyTracker, ResetRejectsUncoveredImage) {
+  // The loud-coverage invariant that replaced the incremental tracker's
+  // silent tail clamp: geometry that cannot hold data + user is an error
+  // at reset() time, so no mark can ever fall off the end.
+  DirtyTracker t;
+  EXPECT_THROW(t.reset(1000, 64, 256, 4), std::invalid_argument);  // 1024 < 1064
+  EXPECT_THROW(t.reset(1, 1, 0, 4), std::invalid_argument);
+  EXPECT_THROW(t.reset(1, 1, 256, 0), std::invalid_argument);
+  t.reset(1000, 24, 256, 4);  // exactly covered
+  EXPECT_NO_THROW(t.mark(999, 1));
+  EXPECT_NO_THROW(t.mark_user_tail());
+}
+
+TEST(DirtyTracker, UserTailMarksButPreservesAnnotationState) {
+  DirtyTracker t;
+  t.reset(1000, 64, 256, 5);
+  t.mark_user_tail();
+  // Tail marking is a protocol invariant, not an application opt-in: the
+  // tracker must stay in all-dirty fallback mode.
+  EXPECT_FALSE(t.annotated());
+  EXPECT_EQ(t.dirty_stripes(), 5u);
+  t.mark(0, 1);
+  t.mark_user_tail();
+  EXPECT_TRUE(t.annotated());
+  // Tail [1000, 1064) lives in stripes 3 and 4.
+  EXPECT_EQ(t.effective(), (std::vector<std::uint8_t>{1, 0, 0, 1, 1}));
+}
+
+TEST(DirtyTracker, ClearDropsFlagsAndAnnotation) {
+  DirtyTracker t;
+  t.reset(1000, 64, 256, 5);
+  t.mark_all();
+  EXPECT_TRUE(t.annotated());
+  t.clear();
+  EXPECT_FALSE(t.annotated());
+  EXPECT_DOUBLE_EQ(t.dirty_fraction(), 1.0);  // back to the safe fallback
+}
+
+TEST(DirtyTracker, ShadowDetectClassifiesChangedStripes) {
+  DirtyTracker t;
+  t.reset(1000, 24, 256, 4);
+  std::vector<std::byte> image(1024, std::byte{7});
+  t.capture_shadow(image);
+  EXPECT_TRUE(t.has_shadow());
+
+  image[600] = std::byte{8};  // stripe 2
+  t.detect(image);
+  EXPECT_TRUE(t.annotated());
+  EXPECT_EQ(t.effective(), (std::vector<std::uint8_t>{0, 0, 1, 0}));
+
+  // detect() re-captured, so an unchanged image is all-clean next round.
+  t.clear();
+  t.detect(image);
+  EXPECT_EQ(t.dirty_stripes(), 0u);
+}
+
+TEST(DirtyTracker, ShadowTreatsMissingTailAsZeros) {
+  DirtyTracker t;
+  t.reset(1000, 24, 256, 4);
+  // Capture from the unpadded view; the padded stripes hash as zeros.
+  std::vector<std::byte> image(1000, std::byte{0});
+  t.capture_shadow(image);
+  std::vector<std::byte> padded(1024, std::byte{0});
+  t.detect(padded);
+  EXPECT_EQ(t.dirty_stripes(), 0u);
+}
+
+}  // namespace
+}  // namespace skt::ckpt
+
+// ----------------------------------------------------------------------
+// encode_delta == encode: the bit-identity the dirty-stripe commit path
+// stakes checkpoint correctness on, for both the XOR group codec and the
+// GF(2^8) dual-parity code, on both sides of the half-dirty fallback.
+namespace skt::enc {
+namespace {
+
+TEST(EncodeDelta, GroupCodecMatchesFullEncode) {
+  const int group_size = 4;
+  const std::size_t data_bytes = 1000;
+  MiniCluster mc(group_size, 0);
+  const auto result = mc.run(group_size, [&](mpi::Comm& world) {
+    const GroupCodec codec(CodecKind::kXor, data_bytes, world.size());
+    const std::size_t stripe = codec.layout().stripe_bytes();
+    const std::size_t stripes = codec.padded_bytes() / stripe;
+
+    const auto base = random_bytes(codec.padded_bytes(), 10 + world.rank());
+    std::vector<std::byte> old_check(codec.checksum_bytes());
+    codec.encode(world, base, old_check);
+
+    // Sparse case: one rank dirties one stripe -> the per-family delta
+    // path (2 * 1 < 4 families).
+    auto next = base;
+    std::vector<std::uint8_t> dirty(stripes, 0);
+    if (world.rank() == 1) {
+      next[stripe / 2] ^= std::byte{0x3c};
+      dirty[0] = 1;  // local stripe 0 holds that byte
+    }
+    std::vector<std::byte> reference(codec.checksum_bytes());
+    codec.encode(world, next, reference);
+
+    std::vector<std::byte> delta = old_check;
+    codec.encode_delta(world, base, next, delta, delta, dirty);  // in place
+    EXPECT_EQ(delta, reference);
+
+    // Fallback case: everything dirty -> full reduce-scatter re-encode.
+    auto next2 = random_bytes(codec.padded_bytes(), 90 + world.rank());
+    std::vector<std::byte> reference2(codec.checksum_bytes());
+    codec.encode(world, next2, reference2);
+    std::vector<std::byte> delta2 = reference;  // old checksum of `next`
+    const std::vector<std::uint8_t> all_dirty(stripes, 1);
+    codec.encode_delta(world, next, next2, delta2, delta2, all_dirty);
+    EXPECT_EQ(delta2, reference2);
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(EncodeDelta, GroupCodecDistinctOutputBuffer) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [&](mpi::Comm& world) {
+    const GroupCodec codec(CodecKind::kXor, 2048, world.size());
+    const std::size_t stripe = codec.layout().stripe_bytes();
+    const auto base = random_bytes(codec.padded_bytes(), 40 + world.rank());
+    std::vector<std::byte> old_check(codec.checksum_bytes());
+    codec.encode(world, base, old_check);
+
+    auto next = base;
+    std::vector<std::uint8_t> dirty(codec.padded_bytes() / stripe, 0);
+    if (world.rank() == 1) {
+      next[2 * stripe] ^= std::byte{0x80};  // local stripe 2 -> family 3
+      dirty[2] = 1;
+    }
+
+    std::vector<std::byte> reference(codec.checksum_bytes());
+    codec.encode(world, next, reference);
+    std::vector<std::byte> out(codec.checksum_bytes());
+    codec.encode_delta(world, base, next, old_check, out, dirty);
+    EXPECT_EQ(out, reference);
+    // The delta actually changed parity — on family 3's owner.
+    if (world.rank() == 3) {
+      EXPECT_NE(old_check, reference);
+    }
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(EncodeDelta, DualParityMatchesFullEncode) {
+  const int group_size = 5;
+  const std::size_t data_bytes = 2000;
+  MiniCluster mc(group_size, 0);
+  const auto result = mc.run(group_size, [&](mpi::Comm& world) {
+    const DualParityGroupCodec codec(data_bytes, world.size());
+    const std::size_t stripe = codec.stripe_bytes();
+    const std::size_t stripes = codec.padded_bytes() / stripe;
+
+    const auto base = random_bytes(codec.padded_bytes(), 300 + world.rank());
+    std::vector<std::byte> old_parity(codec.parity_bytes());
+    codec.encode(world, base, old_parity);
+
+    // Sparse: one dirty stripe on one member -> GF-weighted delta fold.
+    auto next = base;
+    std::vector<std::uint8_t> dirty(stripes, 0);
+    if (world.rank() == 2) {
+      next[stripe + 7] ^= std::byte{0x55};
+      dirty[1] = 1;
+    }
+    std::vector<std::byte> reference(codec.parity_bytes());
+    codec.encode(world, next, reference);
+    std::vector<std::byte> delta = old_parity;
+    codec.encode_delta(world, base, next, delta, delta, dirty);
+    EXPECT_EQ(delta, reference);
+
+    // Fallback: all stripes dirty on every member.
+    auto next2 = random_bytes(codec.padded_bytes(), 700 + world.rank());
+    std::vector<std::byte> reference2(codec.parity_bytes());
+    codec.encode(world, next2, reference2);
+    std::vector<std::byte> delta2 = reference;
+    const std::vector<std::uint8_t> all_dirty(stripes, 1);
+    codec.encode_delta(world, next, next2, delta2, delta2, all_dirty);
+    EXPECT_EQ(delta2, reference2);
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+}  // namespace
+}  // namespace skt::enc
