@@ -1,0 +1,153 @@
+// Monitoring-overhead gate: the live health monitor must be effectively
+// free for the code it observes. The instrumented hot path is
+// Comm::failpoint — one HealthBoard::heartbeat per call (a steady-clock
+// read and a few relaxed atomics when armed; a relaxed load + branch when
+// not) — plus the aggregator thread sampling the registry in the
+// background. Failpoints ride on commit-scale work (an encode pass over a
+// stripe), not on inner loops, so the unit of comparison is: cost of one
+// heartbeat + counter bump vs. cost of one encode-like pass over a
+// 256 KiB block.
+//
+// Measurement discipline, because the host is shared and timeshared with
+// clock swings larger than the 2% bar: a naive A/B diff of the full loop
+// would try to resolve a sub-1% signal under several percent of noise.
+// Instead the two costs are measured DIRECTLY and separately —
+//
+//  * t_work: per-iteration CPU time of the bare XOR-fold loop,
+//  * t_instr: per-call CPU time of heartbeat + counter with the board
+//    armed and the aggregator thread ticking concurrently,
+//
+// each as the MIN over several reps of CLOCK_THREAD_CPUTIME_ID (noise
+// can only inflate CPU time, so the min observes the intrinsic cost),
+// and the gate is t_instr / t_work <= 2%. Because the instrumentation
+// cost is the whole measurement rather than the difference of two large
+// numbers, clock noise perturbs the ratio proportionally (a few percent
+// of a sub-1% value) instead of drowning it. A full monitored-vs-bare
+// loop comparison is still run and reported as `e2e_overhead_frac` for
+// trending, but it is too noisy on shared hosts to gate on. Results land
+// in BENCH_monitor_overhead.json.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <vector>
+
+#include "telemetry/aggregator.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/json_writer.hpp"
+
+namespace {
+
+using namespace skt;
+
+constexpr std::size_t kLanes = 32768;  // 256 KiB of uint64 lanes per work unit
+constexpr int kWorkIters = 1000;
+constexpr int kInstrIters = 2'000'000;
+constexpr int kReps = 7;  ///< min-of per measurement, discards preemptions
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// One rep of the encode-like work loop (optionally instrumented); returns seconds.
+double work_rep(std::vector<std::uint64_t>& block, std::uint64_t& sink, bool instrumented) {
+  telemetry::Counter& commits = telemetry::metrics().counter("bench.monitor_loop");
+  telemetry::HealthBoard& board = telemetry::health();
+  const double t0 = thread_cpu_seconds();
+  std::uint64_t fold = 0;
+  for (int it = 0; it < kWorkIters; ++it) {
+    for (std::size_t i = 0; i < kLanes; ++i) fold ^= block[i] + static_cast<std::uint64_t>(it);
+    if (instrumented) {
+      board.heartbeat(0);  // the per-failpoint cost under measurement
+      commits.increment();
+    }
+  }
+  const double s = thread_cpu_seconds() - t0;
+  sink ^= fold;
+  return s;
+}
+
+/// One rep of the bare instrumentation pair; returns seconds for kInstrIters calls.
+double instr_rep() {
+  telemetry::Counter& commits = telemetry::metrics().counter("bench.monitor_loop");
+  telemetry::HealthBoard& board = telemetry::health();
+  const double t0 = thread_cpu_seconds();
+  for (int it = 0; it < kInstrIters; ++it) {
+    board.heartbeat(0);
+    commits.increment();
+  }
+  return thread_cpu_seconds() - t0;
+}
+
+template <typename Fn>
+double min_of(Fn&& rep) {
+  double best = 1e30;
+  for (int r = 0; r < kReps; ++r) best = std::min(best, rep());
+  return best;
+}
+
+bool shape_check(const char* what, bool ok) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::uint64_t> block(kLanes);
+  for (std::size_t i = 0; i < kLanes; ++i) block[i] = 0x9e3779b97f4a7c15ull * (i + 1);
+  std::uint64_t sink = 0;
+
+  // Bare work loop: monitoring fully off (the process default).
+  telemetry::set_enabled(false);
+  telemetry::health().set_enabled(false);
+  const double bare_s = min_of([&] { return work_rep(block, sink, false); });
+
+  // Monitored measurements: board armed, aggregator thread sampling
+  // concurrently — exactly what `--monitor` turns on in the examples.
+  telemetry::set_enabled(true);
+  telemetry::health().reset();
+  telemetry::health().set_enabled(true);
+  double instr_s = 0.0;
+  double monitored_s = 0.0;
+  {
+    telemetry::AggregatorConfig cfg;
+    cfg.stall_phi = 0.0;  // the bench's lone rank idles between reps
+    telemetry::Aggregator aggregator(cfg);
+    aggregator.start();
+    instr_s = min_of([] { return instr_rep(); });
+    monitored_s = min_of([&] { return work_rep(block, sink, true); });
+    aggregator.stop();
+  }
+  telemetry::health().set_enabled(false);
+  telemetry::set_enabled(false);
+
+  const double t_work = bare_s / kWorkIters;
+  const double t_instr = instr_s / kInstrIters;
+  const double overhead = t_instr / t_work;
+  const double e2e_overhead = monitored_s / bare_s - 1.0;
+  std::printf("--- monitor overhead (%zu KiB work unit, min cpu-time of %d reps) ---\n",
+              kLanes * sizeof(std::uint64_t) / 1024, kReps);
+  std::printf("work unit        %9.3f us/iter (bare encode-like pass)\n", t_work * 1e6);
+  std::printf("instrumentation  %9.4f us/call (heartbeat + counter, armed)\n", t_instr * 1e6);
+  std::printf("overhead         %+.3f%% per work unit (end-to-end diff %+.2f%%, sink %llx)\n",
+              overhead * 100.0, e2e_overhead * 100.0, static_cast<unsigned long long>(sink));
+
+  util::JsonWriter report;
+  report.begin_object();
+  report.field("work_iters", static_cast<std::int64_t>(kWorkIters));
+  report.field("instr_iters", static_cast<std::int64_t>(kInstrIters));
+  report.field("block_bytes", static_cast<std::uint64_t>(kLanes * sizeof(std::uint64_t)));
+  report.field("reps", static_cast<std::int64_t>(kReps));
+  report.field("work_unit_s", t_work);
+  report.field("instr_call_s", t_instr);
+  report.field("overhead_frac", overhead);
+  report.field("e2e_overhead_frac", e2e_overhead);
+  report.end_object();
+  util::write_json_file("BENCH_monitor_overhead.json", report);
+
+  return shape_check("monitor-enabled overhead <= 2%", overhead <= 0.02) ? 0 : 1;
+}

@@ -9,16 +9,26 @@
 //   ./ft_hpl [--n 384] [--nb 32] [--p 2] [--q 2] [--group 4]
 //            [--strategy self|double|single|blcr] [--ckpt-every 2]
 //            [--async] [--kill-panel 4] [--no-kill] [--telemetry out/hpl]
+//            [--monitor out/hpl]
 //
 // --async switches commits to the background pipeline: the elimination
 // loop pays only the stage copy and the encode/flush overlaps the next
 // panels (the summary then reports the overlapped time and fraction).
+//
+// --monitor <prefix> arms the live health monitor: heartbeat-driven
+// failure detection (the detect phase measures real latency into the
+// launcher.detect_latency_s histogram), a POSTMORTEM_ft_hpl.json record of
+// the kill, and a JSON-lines feed at <prefix>_feed.jsonl for
+// scripts/monitor_demo.sh. Implies --telemetry artifacts at the same
+// prefix unless --telemetry is given too.
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "hpl/skt_hpl.hpp"
 #include "mpi/launcher.hpp"
 #include "storage/device.hpp"
+#include "telemetry/aggregator.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
@@ -53,7 +63,9 @@ int main(int argc, char** argv) {
   config.ckpt_every_panels = opts.get_int("ckpt-every", 2);
   config.strategy = parse_strategy(opts.get("strategy", "self"));
   config.async = opts.get_bool("async", false);
-  const std::string telemetry_prefix = opts.get("telemetry", "");
+  const std::string monitor_prefix = opts.get("monitor", "");
+  std::string telemetry_prefix = opts.get("telemetry", "");
+  if (telemetry_prefix.empty()) telemetry_prefix = monitor_prefix;
   if (!telemetry_prefix.empty()) telemetry::set_enabled(true);
 
   storage::SnapshotVault vault;
@@ -70,12 +82,24 @@ int main(int argc, char** argv) {
     std::printf("will power off rank 1's node at elimination panel %d\n", kill_panel);
   }
 
-  mpi::JobLauncher launcher(cluster, &injector, {.max_restarts = 3, .detect_delay_s = 3.0});
+  mpi::LauncherConfig launch_config{.max_restarts = 3, .detect_delay_s = 3.0};
+  std::optional<telemetry::Aggregator> monitor;
+  if (!monitor_prefix.empty()) {
+    launch_config.health.enabled = true;
+    launch_config.postmortem_name = "ft_hpl";
+    telemetry::AggregatorConfig mc;
+    mc.interval_s = 0.02;
+    mc.feed_path = monitor_prefix + "_feed.jsonl";
+    monitor.emplace(mc);
+    monitor->start();
+  }
+  mpi::JobLauncher launcher(cluster, &injector, launch_config);
   hpl::SktHplResult last{};
   const mpi::LaunchResult result = launcher.run(ranks, [&](mpi::Comm& world) {
     const hpl::SktHplResult r = hpl::run_skt_hpl(world, config);
     if (world.rank() == 0) last = r;
   });
+  if (monitor) monitor->stop();
 
   std::printf("\n=== SKT-HPL (%s) ===\n", std::string(ckpt::to_string(config.strategy)).c_str());
   util::Table table({"metric", "value"});
@@ -94,11 +118,23 @@ int main(int argc, char** argv) {
   }
   table.add_row({"checkpoint size/process", util::format_bytes(last.ckpt_bytes)});
   table.add_row({"checksum size/process", util::format_bytes(last.checksum_bytes)});
+  table.add_row({"dirty bytes (last commit)", util::format_bytes(last.dirty_bytes_last)});
+  table.add_row({"dirty fraction (last / mean)",
+                 util::format("{:.1%} / {:.1%}", last.dirty_fraction_last,
+                              last.dirty_fraction_mean)});
   table.add_row({"GFLOP/s (final attempt)",
                  util::format("{:.2f}", last.hpl.gflops)});
   table.add_row({"residual (scaled)", util::format("{:.3e}", last.hpl.residual.scaled)});
   table.add_row({"HPL verification", last.hpl.residual.pass ? "PASSED" : "FAILED"});
   table.add_row({"total wall time", util::format_seconds(result.total_real_s)});
+  if (monitor) {
+    table.add_row({"monitor ticks", std::to_string(monitor->ticks())});
+    table.add_row({"postmortems written", std::to_string(result.postmortems.size())});
+    if (!result.cycles.empty() && result.cycles.front().detect_latency_s >= 0.0) {
+      table.add_row({"measured detect latency",
+                     util::format_seconds(result.cycles.front().detect_latency_s)});
+    }
+  }
   table.print();
 
   if (!telemetry_prefix.empty()) {
@@ -121,6 +157,18 @@ int main(int argc, char** argv) {
     }
     report.set("ckpt_bytes_per_process", static_cast<std::uint64_t>(last.ckpt_bytes));
     report.set("checksum_bytes_per_process", static_cast<std::uint64_t>(last.checksum_bytes));
+    report.set("dirty_bytes_last_commit", static_cast<std::uint64_t>(last.dirty_bytes_last));
+    report.set("dirty_bytes_total", static_cast<std::uint64_t>(last.dirty_bytes_total));
+    report.set("dirty_fraction_last", last.dirty_fraction_last);
+    report.set("dirty_fraction_mean", last.dirty_fraction_mean);
+    if (monitor) {
+      report.set("monitor_ticks", monitor->ticks());
+      report.set("postmortems", static_cast<std::int64_t>(result.postmortems.size()));
+      if (!result.cycles.empty()) {
+        report.set("detect_latency_s", result.cycles.front().detect_latency_s);
+        report.set("detect_phi", result.cycles.front().detect_phi);
+      }
+    }
     report.set("gflops_final_attempt", last.hpl.gflops);
     report.set("residual_scaled", last.hpl.residual.scaled);
     report.set("verification_passed", last.hpl.residual.pass);

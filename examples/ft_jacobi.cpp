@@ -14,18 +14,29 @@
 //   <prefix>_report.json  RunReport with phase histograms + wire counters
 // and self-validates that both artifacts contain the expected evidence.
 //
+// With --monitor <prefix> the faulty run additionally exercises the live
+// monitoring stack: heartbeat-driven failure detection (the launcher's
+// detect phase polls the HealthBoard and records the measured latency into
+// the launcher.detect_latency_s histogram), a POSTMORTEM_ft_jacobi.json
+// forensic record of the kill (lost rank, lost epoch, rebuilt stripes,
+// Fig. 10 timeline), and a JSON-lines monitor feed at <prefix>_feed.jsonl
+// (watch it live with scripts/monitor_demo.sh). --monitor implies
+// --telemetry artifacts at the same prefix unless --telemetry is given.
+//
 //   ./ft_jacobi [--grid 128] [--ranks 4] [--iters 60] [--ckpt-every 10]
-//               [--telemetry out/jacobi]
+//               [--telemetry out/jacobi] [--monitor out/jacobi]
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ckpt/session.hpp"
 #include "mpi/launcher.hpp"
+#include "telemetry/aggregator.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/trace.hpp"
@@ -179,6 +190,53 @@ bool validate_telemetry(std::uint64_t restores_before) {
   return ok;
 }
 
+/// Check the evidence the monitored faulty run must leave: a postmortem
+/// naming the lost rank/epoch and its rebuilt stripes, a measured
+/// detection latency, live aggregator ticks, and the JSONL feed on disk.
+bool validate_monitor(const mpi::LaunchResult& result, std::uint64_t ticks,
+                      const std::string& feed_path) {
+  bool ok = true;
+  if (result.postmortems.empty()) {
+    std::printf("monitor: no postmortem produced for the injected failure\n");
+    return false;
+  }
+  const telemetry::Postmortem& pm = result.postmortems.front();
+  if (pm.lost_ranks.empty()) {
+    std::printf("monitor: postmortem names no lost rank\n");
+    ok = false;
+  }
+  if (pm.lost_epoch == 0) {
+    std::printf("monitor: postmortem has no committed epoch at the kill\n");
+    ok = false;
+  }
+  if (!pm.recovered || pm.rebuilds.empty() ||
+      pm.rebuilds.front().stripe_count == 0 || pm.rebuilds.front().peers.empty()) {
+    std::printf("monitor: postmortem lacks the rebuilt stripe set / peers\n");
+    ok = false;
+  }
+  if (result.cycles.empty() || result.cycles.front().detect_latency_s < 0.0) {
+    std::printf("monitor: detection latency was not measured\n");
+    ok = false;
+  }
+  const auto snap = telemetry::metrics().snapshot();
+  const auto hist = snap.histograms.find("launcher.detect_latency_s");
+  if (hist == snap.histograms.end() || hist->second.count == 0) {
+    std::printf("monitor: launcher.detect_latency_s histogram is empty\n");
+    ok = false;
+  }
+  if (ticks == 0) {
+    std::printf("monitor: aggregator never ticked\n");
+    ok = false;
+  }
+  if (std::FILE* f = std::fopen(feed_path.c_str(), "r")) {
+    std::fclose(f);
+  } else {
+    std::printf("monitor: feed file %s missing\n", feed_path.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,7 +246,9 @@ int main(int argc, char** argv) {
   const int ranks = static_cast<int>(opts.get_int("ranks", 4));
   const std::int64_t iterations = opts.get_int("iters", 60);
   const std::int64_t ckpt_every = opts.get_int("ckpt-every", 10);
-  const std::string telemetry_prefix = opts.get("telemetry", "");
+  const std::string monitor_prefix = opts.get("monitor", "");
+  std::string telemetry_prefix = opts.get("telemetry", "");
+  if (telemetry_prefix.empty()) telemetry_prefix = monitor_prefix;
   if (!telemetry_prefix.empty()) telemetry::set_enabled(true);
 
   // Reference: fault-free run.
@@ -215,6 +275,10 @@ int main(int argc, char** argv) {
   }
   double faulty_norm = -1.0;
   int restarts = 0;
+  bool monitor_ok = true;
+  std::uint64_t monitor_ticks = 0;
+  std::size_t postmortems = 0;
+  double detect_latency_s = -1.0;
   {
     sim::Cluster cluster({.num_nodes = ranks, .spare_nodes = 2, .nodes_per_rack = 4});
     sim::FailureInjector injector;
@@ -224,15 +288,33 @@ int main(int argc, char** argv) {
                        .world_rank = ranks / 2,
                        .hit = kill_commit,
                        .repeat = false});
-    mpi::JobLauncher launcher(cluster, &injector, {.max_restarts = 2});
+    mpi::LauncherConfig launch_config{.max_restarts = 2};
+    std::optional<telemetry::Aggregator> monitor;
+    if (!monitor_prefix.empty()) {
+      launch_config.health.enabled = true;
+      launch_config.postmortem_name = "ft_jacobi";
+      telemetry::AggregatorConfig mc;
+      mc.interval_s = 0.02;
+      mc.feed_path = monitor_prefix + "_feed.jsonl";
+      monitor.emplace(mc);
+      monitor->start();
+    }
+    mpi::JobLauncher launcher(cluster, &injector, launch_config);
     const auto result = launcher.run(ranks, [&](mpi::Comm& w) {
       jacobi(w, grid_n, iterations, ckpt_every, &faulty_norm);
     });
+    if (monitor) monitor->stop();
     if (!result.success) {
       std::printf("faulty run failed: %s\n", result.failure.c_str());
       return 1;
     }
     restarts = result.restarts;
+    if (monitor) {
+      monitor_ticks = monitor->ticks();
+      postmortems = result.postmortems.size();
+      if (!result.cycles.empty()) detect_latency_s = result.cycles.front().detect_latency_s;
+      monitor_ok = validate_monitor(result, monitor_ticks, monitor_prefix + "_feed.jsonl");
+    }
   }
 
   const bool identical = clean_norm == faulty_norm;
@@ -255,6 +337,11 @@ int main(int argc, char** argv) {
     report.set("faulty_norm", faulty_norm);
     report.set("restarts", static_cast<std::int64_t>(restarts));
     report.set("identical", identical);
+    if (!monitor_prefix.empty()) {
+      report.set("monitor_ticks", monitor_ticks);
+      report.set("postmortems", static_cast<std::uint64_t>(postmortems));
+      report.set("detect_latency_s", detect_latency_s);
+    }
     const std::string report_path = telemetry_prefix + "_report.json";
     if (!report.write(report_path)) {
       std::printf("telemetry: could not write %s\n", report_path.c_str());
@@ -273,6 +360,14 @@ int main(int argc, char** argv) {
   if (!telemetry_prefix.empty()) {
     table.add_row({"telemetry artifacts", telemetry_ok ? "written + validated" : "INCOMPLETE"});
   }
+  if (!monitor_prefix.empty()) {
+    table.add_row({"monitor ticks", std::to_string(monitor_ticks)});
+    table.add_row({"postmortems written", std::to_string(postmortems)});
+    if (detect_latency_s >= 0.0) {
+      table.add_row({"measured detect latency", util::format_seconds(detect_latency_s)});
+    }
+    table.add_row({"monitor evidence", monitor_ok ? "validated" : "INCOMPLETE"});
+  }
   table.print();
-  return identical && telemetry_ok ? 0 : 1;
+  return identical && telemetry_ok && monitor_ok ? 0 : 1;
 }

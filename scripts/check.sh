@@ -4,8 +4,10 @@
 # not a vestige), an ASan/UBSan build (SKT_SANITIZE=ON) running the mpi and
 # encoding suites — the code that moves buffers between threads by move,
 # reinterprets byte spans as uint64/double lanes, and issues unaligned
-# vector loads — a TSan pass over the async pipeline, and finally a bench
-# regression gate against the committed micro_encoding baseline.
+# vector loads — a TSan pass over the async pipeline and monitor, a
+# monitor lane that schema-validates the postmortem a real injected kill
+# produces and gates monitoring overhead, and finally a bench regression
+# gate against the committed micro_encoding baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,8 +47,39 @@ echo "=== sanitizers: tsan on telemetry + async-commit suites ==="
 # (encoding the staged copy) — exactly the interleavings TSan exists to
 # check. test_session's SessionAsyncStress is the dedicated workload.
 cmake -B build-tsan -S . -DSKT_SANITIZE_THREAD=ON >/dev/null
-cmake --build build-tsan -j --target test_telemetry test_util test_session
-(cd build-tsan && ctest --output-on-failure -R '^(test_telemetry|test_util|test_session)$' -j)
+cmake --build build-tsan -j --target test_telemetry test_util test_session test_monitor
+(cd build-tsan && ctest --output-on-failure \
+  -R '^(test_telemetry|test_util|test_session|test_monitor)$' -j)
+
+echo
+echo "=== monitor lane: ft_jacobi --monitor forensics + overhead gate ==="
+# The full observability loop under a real injected kill: heartbeats feed
+# the launcher's detect phase, the aggregator streams the JSONL feed, and
+# the forensics collector assembles POSTMORTEM_ft_jacobi.json. The example
+# validates the live invariants itself (measured detection latency,
+# aggregator ticks, feed on disk); jq then schema-checks the postmortem
+# the way an external pipeline would consume it. monitor_overhead holds
+# the instrumentation to <= 2% of an encode-like work unit.
+cmake --build build -j --target ft_jacobi monitor_overhead
+rm -rf build/monitor-lane && mkdir -p build/monitor-lane
+(cd build/monitor-lane && ../examples/ft_jacobi --grid 128 --ranks 4 \
+  --iters 60 --ckpt-every 10 --monitor lane >/dev/null)
+pm=build/monitor-lane/POSTMORTEM_ft_jacobi.json
+jq -e '.schema == "skt-postmortem-v1"
+       and (.lost_ranks | length > 0)
+       and .recovered
+       and (.restored_epoch >= 1)
+       and (.rebuilds | length > 0)
+       and (.rebuilds[0].stripes.count > 0)
+       and (.rebuilds[0].peers | length > 0)
+       and (.timeline | map(.phase) | index("detect") != null)
+       and (.detect_latency_s >= 0)' "$pm" >/dev/null \
+  && echo "[PASS] $pm matches skt-postmortem-v1" \
+  || { echo "[FAIL] $pm failed schema validation"; exit 1; }
+jq -es 'length > 0' build/monitor-lane/lane_feed.jsonl >/dev/null \
+  && echo "[PASS] monitor feed is well-formed JSONL" \
+  || { echo "[FAIL] monitor feed is missing or malformed"; exit 1; }
+(cd build && ./bench/monitor_overhead)
 
 echo
 echo "=== bench regression gate: micro_encoding vs committed baseline ==="

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "telemetry/forensics.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/clock.hpp"
@@ -147,6 +148,8 @@ void AsyncCommitEngine::run_job(const std::shared_ptr<CommitTicket::State>& stat
     // Telemetry is the Session layer's job (protocols no longer publish
     // their own) — for async commits that layer is this worker.
     record_commit_telemetry(stats);
+    telemetry::forensics::recorder().note_commit(
+        world_rank_, {stats.epoch, stats.dirty_bytes, stats.dirty_fraction});
     group_.record_time("ckpt_worker", worker_s);
     auto& metrics = telemetry::metrics();
     metrics.histogram("ckpt.async.stage_s").record(stage_s);

@@ -4,8 +4,37 @@
 #include <utility>
 
 #include "ckpt/multilevel.hpp"
+#include "ckpt/plan.hpp"
+#include "telemetry/forensics.hpp"
 
 namespace skt::ckpt {
+namespace {
+
+/// Leave the forensic note a postmortem reads group membership and stripe
+/// geometry from. Cheap (one map insert) and always on: the recorder is
+/// what makes a kill diagnosable after the rank thread is gone.
+void note_session_geometry(mpi::Comm& group, CheckpointProtocol& protocol) {
+  telemetry::GroupGeometry geo;
+  geo.strategy = std::string(to_string(protocol.strategy()));
+  geo.group_size = group.size();
+  geo.members.reserve(static_cast<std::size_t>(group.size()));
+  for (int i = 0; i < group.size(); ++i) {
+    geo.members.push_back(group.translate(i));
+    geo.nodes.push_back(group.node_id_of(i));
+  }
+  if (!geo.members.empty() && group.size() > 0) {
+    geo.group_index = geo.members.front() / group.size();
+  }
+  geo.data_bytes = protocol.data().size();
+  if (const DirtyTracker* t = protocol.dirty_tracker()) {
+    geo.stripe_bytes = t->stripe_bytes();
+    geo.stripe_count = t->stripe_count();
+  }
+  const int me = group.world_rank();
+  telemetry::forensics::recorder().note_geometry(me, std::move(geo));
+}
+
+}  // namespace
 
 Session SessionBuilder::build(mpi::Comm& world) const {
   if (group_size_ > 0 && world.size() % group_size_ != 0) {
@@ -72,11 +101,19 @@ OpenOutcome Session::open() {
   opened_ = true;
   CommCtx ctx{*world_, *group_};
   if (!protocol_->open(ctx)) {
+    note_session_geometry(*group_, *protocol_);
     return OpenOutcome::kFresh;
   }
   const RestoreStats stats = protocol_->restore(ctx);
+  note_session_geometry(*group_, *protocol_);
   last_restore_ = stats;
   record_restore_telemetry(stats);
+  telemetry::forensics::RestoreNote note;
+  note.rank = world_->world_rank();
+  note.epoch = stats.epoch;
+  note.rebuilt_member = stats.rebuilt_member;
+  note.rebuild_s = stats.rebuild_s;
+  telemetry::forensics::recorder().note_restore(note);
   return OpenOutcome::kRestored;
 }
 
@@ -85,6 +122,8 @@ CommitStats Session::commit() {
   drain();
   const CommitStats stats = protocol_->commit({*world_, *group_});
   record_commit_telemetry(stats);
+  telemetry::forensics::recorder().note_commit(
+      world_->world_rank(), {stats.epoch, stats.dirty_bytes, stats.dirty_fraction});
   return stats;
 }
 

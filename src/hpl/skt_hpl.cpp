@@ -103,12 +103,20 @@ SktHplResult run_skt_hpl(mpi::Comm& world, const SktHplConfig& config) {
   world.barrier();
 
   // Worker-side stats of an async epoch; reaped when its ticket resolves.
-  const auto absorb_pipeline = [&result](const ckpt::CommitStats& stats) {
+  double dirty_fraction_sum = 0.0;
+  int absorbed_commits = 0;
+  const auto absorb_pipeline = [&result, &dirty_fraction_sum,
+                                &absorbed_commits](const ckpt::CommitStats& stats) {
     result.encode_total_s += stats.encode_s;
     result.encode_virtual_total_s += stats.encode_virtual_s;
     result.encode_last_s = stats.encode_s + stats.encode_virtual_s;
     result.ckpt_bytes = stats.checkpoint_bytes;
     result.checksum_bytes = stats.checksum_bytes;
+    result.dirty_bytes_last = stats.dirty_bytes;
+    result.dirty_bytes_total += stats.dirty_bytes;
+    result.dirty_fraction_last = stats.dirty_fraction;
+    dirty_fraction_sum += stats.dirty_fraction;
+    ++absorbed_commits;
   };
 
   ckpt::CommitTicket pending;
@@ -150,6 +158,9 @@ SktHplResult run_skt_hpl(mpi::Comm& world, const SktHplConfig& config) {
   if (result.ckpt_stage_total_s + result.ckpt_worker_total_s > 0.0) {
     result.overlap_fraction = result.ckpt_worker_total_s /
                               (result.ckpt_stage_total_s + result.ckpt_worker_total_s);
+  }
+  if (absorbed_commits > 0) {
+    result.dirty_fraction_mean = dirty_fraction_sum / absorbed_commits;
   }
   const std::vector<double> x = back_substitute(world, grid, a, h.n);
   const double elapsed = timer.seconds();

@@ -60,6 +60,12 @@ struct SktHplResult {
   /// worker / (stage + worker): fraction of the full commit cost hidden
   /// from the elimination loop (0 in sync runs).
   double overlap_fraction = 0.0;
+  /// Dirty-stripe footprint of the commits in this run (1.0 fraction =
+  /// full-footprint epochs; less after incremental mark_dirty annotation).
+  std::size_t dirty_bytes_last = 0;   ///< bytes encoded by the last commit
+  std::size_t dirty_bytes_total = 0;  ///< summed over all commits
+  double dirty_fraction_last = 1.0;
+  double dirty_fraction_mean = 1.0;
 };
 
 /// Collective over `world`. Failpoints: protocol-internal "ckpt.*" plus

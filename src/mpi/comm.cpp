@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "telemetry/health.hpp"
 #include "telemetry/trace.hpp"
 #include "util/rng.hpp"
 
@@ -178,6 +179,10 @@ Comm Comm::dup() {
 
 void Comm::failpoint(std::string_view name) {
   rt_->check_alive(world_rank());
+  // Failpoints double as the heartbeat sites of the health monitor: every
+  // rank passes one at least once per iteration and per protocol step, and
+  // check_alive above guarantees a dead rank never beats again.
+  telemetry::health().heartbeat(world_rank());
   sim::FailureInjector* injector = rt_->injector();
   if (injector == nullptr) return;
   const std::optional<int> victim = injector->should_kill(name, world_rank());

@@ -14,8 +14,23 @@
 #include "mpi/runtime.hpp"
 #include "sim/cluster.hpp"
 #include "sim/failure.hpp"
+#include "telemetry/forensics.hpp"
+#include "telemetry/health.hpp"
 
 namespace skt::mpi {
+
+/// Heartbeat-driven failure detection for the launcher's detect phase.
+/// When enabled, the launcher resets and arms the HealthBoard, registers a
+/// cluster power-off observer to stamp true death instants, and on abort
+/// POLLS the board until every lost rank's suspicion crosses
+/// `phi_threshold` — so detection latency becomes a measured histogram
+/// (`launcher.detect_latency_s`) instead of the implicit `detect_delay_s`.
+struct HealthConfig {
+  bool enabled = false;
+  double phi_threshold = telemetry::HealthBoard::kDefaultPhiThreshold;
+  double poll_interval_s = 0.0002;  ///< detect-phase polling cadence (real)
+  double max_wait_s = 2.0;          ///< give up polling after this (real)
+};
 
 struct LauncherConfig {
   int max_restarts = 8;
@@ -28,6 +43,10 @@ struct LauncherConfig {
   /// on top.
   double replace_delay_s = 0.0;
   double restart_delay_s = 0.0;
+  HealthConfig health;
+  /// When set, every incident's postmortem is also written to
+  /// `POSTMORTEM_<name>.json` (incident k > 0 appends `_<k>`).
+  std::string postmortem_name;
   RuntimeConfig runtime;
 };
 
@@ -37,6 +56,11 @@ struct CycleTiming {
   double detect_s = 0.0;   ///< failure detection (virtual)
   double replace_s = 0.0;  ///< ranklist health check + spare substitution
   double restart_s = 0.0;  ///< job relaunch
+  /// Measured (suspicion crossed) - (node died); -1 when health monitoring
+  /// was off or no death stamp existed.
+  double detect_latency_s = -1.0;
+  double detect_phi = 0.0;     ///< worst lost-rank suspicion at detection
+  std::vector<int> lost_ranks; ///< world ranks that died this cycle
 };
 
 struct LaunchResult {
@@ -57,6 +81,10 @@ struct LaunchResult {
   /// average, and not summed over restarts.
   std::map<std::string, double> times;
   std::vector<int> final_ranklist;
+  /// One forensic record per incident (also appended to the process-wide
+  /// forensics::recorder() history, and to POSTMORTEM_*.json files when
+  /// LauncherConfig::postmortem_name is set).
+  std::vector<telemetry::Postmortem> postmortems;
 };
 
 class JobLauncher {

@@ -63,10 +63,15 @@ void Cluster::power_off(int node_id, const std::string& reason) {
   SKT_LOG_WARN("power-off node {} ({})", node_id, reason);
   victim.power_off();
   JobAbortHook hook;
+  PowerOffObserver observer;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     hook = abort_hook_;
+    observer = power_off_observer_;
   }
+  // Stamp the death before the abort hook tears the job down, so detection
+  // latency is measured from the true failure instant.
+  if (observer) observer(node_id, reason);
   if (hook) hook("node " + std::to_string(node_id) + " powered off: " + reason);
 }
 
@@ -78,6 +83,11 @@ void Cluster::attach_job(JobAbortHook hook) {
 void Cluster::detach_job() {
   std::lock_guard<std::mutex> lock(mutex_);
   abort_hook_ = nullptr;
+}
+
+void Cluster::set_power_off_observer(PowerOffObserver observer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  power_off_observer_ = std::move(observer);
 }
 
 }  // namespace skt::sim

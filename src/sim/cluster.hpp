@@ -27,6 +27,11 @@ struct ClusterConfig {
 /// Receives a human-readable reason ("node 3 powered off").
 using JobAbortHook = std::function<void(const std::string&)>;
 
+/// Observer of node deaths, independent of the abort hook: called once per
+/// actual power-off with the node id and reason. The launcher uses it to
+/// timestamp the real failure instant for detection-latency measurement.
+using PowerOffObserver = std::function<void(int node_id, const std::string& reason)>;
+
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
@@ -55,12 +60,17 @@ class Cluster {
   void attach_job(JobAbortHook hook);
   void detach_job();
 
+  /// Register/clear the power-off observer (nullptr clears). Runs before
+  /// the abort hook, on the thread that triggered the power-off.
+  void set_power_off_observer(PowerOffObserver observer);
+
  private:
   ClusterConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<int> spare_pool_;  // ids not yet handed out
   mutable std::mutex mutex_;
   JobAbortHook abort_hook_;
+  PowerOffObserver power_off_observer_;
 };
 
 }  // namespace skt::sim

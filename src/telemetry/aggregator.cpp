@@ -1,0 +1,259 @@
+#include "telemetry/aggregator.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "telemetry/health.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#include "util/json_writer.hpp"
+#include "util/log.hpp"
+
+namespace skt::telemetry {
+namespace {
+
+/// EWMA weight of the newest rate sample. Heavier than the health board's:
+/// the feed should feel live, not over-damped.
+constexpr double kRateAlpha = 0.3;
+
+double blend(double prev, double sample, bool first) {
+  return first ? sample : prev + kRateAlpha * (sample - prev);
+}
+
+std::uint64_t counter_value(const MetricsSnapshot& snap, const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+struct Aggregator::Impl {
+  AggregatorConfig config;
+  std::FILE* feed = nullptr;
+
+  std::thread thread;
+  std::mutex wake_mutex;
+  std::condition_variable wake;
+  bool running = false;
+  bool stop_requested = false;
+
+  mutable std::mutex mutex;  // guards everything below
+  std::uint64_t tick_count = 0;
+  double prev_t_us = 0.0;
+  std::uint64_t prev_commits = 0;
+  std::uint64_t prev_wire_bytes = 0;
+  std::uint64_t prev_failures = 0;
+  bool rates_seeded = false;  // first dt>0 tick seeds the EWMAs directly
+  MonitorSample last;
+  std::vector<Anomaly> anomalies;
+  std::set<int> stalled_ranks;  // edge-trigger state for the stall watchdog
+  bool regression_latched = false;
+
+  void run_loop() {
+    std::unique_lock<std::mutex> lock(wake_mutex);
+    while (!stop_requested) {
+      const auto period = std::chrono::duration<double>(config.interval_s);
+      wake.wait_for(lock, period, [this] { return stop_requested; });
+      if (stop_requested) break;
+      lock.unlock();
+      do_tick();
+      lock.lock();
+    }
+  }
+
+  void do_tick() {
+    const double now_us = Tracer::instance().now_us();
+    const MetricsSnapshot snap = metrics().snapshot();
+
+    const std::uint64_t commits = counter_value(snap, "ckpt.commits");
+    const std::uint64_t wire_bytes = counter_value(snap, "mpi.wire_bytes");
+    const std::uint64_t failures = counter_value(snap, "launcher.failures");
+
+    double commit_p99 = 0.0;
+    if (const auto it = snap.histograms.find("ckpt.commit_s");
+        it != snap.histograms.end()) {
+      commit_p99 = it->second.quantiles.p99;
+    }
+    double dirty_fraction = 0.0;
+    if (const auto it = snap.histograms.find("ckpt.dirty_fraction");
+        it != snap.histograms.end() && it->second.count > 0) {
+      dirty_fraction = it->second.quantiles.p50;
+    }
+
+    std::vector<RankHealth> ranks;
+    if (health().enabled()) ranks = health().snapshot(now_us);
+    double max_phi = 0.0;
+    for (const RankHealth& rh : ranks) {
+      if (std::isfinite(rh.phi)) max_phi = std::max(max_phi, rh.phi);
+    }
+
+    std::vector<Anomaly> fired;
+    MonitorSample sample;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      const bool first = tick_count == 0;
+      const double dt_s = first ? 0.0 : (now_us - prev_t_us) * 1e-6;
+
+      sample.tick = ++tick_count;
+      sample.t_us = now_us;
+      sample.commit_p99_s = commit_p99;
+      sample.dirty_fraction = dirty_fraction;
+      sample.max_phi = max_phi;
+      if (dt_s > 0.0) {
+        const bool seed = !rates_seeded;
+        rates_seeded = true;
+        sample.commit_hz = blend(
+            last.commit_hz, static_cast<double>(commits - prev_commits) / dt_s, seed);
+        sample.wire_bps = blend(
+            last.wire_bps, static_cast<double>(wire_bytes - prev_wire_bytes) / dt_s,
+            seed);
+        sample.failure_hz = blend(
+            last.failure_hz, static_cast<double>(failures - prev_failures) / dt_s, seed);
+      } else {
+        sample.commit_hz = last.commit_hz;
+        sample.wire_bps = last.wire_bps;
+        sample.failure_hz = last.failure_hz;
+      }
+      prev_t_us = now_us;
+      prev_commits = commits;
+      prev_wire_bytes = wire_bytes;
+      prev_failures = failures;
+
+      // Stall watchdog: edge-triggered so a dead-and-detected rank yields
+      // one anomaly, not one per tick.
+      if (config.stall_phi > 0.0) {
+        std::set<int> now_stalled;
+        for (const RankHealth& rh : ranks) {
+          if (!std::isfinite(rh.phi) || rh.phi < config.stall_phi) continue;
+          now_stalled.insert(rh.rank);
+          if (stalled_ranks.count(rh.rank) != 0) continue;
+          Anomaly a;
+          a.kind = "stalled_rank";
+          a.rank = rh.rank;
+          a.t_us = now_us;
+          std::ostringstream os;
+          os << "rank " << rh.rank << " silent for phi=" << rh.phi << " (threshold "
+             << config.stall_phi << ")";
+          a.detail = os.str();
+          fired.push_back(a);
+        }
+        stalled_ranks.swap(now_stalled);
+      }
+
+      if (config.commit_p99_baseline_s > 0.0 && !regression_latched &&
+          commit_p99 > config.commit_p99_baseline_s * config.regression_factor) {
+        regression_latched = true;
+        Anomaly a;
+        a.kind = "commit_p99_regression";
+        a.t_us = now_us;
+        std::ostringstream os;
+        os << "ckpt.commit_s p99=" << commit_p99 << "s exceeds baseline "
+           << config.commit_p99_baseline_s << "s x" << config.regression_factor;
+        a.detail = os.str();
+        fired.push_back(a);
+      }
+
+      for (const Anomaly& a : fired) anomalies.push_back(a);
+      last = sample;
+    }
+
+    publish(sample, fired);
+    if (feed != nullptr) write_feed_line(sample, fired);
+  }
+
+  /// Mirror the derived rates into the registry so RunReports capture them.
+  static void publish(const MonitorSample& s, const std::vector<Anomaly>& fired) {
+    MetricsRegistry& reg = metrics();
+    reg.gauge("monitor.commit_hz").set(s.commit_hz);
+    reg.gauge("monitor.wire_bytes_per_s").set(s.wire_bps);
+    reg.gauge("monitor.failure_hz").set(s.failure_hz);
+    reg.gauge("monitor.dirty_fraction").set(s.dirty_fraction);
+    reg.gauge("monitor.commit_p99_s").set(s.commit_p99_s);
+    reg.gauge("monitor.max_phi").set(s.max_phi);
+    reg.counter("monitor.ticks").increment();
+    if (!fired.empty()) reg.counter("monitor.anomalies").add(fired.size());
+  }
+
+  // The JsonWriter pretty-prints; the feed needs one object per line, so
+  // format compactly by hand (json_escape covers the only strings).
+  void write_feed_line(const MonitorSample& s, const std::vector<Anomaly>& fired) {
+    std::ostringstream os;
+    os << "{\"tick\":" << s.tick << ",\"t_us\":" << s.t_us
+       << ",\"commit_hz\":" << s.commit_hz << ",\"wire_bytes_per_s\":" << s.wire_bps
+       << ",\"failure_hz\":" << s.failure_hz
+       << ",\"dirty_fraction\":" << s.dirty_fraction
+       << ",\"commit_p99_s\":" << s.commit_p99_s << ",\"max_phi\":" << s.max_phi
+       << ",\"anomalies\":[";
+    for (std::size_t i = 0; i < fired.size(); ++i) {
+      if (i > 0) os << ',';
+      os << "{\"kind\":\"" << util::json_escape(fired[i].kind)
+         << "\",\"rank\":" << fired[i].rank << ",\"detail\":\""
+         << util::json_escape(fired[i].detail) << "\"}";
+    }
+    os << "]}\n";
+    const std::string line = os.str();
+    std::fwrite(line.data(), 1, line.size(), feed);
+    std::fflush(feed);  // tail -f friendliness
+  }
+};
+
+Aggregator::Aggregator(AggregatorConfig config) : impl_(new Impl) {
+  impl_->config = std::move(config);
+  if (!impl_->config.feed_path.empty()) {
+    impl_->feed = std::fopen(impl_->config.feed_path.c_str(), "w");
+    if (impl_->feed == nullptr) {
+      SKT_LOG_WARN("monitor: cannot open feed {}", impl_->config.feed_path);
+    }
+  }
+}
+
+Aggregator::~Aggregator() {
+  stop();
+  if (impl_->feed != nullptr) std::fclose(impl_->feed);
+  delete impl_;
+}
+
+void Aggregator::start() {
+  if (impl_->running) return;
+  impl_->running = true;
+  impl_->stop_requested = false;
+  impl_->thread = std::thread([this] { impl_->run_loop(); });
+}
+
+void Aggregator::stop() {
+  if (impl_->running) {
+    {
+      std::lock_guard<std::mutex> lock(impl_->wake_mutex);
+      impl_->stop_requested = true;
+    }
+    impl_->wake.notify_all();
+    impl_->thread.join();
+    impl_->running = false;
+    impl_->do_tick();  // drain the final partial interval
+  }
+}
+
+void Aggregator::tick() { impl_->do_tick(); }
+
+std::uint64_t Aggregator::ticks() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->tick_count;
+}
+
+MonitorSample Aggregator::last_sample() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->last;
+}
+
+std::vector<Anomaly> Aggregator::anomalies() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->anomalies;
+}
+
+}  // namespace skt::telemetry

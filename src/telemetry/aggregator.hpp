@@ -1,0 +1,94 @@
+// Live metrics aggregator: turns the registry's monotone counters into
+// rates an operator can watch while the job runs.
+//
+// A background thread (or a test calling tick() by hand) samples the
+// MetricsRegistry on a fixed interval and derives, from consecutive
+// snapshots:
+//
+//   * commit throughput   (ckpt.commits delta / dt)
+//   * wire bandwidth      (mpi.wire_bytes delta / dt)
+//   * failure arrival rate (launcher.failures delta / dt)
+//   * current dirty fraction and commit-latency p99
+//
+// each smoothed with a light EWMA. The derived values are published BACK
+// into the registry as `monitor.*` gauges, so any RunReport written after
+// a monitored run carries the last observed rates for free, and appended
+// as one compact JSON object per tick to an optional JSON-lines feed
+// (`scripts/monitor_demo.sh` tails it).
+//
+// Watchdogs run on the same cadence:
+//   * stalled rank — a rank whose HealthBoard phi crosses `stall_phi`
+//     while the job is supposedly running (edge-triggered per rank);
+//   * commit p99 regression — commit latency p99 exceeds
+//     `commit_p99_baseline_s * regression_factor` (latched once).
+//
+// Anomalies go to the feed, the `monitor.anomalies` counter, and an
+// in-memory list tests can assert on. The aggregator owns no references
+// into sim/ckpt — everything arrives through the registry and the board.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skt::telemetry {
+
+struct AggregatorConfig {
+  double interval_s = 0.05;   ///< sampling period of the background thread
+  std::string feed_path;      ///< JSON-lines feed; empty = no file output
+  /// Suspicion score past which a silent rank is reported as stalled.
+  /// <= 0 disables the stall watchdog (useful when heartbeats are off).
+  double stall_phi = 3.0;
+  /// Committed baseline for ckpt.commit_s p99, in seconds. 0 disables the
+  /// regression watchdog.
+  double commit_p99_baseline_s = 0.0;
+  double regression_factor = 2.0;  ///< p99 > baseline * factor => anomaly
+};
+
+/// One watchdog firing.
+struct Anomaly {
+  std::string kind;    ///< "stalled_rank" | "commit_p99_regression"
+  int rank = -1;       ///< offending rank, or -1 when not rank-specific
+  double t_us = 0.0;   ///< trace-clock time of detection
+  std::string detail;  ///< human-readable one-liner
+};
+
+/// Rates derived at the newest tick (also published as monitor.* gauges).
+struct MonitorSample {
+  std::uint64_t tick = 0;
+  double t_us = 0.0;
+  double commit_hz = 0.0;
+  double wire_bps = 0.0;     ///< bytes per second
+  double failure_hz = 0.0;
+  double dirty_fraction = 0.0;
+  double commit_p99_s = 0.0;
+  double max_phi = 0.0;      ///< worst suspicion score across beating ranks
+};
+
+class Aggregator {
+ public:
+  explicit Aggregator(AggregatorConfig config);
+  ~Aggregator();  ///< stops and joins the thread, closes the feed
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  /// Launch the periodic sampling thread. Idempotent.
+  void start();
+
+  /// Stop and join the thread; a final tick drains the last interval so
+  /// short runs still produce at least one feed line.
+  void stop();
+
+  /// One sampling step, callable without start() for deterministic tests.
+  void tick();
+
+  [[nodiscard]] std::uint64_t ticks() const;
+  [[nodiscard]] MonitorSample last_sample() const;
+  [[nodiscard]] std::vector<Anomaly> anomalies() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace skt::telemetry

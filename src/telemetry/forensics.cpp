@@ -1,0 +1,207 @@
+#include "telemetry/forensics.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "util/json_writer.hpp"
+
+namespace skt::telemetry {
+namespace {
+
+void write_geometry(util::JsonWriter& w, const GroupGeometry& g) {
+  w.begin_object();
+  w.field("strategy", g.strategy);
+  w.field("group_index", static_cast<std::int64_t>(g.group_index));
+  w.field("group_size", static_cast<std::int64_t>(g.group_size));
+  w.key("members");
+  w.begin_array();
+  for (const int m : g.members) w.value(static_cast<std::int64_t>(m));
+  w.end_array();
+  w.key("nodes");
+  w.begin_array();
+  for (const int n : g.nodes) w.value(static_cast<std::int64_t>(n));
+  w.end_array();
+  w.field("data_bytes", static_cast<std::uint64_t>(g.data_bytes));
+  w.field("stripe_bytes", static_cast<std::uint64_t>(g.stripe_bytes));
+  w.field("stripe_count", static_cast<std::uint64_t>(g.stripe_count));
+  w.end_object();
+}
+
+}  // namespace
+
+std::string Postmortem::json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "skt-postmortem-v1");
+  w.field("name", name);
+  w.field("incident", static_cast<std::int64_t>(incident));
+  w.field("attempt", static_cast<std::int64_t>(attempt));
+  w.field("reason", reason);
+
+  w.key("lost_ranks");
+  w.begin_array();
+  for (const int r : lost_ranks) w.value(static_cast<std::int64_t>(r));
+  w.end_array();
+  w.key("lost_nodes");
+  w.begin_array();
+  for (const int n : lost_nodes) w.value(static_cast<std::int64_t>(n));
+  w.end_array();
+
+  w.field("lost_epoch", lost_epoch);
+  w.key("committed_epochs");
+  w.begin_object();
+  for (const auto& [rank, epoch] : committed_epochs) {
+    w.field(std::to_string(rank), epoch);
+  }
+  w.end_object();
+
+  w.field("recovered", recovered);
+  w.field("restored_epoch", restored_epoch);
+
+  w.key("geometry");
+  write_geometry(w, geometry);
+
+  w.key("rebuilds");
+  w.begin_array();
+  for (const RebuildInfo& rb : rebuilds) {
+    w.begin_object();
+    w.field("rank", static_cast<std::int64_t>(rb.rank));
+    w.field("epoch", rb.epoch);
+    w.field("rebuild_s", rb.rebuild_s);
+    w.key("stripes");
+    w.begin_object();
+    w.field("begin", static_cast<std::uint64_t>(rb.stripe_begin));
+    w.field("count", static_cast<std::uint64_t>(rb.stripe_count));
+    w.field("stripe_bytes", static_cast<std::uint64_t>(rb.stripe_bytes));
+    w.end_object();
+    w.key("peers");
+    w.begin_array();
+    for (const int p : rb.peers) w.value(static_cast<std::int64_t>(p));
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  // Fig. 10's recovery phases, in wall order: detect -> replace -> restart
+  // (-> restore, once the relaunch reaches Session::open).
+  w.key("timeline");
+  w.begin_array();
+  for (const PhaseTiming& p : timeline) {
+    w.begin_object();
+    w.field("phase", p.phase);
+    w.field("seconds", p.seconds);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.field("detect_latency_s", detect_latency_s);
+  w.field("detect_phi", detect_phi);
+  w.field("last_dirty_bytes", static_cast<std::uint64_t>(last_dirty_bytes));
+  w.field("last_dirty_fraction", last_dirty_fraction);
+  w.field("trace_spans", trace_spans);
+  w.field("trace_dropped", trace_dropped);
+  w.end_object();
+  return w.str();
+}
+
+bool Postmortem::write(const std::string& path) const {
+  return util::write_json_file(path, json());
+}
+
+namespace forensics {
+
+struct Recorder::Impl {
+  mutable std::mutex mutex;
+  std::map<int, GroupGeometry> geometries;
+  std::map<int, CommitNote> commits;
+  std::vector<RestoreNote> restores;
+  std::vector<Postmortem> history;
+};
+
+Recorder::Recorder() : impl_(new Impl) {}
+
+Recorder& Recorder::instance() {
+  static Recorder rec;
+  return rec;
+}
+
+Recorder& recorder() { return Recorder::instance(); }
+
+void Recorder::begin_job() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->geometries.clear();
+  impl_->commits.clear();
+  impl_->restores.clear();
+}
+
+void Recorder::note_geometry(int world_rank, GroupGeometry geometry) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->geometries[world_rank] = std::move(geometry);
+}
+
+void Recorder::note_commit(int world_rank, const CommitNote& note) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  CommitNote& slot = impl_->commits[world_rank];
+  // Async pipelines can complete epochs slightly out of order relative to
+  // other ranks' notes; keep the newest epoch we have seen for this rank.
+  if (note.epoch >= slot.epoch) slot = note;
+}
+
+void Recorder::note_restore(const RestoreNote& note) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->restores.push_back(note);
+}
+
+std::optional<GroupGeometry> Recorder::geometry_of(int world_rank) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->geometries.find(world_rank);
+  if (it == impl_->geometries.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<CommitNote> Recorder::last_commit(int world_rank) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->commits.find(world_rank);
+  if (it == impl_->commits.end()) return std::nullopt;
+  return it->second;
+}
+
+std::map<int, std::uint64_t> Recorder::committed_epochs() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::map<int, std::uint64_t> out;
+  for (const auto& [rank, note] : impl_->commits) out[rank] = note.epoch;
+  return out;
+}
+
+std::uint64_t Recorder::restore_marker() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->restores.size();
+}
+
+std::vector<RestoreNote> Recorder::restores_since(std::uint64_t marker) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (marker >= impl_->restores.size()) return {};
+  return {impl_->restores.begin() + static_cast<std::ptrdiff_t>(marker),
+          impl_->restores.end()};
+}
+
+void Recorder::add_postmortem(Postmortem pm) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->history.push_back(std::move(pm));
+}
+
+std::vector<Postmortem> Recorder::postmortems() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->history;
+}
+
+void Recorder::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->geometries.clear();
+  impl_->commits.clear();
+  impl_->restores.clear();
+  impl_->history.clear();
+}
+
+}  // namespace forensics
+}  // namespace skt::telemetry

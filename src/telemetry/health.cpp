@@ -1,0 +1,147 @@
+#include "telemetry/health.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace skt::telemetry {
+namespace {
+
+constexpr double kLn10 = 2.302585092994046;
+
+/// EWMA weight of the newest inter-beat gap. Light smoothing: the score
+/// should follow cadence changes (per-iteration beats vs. per-commit
+/// beats) within a handful of beats.
+constexpr double kEwmaAlpha = 0.125;
+
+struct Slot {
+  std::atomic<std::uint64_t> beats{0};
+  std::atomic<double> last_us{0.0};
+  std::atomic<double> ewma_us{0.0};
+};
+
+}  // namespace
+
+struct HealthBoard::Impl {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> total_beats{0};
+  mutable std::mutex mutex;  // guards slot creation and the death map
+  std::map<int, std::unique_ptr<Slot>> slots;
+  std::map<int, double> deaths_us;
+
+  Slot& slot_for(int rank) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto& s = slots[rank];
+    if (!s) s = std::make_unique<Slot>();
+    return *s;
+  }
+
+  const Slot* find(int rank) const {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = slots.find(rank);
+    return it == slots.end() ? nullptr : it->second.get();
+  }
+};
+
+HealthBoard::HealthBoard() : impl_(new Impl) {}
+
+HealthBoard& HealthBoard::instance() {
+  static HealthBoard board;
+  return board;
+}
+
+HealthBoard& health() { return HealthBoard::instance(); }
+
+void HealthBoard::set_enabled(bool on) { impl_->enabled.store(on, std::memory_order_relaxed); }
+
+bool HealthBoard::enabled() const { return impl_->enabled.load(std::memory_order_relaxed); }
+
+void HealthBoard::heartbeat(int rank) {
+  if (!enabled() || rank < 0) return;
+  const double now = Tracer::instance().now_us();
+  Slot& slot = impl_->slot_for(rank);
+  const std::uint64_t n = slot.beats.fetch_add(1, std::memory_order_relaxed);
+  const double last = slot.last_us.load(std::memory_order_relaxed);
+  slot.last_us.store(now, std::memory_order_relaxed);
+  if (n > 0) {
+    // Load/blend/store instead of a CAS loop: the rank thread and (rarely)
+    // its async worker may race here, and losing one blend is fine — the
+    // EWMA is a statistic, not an invariant.
+    const double gap = now - last;
+    const double prev = slot.ewma_us.load(std::memory_order_relaxed);
+    const double next = prev == 0.0 ? gap : prev + kEwmaAlpha * (gap - prev);
+    slot.ewma_us.store(next, std::memory_order_relaxed);
+  }
+  impl_->total_beats.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HealthBoard::note_death(int node_id) {
+  const double now = Tracer::instance().now_us();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  // Keep the FIRST stamp: power_off is idempotent but the observer may be
+  // told twice, and detection latency is measured from the original death.
+  impl_->deaths_us.emplace(node_id, now);
+}
+
+std::optional<double> HealthBoard::death_time_us(int node_id) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->deaths_us.find(node_id);
+  if (it == impl_->deaths_us.end()) return std::nullopt;
+  return it->second;
+}
+
+double HealthBoard::phi(int rank, double now_us) const {
+  const Slot* slot = impl_->find(rank);
+  if (slot == nullptr || slot->beats.load(std::memory_order_relaxed) == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double last = slot->last_us.load(std::memory_order_relaxed);
+  const double mean =
+      std::max(slot->ewma_us.load(std::memory_order_relaxed), floor_interval_us_);
+  const double elapsed = std::max(0.0, now_us - last);
+  return elapsed / (mean * kLn10);
+}
+
+RankHealth HealthBoard::sample(int rank, double now_us) const {
+  RankHealth h;
+  h.rank = rank;
+  if (const Slot* slot = impl_->find(rank)) {
+    h.beats = slot->beats.load(std::memory_order_relaxed);
+    h.last_beat_us = slot->last_us.load(std::memory_order_relaxed);
+    h.mean_interval_us = slot->ewma_us.load(std::memory_order_relaxed);
+  }
+  h.phi = phi(rank, now_us);
+  return h;
+}
+
+std::vector<RankHealth> HealthBoard::snapshot(double now_us) const {
+  std::vector<int> ranks;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    ranks.reserve(impl_->slots.size());
+    for (const auto& [rank, slot] : impl_->slots) ranks.push_back(rank);
+  }
+  std::vector<RankHealth> out;
+  out.reserve(ranks.size());
+  for (const int r : ranks) out.push_back(sample(r, now_us));
+  return out;
+}
+
+std::uint64_t HealthBoard::total_beats() const {
+  return impl_->total_beats.load(std::memory_order_relaxed);
+}
+
+void HealthBoard::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->slots.clear();
+  impl_->deaths_us.clear();
+  impl_->total_beats.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace skt::telemetry

@@ -1,0 +1,92 @@
+// Per-rank liveness board: heartbeats in, suspicion scores out.
+//
+// Every rank thread publishes a heartbeat whenever it passes a failpoint
+// (Comm::failpoint calls heartbeat() — one steady-clock read plus a few
+// relaxed atomics, and nothing at all while the board is disabled). The
+// board keeps, per world rank, the time of the last beat and an EWMA of
+// the inter-beat interval, so any observer can ask "how overdue is rank
+// r?" without talking to the rank.
+//
+// Suspicion is phi-accrual style (Hayashibara et al.): assuming
+// exponentially distributed inter-beat gaps with the observed mean m, the
+// probability that a silent rank is still alive after `elapsed` seconds is
+// exp(-elapsed/m), and
+//
+//   phi(rank) = -log10 P(still alive) = elapsed / (m * ln 10)
+//
+// phi ~ 1 means "would be this late 10% of the time", phi ~ 3 "0.1%".
+// The launcher's detect phase polls the board until the dead node's ranks
+// cross the configured threshold — turning failure-detection latency from
+// an implicit constant into a measured quantity — and the live aggregator
+// uses the same scores to flag stalled-but-alive ranks.
+//
+// Death bookkeeping: the cluster's power-off observer stamps the real
+// power-off instant per node (note_death), so detection latency can be
+// measured as (suspicion crossed) - (node actually died).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace skt::telemetry {
+
+/// One rank's liveness as seen by the board at a sample instant.
+struct RankHealth {
+  int rank = -1;
+  std::uint64_t beats = 0;        ///< heartbeats observed so far
+  double last_beat_us = 0.0;      ///< trace-clock time of the newest beat
+  double mean_interval_us = 0.0;  ///< EWMA of inter-beat gaps
+  double phi = 0.0;               ///< suspicion score at the sample instant
+};
+
+class HealthBoard {
+ public:
+  /// Suspicion level the launcher and watchdogs treat as "failed" unless
+  /// configured otherwise: the rank is ~99.9% overdue.
+  static constexpr double kDefaultPhiThreshold = 3.0;
+
+  static HealthBoard& instance();
+
+  /// Master switch. While off, heartbeat() is one relaxed load + branch.
+  void set_enabled(bool on);
+  [[nodiscard]] bool enabled() const;
+
+  /// Record a beat for `rank` (world rank, >= 0) at the trace clock's now.
+  void heartbeat(int rank);
+
+  /// Stamp the real power-off instant of `node_id` (cluster observer).
+  void note_death(int node_id);
+  [[nodiscard]] std::optional<double> death_time_us(int node_id) const;
+
+  /// Suspicion score for `rank` at trace time `now_us`. Ranks that never
+  /// beat score +infinity (nothing to be overdue against — immediately
+  /// suspect); ranks that beat exactly once use the floor interval.
+  [[nodiscard]] double phi(int rank, double now_us) const;
+
+  [[nodiscard]] RankHealth sample(int rank, double now_us) const;
+
+  /// Health of every rank that ever beat, ascending by rank.
+  [[nodiscard]] std::vector<RankHealth> snapshot(double now_us) const;
+
+  [[nodiscard]] std::uint64_t total_beats() const;
+
+  /// Smallest mean interval used in phi (guards division by ~0 for ranks
+  /// observed only once or beating faster than the clock resolves).
+  [[nodiscard]] double floor_interval_us() const { return floor_interval_us_; }
+  void set_floor_interval_us(double us) { floor_interval_us_ = us; }
+
+  /// Drop all beats and death stamps (test isolation / job boundaries).
+  void reset();
+
+ private:
+  HealthBoard();
+  struct Impl;
+  Impl* impl_;
+  double floor_interval_us_ = 10.0;
+};
+
+/// The process-wide board.
+HealthBoard& health();
+
+}  // namespace skt::telemetry

@@ -96,6 +96,14 @@ std::string RunReport::json() const {
     w.end_object();
     w.end_object();
     w.field("trace_spans_dropped", Tracer::instance().total_dropped());
+    // Which rows overflowed their rings (nonzero only): a truncated rank
+    // timeline is diagnosable from the report without re-running.
+    w.key("trace_dropped_by_rank");
+    w.begin_object();
+    for (const auto& [rank, dropped] : Tracer::instance().dropped_by_rank()) {
+      w.field(std::to_string(rank), dropped);
+    }
+    w.end_object();
   }
 
   w.end_object();

@@ -110,6 +110,20 @@ std::vector<SpanRecord> Tracer::collect() const {
   return out;
 }
 
+std::map<int, std::uint64_t> Tracer::dropped_by_rank() const {
+  std::vector<std::pair<int, const SpanRing*>> rings;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+    for (const auto& [rank, ring] : impl_->rings) rings.emplace_back(rank, ring.get());
+  }
+  std::map<int, std::uint64_t> out;
+  for (const auto& [rank, ring] : rings) {
+    const std::uint64_t d = ring->dropped();
+    if (d > 0) out[rank] = d;
+  }
+  return out;
+}
+
 std::uint64_t Tracer::total_dropped() const {
   std::vector<const SpanRing*> rings;
   {

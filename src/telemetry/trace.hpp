@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -90,6 +91,11 @@ class Tracer {
 
   /// Spans overwritten by ring wrap-around, summed over ranks.
   [[nodiscard]] std::uint64_t total_dropped() const;
+
+  /// Ring overflow per row (rank, worker, or -1 launcher row), nonzero
+  /// entries only — RunReports carry this so a truncated rank timeline is
+  /// attributable from the artifact alone.
+  [[nodiscard]] std::map<int, std::uint64_t> dropped_by_rank() const;
 
   /// The whole timeline as Chrome trace_event JSON.
   [[nodiscard]] std::string chrome_trace_json() const;

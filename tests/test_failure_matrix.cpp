@@ -26,6 +26,28 @@ namespace {
 using skt::testing::CkptAppConfig;
 using skt::testing::checkpointed_app;
 
+/// Every recoverable kill must leave a complete forensic record: one
+/// postmortem naming the lost rank and the newest committed epoch, and —
+/// for the in-memory strategies, where the replacement decodes its image
+/// from the group — the rebuilt stripe set and the surviving peers it was
+/// rebuilt from. (BLCR restores from disk: no peer rebuild to report.)
+void expect_postmortem(const mpi::LaunchResult& result, Strategy strategy, int group_size) {
+  ASSERT_EQ(result.postmortems.size(), 1u);
+  const telemetry::Postmortem& pm = result.postmortems.front();
+  EXPECT_EQ(pm.lost_ranks, std::vector<int>{1});
+  EXPECT_GE(pm.lost_epoch, 1u);
+  EXPECT_TRUE(pm.recovered);
+  EXPECT_GE(pm.restored_epoch, 1u);
+  EXPECT_FALSE(pm.committed_epochs.empty());
+  EXPECT_EQ(pm.geometry.group_size, group_size);
+  if (strategy == Strategy::kBlcr) return;
+  ASSERT_FALSE(pm.rebuilds.empty());
+  const telemetry::RebuildInfo& rb = pm.rebuilds.front();
+  EXPECT_EQ(rb.rank, 1);
+  EXPECT_GT(rb.stripe_count, 0u);
+  EXPECT_EQ(rb.peers.size(), static_cast<std::size_t>(group_size - 1));
+}
+
 struct Case {
   Strategy strategy;
   const char* failpoint;
@@ -94,8 +116,10 @@ TEST_P(FailureMatrix, KillDuringProtocolStep) {
     // The dead node was replaced by a spare.
     EXPECT_GE(result.final_ranklist[1], world);
     EXPECT_GT(result.times.count("recover"), 0u);
+    expect_postmortem(result, c.strategy, group_size);
   } else {
     EXPECT_FALSE(result.success);
+    EXPECT_FALSE(result.postmortems.empty());
   }
 }
 
@@ -230,8 +254,10 @@ TEST_P(AsyncFailureMatrix, KillDuringAsyncPipelineStep) {
     EXPECT_EQ(result.restarts, 1);
     EXPECT_GE(result.final_ranklist[1], world);
     EXPECT_GT(result.times.count("recover"), 0u);
+    expect_postmortem(result, c.strategy, group_size);
   } else {
     EXPECT_FALSE(result.success);
+    EXPECT_FALSE(result.postmortems.empty());
   }
 }
 
@@ -349,6 +375,12 @@ TEST_P(DualParityMatrix, SimultaneousDoubleKillRecovers) {
   // Both victims may die in one cycle or across two (the second rank can
   // be pre-empted before reaching the failpoint); either way <= 2 cycles.
   EXPECT_LE(result.restarts, 2);
+  // One postmortem per incident, every one naming its victims.
+  ASSERT_EQ(result.postmortems.size(), static_cast<std::size_t>(result.restarts));
+  for (const telemetry::Postmortem& pm : result.postmortems) {
+    EXPECT_FALSE(pm.lost_ranks.empty());
+    EXPECT_TRUE(pm.recovered);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Points, DualParityMatrix,
@@ -420,6 +452,15 @@ TEST(FailureMatrixExtra, ThreeSequentialFailures) {
   const auto result = launcher.run(4, [&](mpi::Comm& w) { checkpointed_app(w, config); });
   EXPECT_TRUE(result.success) << result.failure;
   EXPECT_EQ(result.restarts, 3);
+  // Three incidents, three postmortems, each naming its own victim.
+  ASSERT_EQ(result.postmortems.size(), 3u);
+  EXPECT_EQ(result.postmortems[0].lost_ranks, std::vector<int>{0});
+  EXPECT_EQ(result.postmortems[1].lost_ranks, std::vector<int>{2});
+  EXPECT_EQ(result.postmortems[2].lost_ranks, std::vector<int>{3});
+  for (const telemetry::Postmortem& pm : result.postmortems) {
+    EXPECT_TRUE(pm.recovered);
+    EXPECT_FALSE(pm.rebuilds.empty());
+  }
 }
 
 }  // namespace

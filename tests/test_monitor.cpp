@@ -1,0 +1,390 @@
+// The monitoring subsystem: HealthBoard phi-accrual suspicion, the
+// forensics Recorder's note/query lifecycle, the live Aggregator's derived
+// rates and watchdogs (driven deterministically through tick()), and the
+// launcher-assembled postmortem pipeline end-to-end — including the
+// POSTMORTEM_*.json document, validated with a real JSON parser.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt_harness.hpp"
+#include "json_reader.hpp"
+#include "mpi/launcher.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/forensics.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#include "testing.hpp"
+
+namespace skt::telemetry {
+namespace {
+
+using skt::testing::CkptAppConfig;
+using skt::testing::checkpointed_app;
+using skt::testing::MiniCluster;
+
+/// Every test starts with empty metrics/tracer/board/recorder and leaves
+/// the process defaults (telemetry off, board off and clean) behind.
+class MonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    metrics().reset_values();
+    Tracer::instance().clear();
+    health().reset();
+    health().set_enabled(false);
+    health().set_floor_interval_us(10.0);
+    forensics::recorder().clear();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    health().set_enabled(false);
+    health().reset();
+    health().set_floor_interval_us(10.0);
+    forensics::recorder().clear();
+  }
+};
+
+// ---------------------------------------------------------------- health --
+
+TEST_F(MonitorTest, HealthBoardSuspicionGrowsWithSilence) {
+  health().set_enabled(true);
+  for (int i = 0; i < 8; ++i) health().heartbeat(0);
+  EXPECT_EQ(health().total_beats(), 8u);
+
+  const double now_us = Tracer::instance().now_us();
+  const RankHealth rh = health().sample(0, now_us);
+  EXPECT_EQ(rh.beats, 8u);
+  EXPECT_GE(rh.mean_interval_us, 0.0);
+
+  // phi is monotone in elapsed silence: a rank an hour overdue is more
+  // suspect than one a millisecond overdue.
+  const double soon = health().phi(0, rh.last_beat_us + 1e3);
+  const double late = health().phi(0, rh.last_beat_us + 1e6);
+  EXPECT_LT(soon, late);
+  EXPECT_GT(late, HealthBoard::kDefaultPhiThreshold);
+
+  // A rank that never beat is immediately suspect (+inf).
+  EXPECT_TRUE(std::isinf(health().phi(5, now_us)));
+
+  // Disabled board: heartbeat() is a no-op.
+  health().set_enabled(false);
+  health().heartbeat(1);
+  EXPECT_EQ(health().total_beats(), 8u);
+}
+
+TEST_F(MonitorTest, HealthBoardKeepsFirstDeathStamp) {
+  EXPECT_FALSE(health().death_time_us(3).has_value());
+  health().note_death(3);
+  const double first = health().death_time_us(3).value();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  health().note_death(3);  // duplicate observer firing must not move it
+  EXPECT_EQ(health().death_time_us(3).value(), first);
+}
+
+// ------------------------------------------------------------- forensics --
+
+TEST_F(MonitorTest, RecorderNoteLifecycle) {
+  forensics::Recorder& rec = forensics::recorder();
+  rec.begin_job();
+
+  GroupGeometry geo;
+  geo.strategy = "self-checkpoint";
+  geo.group_size = 4;
+  geo.members = {0, 1, 2, 3};
+  geo.nodes = {0, 1, 2, 3};
+  geo.stripe_count = 3;
+  geo.stripe_bytes = 1024;
+  rec.note_geometry(1, geo);
+  ASSERT_TRUE(rec.geometry_of(1).has_value());
+  EXPECT_EQ(rec.geometry_of(1)->stripe_count, 3u);
+  EXPECT_FALSE(rec.geometry_of(2).has_value());
+
+  // Async pipelines can report epochs out of order; the newest wins.
+  rec.note_commit(1, {2, 512, 0.25});
+  rec.note_commit(1, {1, 2048, 1.0});
+  ASSERT_TRUE(rec.last_commit(1).has_value());
+  EXPECT_EQ(rec.last_commit(1)->epoch, 2u);
+  EXPECT_EQ(rec.last_commit(1)->dirty_bytes, 512u);
+  rec.note_commit(0, {3, 128, 0.1});
+  const auto epochs = rec.committed_epochs();
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_EQ(epochs.at(0), 3u);
+  EXPECT_EQ(epochs.at(1), 2u);
+
+  // The marker isolates one relaunch's restore notes.
+  const std::uint64_t marker = rec.restore_marker();
+  rec.note_restore({1, 2, true, 0.01});
+  rec.note_restore({0, 2, false, 0.0});
+  EXPECT_EQ(rec.restores_since(marker).size(), 2u);
+  EXPECT_TRUE(rec.restores_since(rec.restore_marker()).empty());
+
+  // begin_job drops notes; the postmortem history is append-only.
+  Postmortem pm;
+  pm.name = "unit";
+  rec.add_postmortem(pm);
+  rec.begin_job();
+  EXPECT_FALSE(rec.geometry_of(1).has_value());
+  EXPECT_FALSE(rec.last_commit(1).has_value());
+  EXPECT_TRUE(rec.restores_since(0).empty());
+  ASSERT_EQ(rec.postmortems().size(), 1u);
+  EXPECT_EQ(rec.postmortems().front().name, "unit");
+  rec.clear();
+  EXPECT_TRUE(rec.postmortems().empty());
+}
+
+TEST_F(MonitorTest, PostmortemJsonMatchesSchema) {
+  Postmortem pm;
+  pm.name = "unit";
+  pm.incident = 1;
+  pm.attempt = 2;
+  pm.reason = "node 3 powered off";
+  pm.lost_ranks = {3};
+  pm.lost_nodes = {3};
+  pm.lost_epoch = 7;
+  pm.committed_epochs = {{0, 7}, {3, 6}};
+  pm.recovered = true;
+  pm.restored_epoch = 7;
+  pm.geometry.strategy = "self-checkpoint";
+  pm.geometry.group_size = 4;
+  pm.geometry.members = {0, 1, 2, 3};
+  pm.geometry.nodes = {0, 1, 2, 3};
+  pm.geometry.stripe_count = 3;
+  pm.rebuilds.push_back({3, 7, 0.02, 0, 3, 1024, {0, 1, 2}});
+  pm.timeline = {{"detect", 0.001}, {"replace", 0.0}, {"restart", 0.0}, {"restore", 0.02}};
+  pm.detect_latency_s = 0.001;
+  pm.detect_phi = 4.5;
+
+  const auto doc = testing::json::parse(pm.json());
+  EXPECT_EQ(doc.at("schema").string, "skt-postmortem-v1");
+  EXPECT_EQ(doc.at("name").string, "unit");
+  EXPECT_EQ(doc.at("incident").number, 1.0);
+  EXPECT_EQ(doc.at("lost_ranks").at(0).number, 3.0);
+  EXPECT_EQ(doc.at("lost_epoch").number, 7.0);
+  EXPECT_EQ(doc.at("committed_epochs").at("3").number, 6.0);
+  EXPECT_TRUE(doc.at("recovered").boolean);
+  EXPECT_EQ(doc.at("geometry").at("members").size(), 4u);
+  const auto& rb = doc.at("rebuilds").at(0);
+  EXPECT_EQ(rb.at("rank").number, 3.0);
+  EXPECT_EQ(rb.at("stripes").at("count").number, 3.0);
+  EXPECT_EQ(rb.at("peers").size(), 3u);
+  ASSERT_EQ(doc.at("timeline").size(), 4u);
+  EXPECT_EQ(doc.at("timeline").at(0).at("phase").string, "detect");
+  EXPECT_EQ(doc.at("detect_latency_s").number, 0.001);
+}
+
+// ------------------------------------------------------------ aggregator --
+
+TEST_F(MonitorTest, AggregatorDerivesRatesAndPublishesGauges) {
+  Histogram& dirty = metrics().histogram("ckpt.dirty_fraction");
+  dirty.record(0.25);
+  dirty.record(0.25);
+  dirty.record(0.25);
+
+  AggregatorConfig cfg;
+  cfg.stall_phi = 0.0;  // board is off; silence the watchdog
+  Aggregator agg(cfg);
+  agg.tick();  // tick 1 establishes the baseline snapshot
+  metrics().counter("ckpt.commits").add(10);
+  metrics().counter("mpi.wire_bytes").add(1 << 20);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));  // dt > 0
+  agg.tick();
+
+  EXPECT_EQ(agg.ticks(), 2u);
+  const MonitorSample s = agg.last_sample();
+  EXPECT_EQ(s.tick, 2u);
+  EXPECT_GT(s.commit_hz, 0.0);
+  EXPECT_GT(s.wire_bps, 0.0);
+  EXPECT_EQ(s.failure_hz, 0.0);
+  EXPECT_NEAR(s.dirty_fraction, 0.25, 1e-6);
+
+  const auto snap = metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("monitor.ticks"), 2u);
+  EXPECT_GT(snap.gauges.at("monitor.commit_hz"), 0.0);
+  EXPECT_GT(snap.gauges.at("monitor.wire_bytes_per_s"), 0.0);
+  EXPECT_TRUE(agg.anomalies().empty());
+}
+
+TEST_F(MonitorTest, AggregatorStallWatchdogIsEdgeTriggered) {
+  health().set_enabled(true);
+  // A generous floor interval keeps the first tick calm: suspicion needs
+  // ~7 ms of silence to cross the threshold, then the sleep provides 30.
+  health().set_floor_interval_us(1000.0);
+  for (int i = 0; i < 6; ++i) health().heartbeat(0);
+
+  AggregatorConfig cfg;
+  cfg.stall_phi = 3.0;
+  Aggregator agg(cfg);
+  agg.tick();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  agg.tick();
+  agg.tick();  // still stalled: edge-trigger must not fire again
+
+  int stalled = 0;
+  for (const Anomaly& a : agg.anomalies()) {
+    if (a.kind == "stalled_rank" && a.rank == 0) ++stalled;
+  }
+  EXPECT_EQ(stalled, 1);
+  EXPECT_GT(agg.last_sample().max_phi, cfg.stall_phi);
+}
+
+TEST_F(MonitorTest, AggregatorRegressionWatchdogLatchesOnce) {
+  Histogram& commit_s = metrics().histogram("ckpt.commit_s");
+  for (int i = 0; i < 5; ++i) commit_s.record(0.01);
+
+  AggregatorConfig cfg;
+  cfg.stall_phi = 0.0;
+  cfg.commit_p99_baseline_s = 0.001;
+  cfg.regression_factor = 2.0;
+  Aggregator agg(cfg);
+  agg.tick();
+  agg.tick();
+
+  int regressions = 0;
+  for (const Anomaly& a : agg.anomalies()) {
+    if (a.kind == "commit_p99_regression") ++regressions;
+  }
+  EXPECT_EQ(regressions, 1);
+  EXPECT_EQ(metrics().snapshot().counters.at("monitor.anomalies"), 1u);
+}
+
+TEST_F(MonitorTest, AggregatorFeedLinesAreParseableJson) {
+  const std::string path = "monitor_test_feed.jsonl";
+  std::remove(path.c_str());
+  {
+    AggregatorConfig cfg;
+    cfg.stall_phi = 0.0;
+    cfg.feed_path = path;
+    Aggregator agg(cfg);
+    agg.tick();
+    metrics().counter("ckpt.commits").add(3);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    agg.tick();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    testing::json::Value v;
+    ASSERT_NO_THROW(v = testing::json::parse(line)) << "feed line: " << line;
+    EXPECT_EQ(v.at("tick").number, static_cast<double>(lines));
+    EXPECT_TRUE(v.at("anomalies").is_array());
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------- launcher postmortems --
+
+// The full pipeline of the kill scenario: heartbeat-driven detection with a
+// measured latency, an incident postmortem naming the lost rank, epoch,
+// and rebuilt stripe set, and a schema-valid POSTMORTEM_*.json on disk.
+TEST_F(MonitorTest, LauncherAssemblesPostmortemWithMeasuredDetection) {
+  const std::string pm_path = "POSTMORTEM_monitor_test.json";
+  std::remove(pm_path.c_str());
+
+  MiniCluster mc(4, 2);
+  CkptAppConfig config;
+  config.strategy = ckpt::Strategy::kSelf;
+  config.group_size = 4;
+  config.iterations = 4;
+
+  sim::FailureInjector injector;
+  injector.add_rule({.point = "ckpt.mid_flush", .world_rank = 1, .hit = 2, .repeat = false});
+  mpi::LauncherConfig lc{.max_restarts = 3, .ranks_per_node = 1};
+  lc.health.enabled = true;
+  lc.postmortem_name = "monitor_test";
+  mpi::JobLauncher launcher(mc.cluster, &injector, lc);
+  const auto result = launcher.run(4, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  ASSERT_TRUE(result.success) << result.failure;
+  ASSERT_EQ(result.restarts, 1);
+
+  // One incident, fully assembled.
+  ASSERT_EQ(result.postmortems.size(), 1u);
+  const Postmortem& pm = result.postmortems.front();
+  EXPECT_EQ(pm.lost_ranks, std::vector<int>{1});
+  EXPECT_EQ(pm.lost_nodes, std::vector<int>{1});
+  EXPECT_GE(pm.lost_epoch, 1u);
+  EXPECT_TRUE(pm.recovered);
+  EXPECT_GE(pm.restored_epoch, 1u);
+  EXPECT_EQ(pm.geometry.group_size, 4);
+  EXPECT_EQ(pm.geometry.members, (std::vector<int>{0, 1, 2, 3}));
+  ASSERT_EQ(pm.rebuilds.size(), 1u);
+  EXPECT_EQ(pm.rebuilds.front().rank, 1);
+  EXPECT_GT(pm.rebuilds.front().stripe_count, 0u);
+  EXPECT_EQ(pm.rebuilds.front().peers, (std::vector<int>{0, 2, 3}));
+
+  // Fig. 10 phases in wall order, with restore appended by the relaunch.
+  ASSERT_EQ(pm.timeline.size(), 4u);
+  EXPECT_EQ(pm.timeline[0].phase, "detect");
+  EXPECT_EQ(pm.timeline[1].phase, "replace");
+  EXPECT_EQ(pm.timeline[2].phase, "restart");
+  EXPECT_EQ(pm.timeline[3].phase, "restore");
+
+  // Detection was measured, not assumed: a real latency and a crossing
+  // suspicion score, mirrored into the histogram and the cycle record.
+  EXPECT_GE(pm.detect_latency_s, 0.0);
+  EXPECT_GE(pm.detect_phi, HealthBoard::kDefaultPhiThreshold);
+  ASSERT_EQ(result.cycles.size(), 1u);
+  EXPECT_GE(result.cycles.front().detect_latency_s, 0.0);
+  EXPECT_EQ(result.cycles.front().lost_ranks, std::vector<int>{1});
+  const auto snap = metrics().snapshot();
+  EXPECT_EQ(snap.counters.at("launcher.failures"), 1u);
+  ASSERT_TRUE(snap.histograms.count("launcher.detect_latency_s"));
+  EXPECT_EQ(snap.histograms.at("launcher.detect_latency_s").count, 1u);
+
+  // The on-disk document parses and carries the same facts.
+  std::ifstream in(pm_path);
+  ASSERT_TRUE(in.good()) << pm_path << " was not written";
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const auto doc = testing::json::parse(text);
+  EXPECT_EQ(doc.at("schema").string, "skt-postmortem-v1");
+  EXPECT_EQ(doc.at("name").string, "monitor_test");
+  EXPECT_EQ(doc.at("lost_ranks").at(0).number, 1.0);
+  EXPECT_GE(doc.at("lost_epoch").number, 1.0);
+  EXPECT_TRUE(doc.at("recovered").boolean);
+  EXPECT_EQ(doc.at("rebuilds").at(0).at("rank").number, 1.0);
+  EXPECT_GT(doc.at("rebuilds").at(0).at("stripes").at("count").number, 0.0);
+  std::remove(pm_path.c_str());
+
+  // The recorder's history got the same record.
+  EXPECT_EQ(forensics::recorder().postmortems().size(), 1u);
+}
+
+// Health monitoring off: the launcher still assembles the postmortem from
+// the always-on recorder notes, but detection latency stays unmeasured.
+TEST_F(MonitorTest, PostmortemWithoutHealthMonitoring) {
+  MiniCluster mc(4, 2);
+  CkptAppConfig config;
+  config.strategy = ckpt::Strategy::kSelf;
+  config.group_size = 4;
+  config.iterations = 4;
+
+  sim::FailureInjector injector;
+  injector.add_rule({.point = "ckpt.sealed", .world_rank = 2, .hit = 2, .repeat = false});
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 3, .ranks_per_node = 1});
+  const auto result = launcher.run(4, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  ASSERT_TRUE(result.success) << result.failure;
+
+  ASSERT_EQ(result.postmortems.size(), 1u);
+  const Postmortem& pm = result.postmortems.front();
+  EXPECT_EQ(pm.lost_ranks, std::vector<int>{2});
+  EXPECT_TRUE(pm.recovered);
+  ASSERT_EQ(pm.rebuilds.size(), 1u);
+  EXPECT_EQ(pm.rebuilds.front().rank, 2);
+  EXPECT_EQ(pm.detect_latency_s, -1.0);
+  EXPECT_EQ(result.cycles.front().detect_latency_s, -1.0);
+}
+
+}  // namespace
+}  // namespace skt::telemetry

@@ -3,12 +3,16 @@
 // instants in the exported Chrome trace, and RunReport JSON shape.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "ckpt_harness.hpp"
+#include "json_reader.hpp"
 #include "mpi/launcher.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
@@ -169,6 +173,98 @@ TEST_F(TelemetryTest, SpansSurviveKilledNodeAndTraceShowsRecovery) {
   EXPECT_NE(json.find("ckpt.restore"), std::string::npos);
   EXPECT_NE(json.find("launcher.replace"), std::string::npos);
   EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+// Chrome-trace export well-formedness, checked with a real JSON parser
+// rather than substring probes: the document parses, complete ("X") spans
+// on one row nest properly (no partial overlap — what chrome://tracing
+// renders as a broken flame graph), and failpoint instants carry the
+// victim's rank row and the epoch that was being committed.
+TEST_F(TelemetryTest, ChromeTraceExportIsWellFormedJson) {
+  MiniCluster mc(4, 2);
+  CkptAppConfig config;
+  config.strategy = ckpt::Strategy::kSelf;
+  config.group_size = 4;
+  config.iterations = 4;
+
+  sim::FailureInjector injector;
+  injector.add_rule({.point = "ckpt.mid_flush", .world_rank = 1, .hit = 2, .repeat = false});
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 3, .ranks_per_node = 1});
+  const auto result = launcher.run(4, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  ASSERT_TRUE(result.success) << result.failure;
+
+  const std::string text = Tracer::instance().chrome_trace_json();
+  testing::json::Value doc;
+  ASSERT_NO_THROW(doc = testing::json::parse(text)) << "export is not valid JSON";
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const auto& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GT(events.size(), 0u);
+
+  struct SpanEvt {
+    double ts, dur;
+    std::string name;
+  };
+  std::map<std::int64_t, std::vector<SpanEvt>> spans_by_tid;
+  bool saw_fail_instant = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events.at(i);
+    ASSERT_TRUE(e.has("name") && e.has("ph") && e.has("pid") && e.has("tid"));
+    const std::string ph = e.at("ph").string;
+    if (ph == "X") {
+      ASSERT_TRUE(e.has("ts") && e.has("dur"));
+      EXPECT_GE(e.at("dur").number, 0.0);
+      spans_by_tid[static_cast<std::int64_t>(e.at("tid").number)].push_back(
+          {e.at("ts").number, e.at("dur").number, e.at("name").string});
+    } else if (ph == "i" && e.at("name").string == "fail:ckpt.mid_flush") {
+      saw_fail_instant = true;
+      // Right rank: the instant sits on the victim's row. Right epoch: the
+      // kill landed inside the commit of epoch 2 (hit 2 of a per-iteration
+      // commit cadence), which the protocol stamps at commit entry.
+      EXPECT_EQ(static_cast<int>(e.at("tid").number), 1);
+      ASSERT_TRUE(e.at("args").has("epoch"));
+      EXPECT_EQ(static_cast<std::uint64_t>(e.at("args").at("epoch").number), 2u);
+    }
+  }
+  EXPECT_TRUE(saw_fail_instant);
+
+  // Nesting balance per row: any two complete spans are either disjoint or
+  // one fully contains the other. Partial overlap means a begin/end pair
+  // crossed — a malformed flame graph.
+  for (auto& [tid, spans] : spans_by_tid) {
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanEvt& a, const SpanEvt& b) { return a.ts < b.ts; });
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const double a_end = spans[i].ts + spans[i].dur;
+      for (std::size_t j = i + 1; j < spans.size(); ++j) {
+        if (spans[j].ts >= a_end) break;  // disjoint from here on (sorted)
+        EXPECT_LE(spans[j].ts + spans[j].dur, a_end + 1e-6)
+            << "row " << tid << ": span '" << spans[j].name
+            << "' partially overlaps '" << spans[i].name << "'";
+      }
+    }
+  }
+}
+
+// The report's drop accounting: flooding one rank's ring past capacity
+// must show up both in the total and in the per-rank breakdown.
+TEST_F(TelemetryTest, RunReportCarriesPerRankDropCounts) {
+  SpanRecord rec;
+  std::strncpy(rec.name, "test.flood", sizeof(rec.name) - 1);
+  rec.rank = 3;
+  const std::uint64_t extra = 17;
+  for (std::uint64_t i = 0; i < Tracer::kRingCapacity + extra; ++i) {
+    rec.t0_us = static_cast<double>(i);
+    Tracer::instance().push(rec);
+  }
+  const auto by_rank = Tracer::instance().dropped_by_rank();
+  ASSERT_EQ(by_rank.size(), 1u);
+  EXPECT_EQ(by_rank.at(3), extra);
+
+  const auto doc = testing::json::parse(RunReport("drops").json());
+  EXPECT_EQ(static_cast<std::uint64_t>(doc.at("trace_spans_dropped").number), extra);
+  EXPECT_EQ(static_cast<std::uint64_t>(doc.at("trace_dropped_by_rank").at("3").number),
+            extra);
 }
 
 TEST_F(TelemetryTest, RunReportCarriesScalarsAndMetrics) {
