@@ -23,15 +23,26 @@
 // (watch it live with scripts/monitor_demo.sh). --monitor implies
 // --telemetry artifacts at the same prefix unless --telemetry is given.
 //
+// With --scrub <seconds> every Session also runs the background scrubber
+// at that cadence (optionally with --parity m for an RS(k, m) group), and
+// --bitflip injects a silent bit flip into a sealed checksum buffer after
+// the first commit — the scrubber must catch and repair it from the
+// mirror while the sweep loop keeps running, which the run validates via
+// the scrub.* counters (visible in the RunReport).
+//
 //   ./ft_jacobi [--grid 128] [--ranks 4] [--iters 60] [--ckpt-every 10]
 //               [--telemetry out/jacobi] [--monitor out/jacobi]
+//               [--scrub 0.001] [--parity 2] [--bitflip]
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ckpt/session.hpp"
@@ -55,10 +66,48 @@ struct JacobiState {
 constexpr mpi::Tag kTagHaloUp = 11;
 constexpr mpi::Tag kTagHaloDown = 12;
 
+/// Scrub-and-repair configuration for the demo (off by default).
+struct ScrubDemo {
+  double interval_s = 0.0;  ///< > 0 starts the background scrubber
+  int parity = 1;           ///< erasure degree of the encoding group
+  bool bitflip = false;     ///< inject a silent flip after the first commit
+};
+
+/// Flip one bit of a sealed, mirror-backed checkpoint region, then wait
+/// for the BACKGROUND scrub pass to notice and repair it — the loop keeps
+/// this rank alive but idle-spinning only inside this drill; the rest of
+/// the solve runs at full speed. Throws when the repair never lands.
+void bitflip_drill(ckpt::Session& session) {
+  ckpt::Scrubber* scrubber = session.scrubber();
+  if (scrubber == nullptr) throw std::invalid_argument("--bitflip requires --scrub");
+  scrubber->scrub_now();  // make sure this epoch's baselines exist
+  const ckpt::ScrubStats before = scrubber->stats();
+  {
+    std::lock_guard<std::mutex> lock(scrubber->commit_exclusion());
+    for (ckpt::ScrubRegion& region : session.protocol().scrub_view()) {
+      if (region.mirror.empty()) continue;
+      region.bytes[region.bytes.size() / 3] ^= std::byte{0x04};
+      break;
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (scrubber->stats().repaired <= before.repaired) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("scrubber did not repair the injected bit flip");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const ckpt::ScrubStats after = scrubber->stats();
+  if (after.corruption_detected <= before.corruption_detected ||
+      after.unrepaired > before.unrepaired) {
+    throw std::runtime_error("scrubber mis-handled the injected bit flip");
+  }
+}
+
 /// One fault-tolerant Jacobi solve; returns the L2 norm of the final local
 /// block (for cross-run comparison) via out-param on rank 0.
 void jacobi(mpi::Comm& world, std::int64_t grid_n, std::int64_t iterations,
-            std::int64_t ckpt_every, double* final_norm) {
+            std::int64_t ckpt_every, const ScrubDemo& scrub, double* final_norm) {
   const int ranks = world.size();
   const int me = world.rank();
   if (grid_n % ranks != 0) throw std::invalid_argument("grid must divide ranks");
@@ -70,6 +119,8 @@ void jacobi(mpi::Comm& world, std::int64_t grid_n, std::int64_t iterations,
           .key_prefix("jacobi")
           .data_bytes(static_cast<std::size_t>(rows * grid_n) * sizeof(double))
           .user_bytes(sizeof(JacobiState))
+          .parity_degree(scrub.parity)
+          .scrub_interval(scrub.interval_s)
           .build(world);  // group_size 0: one encoding group spanning the job
 
   const ckpt::OpenOutcome outcome = session.open();
@@ -131,7 +182,12 @@ void jacobi(mpi::Comm& world, std::int64_t grid_n, std::int64_t iterations,
     }
     std::memcpy(field.data(), next.data(), next.size() * sizeof(double));
     state->iteration += 1;
-    if (ckpt_every > 0 && state->iteration % ckpt_every == 0) session.commit();
+    if (ckpt_every > 0 && state->iteration % ckpt_every == 0) {
+      session.commit();
+      // The silent-corruption drill rides on the FIRST commit, well before
+      // the mid-run kill of the faulty pass.
+      if (scrub.bitflip && state->iteration == ckpt_every) bitflip_drill(session);
+    }
   }
 
   double local = 0.0;
@@ -251,13 +307,18 @@ int main(int argc, char** argv) {
   if (telemetry_prefix.empty()) telemetry_prefix = monitor_prefix;
   if (!telemetry_prefix.empty()) telemetry::set_enabled(true);
 
+  ScrubDemo scrub;
+  scrub.interval_s = opts.get_double("scrub", 0.0);
+  scrub.parity = static_cast<int>(opts.get_int("parity", 1));
+  scrub.bitflip = opts.has("bitflip");
+
   // Reference: fault-free run.
   double clean_norm = 0.0;
   {
     sim::Cluster cluster({.num_nodes = ranks, .spare_nodes = 0, .nodes_per_rack = 4});
     mpi::JobLauncher launcher(cluster, nullptr, {.max_restarts = 0});
     const auto result = launcher.run(ranks, [&](mpi::Comm& w) {
-      jacobi(w, grid_n, iterations, ckpt_every, &clean_norm);
+      jacobi(w, grid_n, iterations, ckpt_every, scrub, &clean_norm);
     });
     if (!result.success) {
       std::printf("clean run failed: %s\n", result.failure.c_str());
@@ -301,7 +362,7 @@ int main(int argc, char** argv) {
     }
     mpi::JobLauncher launcher(cluster, &injector, launch_config);
     const auto result = launcher.run(ranks, [&](mpi::Comm& w) {
-      jacobi(w, grid_n, iterations, ckpt_every, &faulty_norm);
+      jacobi(w, grid_n, iterations, ckpt_every, scrub, &faulty_norm);
     });
     if (monitor) monitor->stop();
     if (!result.success) {
@@ -318,6 +379,36 @@ int main(int argc, char** argv) {
   }
 
   const bool identical = clean_norm == faulty_norm;
+
+  // Scrub evidence: every rank of both runs ran the scrubber; with
+  // --bitflip each injected flip must have been detected AND repaired,
+  // and nothing may remain unrepaired (every demo region is mirror-backed
+  // or untouched).
+  std::uint64_t scrub_passes = 0;
+  std::uint64_t scrub_detected = 0;
+  std::uint64_t scrub_repaired = 0;
+  std::uint64_t scrub_unrepaired = 0;
+  bool scrub_ok = true;
+  if (scrub.interval_s > 0.0) {
+    scrub_passes = telemetry::metrics().counter("scrub.passes").value();
+    scrub_detected = telemetry::metrics().counter("scrub.corruption_detected").value();
+    scrub_repaired = telemetry::metrics().counter("scrub.repaired").value();
+    scrub_unrepaired = telemetry::metrics().counter("scrub.unrepaired").value();
+    if (scrub_passes == 0) {
+      std::printf("scrub: the background scrubber never completed a pass\n");
+      scrub_ok = false;
+    }
+    if (scrub.bitflip && (scrub_detected == 0 || scrub_repaired == 0)) {
+      std::printf("scrub: injected bit flip was not detected/repaired\n");
+      scrub_ok = false;
+    }
+    if (scrub_unrepaired != 0) {
+      std::printf("scrub: %llu chunks were detected but NOT repaired\n",
+                  static_cast<unsigned long long>(scrub_unrepaired));
+      scrub_ok = false;
+    }
+  }
+
   bool telemetry_ok = true;
   if (!telemetry_prefix.empty()) {
     telemetry_ok = validate_telemetry(restores_before);
@@ -342,6 +433,14 @@ int main(int argc, char** argv) {
       report.set("postmortems", static_cast<std::uint64_t>(postmortems));
       report.set("detect_latency_s", detect_latency_s);
     }
+    if (scrub.interval_s > 0.0) {
+      report.set("scrub_interval_s", scrub.interval_s);
+      report.set("scrub_parity", static_cast<std::int64_t>(scrub.parity));
+      report.set("scrub_passes", scrub_passes);
+      report.set("scrub_corruption_detected", scrub_detected);
+      report.set("scrub_repaired", scrub_repaired);
+      report.set("scrub_unrepaired", scrub_unrepaired);
+    }
     const std::string report_path = telemetry_prefix + "_report.json";
     if (!report.write(report_path)) {
       std::printf("telemetry: could not write %s\n", report_path.c_str());
@@ -360,6 +459,12 @@ int main(int argc, char** argv) {
   if (!telemetry_prefix.empty()) {
     table.add_row({"telemetry artifacts", telemetry_ok ? "written + validated" : "INCOMPLETE"});
   }
+  if (scrub.interval_s > 0.0) {
+    table.add_row({"scrub passes", std::to_string(scrub_passes)});
+    table.add_row({"scrub detected/repaired", std::to_string(scrub_detected) + "/" +
+                                                  std::to_string(scrub_repaired)});
+    table.add_row({"scrub evidence", scrub_ok ? "validated" : "INCOMPLETE"});
+  }
   if (!monitor_prefix.empty()) {
     table.add_row({"monitor ticks", std::to_string(monitor_ticks)});
     table.add_row({"postmortems written", std::to_string(postmortems)});
@@ -369,5 +474,5 @@ int main(int argc, char** argv) {
     table.add_row({"monitor evidence", monitor_ok ? "validated" : "INCOMPLETE"});
   }
   table.print();
-  return identical && telemetry_ok && monitor_ok ? 0 : 1;
+  return identical && telemetry_ok && monitor_ok && scrub_ok ? 0 : 1;
 }

@@ -47,9 +47,13 @@ echo "=== sanitizers: tsan on telemetry + async-commit suites ==="
 # (encoding the staged copy) — exactly the interleavings TSan exists to
 # check. test_session's SessionAsyncStress is the dedicated workload.
 cmake -B build-tsan -S . -DSKT_SANITIZE_THREAD=ON >/dev/null
-cmake --build build-tsan -j --target test_telemetry test_util test_session test_monitor
+# test_encoding (the RS(k, m) ring collectives run one thread per member)
+# and test_scrubber (cadence thread vs. rank thread vs. async worker over
+# the commit-exclusion mutex) ride the same lane.
+cmake --build build-tsan -j --target \
+  test_telemetry test_util test_session test_monitor test_encoding test_scrubber
 (cd build-tsan && ctest --output-on-failure \
-  -R '^(test_telemetry|test_util|test_session|test_monitor)$' -j)
+  -R '^(test_telemetry|test_util|test_session|test_monitor|test_encoding|test_scrubber)$' -j)
 
 echo
 echo "=== monitor lane: ft_jacobi --monitor forensics + overhead gate ==="
@@ -65,7 +69,7 @@ rm -rf build/monitor-lane && mkdir -p build/monitor-lane
 (cd build/monitor-lane && ../examples/ft_jacobi --grid 128 --ranks 4 \
   --iters 60 --ckpt-every 10 --monitor lane >/dev/null)
 pm=build/monitor-lane/POSTMORTEM_ft_jacobi.json
-jq -e '.schema == "skt-postmortem-v1"
+jq -e '(.schema == "skt-postmortem-v1" or .schema == "skt-postmortem-v2")
        and (.lost_ranks | length > 0)
        and .recovered
        and (.restored_epoch >= 1)
@@ -74,12 +78,36 @@ jq -e '.schema == "skt-postmortem-v1"
        and (.rebuilds[0].peers | length > 0)
        and (.timeline | map(.phase) | index("detect") != null)
        and (.detect_latency_s >= 0)' "$pm" >/dev/null \
-  && echo "[PASS] $pm matches skt-postmortem-v1" \
+  && echo "[PASS] $pm matches the skt-postmortem schema" \
   || { echo "[FAIL] $pm failed schema validation"; exit 1; }
 jq -es 'length > 0' build/monitor-lane/lane_feed.jsonl >/dev/null \
   && echo "[PASS] monitor feed is well-formed JSONL" \
   || { echo "[FAIL] monitor feed is missing or malformed"; exit 1; }
 (cd build && ./bench/monitor_overhead)
+
+echo
+echo "=== scrub lane: ft_jacobi --scrub --bitflip repair-under-load + overhead gate ==="
+# Silent-data-corruption drill on a live RS(2, 2) job: a bit flip lands in
+# a sealed checksum buffer after the first commit, the background scrubber
+# must repair it from the mirror while the sweep loop keeps running, and
+# the faulty pass (node kill + restore) must still converge bit-identically.
+# ft_jacobi validates the counters itself; jq re-checks the RunReport the
+# way an external pipeline would. micro_scrub holds the scrub duty cycle
+# and the per-commit exclusion handshake to <= 3% of an encode-like pass.
+cmake --build build -j --target ft_jacobi micro_scrub
+rm -rf build/scrub-lane && mkdir -p build/scrub-lane
+(cd build/scrub-lane && ../examples/ft_jacobi --grid 128 --ranks 4 \
+  --iters 60 --ckpt-every 10 --scrub 0.001 --parity 2 --bitflip \
+  --telemetry lane >/dev/null)
+sr=build/scrub-lane/lane_report.json
+jq -e '(.values.scrub_passes > 0)
+       and (.values.scrub_corruption_detected > 0)
+       and (.values.scrub_repaired > 0)
+       and (.values.scrub_unrepaired == 0)
+       and .values.identical' "$sr" >/dev/null \
+  && echo "[PASS] $sr shows the flip detected, repaired, and a bit-identical result" \
+  || { echo "[FAIL] $sr lacks the scrub-and-repair evidence"; exit 1; }
+(cd build && ./bench/micro_scrub)
 
 echo
 echo "=== bench regression gate: micro_encoding vs committed baseline ==="

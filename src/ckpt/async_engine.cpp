@@ -138,6 +138,12 @@ void AsyncCommitEngine::run_job(const std::shared_ptr<CommitTicket::State>& stat
   std::exception_ptr error;
   try {
     SKT_SPAN("ckpt.async.pipeline");
+    // Keep the scrubber out of the sealed buffers while the state machine
+    // rewrites them (it only try-locks, so this never waits on a pass).
+    std::unique_lock<std::mutex> scrub_lock;
+    if (commit_exclusion_ != nullptr) {
+      scrub_lock = std::unique_lock(*commit_exclusion_);
+    }
     stats = protocol_.commit_staged({world_, group_});
   } catch (...) {
     error = std::current_exception();

@@ -94,6 +94,11 @@ class AsyncCommitEngine {
   /// Wait for the in-flight commit, if any, rethrowing its failure.
   void drain();
 
+  /// Serialize the worker's commit_staged() against a background scrubber
+  /// (see scrubber.hpp). `mutex` must outlive the engine; nullptr (the
+  /// default) disables the exclusion. Set before the first commit_async().
+  void set_commit_exclusion(std::mutex* mutex) { commit_exclusion_ = mutex; }
+
   /// The last ticket handed out (empty before the first commit_async).
   [[nodiscard]] CommitTicket last_ticket() const;
 
@@ -105,6 +110,7 @@ class AsyncCommitEngine {
   mpi::Comm world_;
   mpi::Comm group_;
   int world_rank_ = 0;
+  std::mutex* commit_exclusion_ = nullptr;  // borrowed from the Session
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -33,11 +33,11 @@ void DoubleCheckpoint::require_open() const {
 
 bool DoubleCheckpoint::open(CommCtx ctx) {
   world_rank_ = ctx.group.world_rank();
-  codec_.emplace(params_.codec, combined_bytes_, ctx.group.size());
-  const std::size_t stripes = codec_->padded_bytes() / codec_->layout().stripe_bytes();
-  tracker_.reset(params_.data_bytes, params_.user_bytes, codec_->layout().stripe_bytes(),
-                 stripes);
-  if (params_.async_staging) image_.assign(codec_->padded_bytes(), std::byte{0});
+  coder_ = enc::make_coder(params_.parity_degree, params_.codec, combined_bytes_,
+                           ctx.group.size());
+  const std::size_t stripes = coder_->stripe_count();
+  tracker_.reset(params_.data_bytes, params_.user_bytes, coder_->stripe_bytes(), stripes);
+  if (params_.async_staging) image_.assign(coder_->padded_bytes(), std::byte{0});
   // Until a commit establishes the pair-content invariant, every stripe of
   // both pairs must be treated as stale.
   pair_dirty_[0].assign(stripes, 1);
@@ -51,8 +51,8 @@ bool DoubleCheckpoint::open(CommCtx ctx) {
   }
 
   for (int p = 0; p < 2; ++p) {
-    ckpt_[p] = store.create(key("B", p), codec_->padded_bytes());
-    check_[p] = store.create(key("C", p), codec_->checksum_bytes());
+    ckpt_[p] = store.create(key("B", p), coder_->padded_bytes());
+    check_[p] = store.create(key("C", p), coder_->redundancy_bytes());
   }
   header_ = store.create(hdr_key, sizeof(Header));
 
@@ -201,7 +201,7 @@ CommitStats DoubleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   util::WallTimer encode_timer;
   {
     SKT_SPAN("ckpt.encode");
-    codec_->encode_delta(ctx.group, {base.data(), base.size()}, ckpt_[target]->bytes(),
+    coder_->encode_delta(ctx.group, {base.data(), base.size()}, ckpt_[target]->bytes(),
                          check_[target]->bytes(), check_[target]->bytes(), dirty);
   }
   stats.encode_s = encode_timer.seconds();
@@ -240,8 +240,11 @@ RestoreStats DoubleCheckpoint::restore(CommCtx ctx) {
   const EpochSummary global =
       summarize_epochs(ctx.world, survivor_, mine.bc_epoch, mine.d_epoch);
   const std::vector<int> missing = missing_members(ctx.group, survivor_);
-  if (missing.size() > 1) {
-    throw Unrecoverable("double-checkpoint: multiple members lost in one group");
+  if (static_cast<int>(missing.size()) > coder_->max_failures()) {
+    throw Unrecoverable("double-checkpoint: " + std::to_string(missing.size()) +
+                        " members lost in one group; the degree-" +
+                        std::to_string(coder_->max_failures()) +
+                        " erasure code cannot recover");
   }
 
   // A pair is usable when its epoch is uniform across survivors (a pair
@@ -268,7 +271,7 @@ RestoreStats DoubleCheckpoint::restore(CommCtx ctx) {
   util::WallTimer timer;
 
   if (!missing.empty()) {
-    codec_->rebuild(ctx.group, missing.front(), ckpt_[pair]->bytes(), check_[pair]->bytes());
+    coder_->rebuild(ctx.group, missing, ckpt_[pair]->bytes(), check_[pair]->bytes());
   }
   std::memcpy(app_.data(), ckpt_[pair]->bytes().data(), app_.size());
   std::memcpy(user_.data(), ckpt_[pair]->bytes().data() + app_.size(), user_.size());
@@ -301,7 +304,8 @@ RestoreStats DoubleCheckpoint::restore(CommCtx ctx) {
   survivor_ = true;
 
   stats.rebuild_s = timer.seconds();
-  stats.rebuilt_member = !missing.empty() && missing.front() == ctx.group.rank();
+  stats.rebuilt_member =
+      std::find(missing.begin(), missing.end(), ctx.group.rank()) != missing.end();
   ctx.group.record_time("recover", stats.rebuild_s);
   ctx.world.barrier();
   return stats;
@@ -318,6 +322,20 @@ std::uint64_t DoubleCheckpoint::committed_epoch() const {
   if (!header_) return 0;
   const Header h = load_header(header_);
   return h.valid() ? std::max(h.bc_epoch, h.d_epoch) : 0;
+}
+
+std::vector<ScrubRegion> DoubleCheckpoint::scrub_view() {
+  require_open();
+  // The two pairs hold different epochs, so no segment has a
+  // byte-identical twin: corruption is detectable, repair needs the group.
+  return {{"B0", ckpt_[0]->bytes(), {}},
+          {"B1", ckpt_[1]->bytes(), {}},
+          {"C0", check_[0]->bytes(), {}},
+          {"C1", check_[1]->bytes(), {}}};
+}
+
+int DoubleCheckpoint::max_failures() const {
+  return coder_ ? coder_->max_failures() : params_.parity_degree;
 }
 
 }  // namespace skt::ckpt

@@ -17,13 +17,13 @@
 // dirty-stripes-only by stage() and serves as the commit source.
 #pragma once
 
-#include <optional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ckpt/header.hpp"
 #include "ckpt/protocol.hpp"
-#include "encoding/group_codec.hpp"
+#include "encoding/erasure_coder.hpp"
 #include "util/aligned.hpp"
 
 namespace skt::ckpt {
@@ -35,6 +35,9 @@ class DoubleCheckpoint final : public CheckpointProtocol {
     std::size_t data_bytes = 0;
     std::size_t user_bytes = 64;
     enc::CodecKind codec = enc::CodecKind::kXor;
+    /// 1 = single parity (the paper layout); m >= 2 = RS(k, m) groups
+    /// tolerating m concurrent losses per group.
+    int parity_degree = 1;
     /// Heap staging buffer for stage()/commit_staged(); recovery never
     /// reads it (the untouched pair covers every failure window).
     bool async_staging = false;
@@ -55,6 +58,8 @@ class DoubleCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] Strategy strategy() const override { return Strategy::kDouble; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
   [[nodiscard]] DirtyTracker* dirty_tracker() override { return &tracker_; }
+  [[nodiscard]] std::vector<ScrubRegion> scrub_view() override;
+  [[nodiscard]] int max_failures() const override;
 
  private:
   [[nodiscard]] std::string key(const char* part, int pair) const;
@@ -70,7 +75,7 @@ class DoubleCheckpoint final : public CheckpointProtocol {
 
   Params params_;
   std::size_t combined_bytes_ = 0;
-  std::optional<enc::GroupCodec> codec_;
+  std::unique_ptr<enc::ErasureCoder> coder_;
 
   std::vector<std::byte> app_;
   std::vector<std::byte> user_;

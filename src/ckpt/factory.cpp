@@ -24,14 +24,16 @@ std::unique_ptr<CheckpointProtocol> make_protocol(Strategy strategy,
     case Strategy::kDouble:
       return std::make_unique<DoubleCheckpoint>(
           DoubleCheckpoint::Params{params.key_prefix, params.data_bytes, params.user_bytes,
-                                   params.codec, params.async_staging});
+                                   params.codec, params.parity_degree,
+                                   params.async_staging});
     case Strategy::kBlcr:
       return std::make_unique<BlcrCheckpoint>(
           BlcrCheckpoint::Params{params.key_prefix, params.data_bytes, params.user_bytes,
                                  params.vault, params.device, params.async_staging});
     case Strategy::kSelfIncremental:
       return std::make_unique<IncrementalSelfCheckpoint>(IncrementalSelfCheckpoint::Params{
-          params.key_prefix, params.data_bytes, params.user_bytes, params.async_staging});
+          params.key_prefix, params.data_bytes, params.user_bytes, params.parity_degree,
+          params.async_staging});
     case Strategy::kNone:
       break;
   }

@@ -22,8 +22,10 @@ struct FactoryParams {
   std::size_t data_bytes = 0;
   std::size_t user_bytes = 64;
   enc::CodecKind codec = enc::CodecKind::kXor;
-  /// Self-checkpoint only: 1 = single-erasure (paper default), 2 = the
-  /// RAID-6-style dual-erasure extension.
+  /// Group-coded strategies (self, double, incremental): 1 = single
+  /// erasure (paper default), 2 = the RAID-6-style dual-erasure layout,
+  /// m >= 2 in general = RS(k, m) wide-stripe groups surviving m
+  /// concurrent losses per group.
   int parity_degree = 1;
   /// BLCR only:
   storage::SnapshotVault* vault = nullptr;

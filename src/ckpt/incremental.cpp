@@ -45,7 +45,8 @@ std::string IncrementalSelfCheckpoint::key(const char* part) const {
 }
 
 std::uint32_t IncrementalSelfCheckpoint::codec_field() const {
-  return kIncrementalTag | (params_.async_staging ? 1u << 16 : 0u);
+  return kIncrementalTag | (static_cast<std::uint32_t>(params_.parity_degree) << 8) |
+         (params_.async_staging ? 1u << 16 : 0u);
 }
 
 void IncrementalSelfCheckpoint::require_open() const {
@@ -55,10 +56,17 @@ void IncrementalSelfCheckpoint::require_open() const {
 bool IncrementalSelfCheckpoint::open(CommCtx ctx) {
   world_rank_ = ctx.group.world_rank();
   group_size_ = ctx.group.size();
-  codec_ = std::make_unique<enc::GroupCodec>(enc::CodecKind::kXor, combined_bytes_,
-                                             group_size_);
-  tracker_.reset(params_.data_bytes, params_.user_bytes, codec_->layout().stripe_bytes(),
-                 static_cast<std::size_t>(group_size_ - 1));
+  if (params_.parity_degree <= 1) {
+    codec_ = std::make_unique<enc::GroupCodec>(enc::CodecKind::kXor, combined_bytes_,
+                                               group_size_);
+    tracker_.reset(params_.data_bytes, params_.user_bytes, codec_->layout().stripe_bytes(),
+                   static_cast<std::size_t>(group_size_ - 1));
+  } else {
+    rs_ = std::make_unique<enc::RSGroupCodec>(combined_bytes_, group_size_,
+                                              params_.parity_degree);
+    tracker_.reset(params_.data_bytes, params_.user_bytes, rs_->stripe_bytes(),
+                   static_cast<std::size_t>(group_size_ - params_.parity_degree));
+  }
   tracker_.mark_all();  // first commit is full
 
   sim::PersistentStore& store = ctx.group.store();
@@ -76,12 +84,14 @@ bool IncrementalSelfCheckpoint::open(CommCtx ctx) {
     }
   }
 
-  work_ = store.create(key("work"), codec_->padded_bytes());
-  ckpt_b_ = store.create(key("B"), codec_->padded_bytes());
-  check_c_ = store.create(key("C"), codec_->checksum_bytes());
-  check_d_ = store.create(key("D"), codec_->checksum_bytes());
+  const std::size_t padded = codec_ ? codec_->padded_bytes() : rs_->padded_bytes();
+  const std::size_t redundancy = codec_ ? codec_->checksum_bytes() : rs_->parity_bytes();
+  work_ = store.create(key("work"), padded);
+  ckpt_b_ = store.create(key("B"), padded);
+  check_c_ = store.create(key("C"), redundancy);
+  check_d_ = store.create(key("D"), redundancy);
   if (params_.async_staging) {
-    stage_ = store.create(key("S"), codec_->padded_bytes());
+    stage_ = store.create(key("S"), padded);
     staged_dirty_.assign(tracker_.stripe_count(), 0);
   }
   header_ = store.create(hdr_key, sizeof(Header));
@@ -193,22 +203,25 @@ CommitStats IncrementalSelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
   // clean, so no unannotated all-dirty fallback here.
   const std::vector<std::uint8_t> dset = staging ? staged_dirty_ : tracker_.flags();
 
-  const enc::StripeLayout& layout = codec_->layout();
-  const std::size_t stripe = layout.stripe_bytes();
+  const std::size_t stripe = tracker_.stripe_bytes();
   const int me = ctx.group.rank();
   const int n = group_size_;
 
-  // Which families does anyone need re-encoded? My local stripe s belongs
-  // to family f = s < me ? s : s + 1 (the inverse of stripe_index).
+  // Which families does anyone need re-encoded? For the XOR layout, my
+  // local stripe s belongs to family f = s < me ? s : s + 1 (the inverse
+  // of stripe_index); the RS layout exposes the mapping directly.
   std::vector<std::uint8_t> family_dirty(static_cast<std::size_t>(n), 0);
-  for (std::size_t s = 0; s < dset.size(); ++s) {
-    if (dset[s]) {
-      const auto f = static_cast<std::size_t>(static_cast<int>(s) < me ? s : s + 1);
-      family_dirty[f] = 1;
+  for (int f = 0; f < n; ++f) {
+    if (codec_) {
+      if (me != f) family_dirty[static_cast<std::size_t>(f)] = dset[codec_->layout().stripe_index(me, f)];
+    } else if (rs_->contributes(me, f)) {
+      family_dirty[static_cast<std::size_t>(f)] = dset[rs_->stripe_index(me, f)];
     }
   }
   std::vector<std::uint8_t> global_dirty(static_cast<std::size_t>(n));
   ctx.group.allreduce<std::uint8_t>(family_dirty, global_dirty, mpi::Max{});
+  last_encoded_families_ = 0;
+  for (std::uint8_t d : global_dirty) last_encoded_families_ += d;
 
   CommitStats stats;
   stats.epoch = next;
@@ -216,33 +229,40 @@ CommitStats IncrementalSelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
   ctx.group.failpoint(async ? "ckpt.async_encode_begin" : "ckpt.encode_begin");
   const double encode_virtual_before = ctx.group.virtual_seconds();
   util::WallTimer encode_timer;
-  last_encoded_families_ = 0;
-  util::AlignedBytes diff(stripe);
-  util::AlignedBytes reduced(stripe);
   std::optional<telemetry::Span> encode_span{std::in_place, "ckpt.encode"};
-  for (int f = 0; f < n; ++f) {
-    if (!global_dirty[static_cast<std::size_t>(f)]) {
-      // Nobody touched this family: the old checksum still describes the
-      // working side.
+  if (rs_) {
+    // The GF-weighted incremental identity P' = P ^ sum c * (old ^ new),
+    // one fold per dirty family per parity row, clean families copied
+    // through — all inside the RS codec's delta path.
+    rs_->encode_delta(ctx.group, ckpt_b_->bytes(), source, check_c_->bytes(),
+                      check_d_->bytes(), dset);
+  } else {
+    util::AlignedBytes diff(stripe);
+    util::AlignedBytes reduced(stripe);
+    for (int f = 0; f < n; ++f) {
+      if (!global_dirty[static_cast<std::size_t>(f)]) {
+        // Nobody touched this family: the old checksum still describes the
+        // working side.
+        if (me == f) {
+          std::memcpy(check_d_->bytes().data() + static_cast<std::size_t>(0),
+                      check_c_->bytes().data(), stripe);
+        }
+        continue;
+      }
+      std::fill(diff.begin(), diff.end(), std::byte{0});
+      if (me != f) {
+        const std::size_t s = codec_->layout().stripe_index(me, f);
+        if (dset[s]) {
+          enc::kernels::xor_delta(diff, {ckpt_b_->bytes().data() + s * stripe, stripe},
+                                  {source.data() + s * stripe, stripe});
+        }
+      }
+      xor_reduce(ctx.group, f, diff,
+                 me == f ? std::span<std::byte>(reduced) : std::span<std::byte>{});
       if (me == f) {
-        std::memcpy(check_d_->bytes().data() + static_cast<std::size_t>(0),
-                    check_c_->bytes().data(), stripe);
+        enc::kernels::xor_delta(check_d_->bytes().subspan(0, stripe),
+                                check_c_->bytes().subspan(0, stripe), reduced);
       }
-      continue;
-    }
-    ++last_encoded_families_;
-    std::fill(diff.begin(), diff.end(), std::byte{0});
-    if (me != f) {
-      const std::size_t s = layout.stripe_index(me, f);
-      if (dset[s]) {
-        enc::kernels::xor_delta(diff, {ckpt_b_->bytes().data() + s * stripe, stripe},
-                                {source.data() + s * stripe, stripe});
-      }
-    }
-    xor_reduce(ctx.group, f, diff, me == f ? std::span<std::byte>(reduced) : std::span<std::byte>{});
-    if (me == f) {
-      enc::kernels::xor_delta(check_d_->bytes().subspan(0, stripe),
-                              check_c_->bytes().subspan(0, stripe), reduced);
     }
   }
   encode_span.reset();
@@ -267,7 +287,7 @@ CommitStats IncrementalSelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
       flushed += stripe;
     }
     ctx.group.failpoint(async ? "ckpt.async_mid_flush" : "ckpt.mid_flush");
-    std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), stripe);
+    std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
   }
   stats.flush_s = flush_timer.seconds();
   if (staging) {
@@ -281,7 +301,7 @@ CommitStats IncrementalSelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
   ctx.world.barrier();
 
   stats.checkpoint_bytes = flushed;
-  stats.checksum_bytes = stripe;
+  stats.checksum_bytes = check_d_->size();
   stats.dirty_bytes = flushed;
   stats.dirty_fraction = dset.empty() ? 0.0
                                       : static_cast<double>(flushed) /
@@ -299,8 +319,11 @@ RestoreStats IncrementalSelfCheckpoint::restore(CommCtx ctx) {
   const EpochSummary global =
       summarize_epochs(ctx.world, survivor_, mine.bc_epoch, mine.d_epoch);
   const std::vector<int> missing = missing_members(ctx.group, survivor_);
-  if (missing.size() > 1) {
-    throw Unrecoverable("incremental self-checkpoint: multiple members lost in one group");
+  const int max_failures = rs_ ? rs_->parity_count() : 1;
+  if (static_cast<int>(missing.size()) > max_failures) {
+    throw Unrecoverable("incremental self-checkpoint: " + std::to_string(missing.size()) +
+                        " members lost in one group; the degree-" +
+                        std::to_string(max_failures) + " erasure code cannot recover");
   }
 
   bool use_a_side = false;
@@ -321,13 +344,20 @@ RestoreStats IncrementalSelfCheckpoint::restore(CommCtx ctx) {
   stats.epoch = target;
   util::WallTimer timer;
 
+  const auto rebuild = [&](std::span<std::byte> data, std::span<std::byte> parity) {
+    if (rs_) {
+      rs_->rebuild(ctx.group, missing, data, parity);
+    } else {
+      codec_->rebuild(ctx.group, missing.front(), data, parity);
+    }
+  };
   if (!use_a_side) {
     if (survivor_) {
       std::memcpy(work_->bytes().data(), ckpt_b_->bytes().data(), work_->size());
       std::memcpy(check_d_->bytes().data(), check_c_->bytes().data(), check_c_->size());
     }
     if (!missing.empty()) {
-      codec_->rebuild(ctx.group, missing.front(), work_->bytes(), check_d_->bytes());
+      rebuild(work_->bytes(), check_d_->bytes());
       if (!survivor_) {
         std::memcpy(ckpt_b_->bytes().data(), work_->bytes().data(), work_->size());
         std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
@@ -338,14 +368,14 @@ RestoreStats IncrementalSelfCheckpoint::restore(CommCtx ctx) {
     // lost member's S, complete the interrupted flush, and roll the
     // working buffer back to the staged image.
     if (!missing.empty()) {
-      codec_->rebuild(ctx.group, missing.front(), stage_->bytes(), check_d_->bytes());
+      rebuild(stage_->bytes(), check_d_->bytes());
     }
     std::memcpy(ckpt_b_->bytes().data(), stage_->bytes().data(), stage_->size());
     std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
     std::memcpy(work_->bytes().data(), stage_->bytes().data(), stage_->size());
   } else {
     if (!missing.empty()) {
-      codec_->rebuild(ctx.group, missing.front(), work_->bytes(), check_d_->bytes());
+      rebuild(work_->bytes(), check_d_->bytes());
     }
     std::memcpy(ckpt_b_->bytes().data(), work_->bytes().data(), work_->size());
     std::memcpy(check_c_->bytes().data(), check_d_->bytes().data(), check_d_->size());
@@ -386,6 +416,15 @@ std::uint64_t IncrementalSelfCheckpoint::committed_epoch() const {
   if (!header_) return 0;
   const Header h = load_header(header_);
   return h.valid() ? std::max(h.bc_epoch, h.d_epoch) : 0;
+}
+
+std::vector<ScrubRegion> IncrementalSelfCheckpoint::scrub_view() {
+  require_open();
+  // Same invariants as SelfCheckpoint: C == D between commits, B has no
+  // quiescent twin (see self_checkpoint.cpp).
+  return {{"B", ckpt_b_->bytes(), {}},
+          {"C", check_c_->bytes(), check_d_->bytes()},
+          {"D", check_d_->bytes(), check_c_->bytes()}};
 }
 
 }  // namespace skt::ckpt

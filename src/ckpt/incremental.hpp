@@ -33,6 +33,7 @@
 #include "ckpt/header.hpp"
 #include "ckpt/protocol.hpp"
 #include "encoding/group_codec.hpp"
+#include "encoding/rs_group.hpp"
 
 namespace skt::ckpt {
 
@@ -43,6 +44,11 @@ class IncrementalSelfCheckpoint final : public CheckpointProtocol {
     std::size_t data_bytes = 0;
     std::size_t user_bytes = 64;
     // XOR only: the incremental identity needs a self-inverse "+".
+    /// 1 = plain-XOR single parity (the paper layout); m >= 2 routes the
+    /// delta encode through the RS(k, m) group codec, whose GF-weighted
+    /// parity obeys the same incremental identity (P' = P ^ sum c * diff)
+    /// and tolerates m concurrent losses.
+    int parity_degree = 1;
     /// Allocate the S staging segment and route every encode through it.
     /// Recorded in the checkpoint header; a restart must match.
     bool async_staging = false;
@@ -63,6 +69,10 @@ class IncrementalSelfCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] Strategy strategy() const override { return Strategy::kSelf; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
   [[nodiscard]] DirtyTracker* dirty_tracker() override { return &tracker_; }
+  [[nodiscard]] std::vector<ScrubRegion> scrub_view() override;
+  [[nodiscard]] int max_failures() const override {
+    return rs_ ? rs_->parity_count() : 1;
+  }
 
   /// Declare [offset, offset+len) of data() modified since the last
   /// commit. Unmarked changes would silently corrupt the checkpoint, so
@@ -90,7 +100,10 @@ class IncrementalSelfCheckpoint final : public CheckpointProtocol {
 
   Params params_;
   std::size_t combined_bytes_ = 0;
+  /// Exactly one of the two is live: the plain-XOR codec for parity 1
+  /// (bit-compatible with the paper layout) or the RS(k, m) codec.
   std::unique_ptr<enc::GroupCodec> codec_;
+  std::unique_ptr<enc::RSGroupCodec> rs_;
   std::vector<std::byte> user_;
   /// Stripes dirtied since the last commit (sync) / last stage() (async).
   /// Read through flags() — raw incremental semantics, N-1 local stripes.

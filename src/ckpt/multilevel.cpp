@@ -26,6 +26,7 @@ MultiLevelCheckpoint::MultiLevelCheckpoint(Params params)
   inner.data_bytes = params_.data_bytes;
   inner.user_bytes = params_.user_bytes;
   inner.codec = params_.codec;
+  inner.parity_degree = params_.parity_degree;
   inner.async_staging = params_.async_staging;
   inner_ = make_protocol(params_.level1, inner);
 }

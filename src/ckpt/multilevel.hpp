@@ -30,6 +30,10 @@ class MultiLevelCheckpoint final : public CheckpointProtocol {
     std::size_t data_bytes = 0;
     std::size_t user_bytes = 64;
     enc::CodecKind codec = enc::CodecKind::kXor;
+    /// Forwarded to the level-1 protocol: 1 = single parity, m >= 2 =
+    /// RS(k, m) groups surviving m concurrent in-memory losses before the
+    /// disk fallback has to take over.
+    int parity_degree = 1;
     /// Level-1 strategy (must be an in-memory one).
     Strategy level1 = Strategy::kSelf;
     /// Flush to disk every `flush_every` level-1 commits (0 = never).

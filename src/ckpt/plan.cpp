@@ -54,6 +54,18 @@ double available_fraction_dual(int group_size) {
   return (n - 2.0) / (2.0 * n);
 }
 
+double available_fraction_rs(int group_size, int parity_count) {
+  if (parity_count < 1) {
+    throw std::invalid_argument("RS self-checkpoint needs parity_count >= 1");
+  }
+  if (group_size < parity_count + 2) {
+    throw std::invalid_argument("RS self-checkpoint needs group_size >= parity_count + 2");
+  }
+  const double n = group_size;
+  const double m = parity_count;
+  return (n - m) / (2.0 * n);
+}
+
 MemoryPlan plan_memory(Strategy strategy, std::size_t capacity_bytes, int group_size) {
   check_group(strategy, group_size);
   MemoryPlan plan;

@@ -37,6 +37,13 @@ enum class Strategy {
 /// Requires group_size >= 4.
 [[nodiscard]] double available_fraction_dual(int group_size);
 
+/// Self-checkpoint with RS(k, m) wide-stripe parity: each member splits
+/// its data into k = N - m stripes and stores m parity stripes per side,
+///   total = M + M + 2*(mM/(N-m)) = 2MN/(N-m)  ->  U = (N-m)/2N,
+/// generalizing Eq. 2 (m = 1) and the dual extension (m = 2). Requires
+/// group_size >= parity_count + 2.
+[[nodiscard]] double available_fraction_rs(int group_size, int parity_count);
+
 struct MemoryPlan {
   Strategy strategy = Strategy::kNone;
   int group_size = 0;

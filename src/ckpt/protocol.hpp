@@ -49,6 +49,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "ckpt/dirty_tracker.hpp"
 #include "ckpt/plan.hpp"
@@ -106,6 +107,17 @@ void record_commit_telemetry(const CommitStats& stats);
 /// layer, or by embedders driving the SPI directly.
 void record_restore_telemetry(const RestoreStats& stats);
 
+/// One sealed buffer a background scrubber may re-verify between commits
+/// (see scrub_view()). `mirror`, when non-empty, is a same-size twin the
+/// protocol guarantees byte-identical to `bytes` whenever no commit or
+/// restore is in flight — e.g. self-checkpoint's C/D checksum pair after a
+/// flush — so a corrupt chunk of one side can be repaired from the other.
+struct ScrubRegion {
+  std::string name;             ///< segment label for telemetry ("B", "C", ...)
+  std::span<std::byte> bytes;   ///< the sealed contents
+  std::span<std::byte> mirror;  ///< byte-identical twin, or empty
+};
+
 /// Thrown when no consistent checkpoint can recover the data (e.g. the
 /// single-checkpoint strategy killed inside its update window, or two
 /// failures in one group).
@@ -156,6 +168,18 @@ class CheckpointProtocol {
   /// stage() and the next stage(). Layered strategies (multilevel) use
   /// this to flush the staged image instead of the live buffers.
   [[nodiscard]] virtual std::span<const std::byte> staged() const { return {}; }
+
+  /// Sealed buffers a background scrubber may verify and repair between
+  /// commits. Only valid after open(); spans stay stable until the
+  /// protocol is destroyed, but their CONTENTS are only quiescent while no
+  /// commit/restore runs — callers must exclude commits (the Session's
+  /// scrub lock) before reading. Default: nothing to scrub.
+  [[nodiscard]] virtual std::vector<ScrubRegion> scrub_view() { return {}; }
+
+  /// Largest number of concurrently lost group members this strategy's
+  /// encoding can rebuild (0 = none, m for RS(k, m) layouts). Recorded in
+  /// the postmortem geometry.
+  [[nodiscard]] virtual int max_failures() const { return 0; }
 
   /// The strategy's dirty tracker, or nullptr when it tracks nothing.
   /// Valid after open(). Applications annotate writes through it (usually

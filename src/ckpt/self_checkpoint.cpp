@@ -350,4 +350,20 @@ std::uint64_t SelfCheckpoint::committed_epoch() const {
   return h.valid() ? std::max(h.bc_epoch, h.d_epoch) : 0;
 }
 
+std::vector<ScrubRegion> SelfCheckpoint::scrub_view() {
+  require_open();
+  // After any flush C == D (the flush copies D over C) and both stay
+  // untouched until the next encode, so each is the other's repair
+  // mirror. B has no quiescent twin — the working buffer drifts and the
+  // staging copy S is restaged off the commit lock — so a corrupt B
+  // chunk is detectable but only repairable by the group (a restore).
+  return {{"B", ckpt_b_->bytes(), {}},
+          {"C", check_c_->bytes(), check_d_->bytes()},
+          {"D", check_d_->bytes(), check_c_->bytes()}};
+}
+
+int SelfCheckpoint::max_failures() const {
+  return coder_ ? coder_->max_failures() : params_.parity_degree;
+}
+
 }  // namespace skt::ckpt

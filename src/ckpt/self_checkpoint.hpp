@@ -68,6 +68,8 @@ class SelfCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] Strategy strategy() const override { return Strategy::kSelf; }
   [[nodiscard]] std::uint64_t committed_epoch() const override;
   [[nodiscard]] DirtyTracker* dirty_tracker() override { return &tracker_; }
+  [[nodiscard]] std::vector<ScrubRegion> scrub_view() override;
+  [[nodiscard]] int max_failures() const override;
 
  private:
   [[nodiscard]] std::string key(const char* part) const;

@@ -17,6 +17,7 @@ void note_session_geometry(mpi::Comm& group, CheckpointProtocol& protocol) {
   telemetry::GroupGeometry geo;
   geo.strategy = std::string(to_string(protocol.strategy()));
   geo.group_size = group.size();
+  geo.parity_count = protocol.max_failures();
   geo.members.reserve(static_cast<std::size_t>(group.size()));
   for (int i = 0; i < group.size(); ++i) {
     geo.members.push_back(group.translate(i));
@@ -58,6 +59,7 @@ Session SessionBuilder::build(mpi::Comm& world) const {
     ml.data_bytes = params.data_bytes;
     ml.user_bytes = params.user_bytes;
     ml.codec = params.codec;
+    ml.parity_degree = params.parity_degree;
     ml.level1 = strategy_;
     ml.flush_every = level2_flush_every_;
     ml.vault = params.vault;
@@ -80,17 +82,20 @@ Session SessionBuilder::build(mpi::Comm& world) const {
     engine = std::make_unique<AsyncCommitEngine>(*protocol, world.dup(), group->dup(),
                                                  world.world_rank());
   }
-  return Session(world, std::move(group), std::move(protocol), std::move(engine), mode_);
+  return Session(world, std::move(group), std::move(protocol), std::move(engine), mode_,
+                 scrub_interval_s_);
 }
 
 Session::Session(mpi::Comm& world, std::unique_ptr<mpi::Comm> group,
                  std::unique_ptr<CheckpointProtocol> protocol,
-                 std::unique_ptr<AsyncCommitEngine> engine, CommitMode mode)
+                 std::unique_ptr<AsyncCommitEngine> engine, CommitMode mode,
+                 double scrub_interval_s)
     : world_(&world),
       group_(std::move(group)),
       protocol_(std::move(protocol)),
       engine_(std::move(engine)),
-      mode_(mode) {}
+      mode_(mode),
+      scrub_interval_s_(scrub_interval_s) {}
 
 void Session::require_open() const {
   if (!opened_) throw std::logic_error("Session: open() has not been called");
@@ -102,10 +107,12 @@ OpenOutcome Session::open() {
   CommCtx ctx{*world_, *group_};
   if (!protocol_->open(ctx)) {
     note_session_geometry(*group_, *protocol_);
+    start_scrubber();
     return OpenOutcome::kFresh;
   }
   const RestoreStats stats = protocol_->restore(ctx);
   note_session_geometry(*group_, *protocol_);
+  start_scrubber();
   last_restore_ = stats;
   record_restore_telemetry(stats);
   telemetry::forensics::RestoreNote note;
@@ -117,9 +124,26 @@ OpenOutcome Session::open() {
   return OpenOutcome::kRestored;
 }
 
+void Session::start_scrubber() {
+  if (scrub_interval_s_ <= 0.0) return;
+  Scrubber::Options options;
+  options.interval_s = scrub_interval_s_;
+  scrubber_ = std::make_unique<Scrubber>(*protocol_, options);
+  if (engine_ != nullptr) {
+    engine_->set_commit_exclusion(&scrubber_->commit_exclusion());
+  }
+  scrubber_->start();
+}
+
 CommitStats Session::commit() {
   require_open();
   drain();
+  // Exclude the scrubber while the state machine rewrites the sealed
+  // buffers it verifies.
+  std::unique_lock<std::mutex> scrub_lock;
+  if (scrubber_ != nullptr) {
+    scrub_lock = std::unique_lock(scrubber_->commit_exclusion());
+  }
   const CommitStats stats = protocol_->commit({*world_, *group_});
   record_commit_telemetry(stats);
   telemetry::forensics::recorder().note_commit(

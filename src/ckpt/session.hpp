@@ -38,6 +38,7 @@
 #include "ckpt/async_engine.hpp"
 #include "ckpt/factory.hpp"
 #include "ckpt/protocol.hpp"
+#include "ckpt/scrubber.hpp"
 #include "mpi/comm.hpp"
 
 namespace skt::ckpt {
@@ -63,7 +64,9 @@ class SessionBuilder {
   SessionBuilder& data_bytes(std::size_t n) { params_.data_bytes = n; return *this; }
   SessionBuilder& user_bytes(std::size_t n) { params_.user_bytes = n; return *this; }
   SessionBuilder& codec(enc::CodecKind c) { params_.codec = c; return *this; }
-  /// Self-checkpoint only: 1 = single erasure (default), 2 = dual.
+  /// Group-coded strategies: 1 = single erasure (default); m >= 2 keeps
+  /// RS(k, m) wide-stripe parity so each group survives m concurrent
+  /// losses. Requires group size >= m + 2.
   SessionBuilder& parity_degree(int d) { params_.parity_degree = d; return *this; }
   SessionBuilder& key_prefix(std::string p) { params_.key_prefix = std::move(p); return *this; }
   /// Durable store; required for Strategy::kBlcr and level2_flush_every.
@@ -81,6 +84,10 @@ class SessionBuilder {
   /// > 0 wraps the strategy in MultiLevelCheckpoint flushing to the vault
   /// every N commits (SCR/FTI-style level 2).
   SessionBuilder& level2_flush_every(int n) { level2_flush_every_ = n; return *this; }
+  /// > 0 starts a background scrubber on open(): a low-priority thread
+  /// re-verifying the CRC32C of every sealed checkpoint buffer each
+  /// `seconds`, repairing mirror-backed corruption in place (scrubber.hpp).
+  SessionBuilder& scrub_interval(double seconds) { scrub_interval_s_ = seconds; return *this; }
 
   /// Collective. `world` must outlive the Session.
   [[nodiscard]] Session build(mpi::Comm& world) const;
@@ -92,6 +99,7 @@ class SessionBuilder {
   std::optional<mpi::Comm> group_;
   CommitMode mode_ = CommitMode::kSync;
   int level2_flush_every_ = 0;
+  double scrub_interval_s_ = 0.0;
 };
 
 class Session {
@@ -161,21 +169,31 @@ class Session {
   /// that need strategy-specific calls (e.g. incremental dirty marking).
   [[nodiscard]] CheckpointProtocol& protocol() { return *protocol_; }
 
+  /// The background scrubber, or nullptr when scrub_interval was not set.
+  /// Started by open(); tests can call scrubber()->scrub_now() for a
+  /// deterministic pass.
+  [[nodiscard]] Scrubber* scrubber() { return scrubber_.get(); }
+
  private:
   friend class SessionBuilder;
   Session(mpi::Comm& world, std::unique_ptr<mpi::Comm> group,
           std::unique_ptr<CheckpointProtocol> protocol,
-          std::unique_ptr<AsyncCommitEngine> engine, CommitMode mode);
+          std::unique_ptr<AsyncCommitEngine> engine, CommitMode mode,
+          double scrub_interval_s);
 
   void require_open() const;
+  void start_scrubber();
 
   mpi::Comm* world_;                             // borrowed; outlives the Session
   std::unique_ptr<mpi::Comm> group_;             // owned encoding group
   std::unique_ptr<CheckpointProtocol> protocol_;
-  // Declared after protocol_/group_ so the worker is joined before the
-  // protocol and comms it uses are destroyed.
+  // Teardown order (reverse of declaration): the engine joins its worker
+  // first — it borrows the scrubber's exclusion mutex and the protocol —
+  // then the scrubber stops its thread, then the protocol and comms go.
+  std::unique_ptr<Scrubber> scrubber_;
   std::unique_ptr<AsyncCommitEngine> engine_;
   CommitMode mode_;
+  double scrub_interval_s_ = 0.0;
   bool opened_ = false;
   std::optional<RestoreStats> last_restore_;
 };

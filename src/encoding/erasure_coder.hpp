@@ -5,11 +5,13 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "encoding/codec.hpp"
 #include "encoding/dual_parity.hpp"
 #include "encoding/group_codec.hpp"
+#include "encoding/rs_group.hpp"
 
 namespace skt::enc {
 
@@ -85,7 +87,13 @@ class SingleParityCoder final : public ErasureCoder {
                std::span<std::byte> redundancy) const override {
     if (missing.empty()) return;
     if (missing.size() > 1) {
-      throw std::invalid_argument("SingleParityCoder: one erasure at most");
+      // Never fall back to rebuilding missing.front() alone: a single-
+      // parity group handed a multi-erasure set would return silently
+      // wrong bytes, which is strictly worse than aborting the restore.
+      throw std::invalid_argument(
+          "SingleParityCoder: " + std::to_string(missing.size()) +
+          " concurrent erasures exceed the single-parity budget (max 1); refusing to "
+          "rebuild from partial data");
     }
     codec_.rebuild(group, missing.front(), data, redundancy);
   }
@@ -133,8 +141,46 @@ class DualParityCoder final : public ErasureCoder {
   DualParityGroupCodec codec_;
 };
 
-/// parity_degree 1 -> SingleParityCoder (with `kind`); 2 -> DualParityCoder
-/// (always GF/XOR-based).
+/// General RS(k, m) coder over GF(2^8): m = parity_count simultaneous
+/// erasures, k = group_size - m data stripes per member. For m == 2 the
+/// outputs are bit-identical to DualParityCoder.
+class RSCoder final : public ErasureCoder {
+ public:
+  RSCoder(std::size_t data_bytes, int group_size, int parity_count)
+      : codec_(data_bytes, group_size, parity_count) {}
+
+  [[nodiscard]] std::size_t padded_bytes() const override { return codec_.padded_bytes(); }
+  [[nodiscard]] std::size_t redundancy_bytes() const override {
+    return codec_.parity_bytes();
+  }
+  [[nodiscard]] int max_failures() const override { return codec_.parity_count(); }
+  [[nodiscard]] std::size_t stripe_bytes() const override { return codec_.stripe_bytes(); }
+
+  void encode(mpi::Comm& group, std::span<const std::byte> data,
+              std::span<std::byte> redundancy) const override {
+    codec_.encode(group, data, redundancy);
+  }
+  void encode_delta(mpi::Comm& group, std::span<const std::byte> base,
+                    std::span<const std::byte> next, std::span<const std::byte> old_redundancy,
+                    std::span<std::byte> redundancy,
+                    std::span<const std::uint8_t> dirty) const override {
+    codec_.encode_delta(group, base, next, old_redundancy, redundancy, dirty);
+  }
+  void rebuild(mpi::Comm& group, std::span<const int> missing, std::span<std::byte> data,
+               std::span<std::byte> redundancy) const override {
+    codec_.rebuild(group, missing, data, redundancy);
+  }
+  [[nodiscard]] bool verify(mpi::Comm& group, std::span<const std::byte> data,
+                            std::span<const std::byte> redundancy) const override {
+    return codec_.verify(group, data, redundancy);
+  }
+
+ private:
+  RSGroupCodec codec_;
+};
+
+/// parity_degree 1 -> SingleParityCoder (with `kind`); >= 2 -> RSCoder
+/// (always GF/XOR-based; degree 2 is bit-identical to DualParityCoder).
 [[nodiscard]] inline std::unique_ptr<ErasureCoder> make_coder(int parity_degree,
                                                               CodecKind kind,
                                                               std::size_t data_bytes,
@@ -142,10 +188,10 @@ class DualParityCoder final : public ErasureCoder {
   if (parity_degree == 1) {
     return std::make_unique<SingleParityCoder>(kind, data_bytes, group_size);
   }
-  if (parity_degree == 2) {
-    return std::make_unique<DualParityCoder>(data_bytes, group_size);
+  if (parity_degree >= 2) {
+    return std::make_unique<RSCoder>(data_bytes, group_size, parity_degree);
   }
-  throw std::invalid_argument("make_coder: parity_degree must be 1 or 2");
+  throw std::invalid_argument("make_coder: parity_degree must be >= 1");
 }
 
 }  // namespace skt::enc

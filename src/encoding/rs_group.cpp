@@ -1,0 +1,367 @@
+#include "encoding/rs_group.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "encoding/gf256.hpp"
+#include "encoding/kernels.hpp"
+#include "util/aligned.hpp"
+
+namespace skt::enc {
+namespace {
+
+constexpr mpi::Tag kTagRebuiltStripe = 9002;
+
+std::span<std::uint8_t> as_u8(std::span<std::byte> s) {
+  return {reinterpret_cast<std::uint8_t*>(s.data()), s.size()};
+}
+std::span<const std::uint8_t> as_u8(std::span<const std::byte> s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+void xor_reduce(mpi::Comm& group, int root, std::span<const std::byte> in,
+                std::span<std::byte> out) {
+  const std::span<const std::uint64_t> in64{
+      reinterpret_cast<const std::uint64_t*>(in.data()), in.size() / sizeof(std::uint64_t)};
+  const std::span<std::uint64_t> out64{reinterpret_cast<std::uint64_t*>(out.data()),
+                                       out.size() / sizeof(std::uint64_t)};
+  group.reduce<std::uint64_t>(root, in64, out64, mpi::BXor{});
+}
+
+/// In-place Gauss-Jordan inverse of an n x n GF(2^8) matrix. Singular
+/// input throws — the callers only ever pass square submatrices of a
+/// Cauchy generator, which are invertible by construction.
+std::vector<std::uint8_t> gf_invert(std::vector<std::uint8_t> work, std::size_t n) {
+  std::vector<std::uint8_t> inv(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) inv[i * n + i] = 1;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n && work[pivot * n + col] == 0) ++pivot;
+    if (pivot == n) throw std::logic_error("RSGroupCodec: singular rebuild system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work[pivot * n + c], work[col * n + c]);
+        std::swap(inv[pivot * n + c], inv[col * n + c]);
+      }
+    }
+    const std::uint8_t piv_inv = gf256::inv(work[col * n + col]);
+    for (std::size_t c = 0; c < n; ++c) {
+      work[col * n + c] = gf256::mul(work[col * n + c], piv_inv);
+      inv[col * n + c] = gf256::mul(inv[col * n + c], piv_inv);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work[r * n + col];
+      if (factor == 0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        work[r * n + c] ^= gf256::mul(factor, work[col * n + c]);
+        inv[r * n + c] ^= gf256::mul(factor, inv[col * n + c]);
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace
+
+RSGroupCodec::RSGroupCodec(std::size_t data_bytes, int group_size, int parity_count)
+    : data_bytes_(data_bytes),
+      group_size_(group_size),
+      parity_count_(parity_count),
+      rs_(std::max(group_size - parity_count, 1), std::max(parity_count, 1)) {
+  if (parity_count < 1) {
+    throw std::invalid_argument("RSGroupCodec: parity_count must be >= 1");
+  }
+  if (group_size < parity_count + 2) {
+    throw std::invalid_argument("RSGroupCodec: group size must be >= parity_count + 2");
+  }
+  const auto stripes = static_cast<std::size_t>(group_size - parity_count);
+  const std::size_t raw = (data_bytes + stripes - 1) / stripes;
+  // Same padding rule as the dual-parity codec: stripes start on the
+  // cache-line / vector-register boundary so every GF multiply-accumulate
+  // runs aligned.
+  stripe_bytes_ = (raw + util::kBufferAlign - 1) / util::kBufferAlign * util::kBufferAlign;
+  if (stripe_bytes_ == 0) stripe_bytes_ = util::kBufferAlign;
+}
+
+bool RSGroupCodec::contributes(int p, int f) const {
+  for (int j = 0; j < parity_count_; ++j) {
+    if (p == (f + j) % group_size_) return false;
+  }
+  return true;
+}
+
+std::size_t RSGroupCodec::stripe_index(int p, int f) const {
+  if (!contributes(p, f)) {
+    throw std::invalid_argument("RSGroupCodec: member holds parity for this family");
+  }
+  // Member p is excluded from the m families whose parity rows it owns:
+  // (p - j + N) % N for j < m.
+  int idx = f;
+  for (int j = 0; j < parity_count_; ++j) {
+    const int ex = (p - j + group_size_) % group_size_;
+    if (ex < f) --idx;
+  }
+  return static_cast<std::size_t>(idx);
+}
+
+int RSGroupCodec::contributor_index(int p, int f) const {
+  if (!contributes(p, f)) {
+    throw std::invalid_argument("RSGroupCodec: not a contributor");
+  }
+  int idx = p;
+  for (int j = 0; j < parity_count_; ++j) {
+    const int ex = (f + j) % group_size_;
+    if (ex < p) --idx;
+  }
+  return idx;
+}
+
+std::uint8_t RSGroupCodec::coefficient(int row, int p, int f) const {
+  return rs_.coefficient(row, contributor_index(p, f));
+}
+
+void RSGroupCodec::check_args(const mpi::Comm& group, std::size_t data_size,
+                              std::size_t parity_size) const {
+  if (group.size() != group_size_) {
+    throw std::invalid_argument("RSGroupCodec: communicator size != group size");
+  }
+  if (data_size != padded_bytes() || parity_size != parity_bytes()) {
+    throw std::invalid_argument("RSGroupCodec: bad buffer sizes");
+  }
+}
+
+void RSGroupCodec::reduce_family(mpi::Comm& group, int f, int row,
+                                 std::span<const std::byte> data,
+                                 const std::vector<int>& skip, int root,
+                                 std::span<std::byte> out) const {
+  const int me = group.rank();
+  util::AlignedBytes scratch(stripe_bytes_, std::byte{0});
+  if (contributes(me, f) && std::find(skip.begin(), skip.end(), me) == skip.end()) {
+    const std::span<const std::byte> mine =
+        data.subspan(stripe_index(me, f) * stripe_bytes_, stripe_bytes_);
+    gf256::mul_acc(as_u8(std::span<std::byte>(scratch)), as_u8(mine),
+                   coefficient(row, me, f));
+  }
+  xor_reduce(group, root, scratch, out);
+}
+
+void RSGroupCodec::encode(mpi::Comm& group, std::span<const std::byte> data,
+                          std::span<std::byte> parity) const {
+  check_args(group, data.size(), parity.size());
+  const int me = group.rank();
+  const int n = group_size_;
+  // One reduce-scatter per parity row instead of one reduce per (family,
+  // row). The scatter delivers block b to rank b; row j maps family f to
+  // block (f + j) % n — exactly the member holding that parity slot. Each
+  // member pre-multiplies its stripes by the row coefficients into a
+  // scratch contribution buffer; XOR over GF(2^8) products is exactly the
+  // Reed-Solomon sum.
+  util::AlignedBytes scratch(static_cast<std::size_t>(n) * stripe_bytes_);
+  std::vector<std::span<const std::uint64_t>> blocks(static_cast<std::size_t>(n));
+  const auto block_of = [&](int b) {
+    return std::span<std::byte>(scratch.data() + static_cast<std::size_t>(b) * stripe_bytes_,
+                                stripe_bytes_);
+  };
+  for (int row = 0; row < parity_count_; ++row) {
+    std::memset(scratch.data(), 0, scratch.size());
+    for (int f = 0; f < n; ++f) {
+      const int b = (f + row) % n;
+      if (contributes(me, f)) {
+        const std::span<const std::byte> mine =
+            data.subspan(stripe_index(me, f) * stripe_bytes_, stripe_bytes_);
+        gf256::mul_acc(as_u8(block_of(b)), as_u8(mine), coefficient(row, me, f));
+      }
+      blocks[static_cast<std::size_t>(b)] = {
+          reinterpret_cast<const std::uint64_t*>(block_of(b).data()),
+          stripe_bytes_ / sizeof(std::uint64_t)};
+    }
+    const std::span<std::byte> out =
+        parity.subspan(static_cast<std::size_t>(row) * stripe_bytes_, stripe_bytes_);
+    group.reduce_scatter_blocks<std::uint64_t, mpi::BXor>(
+        blocks,
+        {reinterpret_cast<std::uint64_t*>(out.data()), stripe_bytes_ / sizeof(std::uint64_t)},
+        mpi::BXor{});
+  }
+}
+
+void RSGroupCodec::encode_delta(mpi::Comm& group, std::span<const std::byte> base,
+                                std::span<const std::byte> next,
+                                std::span<const std::byte> old_parity,
+                                std::span<std::byte> parity,
+                                std::span<const std::uint8_t> dirty) const {
+  check_args(group, next.size(), parity.size());
+  if (base.size() != next.size() || old_parity.size() != parity.size()) {
+    throw std::invalid_argument("RSGroupCodec::encode_delta: buffer size mismatch");
+  }
+  const int n = group_size_;
+  const int me = group.rank();
+  if (dirty.size() != static_cast<std::size_t>(n - parity_count_)) {
+    throw std::invalid_argument(
+        "RSGroupCodec::encode_delta: dirty flags must cover all stripes");
+  }
+
+  std::vector<std::uint8_t> family_dirty(static_cast<std::size_t>(n), 0);
+  for (int f = 0; f < n; ++f) {
+    if (contributes(me, f)) family_dirty[static_cast<std::size_t>(f)] = dirty[stripe_index(me, f)];
+  }
+  std::vector<std::uint8_t> global_dirty(static_cast<std::size_t>(n));
+  group.allreduce<std::uint8_t>(family_dirty, global_dirty, mpi::Max{});
+  int dirty_families = 0;
+  for (std::uint8_t d : global_dirty) dirty_families += d;
+  if (2 * dirty_families >= n) {
+    encode(group, next, parity);
+    return;
+  }
+
+  if (parity.data() != old_parity.data()) {
+    std::memcpy(parity.data(), old_parity.data(), parity.size());
+  }
+  util::AlignedBytes diff(stripe_bytes_);
+  util::AlignedBytes scratch(stripe_bytes_);
+  util::AlignedBytes reduced(stripe_bytes_);
+  for (int f = 0; f < n; ++f) {
+    if (!global_dirty[static_cast<std::size_t>(f)]) continue;
+    const bool mine_dirty = contributes(me, f) && dirty[stripe_index(me, f)] != 0;
+    if (mine_dirty) {
+      kernels::xor_delta(diff, base.subspan(stripe_index(me, f) * stripe_bytes_, stripe_bytes_),
+                         next.subspan(stripe_index(me, f) * stripe_bytes_, stripe_bytes_));
+    }
+    for (int row = 0; row < parity_count_; ++row) {
+      const int owner = parity_owner(row, f);
+      std::memset(scratch.data(), 0, stripe_bytes_);
+      if (mine_dirty) {
+        kernels::gf256_mul_acc(as_u8(std::span<std::byte>(scratch)),
+                               as_u8(std::span<const std::byte>(diff)),
+                               coefficient(row, me, f));
+      }
+      xor_reduce(group, owner, scratch,
+                 me == owner ? std::span<std::byte>(reduced) : std::span<std::byte>{});
+      if (me == owner) {
+        kernels::xor_acc(
+            parity.subspan(static_cast<std::size_t>(row) * stripe_bytes_, stripe_bytes_),
+            reduced);
+      }
+    }
+  }
+}
+
+void RSGroupCodec::rebuild(mpi::Comm& group, std::span<const int> failed,
+                           std::span<std::byte> data, std::span<std::byte> parity) const {
+  check_args(group, data.size(), parity.size());
+  if (failed.empty()) return;
+  std::vector<int> lost(failed.begin(), failed.end());
+  std::sort(lost.begin(), lost.end());
+  lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
+  if (static_cast<int>(lost.size()) > parity_count_) {
+    throw std::invalid_argument("RSGroupCodec: at most parity_count failures recoverable");
+  }
+  for (int m : lost) {
+    if (m < 0 || m >= group_size_) {
+      throw std::invalid_argument("RSGroupCodec: bad member index");
+    }
+  }
+
+  const int me = group.rank();
+  const auto is_lost = [&](int p) {
+    return std::find(lost.begin(), lost.end(), p) != lost.end();
+  };
+  // Syndrome reduces use the parity owners' stored stripes as additional
+  // contributions: P_j xor sum(surviving c_j*D) = sum(lost c_j*D).
+  const auto reduce_syndrome = [&](int f, int row, int root, std::span<std::byte> out) {
+    const int owner = parity_owner(row, f);
+    util::AlignedBytes scratch(stripe_bytes_, std::byte{0});
+    if (contributes(me, f) && !is_lost(me)) {
+      const std::span<const std::byte> mine =
+          data.subspan(stripe_index(me, f) * stripe_bytes_, stripe_bytes_);
+      gf256::mul_acc(as_u8(std::span<std::byte>(scratch)), as_u8(mine),
+                     coefficient(row, me, f));
+    } else if (me == owner) {
+      std::memcpy(scratch.data(),
+                  parity.data() + static_cast<std::size_t>(row) * stripe_bytes_, stripe_bytes_);
+    }
+    xor_reduce(group, root, scratch, out);
+  };
+
+  for (int f = 0; f < group_size_; ++f) {
+    // Partition this family's losses: contributors to re-solve vs parity
+    // rows to re-reduce. A member is one or the other, never both, so
+    // lost contributors + lost rows <= m and enough surviving rows exist.
+    std::vector<int> lost_data;
+    std::vector<int> lost_rows;
+    std::vector<int> live_rows;
+    for (int m : lost) {
+      if (contributes(m, f)) lost_data.push_back(m);
+    }
+    for (int row = 0; row < parity_count_; ++row) {
+      (is_lost(parity_owner(row, f)) ? lost_rows : live_rows).push_back(row);
+    }
+
+    // Phase A: reconstruct lost data stripes of this family by solving an
+    // L x L Cauchy subsystem against L surviving parity rows at the first
+    // lost contributor, which then ships the other rebuilt stripes out.
+    const std::size_t L = lost_data.size();
+    if (L > 0) {
+      const int x = lost_data.front();
+      std::vector<std::vector<std::byte>> syndromes(L);
+      for (std::size_t a = 0; a < L; ++a) {
+        if (me == x) syndromes[a].resize(stripe_bytes_);
+        reduce_syndrome(f, live_rows[a], x, syndromes[a]);
+      }
+      if (me == x) {
+        // A[a][b] = c_{row_a}(x_b); D = A^-1 * S.
+        std::vector<std::uint8_t> system(L * L);
+        for (std::size_t a = 0; a < L; ++a) {
+          for (std::size_t b = 0; b < L; ++b) {
+            system[a * L + b] = coefficient(live_rows[a], lost_data[b], f);
+          }
+        }
+        const std::vector<std::uint8_t> inv = gf_invert(std::move(system), L);
+        std::vector<std::byte> rebuilt(stripe_bytes_);
+        for (std::size_t b = 0; b < L; ++b) {
+          std::memset(rebuilt.data(), 0, stripe_bytes_);
+          for (std::size_t a = 0; a < L; ++a) {
+            gf256::mul_acc(as_u8(std::span<std::byte>(rebuilt)),
+                           as_u8(std::span<const std::byte>(syndromes[a])), inv[b * L + a]);
+          }
+          const int member = lost_data[b];
+          if (member == x) {
+            std::memcpy(data.data() + stripe_index(x, f) * stripe_bytes_, rebuilt.data(),
+                        stripe_bytes_);
+          } else {
+            group.send<std::byte>(member, kTagRebuiltStripe, rebuilt);
+          }
+        }
+      } else if (is_lost(me) && contributes(me, f)) {
+        const std::span<std::byte> slot =
+            data.subspan(stripe_index(me, f) * stripe_bytes_, stripe_bytes_);
+        group.recv<std::byte>(x, kTagRebuiltStripe, slot);
+      }
+    }
+
+    // Phase B: recompute any lost parity stripes from the (now complete)
+    // data contributors.
+    for (const int row : lost_rows) {
+      const int owner = parity_owner(row, f);
+      reduce_family(group, f, row, data, {}, owner,
+                    me == owner
+                        ? parity.subspan(static_cast<std::size_t>(row) * stripe_bytes_,
+                                         stripe_bytes_)
+                        : std::span<std::byte>{});
+    }
+  }
+}
+
+bool RSGroupCodec::verify(mpi::Comm& group, std::span<const std::byte> data,
+                          std::span<const std::byte> parity) const {
+  check_args(group, data.size(), parity.size());
+  util::AlignedBytes recomputed(parity_bytes());
+  // encode() writes only this member's slots; compare locally afterwards.
+  encode(group, data, recomputed);
+  const std::uint8_t ok =
+      std::memcmp(recomputed.data(), parity.data(), parity_bytes()) == 0 ? 1 : 0;
+  return group.allreduce_value<std::uint8_t>(ok, mpi::Min{}) == 1;
+}
+
+}  // namespace skt::enc

@@ -1,0 +1,113 @@
+// RS(k, m) wide-stripe group encoding — the general multi-erasure upgrade
+// of the single-parity (Fig. 1) and dual-parity (RAID-6) group codecs.
+//
+// Layout, generalizing dual_parity.hpp: a group of N >= m+2 members forms
+// N parity families. Family f keeps m parity stripes, one per generator
+// row; row j's stripe lives on member (f + j) % N. A member therefore
+// owns parity for exactly the m families {(me - j + N) % N : j < m} and
+// contributes one data stripe to each of the remaining k = N - m
+// families, so its payload splits into k stripes and its parity buffer
+// holds m stripes — overhead m/k of the payload, and ANY m member losses
+// are recoverable from the k survivors.
+//
+// Parity rows are rows 0..m-1 of the Cauchy Reed-Solomon generator over
+// GF(2^8) (reed_solomon.hpp): every square submatrix of a Cauchy matrix
+// is invertible, so any L <= m lost contributors of a family yield an
+// L x L solvable system against the L surviving parity rows.
+//
+// With m == 2 the family layout, coefficients, and wire schedule reduce
+// exactly to DualParityGroupCodec; the outputs are bit-identical (a
+// property test in test_encoding.cpp holds the two implementations
+// together).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "encoding/reed_solomon.hpp"
+#include "mpi/comm.hpp"
+
+namespace skt::enc {
+
+class RSGroupCodec {
+ public:
+  /// `data_bytes` payload per member; `group_size` N >= parity_count + 2;
+  /// `parity_count` m >= 1 simultaneous losses to tolerate.
+  RSGroupCodec(std::size_t data_bytes, int group_size, int parity_count);
+
+  [[nodiscard]] int group_size() const { return group_size_; }
+  [[nodiscard]] int parity_count() const { return parity_count_; }
+  [[nodiscard]] std::size_t stripe_bytes() const { return stripe_bytes_; }
+
+  /// Padded payload buffer size: k = N - m stripes.
+  [[nodiscard]] std::size_t padded_bytes() const {
+    return stripe_bytes_ * static_cast<std::size_t>(group_size_ - parity_count_);
+  }
+
+  /// Per-member parity buffer: slot j (of m) holds the row-j parity
+  /// stripe of family (rank - j + N) % N.
+  [[nodiscard]] std::size_t parity_bytes() const {
+    return static_cast<std::size_t>(parity_count_) * stripe_bytes_;
+  }
+
+  /// Collective: compute all m parity stripes of every family — one ring
+  /// reduce-scatter pass per generator row.
+  void encode(mpi::Comm& group, std::span<const std::byte> data,
+              std::span<std::byte> parity) const;
+
+  /// Collective delta re-encode: `dirty` flags this member's stripes
+  /// (k entries, indexed by stripe_index) that may differ between `base`
+  /// and `next`. All m parity rows of each dirty family are updated from
+  /// the GF(2^8)-weighted stripe diffs folded into `old_parity`
+  /// (P' = P ^ sum c_i * (old_i ^ new_i)); clean families copy through
+  /// with no traffic. Result is bit-identical to encode(next). Falls back
+  /// to the full m-pass reduce-scatter encode when at least half the
+  /// families are dirty. The dirty set is allreduced internally.
+  void encode_delta(mpi::Comm& group, std::span<const std::byte> base,
+                    std::span<const std::byte> next, std::span<const std::byte> old_parity,
+                    std::span<std::byte> parity, std::span<const std::uint8_t> dirty) const;
+
+  /// Collective: reconstruct up to m failed members' data + parity.
+  /// Survivors pass intact buffers; failed members' buffer contents are
+  /// rebuilt in place. Throws std::invalid_argument for > m failures.
+  void rebuild(mpi::Comm& group, std::span<const int> failed, std::span<std::byte> data,
+               std::span<std::byte> parity) const;
+
+  /// Collective consistency check (re-encode and compare, AND-reduced).
+  [[nodiscard]] bool verify(mpi::Comm& group, std::span<const std::byte> data,
+                            std::span<const std::byte> parity) const;
+
+  // --- layout helpers (public for tests) --------------------------------
+
+  /// True when member p contributes a data stripe to family f (i.e. p
+  /// owns none of family f's parity rows).
+  [[nodiscard]] bool contributes(int p, int f) const;
+  /// Index of member p's stripe for family f within its padded buffer.
+  [[nodiscard]] std::size_t stripe_index(int p, int f) const;
+  /// Contributor order of member p within family f (coefficient index).
+  [[nodiscard]] int contributor_index(int p, int f) const;
+  /// GF coefficient of contributor p in parity row `row` (0 <= row < m).
+  [[nodiscard]] std::uint8_t coefficient(int row, int p, int f) const;
+  /// Member holding family f's row-`row` parity stripe.
+  [[nodiscard]] int parity_owner(int row, int f) const {
+    return (f + row) % group_size_;
+  }
+
+ private:
+  void check_args(const mpi::Comm& group, std::size_t data_size,
+                  std::size_t parity_size) const;
+  /// Reduce helper: each member contributes coeff * its stripe of family f
+  /// (identity when it is not a contributor); result lands on `root`.
+  void reduce_family(mpi::Comm& group, int f, int row, std::span<const std::byte> data,
+                     const std::vector<int>& skip, int root,
+                     std::span<std::byte> out) const;
+
+  std::size_t data_bytes_;
+  int group_size_;
+  int parity_count_;
+  std::size_t stripe_bytes_;
+  ReedSolomon rs_;
+};
+
+}  // namespace skt::enc

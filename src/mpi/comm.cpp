@@ -185,15 +185,36 @@ void Comm::failpoint(std::string_view name) {
   telemetry::health().heartbeat(world_rank());
   sim::FailureInjector* injector = rt_->injector();
   if (injector == nullptr) return;
-  const std::optional<int> victim = injector->should_kill(name, world_rank());
-  if (!victim.has_value()) return;
-  const int victim_rank = *victim < 0 ? world_rank() : *victim;
+  const std::optional<sim::KillOrder> order = injector->should_kill(name, world_rank());
+  if (!order.has_value()) return;
   // Mark the kill on the triggering rank's trace row before it unwinds, so
   // the exported timeline shows which protocol step the failure landed in.
   telemetry::instant("fail:" + std::string(name));
-  rt_->cluster().power_off(rt_->node_id_of(victim_rank),
-                           "failpoint '" + std::string(name) + "' (triggered by rank " +
-                               std::to_string(world_rank()) + ")");
+  // Resolve the victim set to node ids, expanding a whole-rack order to
+  // every primary node sharing a rack with a named victim — all of them
+  // die in this one instant (the correlated-failure model).
+  std::vector<int> node_ids;
+  for (const int v : order->victim_world_ranks) {
+    node_ids.push_back(rt_->node_id_of(v < 0 ? world_rank() : v));
+  }
+  if (order->whole_rack) {
+    sim::Cluster& cluster = rt_->cluster();
+    std::vector<int> racks;
+    for (const int id : node_ids) racks.push_back(cluster.node(id).rack());
+    for (const int id : cluster.primary_nodes()) {
+      const int rack = cluster.node(id).rack();
+      if (std::find(racks.begin(), racks.end(), rack) != racks.end()) {
+        node_ids.push_back(id);
+      }
+    }
+  }
+  std::sort(node_ids.begin(), node_ids.end());
+  node_ids.erase(std::unique(node_ids.begin(), node_ids.end()), node_ids.end());
+  for (const int id : node_ids) {
+    rt_->cluster().power_off(id, "failpoint '" + std::string(name) +
+                                     "' (triggered by rank " +
+                                     std::to_string(world_rank()) + ")");
+  }
   // Either way the job is aborting; unwind this rank immediately so its
   // state is frozen exactly at the failpoint.
   throw JobAborted("killed/triggered at failpoint '" + std::string(name) + "'");

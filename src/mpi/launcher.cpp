@@ -85,6 +85,13 @@ LaunchResult JobLauncher::run(int nranks, const std::function<void(Comm&)>& fn) 
     if (!pending) return;
     const std::vector<telemetry::forensics::RestoreNote> notes =
         recorder.restores_since(restore_marker);
+    // All members this restore pass rebuilt, so each RebuildInfo can name
+    // the set that was lost concurrently (the wide-stripe RS(k, m) case)
+    // and exclude those members from its peer list.
+    std::vector<int> rebuilt_ranks;
+    for (const telemetry::forensics::RestoreNote& note : notes) {
+      if (note.rebuilt_member) rebuilt_ranks.push_back(note.rank);
+    }
     double restore_s = 0.0;
     for (const telemetry::forensics::RestoreNote& note : notes) {
       pending->restored_epoch = std::max(pending->restored_epoch, note.epoch);
@@ -101,8 +108,16 @@ LaunchResult JobLauncher::run(int nranks, const std::function<void(Comm&)>& fn) 
         rb.stripe_count = geo->stripe_count;
         rb.stripe_bytes = geo->stripe_bytes;
         for (const int m : geo->members) {
-          if (m != note.rank) rb.peers.push_back(m);
+          const bool lost = std::find(rebuilt_ranks.begin(), rebuilt_ranks.end(), m) !=
+                            rebuilt_ranks.end();
+          if (lost) {
+            rb.concurrent_lost.push_back(m);
+          } else {
+            rb.peers.push_back(m);
+          }
         }
+      } else {
+        rb.concurrent_lost.push_back(note.rank);
       }
       pending->rebuilds.push_back(std::move(rb));
     }
@@ -234,6 +249,11 @@ LaunchResult JobLauncher::run(int nranks, const std::function<void(Comm&)>& fn) 
     pm.detect_phi = cycle.detect_phi;
     pm.trace_spans = telemetry::Tracer::instance().collect().size();
     pm.trace_dropped = telemetry::Tracer::instance().total_dropped();
+    auto& metrics = telemetry::metrics();
+    pm.scrub_passes = metrics.counter("scrub.passes").value();
+    pm.scrub_corruption_detected = metrics.counter("scrub.corruption_detected").value();
+    pm.scrub_repaired = metrics.counter("scrub.repaired").value();
+    pm.scrub_unrepaired = metrics.counter("scrub.unrepaired").value();
     pm.timeline.push_back(
         {"detect", cycle.detect_latency_s >= 0.0 ? cycle.detect_latency_s
                                                  : cycle.detect_s});

@@ -17,7 +17,7 @@ void FailureInjector::clear() {
   rules_.clear();
 }
 
-std::optional<int> FailureInjector::should_kill(std::string_view point, int world_rank) {
+std::optional<KillOrder> FailureInjector::should_kill(std::string_view point, int world_rank) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (Armed& armed : rules_) {
     if (armed.done) continue;
@@ -30,7 +30,13 @@ std::optional<int> FailureInjector::should_kill(std::string_view point, int worl
       armed.done = true;
     }
     triggered_.fetch_add(1, std::memory_order_relaxed);
-    return armed.rule.victim_world_rank;
+    KillOrder order;
+    order.victim_world_ranks.push_back(armed.rule.victim_world_rank);
+    order.victim_world_ranks.insert(order.victim_world_ranks.end(),
+                                    armed.rule.extra_victims.begin(),
+                                    armed.rule.extra_victims.end());
+    order.whole_rack = armed.rule.kill_rack;
+    return order;
   }
   return std::nullopt;
 }

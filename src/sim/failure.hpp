@@ -34,6 +34,24 @@ struct FailureRule {
   /// hit interleaving-dependent windows (e.g. "a survivor has already
   /// started overwriting its checkpoint").
   int victim_world_rank = -1;
+  /// Additional world ranks whose nodes die in the SAME instant as the
+  /// victim — the correlated-failure model (shared PDU, blown breaker).
+  /// Entries follow the victim_world_rank convention (-1 = triggering
+  /// rank); duplicates and already-dead nodes are harmless.
+  std::vector<int> extra_victims;
+  /// Escalate to a whole-rack failure: every primary node sharing a rack
+  /// with any resolved victim is powered off in the same instant (top-of-
+  /// rack switch / rack PDU loss). The m-concurrent-death stress test for
+  /// RS(k, m) groups that span racks.
+  bool kill_rack = false;
+};
+
+/// A fired rule, resolved by the caller: which world ranks' nodes die
+/// (possibly several — correlated failure) and whether each victim's whole
+/// rack goes with it.
+struct KillOrder {
+  std::vector<int> victim_world_ranks;  ///< -1 entries = the triggering rank
+  bool whole_rack = false;
 };
 
 class FailureInjector {
@@ -42,9 +60,9 @@ class FailureInjector {
   void clear();
 
   /// Called from rank threads at each failpoint. Engaged exactly when a
-  /// rule fires for this (point, rank); the value is the world rank whose
-  /// node must be powered off (-1 = the caller's own node).
-  std::optional<int> should_kill(std::string_view point, int world_rank);
+  /// rule fires for this (point, rank); the order lists every world rank
+  /// whose node must be powered off (-1 = the caller's own node).
+  std::optional<KillOrder> should_kill(std::string_view point, int world_rank);
 
   [[nodiscard]] std::uint64_t triggered_count() const {
     return triggered_.load(std::memory_order_relaxed);

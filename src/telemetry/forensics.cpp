@@ -13,6 +13,7 @@ void write_geometry(util::JsonWriter& w, const GroupGeometry& g) {
   w.field("strategy", g.strategy);
   w.field("group_index", static_cast<std::int64_t>(g.group_index));
   w.field("group_size", static_cast<std::int64_t>(g.group_size));
+  w.field("parity_count", static_cast<std::int64_t>(g.parity_count));
   w.key("members");
   w.begin_array();
   for (const int m : g.members) w.value(static_cast<std::int64_t>(m));
@@ -32,7 +33,10 @@ void write_geometry(util::JsonWriter& w, const GroupGeometry& g) {
 std::string Postmortem::json() const {
   util::JsonWriter w;
   w.begin_object();
-  w.field("schema", "skt-postmortem-v1");
+  // v2 adds geometry.parity_count, rebuilds[].concurrent_lost, and the
+  // scrub.* block; every v1 field is kept with unchanged meaning, so v1
+  // readers that ignore unknown keys keep working.
+  w.field("schema", "skt-postmortem-v2");
   w.field("name", name);
   w.field("incident", static_cast<std::int64_t>(incident));
   w.field("attempt", static_cast<std::int64_t>(attempt));
@@ -78,6 +82,10 @@ std::string Postmortem::json() const {
     w.begin_array();
     for (const int p : rb.peers) w.value(static_cast<std::int64_t>(p));
     w.end_array();
+    w.key("concurrent_lost");
+    w.begin_array();
+    for (const int r : rb.concurrent_lost) w.value(static_cast<std::int64_t>(r));
+    w.end_array();
     w.end_object();
   }
   w.end_array();
@@ -100,6 +108,13 @@ std::string Postmortem::json() const {
   w.field("last_dirty_fraction", last_dirty_fraction);
   w.field("trace_spans", trace_spans);
   w.field("trace_dropped", trace_dropped);
+  w.key("scrub");
+  w.begin_object();
+  w.field("passes", scrub_passes);
+  w.field("corruption_detected", scrub_corruption_detected);
+  w.field("repaired", scrub_repaired);
+  w.field("unrepaired", scrub_unrepaired);
+  w.end_object();
   w.end_object();
   return w.str();
 }

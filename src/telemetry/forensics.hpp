@@ -39,6 +39,9 @@ struct GroupGeometry {
   std::string strategy;        ///< ckpt::to_string of the strategy
   int group_index = -1;        ///< group ordinal when derivable, else -1
   int group_size = 0;
+  /// Concurrent losses the group's erasure code tolerates (m of RS(k, m);
+  /// 1 for the paper's single-parity layout, 0 for uncoded strategies).
+  int parity_count = 0;
   std::vector<int> members;    ///< world ranks, group order
   std::vector<int> nodes;      ///< node id per member
   std::size_t data_bytes = 0;  ///< protected image per member
@@ -56,6 +59,9 @@ struct RebuildInfo {
   std::size_t stripe_count = 0;
   std::size_t stripe_bytes = 0;
   std::vector<int> peers;       ///< surviving world ranks the data came from
+  /// World ranks rebuilt in the SAME restore (this one included) — the
+  /// concurrently lost set a wide-stripe RS(k, m) decode recovered at once.
+  std::vector<int> concurrent_lost;
 };
 
 /// One Fig. 10 phase of the recovery cycle.
@@ -86,6 +92,12 @@ struct Postmortem {
   double last_dirty_fraction = 1.0;
   std::uint64_t trace_spans = 0;    ///< spans surviving in the rank rings
   std::uint64_t trace_dropped = 0;  ///< spans lost to ring wrap-around
+  /// Background scrubber activity up to the incident (scrub.* counters):
+  /// silent-corruption events the job survived before/while it failed.
+  std::uint64_t scrub_passes = 0;
+  std::uint64_t scrub_corruption_detected = 0;
+  std::uint64_t scrub_repaired = 0;
+  std::uint64_t scrub_unrepaired = 0;
 
   /// The whole record as one JSON document.
   [[nodiscard]] std::string json() const;

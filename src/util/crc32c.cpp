@@ -1,0 +1,35 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace skt::util {
+namespace {
+
+/// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> bytes, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (const std::byte b : bytes) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace skt::util

@@ -1,0 +1,19 @@
+// CRC32C (Castagnoli) — the checksum the scrubber uses to detect silent
+// corruption in sealed checkpoint buffers. Table-driven, byte-at-a-time:
+// the scrubber runs off the critical path at low priority, so portability
+// beats peak throughput here (the SSE4.2 instruction would tie the build
+// to x86 for a background thread that is idle 99% of the time).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace skt::util {
+
+/// CRC32C of `bytes`, seeded with `seed` (pass a previous result to chain
+/// chunks). The empty span returns the seed unchanged.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> bytes,
+                                   std::uint32_t seed = 0);
+
+}  // namespace skt::util

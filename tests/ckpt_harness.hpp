@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -44,6 +45,13 @@ struct CkptAppConfig {
   /// and is verified against it — a protocol that forgets to carry clean
   /// stripes (in S, B, or the parity delta) fails the data check.
   std::size_t hot_bytes = 0;
+  /// > 0 starts the Session's background scrubber at this cadence.
+  double scrub_interval = 0;
+  /// Inject a silent bit flip into a sealed, mirror-backed checkpoint
+  /// region after the iteration-2 commit and require the scrubber to
+  /// detect AND repair it (throws otherwise, failing the job). Needs
+  /// scrub_interval > 0.
+  bool scrub_bitflip = false;
 };
 
 struct LoopState {
@@ -92,6 +100,7 @@ inline void checkpointed_app(mpi::Comm& world, const CkptAppConfig& config) {
                               .device(config.device)
                               .mode(config.mode)
                               .level2_flush_every(config.level2_every)
+                              .scrub_interval(config.scrub_interval)
                               .build(world);
 
   // Partial-write mode: hot prefix rewritten (and annotated) per iteration,
@@ -155,6 +164,34 @@ inline void checkpointed_app(mpi::Comm& world, const CkptAppConfig& config) {
       }
     } catch (const ckpt::Unrecoverable& e) {
       throw std::runtime_error(std::string("unrecoverable during commit: ") + e.what());
+    }
+    if (config.scrub_bitflip && state->iteration == 2 && session.scrubber() != nullptr) {
+      // Silent-data-corruption drill: flip one bit of a sealed, mirror-
+      // backed checksum region between commits. The scrubber must notice
+      // the CRC mismatch against its seal-time baseline and repair the
+      // chunk from the byte-identical twin while the loop keeps running.
+      if (async) session.drain();  // quiesce the worker before touching sealed buffers
+      session.scrubber()->scrub_now();  // baseline this epoch
+      const ckpt::ScrubStats before = session.scrubber()->stats();
+      {
+        // Flip under the commit-exclusion lock so the cadence thread never
+        // observes a torn write (it may be scanning concurrently).
+        std::lock_guard<std::mutex> lock(session.scrubber()->commit_exclusion());
+        for (ckpt::ScrubRegion& region : session.protocol().scrub_view()) {
+          if (region.mirror.empty()) continue;
+          region.bytes[region.bytes.size() / 2] ^= std::byte{0x10};
+          break;
+        }
+      }
+      const ckpt::ScrubStats after_now = session.scrubber()->scrub_now();
+      (void)after_now;
+      const ckpt::ScrubStats after = session.scrubber()->stats();
+      if (after.corruption_detected <= before.corruption_detected) {
+        throw std::runtime_error("scrubber missed the injected bit flip");
+      }
+      if (after.repaired <= before.repaired || after.unrepaired > before.unrepaired) {
+        throw std::runtime_error("scrubber failed to repair the injected bit flip");
+      }
     }
   }
   if (async) session.drain();

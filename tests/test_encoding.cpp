@@ -4,9 +4,12 @@
 #include <vector>
 
 #include "encoding/codec.hpp"
+#include "encoding/dual_parity.hpp"
+#include "encoding/erasure_coder.hpp"
 #include "encoding/gf256.hpp"
 #include "encoding/group_codec.hpp"
 #include "encoding/reed_solomon.hpp"
+#include "encoding/rs_group.hpp"
 #include "encoding/stripes.hpp"
 #include "testing.hpp"
 #include "util/rng.hpp"
@@ -328,6 +331,235 @@ TEST(GroupCodec, ChecksumIsStripeFraction) {
   // Checksum ~= M / (N-1); padding adds at most one lane per stripe.
   EXPECT_NEAR(static_cast<double>(codec.checksum_bytes()),
               static_cast<double>(1 << 20) / 15.0, kLane + 1);
+}
+
+// ------------------------------------------------------- RS(k, m) group ---
+
+/// Every subset of <= m members, erased simultaneously, must rebuild to
+/// the exact pre-loss bytes (data AND parity) from the k survivors.
+class RSGroupErasures
+    : public ::testing::TestWithParam<std::tuple<int /*group size*/, int /*parity m*/>> {};
+
+TEST_P(RSGroupErasures, EveryLossPatternUpToMRebuildsExactly) {
+  const auto [group_size, parity] = GetParam();
+  const std::size_t data_bytes = 700;  // deliberately not stripe-aligned
+  MiniCluster mc(group_size, 0);
+
+  // Enumerate loss masks of size 1..m over the group.
+  for (int mask = 1; mask < (1 << group_size); ++mask) {
+    if (__builtin_popcount(static_cast<unsigned>(mask)) > parity) continue;
+    std::vector<int> lost;
+    for (int p = 0; p < group_size; ++p) {
+      if (mask & (1 << p)) lost.push_back(p);
+    }
+    const auto result = mc.run(group_size, [&](mpi::Comm& world) {
+      const RSGroupCodec codec(data_bytes, world.size(), parity);
+      std::vector<std::byte> data(codec.padded_bytes(), std::byte{0});
+      std::vector<std::byte> parity_buf(codec.parity_bytes());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::byte>(
+            util::element_value(31, static_cast<std::uint64_t>(world.rank()), i) * 255.0);
+      }
+      const std::vector<std::byte> golden_data = data;
+      codec.encode(world, data, parity_buf);
+      const std::vector<std::byte> golden_parity = parity_buf;
+      EXPECT_TRUE(codec.verify(world, data, parity_buf));
+
+      const bool me_lost = (mask & (1 << world.rank())) != 0;
+      if (me_lost) {
+        std::fill(data.begin(), data.end(), std::byte{0xAB});
+        std::fill(parity_buf.begin(), parity_buf.end(), std::byte{0xCD});
+      }
+      codec.rebuild(world, lost, data, parity_buf);
+      EXPECT_EQ(data, golden_data) << "mask " << mask << " rank " << world.rank();
+      EXPECT_EQ(parity_buf, golden_parity) << "mask " << mask << " rank " << world.rank();
+      EXPECT_TRUE(codec.verify(world, data, parity_buf));
+    });
+    ASSERT_TRUE(result.completed) << result.abort_reason << " mask " << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RSGroupErasures,
+                         ::testing::Values(std::make_tuple(4, 2), std::make_tuple(5, 2),
+                                           std::make_tuple(6, 2), std::make_tuple(5, 3),
+                                           std::make_tuple(6, 3), std::make_tuple(6, 4),
+                                           std::make_tuple(4, 1)));
+
+TEST(RSGroup, WideGroupRecoversThreeConcurrentLosses) {
+  // RS(8, 3): the issue's wide-stripe shape. Exhaustive masks would be
+  // slow at N=11, so spot-check worst-case patterns: adjacent members
+  // (shared families), spread members, and parity-heavy picks.
+  const int n = 11;
+  MiniCluster mc(n, 0);
+  const std::vector<std::vector<int>> patterns{
+      {0, 1, 2}, {0, 5, 10}, {3, 4, 5}, {8, 9, 10}, {0, 1, 10}, {2, 6, 7}};
+  for (const auto& lost : patterns) {
+    const auto result = mc.run(n, [&](mpi::Comm& world) {
+      const RSGroupCodec codec(9000, world.size(), 3);
+      std::vector<std::byte> data(codec.padded_bytes());
+      std::vector<std::byte> parity(codec.parity_bytes());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::byte>((i * 131 + static_cast<std::size_t>(world.rank()) * 7) & 0xFF);
+      }
+      const auto golden_data = data;
+      codec.encode(world, data, parity);
+      const auto golden_parity = parity;
+      if (std::find(lost.begin(), lost.end(), world.rank()) != lost.end()) {
+        std::fill(data.begin(), data.end(), std::byte{0xEE});
+        std::fill(parity.begin(), parity.end(), std::byte{0xEE});
+      }
+      codec.rebuild(world, lost, data, parity);
+      EXPECT_EQ(data, golden_data);
+      EXPECT_EQ(parity, golden_parity);
+    });
+    ASSERT_TRUE(result.completed) << result.abort_reason;
+  }
+}
+
+TEST(RSGroup, MoreThanMErasuresThrow) {
+  MiniCluster mc(5, 0);
+  const auto result = mc.run(5, [](mpi::Comm& world) {
+    const RSGroupCodec codec(512, world.size(), 2);
+    std::vector<std::byte> data(codec.padded_bytes());
+    std::vector<std::byte> parity(codec.parity_bytes());
+    const std::vector<int> three{0, 1, 2};
+    EXPECT_THROW(codec.rebuild(world, three, data, parity), std::invalid_argument);
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(RSGroup, RejectsBadShapes) {
+  EXPECT_THROW(RSGroupCodec(64, 3, 2), std::invalid_argument);  // N < m + 2
+  EXPECT_THROW(RSGroupCodec(64, 4, 0), std::invalid_argument);
+  EXPECT_THROW(RSGroupCodec(64, 2, 1), std::invalid_argument);
+}
+
+TEST(RSGroup, LayoutPartitionsFamilies) {
+  const RSGroupCodec codec(1024, 7, 3);
+  for (int p = 0; p < 7; ++p) {
+    int stripes = 0;
+    for (int f = 0; f < 7; ++f) {
+      // p contributes to f exactly when it owns none of f's parity rows.
+      bool owns = false;
+      for (int row = 0; row < 3; ++row) owns |= codec.parity_owner(row, f) == p;
+      EXPECT_EQ(codec.contributes(p, f), !owns);
+      if (codec.contributes(p, f)) {
+        EXPECT_EQ(codec.stripe_index(p, f), static_cast<std::size_t>(stripes));
+        ++stripes;
+      }
+    }
+    EXPECT_EQ(stripes, 4);  // k = N - m
+  }
+  // Contributor indices within a family are a bijection onto 0..k-1.
+  for (int f = 0; f < 7; ++f) {
+    std::vector<bool> seen(4, false);
+    for (int p = 0; p < 7; ++p) {
+      if (!codec.contributes(p, f)) continue;
+      const int idx = codec.contributor_index(p, f);
+      ASSERT_GE(idx, 0);
+      ASSERT_LT(idx, 4);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+      seen[static_cast<std::size_t>(idx)] = true;
+    }
+  }
+}
+
+/// RS with m=2 must be bit-identical to the hand-rolled RAID-6 codec:
+/// same family layout, same Cauchy rows, same reduce-scatter schedule.
+TEST(RSGroup, ParityTwoMatchesDualParityBitExactly) {
+  for (const int n : {4, 5, 8}) {
+    MiniCluster mc(n, 0);
+    const auto result = mc.run(n, [](mpi::Comm& world) {
+      const std::size_t data_bytes = 2048 + 24;
+      const RSGroupCodec rs(data_bytes, world.size(), 2);
+      const DualParityGroupCodec dual(data_bytes, world.size());
+      ASSERT_EQ(rs.padded_bytes(), dual.padded_bytes());
+      ASSERT_EQ(rs.parity_bytes(), dual.parity_bytes());
+      std::vector<std::byte> data(rs.padded_bytes());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::byte>((i * 29 + static_cast<std::size_t>(world.rank())) & 0xFF);
+      }
+      std::vector<std::byte> p_rs(rs.parity_bytes());
+      std::vector<std::byte> p_dual(dual.parity_bytes());
+      rs.encode(world, data, p_rs);
+      dual.encode(world, data, p_dual);
+      EXPECT_EQ(p_rs, p_dual);
+
+      // Delta path too: dirty one stripe and re-encode both ways.
+      std::vector<std::byte> next = data;
+      if (world.rank() == 0) next[3] ^= std::byte{0x5A};
+      std::vector<std::uint8_t> dirty(rs.padded_bytes() / rs.stripe_bytes(), 0);
+      if (world.rank() == 0) dirty[0] = 1;
+      std::vector<std::byte> d_rs(rs.parity_bytes());
+      std::vector<std::byte> d_dual(dual.parity_bytes());
+      rs.encode_delta(world, data, next, p_rs, d_rs, dirty);
+      dual.encode_delta(world, data, next, p_dual, d_dual, dirty);
+      EXPECT_EQ(d_rs, d_dual);
+    });
+    ASSERT_TRUE(result.completed) << result.abort_reason;
+  }
+}
+
+/// Delta re-encode must agree with a from-scratch encode for arbitrary
+/// dirty patterns (here: every rank dirties a different stripe).
+TEST(RSGroup, EncodeDeltaMatchesFullEncode) {
+  const int n = 6;
+  MiniCluster mc(n, 0);
+  const auto result = mc.run(n, [](mpi::Comm& world) {
+    const RSGroupCodec codec(3000, world.size(), 3);
+    const std::size_t stripes = codec.padded_bytes() / codec.stripe_bytes();
+    std::vector<std::byte> base(codec.padded_bytes());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      base[i] = static_cast<std::byte>((i + static_cast<std::size_t>(world.rank()) * 97) & 0xFF);
+    }
+    std::vector<std::byte> old_parity(codec.parity_bytes());
+    codec.encode(world, base, old_parity);
+
+    std::vector<std::byte> next = base;
+    std::vector<std::uint8_t> dirty(stripes, 0);
+    const std::size_t victim = static_cast<std::size_t>(world.rank()) % stripes;
+    if (world.rank() % 2 == 0) {
+      next[victim * codec.stripe_bytes() + 1] ^= std::byte{0x77};
+      dirty[victim] = 1;
+    }
+    std::vector<std::byte> delta_parity(codec.parity_bytes());
+    codec.encode_delta(world, base, next, old_parity, delta_parity, dirty);
+    std::vector<std::byte> full_parity(codec.parity_bytes());
+    codec.encode(world, next, full_parity);
+    EXPECT_EQ(delta_parity, full_parity);
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+// -------------------------------------------------------- erasure coder ---
+
+/// Satellite guarantee: the single-parity adapter must fail loudly when
+/// handed more erasures than the code supports — never quietly rebuild
+/// missing.front() from garbage survivors.
+TEST(ErasureCoder, SingleParityRefusesMultiEraseLoudly) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    const auto coder = make_coder(1, CodecKind::kXor, 512, world.size());
+    std::vector<std::byte> data(coder->padded_bytes());
+    std::vector<std::byte> redundancy(coder->redundancy_bytes());
+    const std::vector<int> two{0, 1};
+    try {
+      coder->rebuild(world, two, data, redundancy);
+      FAIL() << "rebuild with 2 erasures must throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("refusing"), std::string::npos);
+    }
+  });
+  ASSERT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(ErasureCoder, MakeCoderRoutesByParityDegree) {
+  EXPECT_EQ(make_coder(1, CodecKind::kXor, 1024, 6)->max_failures(), 1);
+  EXPECT_EQ(make_coder(2, CodecKind::kXor, 1024, 6)->max_failures(), 2);
+  EXPECT_EQ(make_coder(3, CodecKind::kXor, 1024, 6)->max_failures(), 3);
+  EXPECT_THROW(make_coder(0, CodecKind::kXor, 1024, 6), std::invalid_argument);
+  // Degree 5 needs a group of >= 7.
+  EXPECT_THROW(make_coder(5, CodecKind::kXor, 1024, 6), std::invalid_argument);
 }
 
 TEST(GroupCodec, MismatchedCommSizeThrows) {

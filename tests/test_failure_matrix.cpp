@@ -394,6 +394,210 @@ INSTANTIATE_TEST_SUITE_P(Points, DualParityMatrix,
                            return name;
                          });
 
+// Correlated failures: SEVERAL members of one group die in the SAME
+// instant (shared PDU, blown breaker — one FailureRule with
+// extra_victims), at a protocol step of choice. RS(k, m) groups must
+// absorb up to m such deaths in a single recovery cycle; m + 1 must abort
+// cleanly with the group-loss diagnosis, never restore corrupt data.
+struct CorrelatedCase {
+  const char* name;
+  Strategy strategy;
+  const char* failpoint;
+  int group_size;
+  int parity;
+  std::vector<int> victims;  ///< world ranks, ascending, all in group 0
+  bool recoverable;
+  CommitMode mode = CommitMode::kSync;
+};
+
+class CorrelatedKillMatrix : public ::testing::TestWithParam<CorrelatedCase> {};
+
+TEST_P(CorrelatedKillMatrix, ConcurrentGroupDeathsInOneInstant) {
+  const CorrelatedCase& c = GetParam();
+  const int world = 2 * c.group_size;  // a second group keeps cross-group epoch agreement honest
+  skt::testing::MiniCluster mc(world, c.group_size);
+
+  CkptAppConfig config;
+  config.strategy = c.strategy;
+  config.group_size = c.group_size;
+  config.parity_degree = c.parity;
+  config.iterations = 4;
+  config.data_bytes = 2048;
+  config.mode = c.mode;
+
+  sim::FailureInjector injector;
+  injector.add_rule(
+      {.point = c.failpoint,
+       .world_rank = c.victims.front(),
+       .hit = 2,
+       .repeat = false,
+       .victim_world_rank = c.victims.front(),
+       .extra_victims = {c.victims.begin() + 1, c.victims.end()}});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector,
+                            {.max_restarts = 3, .ranks_per_node = 1});
+  const auto result = launcher.run(world, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+
+  EXPECT_EQ(injector.triggered_count(), 1u) << "failpoint never fired: " << c.failpoint;
+  if (c.recoverable) {
+    EXPECT_TRUE(result.success) << result.failure;
+    // ONE recovery cycle absorbs the whole correlated loss.
+    EXPECT_EQ(result.restarts, 1);
+    ASSERT_EQ(result.postmortems.size(), 1u);
+    const telemetry::Postmortem& pm = result.postmortems.front();
+    EXPECT_EQ(pm.lost_ranks, c.victims);
+    EXPECT_TRUE(pm.recovered);
+    EXPECT_EQ(pm.geometry.parity_count, c.parity);
+    // One rebuild record per lost member, each naming the full
+    // concurrently-lost set it was decoded around.
+    ASSERT_EQ(pm.rebuilds.size(), c.victims.size());
+    for (const telemetry::RebuildInfo& rb : pm.rebuilds) {
+      EXPECT_EQ(rb.concurrent_lost, c.victims);
+      EXPECT_GT(rb.stripe_count, 0u);
+    }
+  } else {
+    EXPECT_FALSE(result.success);
+    // The m+1 overload is DIAGNOSED — a clean abort naming the group
+    // overload in the incident record — never a silent mis-restore.
+    bool diagnosed = false;
+    for (const telemetry::Postmortem& pm : result.postmortems) {
+      if (pm.reason.find("members lost in one group") != std::string::npos) diagnosed = true;
+    }
+    EXPECT_TRUE(diagnosed) << result.failure;
+    EXPECT_FALSE(result.postmortems.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CorrelatedKillMatrix,
+    ::testing::Values(
+        // RS(4, 2): two concurrent deaths in one group, swept over the
+        // commit state machine.
+        CorrelatedCase{"rs4p2_work", Strategy::kSelf, "app.work", 4, 2, {1, 2}, true},
+        CorrelatedCase{"rs4p2_sealed", Strategy::kSelf, "ckpt.sealed", 4, 2, {1, 2}, true},
+        CorrelatedCase{"rs4p2_mid_flush", Strategy::kSelf, "ckpt.mid_flush", 4, 2, {1, 2},
+                       true},
+        CorrelatedCase{
+            "rs4p2_encode_done", Strategy::kSelf, "ckpt.encode_done", 4, 2, {0, 3}, true},
+        // RS(8, 3): three concurrent deaths, adjacent and spread picks.
+        CorrelatedCase{
+            "rs8p3_sealed", Strategy::kSelf, "ckpt.sealed", 8, 3, {1, 2, 3}, true},
+        CorrelatedCase{
+            "rs8p3_mid_flush", Strategy::kSelf, "ckpt.mid_flush", 8, 3, {1, 4, 6}, true},
+        // The other group-coded strategies ride the same substrate.
+        CorrelatedCase{
+            "double_rs4p2", Strategy::kDouble, "ckpt.flushed", 4, 2, {1, 2}, true},
+        CorrelatedCase{"incr_rs4p2_async", Strategy::kSelfIncremental,
+                       "ckpt.async_encode_done", 4, 2, {1, 2}, true,
+                       CommitMode::kAsync},
+        // Negative rows: m + 1 concurrent deaths exceed the code.
+        CorrelatedCase{
+            "rs4p2_three_dead", Strategy::kSelf, "ckpt.sealed", 4, 2, {1, 2, 3}, false},
+        CorrelatedCase{"rs8p3_four_dead", Strategy::kSelf, "ckpt.mid_flush", 8, 3,
+                       {1, 2, 5, 7}, false}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// Whole-rack power loss: with two nodes per rack, rank 1's rack failure
+// takes nodes {0, 1} — two members of group 0 — in one instant. RS(4, 2)
+// absorbs the rack.
+TEST(CorrelatedKillExtra, WholeRackFailureRecovered) {
+  skt::testing::MiniCluster mc(8, 4, {}, /*nodes_per_rack=*/2);
+  CkptAppConfig config;
+  config.strategy = Strategy::kSelf;
+  config.group_size = 4;
+  config.parity_degree = 2;
+  config.iterations = 4;
+  config.data_bytes = 2048;
+
+  sim::FailureInjector injector;
+  injector.add_rule(
+      {.point = "ckpt.sealed", .world_rank = 1, .hit = 2, .repeat = false, .kill_rack = true});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 3});
+  const auto result = launcher.run(8, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  EXPECT_TRUE(result.success) << result.failure;
+  EXPECT_EQ(result.restarts, 1);
+  ASSERT_EQ(result.postmortems.size(), 1u);
+  EXPECT_EQ(result.postmortems.front().lost_ranks, (std::vector<int>{0, 1}));
+}
+
+// ...and a rack loss of m + 1 members is diagnosed, not mis-restored:
+// three nodes per rack puts {0, 1, 2} of a 4-member RS(4, 2) group on one
+// PDU.
+TEST(CorrelatedKillExtra, WholeRackBeyondParityAbortsCleanly) {
+  skt::testing::MiniCluster mc(8, 4, {}, /*nodes_per_rack=*/3);
+  CkptAppConfig config;
+  config.strategy = Strategy::kSelf;
+  config.group_size = 4;
+  config.parity_degree = 2;
+  config.iterations = 4;
+
+  sim::FailureInjector injector;
+  injector.add_rule(
+      {.point = "ckpt.sealed", .world_rank = 1, .hit = 2, .repeat = false, .kill_rack = true});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 3});
+  const auto result = launcher.run(8, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  EXPECT_FALSE(result.success);
+  bool diagnosed = false;
+  for (const telemetry::Postmortem& pm : result.postmortems) {
+    if (pm.reason.find("members lost in one group") != std::string::npos) diagnosed = true;
+  }
+  EXPECT_TRUE(diagnosed) << result.failure;
+}
+
+// Scrub-under-fire: the background scrubber is live (and mid-run repairs
+// an injected silent bit flip — the harness fails the job if it doesn't)
+// while a correlated two-death kill lands. The repair must neither mask
+// nor corrupt the recovery, and the scrub.* counters must surface in the
+// incident's postmortem.
+class ScrubUnderFire : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScrubUnderFire, RepairsBitFlipThenSurvivesCorrelatedKill) {
+  skt::testing::MiniCluster mc(8, 4);
+  CkptAppConfig config;
+  config.strategy = Strategy::kSelf;
+  config.group_size = 4;
+  config.parity_degree = 2;
+  config.iterations = 5;
+  config.data_bytes = 2048;
+  config.scrub_interval = 0.0005;
+  config.scrub_bitflip = true;
+
+  sim::FailureInjector injector;
+  // Fires on the FOURTH visit, after the iteration-2 bit-flip drill.
+  injector.add_rule({.point = GetParam(),
+                     .world_rank = 1,
+                     .hit = 4,
+                     .repeat = false,
+                     .victim_world_rank = 1,
+                     .extra_victims = {2}});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 3});
+  const auto result = launcher.run(8, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  EXPECT_TRUE(result.success) << result.failure;
+  EXPECT_EQ(result.restarts, 1);
+  ASSERT_EQ(result.postmortems.size(), 1u);
+  const telemetry::Postmortem& pm = result.postmortems.front();
+  EXPECT_EQ(pm.lost_ranks, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(pm.recovered);
+  // The incident record carries the scrub evidence: passes ran, the flip
+  // was caught, and every detection was repaired (mirror-backed region).
+  EXPECT_GE(pm.scrub_passes, 1u);
+  EXPECT_GE(pm.scrub_corruption_detected, 1u);
+  EXPECT_GE(pm.scrub_repaired, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, ScrubUnderFire,
+                         ::testing::Values("ckpt.sealed", "ckpt.mid_flush", "app.work"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
 // Two failures in ONE group exceed the single-erasure code: unrecoverable
 // for self-checkpoint...
 TEST(FailureMatrixExtra, TwoFailuresInOneGroupUnrecoverable) {

@@ -114,5 +114,65 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FailureFuzzDual,
                          ::testing::Range<std::uint64_t>(2000, 2020),
                          [](const auto& info) { return "seed" + std::to_string(info.param); });
 
+// Correlated-kill fuzzing against RS(k, m) groups: one rule takes out a
+// random SET of ranks (sometimes a whole rack) in a single instant. Sets
+// of size <= m must be absorbed in one recovery cycle; anything else must
+// fail for a diagnosed reason — never restore corrupt data (the harness
+// verifies the final pattern bit-for-bit on success).
+class FailureFuzzCorrelated : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailureFuzzCorrelated, RandomCorrelatedKillSetsAgainstRSGroups) {
+  const std::uint64_t seed = GetParam();
+  util::Xoshiro256 rng(seed ^ 0x5bf0'3635'dead'beefull);
+
+  const int world = 8;
+  const int parity = 2 + static_cast<int>(rng.next_below(2));       // RS(8,2) or RS(8,3)
+  const int nodes_per_rack = 2 + static_cast<int>(rng.next_below(3));  // 2..4
+  skt::testing::MiniCluster mc(world, 6, {}, nodes_per_rack);
+
+  CkptAppConfig config;
+  config.strategy = Strategy::kSelf;
+  config.parity_degree = parity;
+  config.group_size = 8;
+  config.iterations = 6;
+  config.data_bytes = 1024 + rng.next_below(4096) / 8 * 8;
+  config.seed = seed;
+
+  // One correlated rule: a victim set of 1..m+1 distinct ranks, or the
+  // trigger's whole rack, dying at a random protocol step.
+  sim::FailureInjector injector;
+  sim::FailureRule rule;
+  rule.point = kPoints[rng.next_below(kPoints.size())];
+  rule.hit = 2 + static_cast<int>(rng.next_below(3));
+  const int trigger = static_cast<int>(rng.next_below(world));
+  rule.world_rank = trigger;
+  rule.victim_world_rank = trigger;
+  if (rng.next_below(4) == 0) {
+    rule.kill_rack = true;
+  } else {
+    const int extras = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(parity) + 1));
+    for (int k = 0; k < extras; ++k) {
+      rule.extra_victims.push_back(static_cast<int>(rng.next_below(world)));
+    }
+  }
+  injector.add_rule(rule);
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 3});
+  const auto result = launcher.run(world, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+
+  if (!result.success) {
+    bool legitimate = result.failure.find("spare pool exhausted") != std::string::npos ||
+                      result.failure.find("max restarts") != std::string::npos;
+    for (const telemetry::Postmortem& pm : result.postmortems) {
+      if (pm.reason.find("members lost in one group") != std::string::npos) legitimate = true;
+    }
+    EXPECT_TRUE(legitimate) << "seed " << seed << ": " << result.failure;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureFuzzCorrelated,
+                         ::testing::Range<std::uint64_t>(3000, 3024),
+                         [](const auto& info) { return "seed" + std::to_string(info.param); });
+
 }  // namespace
 }  // namespace skt::ckpt

@@ -154,16 +154,20 @@ TEST_F(MonitorTest, PostmortemJsonMatchesSchema) {
   pm.restored_epoch = 7;
   pm.geometry.strategy = "self-checkpoint";
   pm.geometry.group_size = 4;
+  pm.geometry.parity_count = 2;
   pm.geometry.members = {0, 1, 2, 3};
   pm.geometry.nodes = {0, 1, 2, 3};
   pm.geometry.stripe_count = 3;
-  pm.rebuilds.push_back({3, 7, 0.02, 0, 3, 1024, {0, 1, 2}});
+  pm.rebuilds.push_back({3, 7, 0.02, 0, 3, 1024, {0, 1, 2}, {3}});
   pm.timeline = {{"detect", 0.001}, {"replace", 0.0}, {"restart", 0.0}, {"restore", 0.02}};
   pm.detect_latency_s = 0.001;
   pm.detect_phi = 4.5;
+  pm.scrub_passes = 12;
+  pm.scrub_corruption_detected = 1;
+  pm.scrub_repaired = 1;
 
   const auto doc = testing::json::parse(pm.json());
-  EXPECT_EQ(doc.at("schema").string, "skt-postmortem-v1");
+  EXPECT_EQ(doc.at("schema").string, "skt-postmortem-v2");
   EXPECT_EQ(doc.at("name").string, "unit");
   EXPECT_EQ(doc.at("incident").number, 1.0);
   EXPECT_EQ(doc.at("lost_ranks").at(0).number, 3.0);
@@ -171,13 +175,17 @@ TEST_F(MonitorTest, PostmortemJsonMatchesSchema) {
   EXPECT_EQ(doc.at("committed_epochs").at("3").number, 6.0);
   EXPECT_TRUE(doc.at("recovered").boolean);
   EXPECT_EQ(doc.at("geometry").at("members").size(), 4u);
+  EXPECT_EQ(doc.at("geometry").at("parity_count").number, 2.0);
   const auto& rb = doc.at("rebuilds").at(0);
   EXPECT_EQ(rb.at("rank").number, 3.0);
   EXPECT_EQ(rb.at("stripes").at("count").number, 3.0);
   EXPECT_EQ(rb.at("peers").size(), 3u);
+  EXPECT_EQ(rb.at("concurrent_lost").at(0).number, 3.0);
   ASSERT_EQ(doc.at("timeline").size(), 4u);
   EXPECT_EQ(doc.at("timeline").at(0).at("phase").string, "detect");
   EXPECT_EQ(doc.at("detect_latency_s").number, 0.001);
+  EXPECT_EQ(doc.at("scrub").at("passes").number, 12.0);
+  EXPECT_EQ(doc.at("scrub").at("repaired").number, 1.0);
 }
 
 // ------------------------------------------------------------ aggregator --
@@ -348,7 +356,7 @@ TEST_F(MonitorTest, LauncherAssemblesPostmortemWithMeasuredDetection) {
   ASSERT_TRUE(in.good()) << pm_path << " was not written";
   std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   const auto doc = testing::json::parse(text);
-  EXPECT_EQ(doc.at("schema").string, "skt-postmortem-v1");
+  EXPECT_EQ(doc.at("schema").string, "skt-postmortem-v2");
   EXPECT_EQ(doc.at("name").string, "monitor_test");
   EXPECT_EQ(doc.at("lost_ranks").at(0).number, 1.0);
   EXPECT_GE(doc.at("lost_epoch").number, 1.0);

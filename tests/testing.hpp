@@ -12,10 +12,11 @@
 namespace skt::testing {
 
 struct MiniCluster {
-  explicit MiniCluster(int nodes, int spares = 2, sim::NodeProfile profile = {})
+  explicit MiniCluster(int nodes, int spares = 2, sim::NodeProfile profile = {},
+                       int nodes_per_rack = 4)
       : cluster({.num_nodes = nodes,
                  .spare_nodes = spares,
-                 .nodes_per_rack = 4,
+                 .nodes_per_rack = nodes_per_rack,
                  .profile = profile}) {}
 
   /// Run fn as an nranks job, one rank per node. Asserts completion is up
