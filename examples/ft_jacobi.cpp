@@ -84,7 +84,7 @@ void bitflip_drill(ckpt::Session& session) {
   const ckpt::ScrubStats before = scrubber->stats();
   {
     std::lock_guard<std::mutex> lock(scrubber->commit_exclusion());
-    for (ckpt::ScrubRegion& region : session.protocol().scrub_view()) {
+    for (ckpt::ScrubRegion& region : session.unsafe_protocol().scrub_view()) {
       if (region.mirror.empty()) continue;
       region.bytes[region.bytes.size() / 3] ^= std::byte{0x04};
       break;

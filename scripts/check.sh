@@ -6,8 +6,10 @@
 # reinterprets byte spans as uint64/double lanes, and issues unaligned
 # vector loads — a TSan pass over the async pipeline and monitor, a
 # monitor lane that schema-validates the postmortem a real injected kill
-# produces and gates monitoring overhead, and finally a bench regression
-# gate against the committed micro_encoding baseline.
+# produces and gates monitoring overhead, a multi-tenant lane running the
+# shared StoreService scenario under TSan and schema-checking its store.*
+# gauges, and finally a bench regression gate against the committed
+# micro_encoding baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -108,6 +110,37 @@ jq -e '(.values.scrub_passes > 0)
   && echo "[PASS] $sr shows the flip detected, repaired, and a bit-identical result" \
   || { echo "[FAIL] $sr lacks the scrub-and-repair evidence"; exit 1; }
 (cd build && ./bench/micro_scrub)
+
+echo
+echo "=== multi-tenant lane: StoreService under TSan + store.* gauge schema ==="
+# Four tenants' rank threads, their async commit workers, and an over-
+# quota probe all hammer one StoreService (admission queue, whole-job
+# leases, fair-share turnstile) while a failpoint kills one tenant's node
+# — exactly the interleavings TSan exists to check. The example validates
+# the isolation/quota/recovery/fairness invariants itself and exits
+# nonzero; jq then checks the RunReport carries the per-tenant store.*
+# picture the way an external operator would consume it.
+cmake --build build-tsan -j --target multi_tenant
+rm -rf build/mt-lane && mkdir -p build/mt-lane
+(cd build/mt-lane && ../../build-tsan/examples/multi_tenant --iters 6 \
+  --monitor lane >/dev/null)
+mt=build/mt-lane/lane_report.json
+jq -e '(.metrics.gauges."store.capacity_bytes" > 0)
+       and (.metrics.gauges."store.bytes_in_use" == 0)
+       and (.metrics.gauges."store.tenants" == 5)
+       and (.metrics.gauges."store.fairness_ratio" >= 0.5)
+       and (.metrics.gauges."store.tenant.hpl-a.commits" > 0)
+       and (.metrics.gauges."store.tenant.jacobi-b.commits" > 0)
+       and (.metrics.gauges."store.tenant.accel-c.commits" > 0)
+       and (.metrics.gauges."store.tenant.jacobi-b.committed_bytes" > 0)
+       and (.metrics.gauges."store.tenant.probe-e.commits" == 0)
+       and (.values.jacobi_restarts == 1)
+       and (.values.hpl_restarts == 0)
+       and .values.bystander_bit_identical
+       and .values.probe_rejected
+       and .values.ok' "$mt" >/dev/null \
+  && echo "[PASS] $mt carries the per-tenant store.* gauges and invariants" \
+  || { echo "[FAIL] $mt lacks the multi-tenant evidence"; exit 1; }
 
 echo
 echo "=== bench regression gate: micro_encoding vs committed baseline ==="

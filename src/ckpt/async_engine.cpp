@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "ckpt/store_service.hpp"
 #include "telemetry/forensics.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -138,6 +139,11 @@ void AsyncCommitEngine::run_job(const std::shared_ptr<CommitTicket::State>& stat
   std::exception_ptr error;
   try {
     SKT_SPAN("ckpt.async.pipeline");
+    // Multi-tenant sessions take a fair-share turnstile slot first: the
+    // service serializes commit windows across tenants, so concurrent
+    // jobs' pipelines share the store bandwidth instead of piling up.
+    CommitGate gate(store_service_, tenant_);
+    util::WallTimer commit_timer;
     // Keep the scrubber out of the sealed buffers while the state machine
     // rewrites them (it only try-locks, so this never waits on a pass).
     std::unique_lock<std::mutex> scrub_lock;
@@ -145,6 +151,7 @@ void AsyncCommitEngine::run_job(const std::shared_ptr<CommitTicket::State>& stat
       scrub_lock = std::unique_lock(*commit_exclusion_);
     }
     stats = protocol_.commit_staged({world_, group_});
+    gate.account(stats.checkpoint_bytes + stats.checksum_bytes, commit_timer.seconds());
   } catch (...) {
     error = std::current_exception();
   }

@@ -32,6 +32,8 @@
 
 namespace skt::ckpt {
 
+class StoreService;
+
 /// Completion handle for one asynchronous commit epoch. Copyable; all
 /// copies observe the same completion.
 class CommitTicket {
@@ -99,6 +101,14 @@ class AsyncCommitEngine {
   /// default) disables the exclusion. Set before the first commit_async().
   void set_commit_exclusion(std::mutex* mutex) { commit_exclusion_ = mutex; }
 
+  /// Route the worker's commits through a StoreService's fair-share
+  /// turnstile as `tenant` (multi-tenant sessions; see store_service.hpp).
+  /// `service` must outlive the engine; set before the first commit_async().
+  void set_store_dispatch(StoreService* service, std::string tenant) {
+    store_service_ = service;
+    tenant_ = std::move(tenant);
+  }
+
   /// The last ticket handed out (empty before the first commit_async).
   [[nodiscard]] CommitTicket last_ticket() const;
 
@@ -110,7 +120,9 @@ class AsyncCommitEngine {
   mpi::Comm world_;
   mpi::Comm group_;
   int world_rank_ = 0;
-  std::mutex* commit_exclusion_ = nullptr;  // borrowed from the Session
+  std::mutex* commit_exclusion_ = nullptr;   // borrowed from the Session
+  StoreService* store_service_ = nullptr;    // borrowed; multi-tenant only
+  std::string tenant_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

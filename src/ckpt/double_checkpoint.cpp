@@ -51,10 +51,10 @@ bool DoubleCheckpoint::open(CommCtx ctx) {
   }
 
   for (int p = 0; p < 2; ++p) {
-    ckpt_[p] = store.create(key("B", p), coder_->padded_bytes());
-    check_[p] = store.create(key("C", p), coder_->redundancy_bytes());
+    ckpt_[p] = store.create(key("B", p), coder_->padded_bytes(), params_.owner);
+    check_[p] = store.create(key("C", p), coder_->redundancy_bytes(), params_.owner);
   }
-  header_ = store.create(hdr_key, sizeof(Header));
+  header_ = store.create(hdr_key, sizeof(Header), params_.owner);
 
   const Header mine = load_header(header_);
   const EpochSummary global =

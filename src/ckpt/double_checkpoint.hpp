@@ -41,6 +41,8 @@ class DoubleCheckpoint final : public CheckpointProtocol {
     /// Heap staging buffer for stage()/commit_staged(); recovery never
     /// reads it (the untouched pair covers every failure window).
     bool async_staging = false;
+    /// Owner tag for every created segment (tenant namespace; may be "").
+    std::string owner;
   };
 
   explicit DoubleCheckpoint(Params params);

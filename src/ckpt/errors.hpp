@@ -1,0 +1,70 @@
+// Typed errors of the checkpoint layer's configuration and admission
+// surfaces.
+//
+// ConfigError unifies every SessionBuilder/StoreService misconfiguration
+// behind one type carrying the offending FIELD NAME, so callers (and
+// tests) can assert on which knob was wrong instead of string-matching a
+// zoo of ad-hoc invalid_argument messages. It still derives from
+// std::invalid_argument: pre-existing catch sites keep working.
+//
+// QuotaExceeded is the loud per-tenant admission failure of the
+// StoreService; AdmissionTimeout is its queued-open variant (the open
+// waited for capacity and gave up). Both derive from std::runtime_error —
+// they are runtime conditions of a correctly configured system, not
+// configuration bugs.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace skt::ckpt {
+
+/// A misconfigured builder/service field. `field()` names the knob
+/// (e.g. "group_size", "parity_degree", "tenant").
+class ConfigError : public std::invalid_argument {
+ public:
+  ConfigError(std::string field, const std::string& message)
+      : std::invalid_argument("ckpt config: " + field + ": " + message),
+        field_(std::move(field)) {}
+
+  [[nodiscard]] const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::string field_;
+};
+
+/// A tenant asked for more checkpoint memory than its registered quota
+/// allows. Thrown by StoreService admission before any segment is created.
+class QuotaExceeded : public std::runtime_error {
+ public:
+  QuotaExceeded(std::string tenant, std::size_t requested_bytes, std::size_t limit_bytes,
+                const std::string& what_suffix = "")
+      : std::runtime_error("ckpt store: tenant '" + tenant + "' over quota: requested " +
+                           std::to_string(requested_bytes) + " B against a limit of " +
+                           std::to_string(limit_bytes) + " B" + what_suffix),
+        tenant_(std::move(tenant)),
+        requested_bytes_(requested_bytes),
+        limit_bytes_(limit_bytes) {}
+
+  [[nodiscard]] const std::string& tenant() const noexcept { return tenant_; }
+  [[nodiscard]] std::size_t requested_bytes() const noexcept { return requested_bytes_; }
+  [[nodiscard]] std::size_t limit_bytes() const noexcept { return limit_bytes_; }
+
+ private:
+  std::string tenant_;
+  std::size_t requested_bytes_ = 0;
+  std::size_t limit_bytes_ = 0;
+};
+
+/// A queued open waited for service capacity past the configured admission
+/// timeout (or the service shut down while the open was still queued).
+class AdmissionTimeout : public QuotaExceeded {
+ public:
+  AdmissionTimeout(std::string tenant, std::size_t requested_bytes,
+                   std::size_t capacity_bytes)
+      : QuotaExceeded(std::move(tenant), requested_bytes, capacity_bytes,
+                      " (admission queue timed out)") {}
+};
+
+}  // namespace skt::ckpt

@@ -16,16 +16,17 @@ std::unique_ptr<CheckpointProtocol> make_protocol(Strategy strategy,
     case Strategy::kSelf:
       return std::make_unique<SelfCheckpoint>(
           SelfCheckpoint::Params{params.key_prefix, params.data_bytes, params.user_bytes,
-                                 params.codec, params.parity_degree, params.async_staging});
+                                 params.codec, params.parity_degree, params.async_staging,
+                                 params.owner});
     case Strategy::kSingle:
       return std::make_unique<SingleCheckpoint>(
           SingleCheckpoint::Params{params.key_prefix, params.data_bytes, params.user_bytes,
-                                   params.codec, params.async_staging});
+                                   params.codec, params.async_staging, params.owner});
     case Strategy::kDouble:
       return std::make_unique<DoubleCheckpoint>(
           DoubleCheckpoint::Params{params.key_prefix, params.data_bytes, params.user_bytes,
                                    params.codec, params.parity_degree,
-                                   params.async_staging});
+                                   params.async_staging, params.owner});
     case Strategy::kBlcr:
       return std::make_unique<BlcrCheckpoint>(
           BlcrCheckpoint::Params{params.key_prefix, params.data_bytes, params.user_bytes,
@@ -33,7 +34,7 @@ std::unique_ptr<CheckpointProtocol> make_protocol(Strategy strategy,
     case Strategy::kSelfIncremental:
       return std::make_unique<IncrementalSelfCheckpoint>(IncrementalSelfCheckpoint::Params{
           params.key_prefix, params.data_bytes, params.user_bytes, params.parity_degree,
-          params.async_staging});
+          params.async_staging, params.owner});
     case Strategy::kNone:
       break;
   }

@@ -35,6 +35,11 @@ struct FactoryParams {
   /// so a run cannot restart with a different setting than it committed
   /// with — the header codec field records it.
   bool async_staging = false;
+  /// PersistentStore owner tag for every segment the protocol creates —
+  /// the tenant namespace under a StoreService ("ns/<tenant>/"). Empty for
+  /// single-tenant sessions. A key registered to one owner is refused to
+  /// any other, so cross-tenant collisions fail loudly at open().
+  std::string owner;
 };
 
 /// Strategy::kNone is rejected (there is no protocol object for it).

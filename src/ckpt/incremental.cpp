@@ -86,15 +86,15 @@ bool IncrementalSelfCheckpoint::open(CommCtx ctx) {
 
   const std::size_t padded = codec_ ? codec_->padded_bytes() : rs_->padded_bytes();
   const std::size_t redundancy = codec_ ? codec_->checksum_bytes() : rs_->parity_bytes();
-  work_ = store.create(key("work"), padded);
-  ckpt_b_ = store.create(key("B"), padded);
-  check_c_ = store.create(key("C"), redundancy);
-  check_d_ = store.create(key("D"), redundancy);
+  work_ = store.create(key("work"), padded, params_.owner);
+  ckpt_b_ = store.create(key("B"), padded, params_.owner);
+  check_c_ = store.create(key("C"), redundancy, params_.owner);
+  check_d_ = store.create(key("D"), redundancy, params_.owner);
   if (params_.async_staging) {
-    stage_ = store.create(key("S"), padded);
+    stage_ = store.create(key("S"), padded, params_.owner);
     staged_dirty_.assign(tracker_.stripe_count(), 0);
   }
-  header_ = store.create(hdr_key, sizeof(Header));
+  header_ = store.create(hdr_key, sizeof(Header), params_.owner);
 
   const Header mine = load_header(header_);
   const EpochSummary global =

@@ -52,6 +52,8 @@ class IncrementalSelfCheckpoint final : public CheckpointProtocol {
     /// Allocate the S staging segment and route every encode through it.
     /// Recorded in the checkpoint header; a restart must match.
     bool async_staging = false;
+    /// Owner tag for every created segment (tenant namespace; may be "").
+    std::string owner;
   };
 
   explicit IncrementalSelfCheckpoint(Params params);

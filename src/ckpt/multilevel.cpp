@@ -28,6 +28,7 @@ MultiLevelCheckpoint::MultiLevelCheckpoint(Params params)
   inner.codec = params_.codec;
   inner.parity_degree = params_.parity_degree;
   inner.async_staging = params_.async_staging;
+  inner.owner = params_.owner;
   inner_ = make_protocol(params_.level1, inner);
 }
 

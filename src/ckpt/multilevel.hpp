@@ -43,6 +43,9 @@ class MultiLevelCheckpoint final : public CheckpointProtocol {
     /// Forwarded to the level-1 protocol; the level-2 flush then reads the
     /// staged image instead of the live working buffer.
     bool async_staging = false;
+    /// Owner tag forwarded to the level-1 protocol's segments (tenant
+    /// namespace; may be ""). Vault keys are namespaced via key_prefix.
+    std::string owner;
   };
 
   explicit MultiLevelCheckpoint(Params params);

@@ -1,5 +1,6 @@
 #include "ckpt/plan.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace skt::ckpt {
@@ -64,6 +65,38 @@ double available_fraction_rs(int group_size, int parity_count) {
   const double n = group_size;
   const double m = parity_count;
   return (n - m) / (2.0 * n);
+}
+
+std::size_t estimate_session_bytes(Strategy strategy, std::size_t data_bytes,
+                                   std::size_t user_bytes, int group_size,
+                                   int parity_degree, bool async_staging,
+                                   bool level2) {
+  const double m = static_cast<double>(data_bytes + user_bytes);
+  double total = m;
+  switch (strategy) {
+    case Strategy::kNone:
+      return 0;
+    case Strategy::kBlcr:
+      total = m;  // work buffer only; images live in the vault
+      break;
+    case Strategy::kSingle:
+    case Strategy::kDouble: {
+      const double u = available_fraction(strategy, std::max(2, group_size));
+      total = m / u;
+      break;
+    }
+    case Strategy::kSelf:
+    case Strategy::kSelfIncremental: {
+      const int n = std::max(group_size, parity_degree + 2);
+      const double u = parity_degree > 1 ? available_fraction_rs(n, parity_degree)
+                                         : available_fraction(strategy, std::max(2, n));
+      total = m / u;
+      break;
+    }
+  }
+  if (async_staging) total += m;  // the sealed S staging segment
+  if (level2) total += m / 8.0;   // L2 manifest + transient flush image slack
+  return static_cast<std::size_t>(total) + 4096;  // headers / padding slack
 }
 
 MemoryPlan plan_memory(Strategy strategy, std::size_t capacity_bytes, int group_size) {

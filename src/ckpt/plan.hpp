@@ -66,4 +66,17 @@ struct MemoryPlan {
 [[nodiscard]] MemoryPlan plan_memory(Strategy strategy, std::size_t capacity_bytes,
                                      int group_size);
 
+/// Planning estimate of the PER-RANK persistent-store footprint a Session
+/// with these parameters will allocate at open() — the Table 1 footprint
+/// (M / U for the strategy's available fraction U) plus the async staging
+/// segment and header slack. The StoreService admits a tenant against
+/// this estimate BEFORE the protocol allocates anything, so an over-quota
+/// open fails with zero segments created. `group_size` <= 0 means "one
+/// job-wide group"; pass the world size. `level2` adds multilevel L2
+/// slack.
+[[nodiscard]] std::size_t estimate_session_bytes(Strategy strategy, std::size_t data_bytes,
+                                                 std::size_t user_bytes, int group_size,
+                                                 int parity_degree, bool async_staging,
+                                                 bool level2);
+
 }  // namespace skt::ckpt

@@ -57,12 +57,12 @@ bool SelfCheckpoint::open(CommCtx ctx) {
   tracker_.reset(params_.data_bytes, params_.user_bytes, coder_->stripe_bytes(),
                  coder_->stripe_count());
   staged_dirty_.assign(coder_->stripe_count(), 1);
-  work_ = store.create(key("work"), padded);
-  ckpt_b_ = store.create(key("B"), padded);
-  check_c_ = store.create(key("C"), stripe);
-  check_d_ = store.create(key("D"), stripe);
-  if (params_.async_staging) stage_ = store.create(key("S"), padded);
-  header_ = store.create(hdr_key, sizeof(Header));
+  work_ = store.create(key("work"), padded, params_.owner);
+  ckpt_b_ = store.create(key("B"), padded, params_.owner);
+  check_c_ = store.create(key("C"), stripe, params_.owner);
+  check_d_ = store.create(key("D"), stripe, params_.owner);
+  if (params_.async_staging) stage_ = store.create(key("S"), padded, params_.owner);
+  header_ = store.create(hdr_key, sizeof(Header), params_.owner);
 
   const Header mine = load_header(header_);
   const EpochSummary global =

@@ -51,6 +51,8 @@ class SelfCheckpoint final : public CheckpointProtocol {
     /// (see the header comment). Recorded in the checkpoint header, so a
     /// restart must use the same setting.
     bool async_staging = false;
+    /// Owner tag for every created segment (tenant namespace; may be "").
+    std::string owner;
   };
 
   explicit SelfCheckpoint(Params params);

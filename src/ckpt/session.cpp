@@ -1,11 +1,13 @@
 #include "ckpt/session.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "ckpt/multilevel.hpp"
 #include "ckpt/plan.hpp"
 #include "telemetry/forensics.hpp"
+#include "util/clock.hpp"
 
 namespace skt::ckpt {
 namespace {
@@ -38,9 +40,68 @@ void note_session_geometry(mpi::Comm& group, CheckpointProtocol& protocol) {
 }  // namespace
 
 Session SessionBuilder::build(mpi::Comm& world) const {
-  if (group_size_ > 0 && world.size() % group_size_ != 0) {
-    throw std::invalid_argument("SessionBuilder: group size must divide world size");
+  // Unified configuration validation: every misconfigured knob reports
+  // through ConfigError with its field name, before anything is built.
+  if (params_.data_bytes == 0) {
+    throw ConfigError("data_bytes", "must be > 0");
   }
+  if (group_size_ < 0) {
+    throw ConfigError("group_size", "must be >= 0 (0 = one job-wide group)");
+  }
+  if (group_.has_value() && group_size_ > 0) {
+    throw ConfigError("group_size", "mutually exclusive with group(): pass one, not both");
+  }
+  if (group_size_ > 0 && world.size() % group_size_ != 0) {
+    throw ConfigError("group_size", "must divide the world size (world " +
+                                        std::to_string(world.size()) + ", group size " +
+                                        std::to_string(group_size_) + ")");
+  }
+  if (params_.parity_degree < 1) {
+    throw ConfigError("parity_degree", "must be >= 1");
+  }
+  const int effective_group = group_.has_value() ? group_->size()
+                              : group_size_ > 0  ? group_size_
+                                                 : world.size();
+  const bool group_coded = strategy_ == Strategy::kSelf ||
+                           strategy_ == Strategy::kDouble ||
+                           strategy_ == Strategy::kSelfIncremental;
+  if (group_coded && params_.parity_degree >= 2 &&
+      effective_group < params_.parity_degree + 2) {
+    throw ConfigError("parity_degree",
+                      "RS(k, m) parity needs group size >= parity_degree + 2 (group size " +
+                          std::to_string(effective_group) + ", parity_degree " +
+                          std::to_string(params_.parity_degree) + ")");
+  }
+  if (service_ != nullptr && tenant_.empty()) {
+    throw ConfigError("tenant", "service() is set but no tenant() name was given");
+  }
+  if (service_ == nullptr && !tenant_.empty()) {
+    throw ConfigError("service", "tenant() is set but no StoreService was given");
+  }
+  if (service_ != nullptr && !service_->has_tenant(tenant_)) {
+    throw ConfigError("tenant",
+                      "unknown tenant '" + tenant_ + "' (register it with the StoreService first)");
+  }
+
+  FactoryParams params = params_;
+  params.async_staging = (mode_ == CommitMode::kAsync);
+  if (service_ != nullptr) {
+    // Namespace isolation: every segment and vault key this session
+    // creates lives under the tenant prefix, and the segments carry the
+    // namespace as their owner tag — a colliding key from another tenant
+    // is refused by the PersistentStore instead of silently shared.
+    const std::string ns = StoreService::namespace_prefix(tenant_);
+    params.key_prefix = ns + params.key_prefix;
+    params.owner = ns;
+    if (params.vault == nullptr) params.vault = service_->vault();
+  }
+  if (strategy_ == Strategy::kBlcr && params.vault == nullptr) {
+    throw ConfigError("vault", "required for Strategy::kBlcr");
+  }
+  if (level2_flush_every_ > 0 && params.vault == nullptr) {
+    throw ConfigError("vault", "required for level2_flush_every");
+  }
+
   std::unique_ptr<mpi::Comm> group;
   if (group_.has_value()) {
     group = std::make_unique<mpi::Comm>(*group_);
@@ -48,9 +109,6 @@ Session SessionBuilder::build(mpi::Comm& world) const {
     const int color = group_size_ > 0 ? world.rank() / group_size_ : 0;
     group = std::make_unique<mpi::Comm>(world.split(color, world.rank()));
   }
-
-  FactoryParams params = params_;
-  params.async_staging = (mode_ == CommitMode::kAsync);
 
   std::unique_ptr<CheckpointProtocol> protocol;
   if (level2_flush_every_ > 0) {
@@ -65,6 +123,7 @@ Session SessionBuilder::build(mpi::Comm& world) const {
     ml.vault = params.vault;
     ml.device = params.device;
     ml.async_staging = params.async_staging;
+    ml.owner = params.owner;
     protocol = std::make_unique<MultiLevelCheckpoint>(ml);
   } else {
     protocol = make_protocol(strategy_, params);
@@ -73,7 +132,7 @@ Session SessionBuilder::build(mpi::Comm& world) const {
   std::unique_ptr<AsyncCommitEngine> engine;
   if (mode_ == CommitMode::kAsync) {
     if (!protocol->supports_async()) {
-      throw std::invalid_argument("SessionBuilder: strategy does not support async commit");
+      throw ConfigError("mode", "strategy does not support async commit");
     }
     // The worker thread gets private communicators: sim::Comm is not
     // thread-safe, so it must not share the rank thread's handles. dup()
@@ -81,21 +140,37 @@ Session SessionBuilder::build(mpi::Comm& world) const {
     // dups world first, then its group.
     engine = std::make_unique<AsyncCommitEngine>(*protocol, world.dup(), group->dup(),
                                                  world.world_rank());
+    if (service_ != nullptr) engine->set_store_dispatch(service_, tenant_);
   }
+
+  // Admission is against the planning estimate of the session's
+  // persistent footprint (Table 1 math), computed identically on every
+  // rank so the collective admit sees one consistent job reservation.
+  std::size_t admit_bytes = 0;
+  if (service_ != nullptr) {
+    admit_bytes = estimate_session_bytes(strategy_, params.data_bytes, params.user_bytes,
+                                         effective_group, params.parity_degree,
+                                         params.async_staging, level2_flush_every_ > 0);
+  }
+
   return Session(world, std::move(group), std::move(protocol), std::move(engine), mode_,
-                 scrub_interval_s_);
+                 scrub_interval_s_, service_, tenant_, admit_bytes);
 }
 
 Session::Session(mpi::Comm& world, std::unique_ptr<mpi::Comm> group,
                  std::unique_ptr<CheckpointProtocol> protocol,
                  std::unique_ptr<AsyncCommitEngine> engine, CommitMode mode,
-                 double scrub_interval_s)
+                 double scrub_interval_s, StoreService* service, std::string tenant,
+                 std::size_t admit_bytes)
     : world_(&world),
       group_(std::move(group)),
       protocol_(std::move(protocol)),
       engine_(std::move(engine)),
       mode_(mode),
-      scrub_interval_s_(scrub_interval_s) {}
+      scrub_interval_s_(scrub_interval_s),
+      service_(service),
+      tenant_(std::move(tenant)),
+      admit_bytes_(admit_bytes) {}
 
 void Session::require_open() const {
   if (!opened_) throw std::logic_error("Session: open() has not been called");
@@ -103,6 +178,15 @@ void Session::require_open() const {
 
 OpenOutcome Session::open() {
   if (opened_) throw std::logic_error("Session: open() called twice");
+  if (service_ != nullptr) {
+    // Admission precedes allocation: an over-quota or timed-out open
+    // throws here with ZERO segments created, and the lease is released
+    // automatically when the Session goes away.
+    auto lease = std::make_unique<LeaseHolder>();
+    lease->service = service_;
+    lease->id = service_->admit(tenant_, admit_bytes_, world_->size());
+    lease_ = std::move(lease);
+  }
   opened_ = true;
   CommCtx ctx{*world_, *group_};
   if (!protocol_->open(ctx)) {
@@ -138,13 +222,17 @@ void Session::start_scrubber() {
 CommitStats Session::commit() {
   require_open();
   drain();
-  // Exclude the scrubber while the state machine rewrites the sealed
-  // buffers it verifies.
+  // Multi-tenant sessions take their fair-share turnstile slot first (a
+  // no-op without a service), then exclude the scrubber while the state
+  // machine rewrites the sealed buffers it verifies.
+  CommitGate gate(service_, tenant_);
+  util::WallTimer timer;
   std::unique_lock<std::mutex> scrub_lock;
   if (scrubber_ != nullptr) {
     scrub_lock = std::unique_lock(scrubber_->commit_exclusion());
   }
   const CommitStats stats = protocol_->commit({*world_, *group_});
+  gate.account(stats.checkpoint_bytes + stats.checksum_bytes, timer.seconds());
   record_commit_telemetry(stats);
   telemetry::forensics::recorder().note_commit(
       world_->world_rank(), {stats.epoch, stats.dirty_bytes, stats.dirty_fraction});

@@ -26,8 +26,21 @@
 // (bounded staleness), and the destructor drains any in-flight commit
 // before tearing the worker down.
 //
+// Multi-tenant operation: pointing the builder at a StoreService and a
+// registered tenant (.service(&svc).tenant("hpl-a")) namespaces every
+// segment and vault key under "ns/<tenant>/", owner-tags the segments so
+// cross-tenant collisions fail loudly, admits the session against the
+// tenant's quota BEFORE any segment is allocated (open() throws
+// QuotaExceeded / AdmissionTimeout with nothing created), and routes all
+// commits — sync and async — through the service's fair-share turnstile.
+//
+// Every builder misconfiguration throws ckpt::ConfigError (errors.hpp)
+// carrying the offending field name; runtime misuse of a correctly built
+// Session (commit before open, double open) stays std::logic_error.
+//
 // Strategy authors and embedders who need the raw state machine can still
-// reach the SPI through protocol(); see protocol.hpp for that contract.
+// reach the SPI through unsafe_protocol(); see protocol.hpp for that
+// contract.
 #pragma once
 
 #include <cstdint>
@@ -36,9 +49,11 @@
 #include <string>
 
 #include "ckpt/async_engine.hpp"
+#include "ckpt/errors.hpp"
 #include "ckpt/factory.hpp"
 #include "ckpt/protocol.hpp"
 #include "ckpt/scrubber.hpp"
+#include "ckpt/store_service.hpp"
 #include "mpi/comm.hpp"
 
 namespace skt::ckpt {
@@ -88,8 +103,16 @@ class SessionBuilder {
   /// re-verifying the CRC32C of every sealed checkpoint buffer each
   /// `seconds`, repairing mirror-backed corruption in place (scrubber.hpp).
   SessionBuilder& scrub_interval(double seconds) { scrub_interval_s_ = seconds; return *this; }
+  /// Open against a shared StoreService (must outlive the Session). Pairs
+  /// with tenant(): both or neither.
+  SessionBuilder& service(StoreService* s) { service_ = s; return *this; }
+  /// The service namespace this session belongs to; must be registered
+  /// with the StoreService. Keys gain the "ns/<tenant>/" prefix, open()
+  /// admits against the tenant quota, commits take fair-share slots.
+  SessionBuilder& tenant(std::string name) { tenant_ = std::move(name); return *this; }
 
-  /// Collective. `world` must outlive the Session.
+  /// Collective. `world` must outlive the Session. Every misconfiguration
+  /// throws ConfigError naming the bad field.
   [[nodiscard]] Session build(mpi::Comm& world) const;
 
  private:
@@ -100,6 +123,8 @@ class SessionBuilder {
   CommitMode mode_ = CommitMode::kSync;
   int level2_flush_every_ = 0;
   double scrub_interval_s_ = 0.0;
+  StoreService* service_ = nullptr;
+  std::string tenant_;
 };
 
 class Session {
@@ -167,7 +192,17 @@ class Session {
 
   /// SPI escape hatch: the underlying protocol, for tests and embedders
   /// that need strategy-specific calls (e.g. incremental dirty marking).
-  [[nodiscard]] CheckpointProtocol& protocol() { return *protocol_; }
+  /// "unsafe" because calls on it bypass the Session's drain/scrub/tenant
+  /// sequencing — the caller owns the consequences.
+  [[nodiscard]] CheckpointProtocol& unsafe_protocol() { return *protocol_; }
+
+  [[deprecated("renamed to unsafe_protocol()")]] [[nodiscard]] CheckpointProtocol&
+  protocol() {
+    return unsafe_protocol();
+  }
+
+  /// The tenant namespace this session runs under ("" single-tenant).
+  [[nodiscard]] const std::string& tenant() const { return tenant_; }
 
   /// The background scrubber, or nullptr when scrub_interval was not set.
   /// Started by open(); tests can call scrubber()->scrub_now() for a
@@ -179,21 +214,37 @@ class Session {
   Session(mpi::Comm& world, std::unique_ptr<mpi::Comm> group,
           std::unique_ptr<CheckpointProtocol> protocol,
           std::unique_ptr<AsyncCommitEngine> engine, CommitMode mode,
-          double scrub_interval_s);
+          double scrub_interval_s, StoreService* service, std::string tenant,
+          std::size_t admit_bytes);
 
   void require_open() const;
   void start_scrubber();
+
+  /// Releases the rank's admission lease on destruction (move-safe: the
+  /// holder travels with the Session).
+  struct LeaseHolder {
+    StoreService* service = nullptr;
+    std::uint64_t id = 0;
+    ~LeaseHolder() {
+      if (service != nullptr && id != 0) service->release(id);
+    }
+  };
 
   mpi::Comm* world_;                             // borrowed; outlives the Session
   std::unique_ptr<mpi::Comm> group_;             // owned encoding group
   std::unique_ptr<CheckpointProtocol> protocol_;
   // Teardown order (reverse of declaration): the engine joins its worker
   // first — it borrows the scrubber's exclusion mutex and the protocol —
-  // then the scrubber stops its thread, then the protocol and comms go.
+  // then the scrubber stops its thread, then the protocol and comms go,
+  // and the admission lease is released last.
+  std::unique_ptr<LeaseHolder> lease_;
   std::unique_ptr<Scrubber> scrubber_;
   std::unique_ptr<AsyncCommitEngine> engine_;
   CommitMode mode_;
   double scrub_interval_s_ = 0.0;
+  StoreService* service_ = nullptr;  // borrowed; outlives the Session
+  std::string tenant_;
+  std::size_t admit_bytes_ = 0;  ///< per-rank estimate admitted at open()
   bool opened_ = false;
   std::optional<RestoreStats> last_restore_;
 };

@@ -45,9 +45,9 @@ bool SingleCheckpoint::open(CommCtx ctx) {
     if (h.valid()) survivor_ = true;
   }
 
-  ckpt_b_ = store.create(key("B"), codec_->padded_bytes());
-  check_c_ = store.create(key("C"), codec_->checksum_bytes());
-  header_ = store.create(hdr_key, sizeof(Header));
+  ckpt_b_ = store.create(key("B"), codec_->padded_bytes(), params_.owner);
+  check_c_ = store.create(key("C"), codec_->checksum_bytes(), params_.owner);
+  header_ = store.create(hdr_key, sizeof(Header), params_.owner);
 
   const Header mine = load_header(header_);
   const EpochSummary global =

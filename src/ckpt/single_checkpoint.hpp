@@ -28,6 +28,8 @@ class SingleCheckpoint final : public CheckpointProtocol {
     /// never reads the staging copy (a failure inside the update window is
     /// unrecoverable either way), so nothing persistent changes.
     bool async_staging = false;
+    /// Owner tag for every created segment (tenant namespace; may be "").
+    std::string owner;
   };
 
   explicit SingleCheckpoint(Params params);

@@ -68,6 +68,8 @@ SktHplResult run_skt_hpl(mpi::Comm& world, const SktHplConfig& config) {
           .device(config.device)
           .group(build_group_comm(world, config.group_size, config.mapping))
           .mode(config.async ? ckpt::CommitMode::kAsync : ckpt::CommitMode::kSync)
+          .service(config.service)
+          .tenant(config.tenant)
           .build(world);
 
   const double virtual_before = world.virtual_seconds();

@@ -38,6 +38,12 @@ struct SktHplConfig {
   /// stage copy; encode + flush overlap the following panels on a
   /// background worker (bounded to one in-flight epoch).
   bool async = false;
+  /// Multi-tenant operation: open the Session against this StoreService
+  /// under `tenant` (both or neither; see ckpt/store_service.hpp). The
+  /// service namespaces the keys, admits against the tenant quota, and
+  /// fair-shares commit dispatch with the cluster's other jobs.
+  ckpt::StoreService* service = nullptr;
+  std::string tenant;
 };
 
 struct SktHplResult {

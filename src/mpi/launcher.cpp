@@ -24,8 +24,9 @@ constexpr double kNeverBeatPhi = 999.0;
 struct MonitorScope {
   sim::Cluster& cluster;
   bool health_on;
+  int observer_token;
   ~MonitorScope() {
-    cluster.set_power_off_observer(nullptr);
+    cluster.remove_power_off_observer(observer_token);
     if (health_on) telemetry::health().set_enabled(false);
   }
 };
@@ -41,20 +42,24 @@ JobLauncher::JobLauncher(sim::Cluster& cluster, sim::FailureInjector* injector,
 }
 
 std::vector<int> JobLauncher::default_ranklist(const sim::Cluster& cluster, int nranks,
-                                               int ranks_per_node) {
+                                               int ranks_per_node, int first_node) {
   if (nranks <= 0) throw std::invalid_argument("default_ranklist: nranks must be positive");
+  if (first_node < 0) throw std::invalid_argument("default_ranklist: first_node must be >= 0");
   const int nodes_needed = (nranks + ranks_per_node - 1) / ranks_per_node;
-  if (nodes_needed > cluster.config().num_nodes) {
+  if (first_node + nodes_needed > cluster.config().num_nodes) {
     throw std::invalid_argument("default_ranklist: not enough primary nodes");
   }
   std::vector<int> ranklist(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) ranklist[static_cast<std::size_t>(r)] = r / ranks_per_node;
+  for (int r = 0; r < nranks; ++r) {
+    ranklist[static_cast<std::size_t>(r)] = first_node + r / ranks_per_node;
+  }
   return ranklist;
 }
 
 LaunchResult JobLauncher::run(int nranks, const std::function<void(Comm&)>& fn) {
   LaunchResult result;
-  std::vector<int> ranklist = default_ranklist(cluster_, nranks, config_.ranks_per_node);
+  std::vector<int> ranklist =
+      default_ranklist(cluster_, nranks, config_.ranks_per_node, config_.first_node);
 
   // The launcher daemon is not a rank; label its log lines (and trace row)
   // so they don't appear prefix-less between the rank lines.
@@ -70,9 +75,9 @@ LaunchResult JobLauncher::run(int nranks, const std::function<void(Comm&)>& fn) 
   }
   // Death stamps feed detection-latency measurement even with heartbeats
   // off (the stamp alone costs one map insert per power-off).
-  cluster_.set_power_off_observer(
+  const int observer_token = cluster_.add_power_off_observer(
       [&board](int node_id, const std::string&) { board.note_death(node_id); });
-  MonitorScope scope{cluster_, config_.health.enabled};
+  MonitorScope scope{cluster_, config_.health.enabled, observer_token};
 
   // Incident bookkeeping: the postmortem of incident k stays open until the
   // relaunched attempt k+1 finishes, because that attempt produces the

@@ -35,6 +35,10 @@ struct HealthConfig {
 struct LauncherConfig {
   int max_restarts = 8;
   int ranks_per_node = 1;
+  /// First primary node of this job's contiguous placement. Concurrent
+  /// launchers sharing one cluster (multi-tenant scenarios) give each job
+  /// a disjoint node range by offsetting here; spares stay shared.
+  int first_node = 0;
   /// Failure-detection latency charged as virtual time per cycle (the
   /// paper measures ~63 s on Tianhe-2, ~30 s on Tianhe-1A).
   double detect_delay_s = 0.0;
@@ -96,9 +100,10 @@ class JobLauncher {
   /// job completes, spares run out, or max_restarts is exceeded.
   LaunchResult run(int nranks, const std::function<void(Comm&)>& fn);
 
-  /// Contiguous fill: rank r lands on primary node r / ranks_per_node.
+  /// Contiguous fill: rank r lands on primary node
+  /// first_node + r / ranks_per_node.
   static std::vector<int> default_ranklist(const sim::Cluster& cluster, int nranks,
-                                           int ranks_per_node);
+                                           int ranks_per_node, int first_node = 0);
 
  private:
   sim::Cluster& cluster_;

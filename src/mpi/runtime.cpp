@@ -42,7 +42,12 @@ JobResult Runtime::run(const std::function<void(Comm&)>& fn) {
     }
   }
 
-  cluster_.attach_job([this](const std::string& reason) { abort(reason); });
+  // Node-aware abort: with several jobs sharing the cluster, only a death
+  // inside THIS job's ranklist may abort it — another tenant's node loss
+  // is not our failure.
+  const int job_token = cluster_.attach_job([this](int node_id, const std::string& reason) {
+    if (uses_node(node_id)) abort(reason);
+  });
 
   util::WallTimer timer;
   std::vector<std::thread> threads;
@@ -65,7 +70,7 @@ JobResult Runtime::run(const std::function<void(Comm&)>& fn) {
     });
   }
   for (auto& t : threads) t.join();
-  cluster_.detach_job();
+  cluster_.detach_job(job_token);
 
   JobResult result;
   result.completed = !aborted_.load(std::memory_order_acquire);
@@ -88,6 +93,13 @@ JobResult Runtime::run(const std::function<void(Comm&)>& fn) {
   result.wire_messages = wire_messages();
   result.copied_bytes = copied_bytes();
   return result;
+}
+
+bool Runtime::uses_node(int node_id) const {
+  for (const int id : ranklist_) {
+    if (id == node_id) return true;
+  }
+  return false;
 }
 
 void Runtime::abort(const std::string& reason) {

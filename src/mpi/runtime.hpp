@@ -78,6 +78,9 @@ class Runtime {
   /// Abort the job (idempotent); wakes every blocked receive.
   void abort(const std::string& reason);
 
+  /// True when `node_id` hosts at least one of this job's ranks.
+  [[nodiscard]] bool uses_node(int node_id) const;
+
   // --- services used by Comm ------------------------------------------
   [[nodiscard]] int world_size() const { return static_cast<int>(ranklist_.size()); }
   [[nodiscard]] const std::atomic<bool>& aborted_flag() const { return aborted_; }

@@ -62,32 +62,60 @@ void Cluster::power_off(int node_id, const std::string& reason) {
   if (!victim.alive()) return;
   SKT_LOG_WARN("power-off node {} ({})", node_id, reason);
   victim.power_off();
-  JobAbortHook hook;
-  PowerOffObserver observer;
+  // Snapshot the registries so hooks run outside the lock (a hook may
+  // re-enter the cluster, e.g. a launcher taking a spare). The in-flight
+  // counter keeps detach_job/remove_power_off_observer from returning —
+  // and the hooks' captures from being destroyed — while a snapshot is
+  // still being dispatched.
+  std::vector<JobAbortHook> hooks;
+  std::vector<PowerOffObserver> observers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    hook = abort_hook_;
-    observer = power_off_observer_;
+    hooks.reserve(abort_hooks_.size());
+    for (const auto& [token, hook] : abort_hooks_) hooks.push_back(hook);
+    observers.reserve(power_off_observers_.size());
+    for (const auto& [token, obs] : power_off_observers_) observers.push_back(obs);
+    ++callbacks_in_flight_;
   }
-  // Stamp the death before the abort hook tears the job down, so detection
+  // Stamp the death before the abort hooks tear jobs down, so detection
   // latency is measured from the true failure instant.
-  if (observer) observer(node_id, reason);
-  if (hook) hook("node " + std::to_string(node_id) + " powered off: " + reason);
+  for (const PowerOffObserver& observer : observers) observer(node_id, reason);
+  const std::string message = "node " + std::to_string(node_id) + " powered off: " + reason;
+  for (const JobAbortHook& hook : hooks) hook(node_id, message);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --callbacks_in_flight_;
+  }
+  callbacks_cv_.notify_all();
 }
 
-void Cluster::attach_job(JobAbortHook hook) {
+int Cluster::attach_job(JobAbortHook hook) {
   std::lock_guard<std::mutex> lock(mutex_);
-  abort_hook_ = std::move(hook);
+  const int token = next_token_++;
+  abort_hooks_.emplace(token, std::move(hook));
+  return token;
 }
 
-void Cluster::detach_job() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  abort_hook_ = nullptr;
+void Cluster::detach_job(int token) {
+  // Erase, then wait out any power_off dispatch that snapshotted the hook
+  // before the erase: the caller destroys the hook's captures (its
+  // Runtime) right after this returns.
+  std::unique_lock<std::mutex> lock(mutex_);
+  abort_hooks_.erase(token);
+  callbacks_cv_.wait(lock, [this] { return callbacks_in_flight_ == 0; });
 }
 
-void Cluster::set_power_off_observer(PowerOffObserver observer) {
+int Cluster::add_power_off_observer(PowerOffObserver observer) {
   std::lock_guard<std::mutex> lock(mutex_);
-  power_off_observer_ = std::move(observer);
+  const int token = next_token_++;
+  power_off_observers_.emplace(token, std::move(observer));
+  return token;
+}
+
+void Cluster::remove_power_off_observer(int token) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  power_off_observers_.erase(token);
+  callbacks_cv_.wait(lock, [this] { return callbacks_in_flight_ == 0; });
 }
 
 }  // namespace skt::sim

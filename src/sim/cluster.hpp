@@ -1,11 +1,18 @@
 // The simulated machine: a set of nodes (some of them spares), rack
-// topology, and the hook that aborts a running job when a node it uses is
+// topology, and the hooks that abort running jobs when a node they use is
 // powered off — mirroring the observation in the paper that "almost all
 // current MPI implementations force the whole program to abort after a node
 // failure is detected".
+//
+// Multi-job: any number of concurrent jobs (and observers, e.g. launcher
+// health boards) may register. Each hook receives the dead NODE id so a
+// job whose ranklist does not include that node can ignore the event —
+// one tenant's failure must not abort another tenant's job.
 #pragma once
 
+#include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -17,17 +24,19 @@
 namespace skt::sim {
 
 struct ClusterConfig {
-  int num_nodes = 8;       ///< nodes available to the initial job
+  int num_nodes = 8;       ///< nodes available to jobs
   int spare_nodes = 2;     ///< held back for failure replacement
   int nodes_per_rack = 4;  ///< rack topology for mapping strategies
   NodeProfile profile;     ///< uniform hardware profile
 };
 
 /// Callback a running job registers so that node power-off can abort it.
-/// Receives a human-readable reason ("node 3 powered off").
-using JobAbortHook = std::function<void(const std::string&)>;
+/// Receives the dead node's id plus a human-readable reason
+/// ("node 3 powered off: ..."); the job decides whether the node is one
+/// of its own.
+using JobAbortHook = std::function<void(int node_id, const std::string& reason)>;
 
-/// Observer of node deaths, independent of the abort hook: called once per
+/// Observer of node deaths, independent of the abort hooks: called once per
 /// actual power-off with the node id and reason. The launcher uses it to
 /// timestamp the real failure instant for detection-latency measurement.
 using PowerOffObserver = std::function<void(int node_id, const std::string& reason)>;
@@ -52,25 +61,35 @@ class Cluster {
   [[nodiscard]] int spares_remaining() const;
 
   /// Permanently power off a node: wipes its SHM store, marks it dead and
-  /// aborts the registered job, if any. Safe to call from any thread,
-  /// including a rank thread running on the victim node.
+  /// notifies every observer and registered job. Safe to call from any
+  /// thread, including a rank thread running on the victim node.
   void power_off(int node_id, const std::string& reason);
 
-  /// Register/unregister the abort hook of the currently running job.
-  void attach_job(JobAbortHook hook);
-  void detach_job();
+  /// Register the abort hook of a running job; returns a token for
+  /// detach_job(). Any number of jobs may be attached concurrently.
+  /// detach_job blocks until no power_off dispatch is mid-flight, so the
+  /// hook's captures may be destroyed the moment it returns — never call
+  /// it from inside a hook or observer (it would wait on itself).
+  [[nodiscard]] int attach_job(JobAbortHook hook);
+  void detach_job(int token);
 
-  /// Register/clear the power-off observer (nullptr clears). Runs before
-  /// the abort hook, on the thread that triggered the power-off.
-  void set_power_off_observer(PowerOffObserver observer);
+  /// Register a power-off observer; returns a token for
+  /// remove_power_off_observer(). Observers run before the abort hooks,
+  /// on the thread that triggered the power-off. Removal has the same
+  /// drain guarantee (and the same no-reentrancy rule) as detach_job.
+  [[nodiscard]] int add_power_off_observer(PowerOffObserver observer);
+  void remove_power_off_observer(int token);
 
  private:
   ClusterConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<int> spare_pool_;  // ids not yet handed out
   mutable std::mutex mutex_;
-  JobAbortHook abort_hook_;
-  PowerOffObserver power_off_observer_;
+  std::condition_variable callbacks_cv_;
+  int callbacks_in_flight_ = 0;  ///< power_off snapshot batches mid-dispatch
+  int next_token_ = 1;
+  std::map<int, JobAbortHook> abort_hooks_;
+  std::map<int, PowerOffObserver> power_off_observers_;
 };
 
 }  // namespace skt::sim

@@ -4,29 +4,42 @@
 
 namespace skt::sim {
 
-SegmentPtr PersistentStore::create(const std::string& key, std::size_t size) {
+SegmentPtr PersistentStore::create(const std::string& key, std::size_t size,
+                                   const std::string& owner) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = segments_.find(key); it != segments_.end()) {
-    if (it->second->size() != size) {
+    if (it->second.owner != owner) {
+      throw std::invalid_argument(
+          "PersistentStore::create: key '" + key + "' is registered to namespace '" +
+          it->second.owner + "', refused for namespace '" + owner + "'");
+    }
+    if (it->second.segment->size() != size) {
       throw std::invalid_argument("PersistentStore::create: key '" + key +
                                   "' exists with a different size");
     }
-    return it->second;
+    return it->second.segment;
   }
   auto seg = std::make_shared<Segment>(size);
-  segments_.emplace(key, seg);
+  segments_.emplace(key, Entry{seg, owner});
   return seg;
 }
 
 SegmentPtr PersistentStore::attach(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = segments_.find(key);
-  return it == segments_.end() ? nullptr : it->second;
+  return it == segments_.end() ? nullptr : it->second.segment;
 }
 
 bool PersistentStore::exists(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return segments_.contains(key);
+}
+
+std::optional<std::string> PersistentStore::owner_of(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = segments_.find(key);
+  if (it == segments_.end()) return std::nullopt;
+  return it->second.owner;
 }
 
 void PersistentStore::remove(const std::string& key) {
@@ -42,13 +55,32 @@ void PersistentStore::clear() {
 std::size_t PersistentStore::bytes_in_use() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
-  for (const auto& [key, seg] : segments_) total += seg->size();
+  for (const auto& [key, entry] : segments_) total += entry.segment->size();
+  return total;
+}
+
+std::size_t PersistentStore::owner_bytes(const std::string& owner) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, entry] : segments_) {
+    if (entry.owner == owner) total += entry.segment->size();
+  }
   return total;
 }
 
 std::size_t PersistentStore::segment_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return segments_.size();
+}
+
+std::vector<std::pair<std::string, SegmentPtr>> PersistentStore::segments_of(
+    const std::string& owner) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, SegmentPtr>> out;
+  for (const auto& [key, entry] : segments_) {
+    if (entry.owner == owner) out.emplace_back(key, entry.segment);
+  }
+  return out;
 }
 
 }  // namespace skt::sim

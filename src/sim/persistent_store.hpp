@@ -3,6 +3,12 @@
 // restarted job on a healthy node can re-attach and find its checkpoint.
 // A node power-off destroys the store — exactly the failure the encoding
 // must recover from.
+//
+// Multi-tenancy: every segment carries an OWNER tag (a namespace string,
+// e.g. "hpl-a"; empty = legacy single-job use). Re-creating a key under a
+// different owner, or under the same owner with a different size, fails
+// loudly instead of silently handing one tenant another tenant's bytes —
+// the isolation guarantee the StoreService builds on.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +19,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace skt::sim {
@@ -45,16 +52,23 @@ using SegmentPtr = std::shared_ptr<Segment>;
 /// Thread-safe: multiple ranks of the same node attach concurrently.
 class PersistentStore {
  public:
-  /// Create a segment. Throws std::invalid_argument if the key exists with a
-  /// different size; attaching to an existing same-size segment returns it
-  /// (matching shmget(key, size, IPC_CREAT) semantics).
-  SegmentPtr create(const std::string& key, std::size_t size);
+  /// Create a segment registered to `owner` (a tenant namespace; "" for
+  /// single-job use). Attaching to an existing segment with the SAME owner
+  /// and size returns it (shmget(key, size, IPC_CREAT) semantics).
+  /// Throws std::invalid_argument — loudly, never a silent overwrite —
+  /// when the key already exists with a different size OR a different
+  /// owner (a cross-tenant collision).
+  SegmentPtr create(const std::string& key, std::size_t size,
+                    const std::string& owner = "");
 
   /// Attach to an existing segment; nullptr if the key is unknown (e.g. a
   /// replacement node after power-off).
   [[nodiscard]] SegmentPtr attach(const std::string& key) const;
 
   [[nodiscard]] bool exists(const std::string& key) const;
+
+  /// Owner tag a key was created under; nullopt if the key is unknown.
+  [[nodiscard]] std::optional<std::string> owner_of(const std::string& key) const;
 
   /// Remove one segment (shmctl IPC_RMID). No-op if absent.
   void remove(const std::string& key);
@@ -66,11 +80,24 @@ class PersistentStore {
   /// Total bytes across live segments (memory accounting for Table 1).
   [[nodiscard]] std::size_t bytes_in_use() const;
 
+  /// Bytes across segments registered to `owner` (per-tenant accounting).
+  [[nodiscard]] std::size_t owner_bytes(const std::string& owner) const;
+
   [[nodiscard]] std::size_t segment_count() const;
 
+  /// Stable snapshot of `owner`'s segments, key-ordered — what the
+  /// isolation tests checksum to prove another tenant's kill/restore left
+  /// these stripes bit-identical.
+  [[nodiscard]] std::vector<std::pair<std::string, SegmentPtr>> segments_of(
+      const std::string& owner) const;
+
  private:
+  struct Entry {
+    SegmentPtr segment;
+    std::string owner;
+  };
   mutable std::mutex mutex_;
-  std::map<std::string, SegmentPtr> segments_;
+  std::map<std::string, Entry> segments_;
 };
 
 }  // namespace skt::sim

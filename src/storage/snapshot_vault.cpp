@@ -37,4 +37,25 @@ std::size_t SnapshotVault::bytes_in_use() const {
   return total;
 }
 
+std::size_t SnapshotVault::bytes_under(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (auto it = blobs_.lower_bound(prefix);
+       it != blobs_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
+    total += it->second.size();
+  }
+  return total;
+}
+
+std::size_t SnapshotVault::remove_prefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t removed = 0;
+  auto it = blobs_.lower_bound(prefix);
+  while (it != blobs_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = blobs_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
 }  // namespace skt::storage

@@ -31,6 +31,14 @@ class SnapshotVault {
 
   [[nodiscard]] std::size_t bytes_in_use() const;
 
+  /// Bytes across blobs whose key starts with `prefix` — per-tenant
+  /// accounting for namespaced vaults ("ns/<tenant>/...").
+  [[nodiscard]] std::size_t bytes_under(const std::string& prefix) const;
+
+  /// Drop every blob whose key starts with `prefix` (tenant eviction).
+  /// Returns the number of blobs removed.
+  std::size_t remove_prefix(const std::string& prefix);
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::vector<std::byte>> blobs_;

@@ -52,6 +52,10 @@ struct CkptAppConfig {
   /// detect AND repair it (throws otherwise, failing the job). Needs
   /// scrub_interval > 0.
   bool scrub_bitflip = false;
+  /// Multi-tenant operation: open the Session against this StoreService
+  /// under `tenant` (both or neither; see ckpt/store_service.hpp).
+  ckpt::StoreService* service = nullptr;
+  std::string tenant;
 };
 
 struct LoopState {
@@ -101,6 +105,8 @@ inline void checkpointed_app(mpi::Comm& world, const CkptAppConfig& config) {
                               .mode(config.mode)
                               .level2_flush_every(config.level2_every)
                               .scrub_interval(config.scrub_interval)
+                              .service(config.service)
+                              .tenant(config.tenant)
                               .build(world);
 
   // Partial-write mode: hot prefix rewritten (and annotated) per iteration,
@@ -177,7 +183,7 @@ inline void checkpointed_app(mpi::Comm& world, const CkptAppConfig& config) {
         // Flip under the commit-exclusion lock so the cadence thread never
         // observes a torn write (it may be scanning concurrently).
         std::lock_guard<std::mutex> lock(session.scrubber()->commit_exclusion());
-        for (ckpt::ScrubRegion& region : session.protocol().scrub_view()) {
+        for (ckpt::ScrubRegion& region : session.unsafe_protocol().scrub_view()) {
           if (region.mirror.empty()) continue;
           region.bytes[region.bytes.size() / 2] ^= std::byte{0x10};
           break;

@@ -598,6 +598,64 @@ INSTANTIATE_TEST_SUITE_P(Points, ScrubUnderFire,
                            return name;
                          });
 
+// The kill matrix through a NAMESPACED session: the same mid-commit node
+// loss, but the job runs as a StoreService tenant, so every segment key
+// the recovery walks is "ns/<tenant>/"-prefixed and owner-tagged, and the
+// replacement rank's rebuild must re-create its stripes under the SAME
+// namespace (a collision or a bare key would fail loudly).
+class TenantFailureMatrix : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TenantFailureMatrix, KillDuringCommitOfTenantSession) {
+  skt::testing::MiniCluster mc(4, 2);
+  StoreService service({.capacity_bytes = 64u << 20});
+  service.register_tenant({.name = "matrix", .quota_bytes = 32u << 20});
+
+  CkptAppConfig config;
+  config.strategy = Strategy::kSelf;
+  config.group_size = 4;
+  config.iterations = 4;
+  config.data_bytes = 2048;
+  config.service = &service;
+  config.tenant = "matrix";
+  if (std::string(GetParam()).find("async") != std::string::npos) {
+    config.mode = CommitMode::kAsync;
+  }
+
+  sim::FailureInjector injector;
+  injector.add_rule({.point = GetParam(), .world_rank = 1, .hit = 2, .repeat = false});
+
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 3});
+  const auto result = launcher.run(4, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+  EXPECT_TRUE(result.success) << result.failure;
+  EXPECT_EQ(result.restarts, 1);
+  // Every surviving stripe belongs to the tenant's namespace, and the
+  // whole-job lease was handed back on teardown.
+  const std::string ns = StoreService::namespace_prefix("matrix");
+  std::size_t tenant_segments = 0;
+  for (int n = 0; n < mc.cluster.total_nodes(); ++n) {
+    tenant_segments += mc.cluster.node(n).store().segments_of(ns).size();
+    EXPECT_EQ(mc.cluster.node(n).store().segments_of(ns).size() == 0
+                  ? 0u
+                  : mc.cluster.node(n).store().segment_count(),
+              mc.cluster.node(n).store().segments_of(ns).size())
+        << "node " << n << " holds segments outside the tenant namespace";
+  }
+  EXPECT_GT(tenant_segments, 0u);
+  EXPECT_EQ(service.bytes_in_use(), 0u);
+  EXPECT_GE(service.tenant_stats("matrix").commits, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, TenantFailureMatrix,
+                         ::testing::Values("ckpt.mid_flush", "ckpt.sealed",
+                                           "ckpt.async_mid_flush"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
 // Two failures in ONE group exceed the single-erasure code: unrecoverable
 // for self-checkpoint...
 TEST(FailureMatrixExtra, TwoFailuresInOneGroupUnrecoverable) {

@@ -142,7 +142,7 @@ TEST(Incremental, AsyncSparseUpdatesRecoverBitExact) {
   // The sparse-update crux through the Session async pipeline: dirty
   // stripes are staged, the worker patches D in the background, and a
   // node killed inside the async encode window must still restore
-  // bit-exact data. mark_dirty is reached through the protocol() SPI
+  // bit-exact data. mark_dirty is reached through the unsafe_protocol()
   // escape hatch — dirty tracking is strategy-specific, not Session API.
   MiniCluster mc(4, 2);
   sim::FailureInjector injector;
@@ -157,7 +157,7 @@ TEST(Incremental, AsyncSparseUpdatesRecoverBitExact) {
                           .data_bytes(8192)
                           .mode(CommitMode::kAsync)
                           .build(world);
-    auto& proto = dynamic_cast<IncrementalSelfCheckpoint&>(session.protocol());
+    auto& proto = dynamic_cast<IncrementalSelfCheckpoint&>(session.unsafe_protocol());
     const bool restored = session.open() == OpenOutcome::kRestored;
     auto* iter = reinterpret_cast<std::uint64_t*>(session.user_state().data());
     if (!restored) {

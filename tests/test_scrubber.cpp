@@ -52,7 +52,7 @@ TEST(Scrubber, DetectsAndRepairsBitFlipFromMirror) {
     ASSERT_NE(session.scrubber(), nullptr);
     session.scrubber()->scrub_now();  // baseline pass for this epoch
 
-    ScrubRegion region = first_mirrored(session.protocol().scrub_view());
+    ScrubRegion region = first_mirrored(session.unsafe_protocol().scrub_view());
     const std::byte original = region.bytes[5];
     region.bytes[5] ^= std::byte{0x40};
 
@@ -81,7 +81,7 @@ TEST(Scrubber, UnmirroredCorruptionIsCountedNotRepaired) {
 
     // "B" (the full checkpoint copy) has no quiescent twin: detection
     // without repair is the honest outcome.
-    std::vector<ScrubRegion> view = session.protocol().scrub_view();
+    std::vector<ScrubRegion> view = session.unsafe_protocol().scrub_view();
     ASSERT_FALSE(view.empty());
     ASSERT_TRUE(view.front().mirror.empty()) << view.front().name;
     view.front().bytes[9] ^= std::byte{0x01};
@@ -124,7 +124,7 @@ TEST(Scrubber, DoubleFlipHittingBothTwinsIsNotMisrepaired) {
 
     // Corrupt the SAME chunk of both twins: neither side can vouch for
     // the other, so "repairing" one from the other would launder garbage.
-    ScrubRegion region = first_mirrored(session.protocol().scrub_view());
+    ScrubRegion region = first_mirrored(session.unsafe_protocol().scrub_view());
     region.bytes[2] ^= std::byte{0x08};
     region.mirror[2] ^= std::byte{0x80};
 
@@ -163,7 +163,7 @@ TEST(Scrubber, BackgroundCadenceThreadRepairsWhileRankIdles) {
     // Flip (and later re-read) under the commit-exclusion lock — the same
     // handshake commits use — so the cadence thread never sees a torn
     // write.
-    ScrubRegion region = first_mirrored(session.protocol().scrub_view());
+    ScrubRegion region = first_mirrored(session.unsafe_protocol().scrub_view());
     std::byte original;
     {
       std::lock_guard<std::mutex> lock(session.scrubber()->commit_exclusion());
@@ -222,7 +222,7 @@ TEST(Scrubber, DoubleCheckpointRegionsAreScrubbableButUnmirrored) {
     session.commit();
     // Double-checkpoint's buffer pairs hold DIFFERENT epochs, so no region
     // may advertise a mirror (a cross-epoch "repair" would corrupt).
-    for (const ScrubRegion& r : session.protocol().scrub_view()) {
+    for (const ScrubRegion& r : session.unsafe_protocol().scrub_view()) {
       EXPECT_TRUE(r.mirror.empty()) << r.name;
     }
     session.scrubber()->scrub_now();  // baseline

@@ -169,16 +169,78 @@ TEST(Session, MisuseThrows) {
   EXPECT_TRUE(result.completed) << result.abort_reason;
 }
 
+// Builder misconfiguration surfaces as typed ConfigError carrying the
+// offending field name (still an invalid_argument for legacy catchers).
 TEST(Session, GroupSizeMustDivideWorld) {
   MiniCluster mc(4, 0);
   const auto result = mc.run(4, [](mpi::Comm& world) {
-    EXPECT_THROW((void)SessionBuilder{}
-                     .strategy(Strategy::kSelf)
-                     .key_prefix("bad")
-                     .data_bytes(kBytes)
-                     .group_size(3)
-                     .build(world),
-                 std::invalid_argument);
+    try {
+      (void)SessionBuilder{}
+          .strategy(Strategy::kSelf)
+          .key_prefix("bad")
+          .data_bytes(kBytes)
+          .group_size(3)
+          .build(world);
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+      EXPECT_EQ(e.field(), "group_size");
+    }
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+}
+
+TEST(Session, ConfigErrorsNameTheOffendingField) {
+  MiniCluster mc(4, 0);
+  const auto result = mc.run(4, [](mpi::Comm& world) {
+    const auto field_of = [&](SessionBuilder builder) -> std::string {
+      try {
+        (void)builder.build(world);
+      } catch (const ConfigError& e) {
+        return e.field();
+      }
+      return "<no error>";
+    };
+    EXPECT_EQ(field_of(SessionBuilder{}.strategy(Strategy::kSelf).key_prefix("z")),
+              "data_bytes");
+    EXPECT_EQ(field_of(SessionBuilder{}
+                           .strategy(Strategy::kSelf)
+                           .key_prefix("z")
+                           .data_bytes(kBytes)
+                           .group_size(-2)),
+              "group_size");
+    EXPECT_EQ(field_of(SessionBuilder{}
+                           .strategy(Strategy::kSelf)
+                           .key_prefix("z")
+                           .data_bytes(kBytes)
+                           .parity_degree(0)),
+              "parity_degree");
+    EXPECT_EQ(field_of(SessionBuilder{}
+                           .strategy(Strategy::kBlcr)
+                           .key_prefix("z")
+                           .data_bytes(kBytes)),
+              "vault");
+    // Tenancy knobs come in pairs: a tenant without a service (and vice
+    // versa) is a configuration bug, not a silent single-tenant fallback.
+    EXPECT_EQ(field_of(SessionBuilder{}
+                           .strategy(Strategy::kSelf)
+                           .key_prefix("z")
+                           .data_bytes(kBytes)
+                           .tenant("hpl-a")),
+              "service");
+    StoreService service;
+    EXPECT_EQ(field_of(SessionBuilder{}
+                           .strategy(Strategy::kSelf)
+                           .key_prefix("z")
+                           .data_bytes(kBytes)
+                           .service(&service)),
+              "tenant");
+    EXPECT_EQ(field_of(SessionBuilder{}
+                           .strategy(Strategy::kSelf)
+                           .key_prefix("z")
+                           .data_bytes(kBytes)
+                           .service(&service)
+                           .tenant("never-registered")),
+              "tenant");
   });
   EXPECT_TRUE(result.completed) << result.abort_reason;
 }

@@ -42,6 +42,30 @@ TEST(PersistentStore, CreateExistingDifferentSizeThrows) {
   EXPECT_THROW(store.create("k", 128), std::invalid_argument);
 }
 
+TEST(PersistentStore, CreateExistingDifferentOwnerThrowsLoudly) {
+  PersistentStore store;
+  store.create("k", 64, "ns/a/");
+  // Same namespace re-attaches; a foreign namespace is refused even at the
+  // same size — silent cross-tenant sharing would corrupt both.
+  EXPECT_NE(store.create("k", 64, "ns/a/"), nullptr);
+  EXPECT_THROW(store.create("k", 64, "ns/b/"), std::invalid_argument);
+  EXPECT_THROW(store.create("k", 64), std::invalid_argument);  // unowned vs owned
+  EXPECT_EQ(store.owner_of("k").value(), "ns/a/");
+}
+
+TEST(PersistentStore, OwnerAccountingAndEnumeration) {
+  PersistentStore store;
+  store.create("ns/a/x", 16, "ns/a/");
+  store.create("ns/a/y", 24, "ns/a/");
+  store.create("ns/b/x", 8, "ns/b/");
+  EXPECT_EQ(store.owner_bytes("ns/a/"), 40u);
+  EXPECT_EQ(store.owner_bytes("ns/b/"), 8u);
+  const auto mine = store.segments_of("ns/a/");
+  ASSERT_EQ(mine.size(), 2u);
+  EXPECT_EQ(mine[0].first, "ns/a/x");  // key-ordered snapshot
+  EXPECT_EQ(mine[1].first, "ns/a/y");
+}
+
 TEST(PersistentStore, AttachUnknownReturnsNull) {
   PersistentStore store;
   EXPECT_EQ(store.attach("nope"), nullptr);
@@ -109,17 +133,38 @@ TEST(Cluster, RackAssignment) {
 TEST(Cluster, PowerOffFiresAbortHookOnce) {
   Cluster cluster({.num_nodes = 2, .spare_nodes = 0, .nodes_per_rack = 4, .profile = {}});
   int called = 0;
+  int dead_node = -1;
   std::string reason;
-  cluster.attach_job([&](const std::string& r) {
+  const int token = cluster.attach_job([&](int node_id, const std::string& r) {
     ++called;
+    dead_node = node_id;
     reason = r;
   });
   cluster.power_off(1, "test");
   cluster.power_off(1, "again");  // dead already: no second abort
   EXPECT_EQ(called, 1);
+  EXPECT_EQ(dead_node, 1);
   EXPECT_NE(reason.find("node 1"), std::string::npos);
-  cluster.detach_job();
+  cluster.detach_job(token);
   EXPECT_FALSE(cluster.node(1).alive());
+}
+
+TEST(Cluster, MultipleJobHooksEachSeeTheFailure) {
+  Cluster cluster({.num_nodes = 3, .spare_nodes = 0, .nodes_per_rack = 4, .profile = {}});
+  std::vector<int> a_nodes;
+  std::vector<int> b_nodes;
+  const int token_a =
+      cluster.attach_job([&](int node_id, const std::string&) { a_nodes.push_back(node_id); });
+  const int token_b =
+      cluster.attach_job([&](int node_id, const std::string&) { b_nodes.push_back(node_id); });
+  cluster.power_off(2, "shared failure");
+  EXPECT_EQ(a_nodes, std::vector<int>{2});
+  EXPECT_EQ(b_nodes, std::vector<int>{2});
+  cluster.detach_job(token_a);
+  cluster.power_off(0, "only b attached");
+  EXPECT_EQ(a_nodes.size(), 1u);
+  EXPECT_EQ(b_nodes, (std::vector<int>{2, 0}));
+  cluster.detach_job(token_b);
 }
 
 TEST(Cluster, RejectsBadConfig) {

@@ -1,0 +1,269 @@
+// StoreService contract: tenant registration, quota/admission control,
+// cross-tenant isolation under failure, fair-share commit dispatch, and
+// teardown with tenants still holding leases.
+//
+// The isolation and fair-share scenarios drive the service the way jobs
+// do — through ckpt::Session over simulated clusters — so they cover the
+// whole stack: namespaced keys, owner-tagged segments, lease lifetime
+// tied to Session teardown, and the commit turnstile under real
+// collective commit traffic from concurrent jobs.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "ckpt_harness.hpp"
+#include "mpi/launcher.hpp"
+#include "testing.hpp"
+
+namespace skt::ckpt {
+namespace {
+
+using skt::testing::CkptAppConfig;
+using skt::testing::MiniCluster;
+using skt::testing::checkpointed_app;
+
+/// FNV-1a over every (key, bytes) pair `owner` holds anywhere in the
+/// cluster. segments_of() is key-ordered per node and nodes are visited in
+/// id order, so equal content ⇒ equal digest.
+std::uint64_t owner_digest(sim::Cluster& cluster, const std::string& owner,
+                           std::size_t* segment_count = nullptr) {
+  std::uint64_t h = 1469598103934665603ull;
+  std::size_t count = 0;
+  for (int n = 0; n < cluster.total_nodes(); ++n) {
+    for (const auto& [key, seg] : cluster.node(n).store().segments_of(owner)) {
+      ++count;
+      for (const char c : key) {
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+      }
+      for (const std::byte b : seg->bytes()) {
+        h = (h ^ std::to_integer<unsigned char>(b)) * 1099511628211ull;
+      }
+    }
+  }
+  if (segment_count != nullptr) *segment_count = count;
+  return h;
+}
+
+TEST(StoreService, TenantRegistrationValidation) {
+  StoreService service;
+  EXPECT_EQ(service.tenant_count(), 0);
+  service.register_tenant({.name = "hpl-a", .quota_bytes = 1 << 20});
+  EXPECT_TRUE(service.has_tenant("hpl-a"));
+  EXPECT_EQ(service.tenant_count(), 1);
+  EXPECT_EQ(StoreService::namespace_prefix("hpl-a"), "ns/hpl-a/");
+
+  const auto field_of = [&](const TenantConfig& config) -> std::string {
+    try {
+      service.register_tenant(config);
+    } catch (const ConfigError& e) {
+      return e.field();
+    }
+    return "<no error>";
+  };
+  EXPECT_EQ(field_of({.name = ""}), "tenant");
+  EXPECT_EQ(field_of({.name = "hpl-a"}), "tenant");  // duplicate
+
+  try {
+    StoreService bad({.max_concurrent_commits = 0});
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.field(), "max_concurrent_commits");
+  }
+}
+
+// Whole-job leases: the first rank reserves per_rank × expected_ranks
+// atomically, later ranks join for free, and release() gives the bytes
+// back rank by rank (remainder freed by the last one out).
+TEST(StoreService, AdmitReserveJoinRelease) {
+  StoreService service({.capacity_bytes = 1 << 20});
+  service.register_tenant({.name = "a", .quota_bytes = 10000});
+
+  const std::uint64_t lease = service.admit("a", 3000, 2);
+  EXPECT_EQ(service.tenant_bytes("a"), 6000u);
+  EXPECT_EQ(service.bytes_in_use(), 6000u);
+  const std::uint64_t joined = service.admit("a", 3000, 2);  // rank 2 joins
+  EXPECT_EQ(joined, lease);
+  EXPECT_EQ(service.bytes_in_use(), 6000u);  // no double reservation
+  EXPECT_EQ(service.tenant_stats("a").open_sessions, 2);
+
+  service.release(lease);
+  EXPECT_EQ(service.bytes_in_use(), 3000u);
+  service.release(joined);
+  EXPECT_EQ(service.bytes_in_use(), 0u);
+  EXPECT_EQ(service.tenant_stats("a").open_sessions, 0);
+
+  // Over the tenant quota: loud, immediate, nothing reserved.
+  try {
+    (void)service.admit("a", 6000, 2);
+    FAIL() << "expected QuotaExceeded";
+  } catch (const QuotaExceeded& e) {
+    EXPECT_EQ(e.tenant(), "a");
+    EXPECT_EQ(e.requested_bytes(), 12000u);
+    EXPECT_EQ(e.limit_bytes(), 10000u);
+  }
+  EXPECT_EQ(service.bytes_in_use(), 0u);
+  EXPECT_THROW((void)service.admit("ghost", 1, 1), ConfigError);  // unknown tenant
+}
+
+// Session::open() admits BEFORE the protocol allocates: an over-quota
+// tenant gets QuotaExceeded on every rank and leaves zero segments (and
+// zero reserved bytes) behind.
+TEST(StoreService, OverQuotaOpenRejectedBeforeAllocation) {
+  StoreService service;
+  service.register_tenant({.name = "q", .quota_bytes = 1024});  // < any estimate
+  MiniCluster mc(2, 0);
+  std::atomic<int> rejected{0};
+  const auto result = mc.run(2, [&](mpi::Comm& world) {
+    Session session = SessionBuilder{}
+                          .strategy(Strategy::kSelf)
+                          .key_prefix("app")
+                          .data_bytes(4096)
+                          .group_size(2)
+                          .service(&service)
+                          .tenant("q")
+                          .build(world);
+    try {
+      (void)session.open();
+    } catch (const QuotaExceeded& e) {
+      EXPECT_EQ(e.tenant(), "q");
+      rejected.fetch_add(1);
+    }
+  });
+  EXPECT_TRUE(result.completed) << result.abort_reason;
+  EXPECT_EQ(rejected.load(), 2);
+  EXPECT_EQ(service.bytes_in_use(), 0u);
+  std::size_t segments = 0;
+  (void)owner_digest(mc.cluster, StoreService::namespace_prefix("q"), &segments);
+  EXPECT_EQ(segments, 0u) << "rejected open must not allocate segments";
+}
+
+// Two tenants on one cluster + one service: tenant A's node kill, spare
+// replacement, and group rebuild must leave tenant B's stripes
+// bit-identical — the owner-tag isolation the namespaces promise.
+TEST(StoreService, TenantKillAndRestoreLeavesOtherTenantBitIdentical) {
+  MiniCluster mc(8, 2);
+  StoreService service;
+  service.register_tenant({.name = "a"});
+  service.register_tenant({.name = "b"});
+
+  CkptAppConfig app_b;
+  app_b.seed = 7;
+  app_b.iterations = 3;
+  app_b.service = &service;
+  app_b.tenant = "b";
+  {
+    // Tenant B lives on nodes 4..7; its segments outlive the job (SHM).
+    mpi::JobLauncher launcher(mc.cluster, nullptr, {.max_restarts = 0, .first_node = 4});
+    const auto run_b =
+        launcher.run(4, [&](mpi::Comm& world) { checkpointed_app(world, app_b); });
+    ASSERT_TRUE(run_b.success) << run_b.failure;
+  }
+  std::size_t b_segments = 0;
+  const std::uint64_t b_before =
+      owner_digest(mc.cluster, StoreService::namespace_prefix("b"), &b_segments);
+  ASSERT_GT(b_segments, 0u);
+
+  // Tenant A on nodes 0..3 loses a node mid-flush and recovers from the
+  // group's checksums (replacement node from the shared spare pool).
+  CkptAppConfig app_a;
+  app_a.seed = 11;
+  app_a.iterations = 4;
+  app_a.service = &service;
+  app_a.tenant = "a";
+  sim::FailureInjector injector;
+  injector.add_rule({.point = "ckpt.mid_flush", .world_rank = 1, .hit = 2, .repeat = false});
+  mpi::JobLauncher launcher(mc.cluster, &injector, {.max_restarts = 2, .first_node = 0});
+  const auto run_a =
+      launcher.run(4, [&](mpi::Comm& world) { checkpointed_app(world, app_a); });
+  ASSERT_TRUE(run_a.success) << run_a.failure;
+  EXPECT_GE(run_a.restarts, 1);
+
+  std::size_t b_segments_after = 0;
+  const std::uint64_t b_after =
+      owner_digest(mc.cluster, StoreService::namespace_prefix("b"), &b_segments_after);
+  EXPECT_EQ(b_segments_after, b_segments);
+  EXPECT_EQ(b_after, b_before) << "tenant A's recovery disturbed tenant B's stripes";
+  EXPECT_EQ(service.bytes_in_use(), 0u);  // all leases released at teardown
+}
+
+// Three jobs hammer commit_async through one width-1 turnstile: everyone
+// finishes (no cross-tenant deadlock), bytes balance, and the per-tenant
+// commit-slowdown spread stays within the fairness gate.
+TEST(StoreService, FairShareDispatchAcrossConcurrentAsyncTenants) {
+  StoreService service({.max_concurrent_commits = 1});
+  const std::array<const char*, 3> tenants = {"t0", "t1", "t2"};
+  for (const char* name : tenants) service.register_tenant({.name = name});
+
+  constexpr int kIterations = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> jobs;
+  std::vector<std::unique_ptr<MiniCluster>> clusters;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    clusters.push_back(std::make_unique<MiniCluster>(2, 0));
+  }
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    jobs.emplace_back([&, i] {
+      CkptAppConfig app;
+      app.group_size = 2;
+      app.data_bytes = 8192;
+      app.iterations = kIterations;
+      app.seed = 100 + i;
+      app.mode = CommitMode::kAsync;
+      app.service = &service;
+      app.tenant = tenants[i];
+      const auto result = clusters[i]->run(
+          2, [&](mpi::Comm& world) { checkpointed_app(world, app); });
+      if (!result.completed) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : jobs) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  for (const char* name : tenants) {
+    const TenantStats stats = service.tenant_stats(name);
+    EXPECT_EQ(stats.commits, static_cast<std::uint64_t>(kIterations) * 2)
+        << name << ": every rank-epoch must pass the gate exactly once";
+    EXPECT_GT(stats.committed_bytes, 0u);
+    EXPECT_EQ(stats.open_sessions, 0);
+  }
+  EXPECT_GE(service.fairness_ratio(), 0.5);
+  EXPECT_EQ(service.bytes_in_use(), 0u);
+}
+
+// Teardown with tenants still holding leases and an open queued: the
+// destructor fails the queued admission loudly (AdmissionTimeout) and
+// waits the blocked thread out of the service before dying — it must
+// neither hang on the unreleased lease nor free state under the waiter.
+TEST(StoreService, DestructorFailsQueuedAdmissionsAndDrainsWaiters) {
+  auto service = std::make_unique<StoreService>(StoreServiceConfig{
+      .capacity_bytes = 1 << 20, .admission_timeout_s = 60.0});
+  service->register_tenant({.name = "a"});
+  service->register_tenant({.name = "b"});
+  (void)service->admit("a", 1 << 20, 1);  // fills capacity; never released
+
+  std::atomic<bool> timed_out{false};
+  std::atomic<bool> wrong_error{false};
+  std::thread queued([&] {
+    try {
+      (void)service->admit("b", 1 << 20, 1);  // queues behind a's lease
+      wrong_error = true;
+    } catch (const AdmissionTimeout&) {
+      timed_out = true;
+    } catch (...) {
+      wrong_error = true;
+    }
+  });
+  // Let the open reach the admission queue, then tear the service down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.reset();
+  queued.join();
+  EXPECT_TRUE(timed_out.load());
+  EXPECT_FALSE(wrong_error.load());
+}
+
+}  // namespace
+}  // namespace skt::ckpt
