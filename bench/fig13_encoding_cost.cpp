@@ -93,7 +93,7 @@ int main() {
     report.field(tag + "_t2_net_s", t2[g].encode_network_s);
   }
   report.end_object();
-  util::write_json_file("BENCH_fig13_encoding_cost.json", report);
+  util::write_json_file(util::report_path("BENCH_fig13_encoding_cost.json"), report);
 
   bool ok = true;
   const double size_spread =

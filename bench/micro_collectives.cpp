@@ -208,7 +208,7 @@ int run_allreduce_sweep() {
     }
   }
   report.end_object();
-  util::write_json_file("BENCH_micro_collectives.json", report);
+  util::write_json_file(util::report_path("BENCH_micro_collectives.json"), report);
   return 0;
 }
 

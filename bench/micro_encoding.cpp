@@ -372,7 +372,7 @@ bool run_encode_comparison() {
     }
   }
   report.end_object();
-  util::write_json_file("BENCH_micro_encoding.json", report);
+  util::write_json_file(util::report_path("BENCH_micro_encoding.json"), report);
   return ok;
 }
 

@@ -250,7 +250,7 @@ int main() {
   report.field("drill_detected", drill.corruption_detected);
   report.field("drill_repaired", drill.repaired);
   report.end_object();
-  util::write_json_file("BENCH_scrub.json", report);
+  util::write_json_file(util::report_path("BENCH_scrub.json"), report);
 
   bool ok = true;
   ok &= shape_check("commit-exclusion overhead <= 3% of a commit interval", overhead <= 0.03);

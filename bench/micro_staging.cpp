@@ -213,6 +213,6 @@ int main() {
     }
   }
   report.end_object();
-  util::write_json_file("BENCH_staging.json", report);
+  util::write_json_file(util::report_path("BENCH_staging.json"), report);
   return ok ? 0 : 1;
 }

@@ -147,7 +147,7 @@ int main() {
   report.field("overhead_frac", overhead);
   report.field("e2e_overhead_frac", e2e_overhead);
   report.end_object();
-  util::write_json_file("BENCH_monitor_overhead.json", report);
+  util::write_json_file(util::report_path("BENCH_monitor_overhead.json"), report);
 
   return shape_check("monitor-enabled overhead <= 2%", overhead <= 0.02) ? 0 : 1;
 }

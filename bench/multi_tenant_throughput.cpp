@@ -31,6 +31,7 @@
 #include "ckpt/session.hpp"
 #include "ckpt/store_service.hpp"
 #include "telemetry/report.hpp"
+#include "util/json_writer.hpp"
 #include "util/options.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
@@ -143,7 +144,8 @@ int main(int argc, char** argv) {
   const std::size_t bytes =
       static_cast<std::size_t>(opts.get_int("bytes", smoke ? 262144 : 1048576));
   const int reps = static_cast<int>(opts.get_int("reps", 3));
-  const std::string report_path = opts.get("report", "BENCH_multi_tenant.json");
+  const std::string report_path =
+      opts.get("report", util::report_path("BENCH_multi_tenant.json"));
 
   bench::print_header("StoreService",
                       "aggregate commit throughput: shared service vs isolated");

@@ -19,6 +19,7 @@
 
 #include "bench_common.hpp"
 #include "telemetry/report.hpp"
+#include "util/json_writer.hpp"
 #include "util/options.hpp"
 
 using namespace skt;
@@ -65,7 +66,8 @@ int main(int argc, char** argv) {
   util::Options opts(argc, argv);
   const bool smoke = opts.get_bool("smoke", false);
   const int reps = static_cast<int>(opts.get_int("reps", smoke ? 1 : 3));
-  const std::string report_path = opts.get("report", "overlap_commit_report.json");
+  const std::string report_path =
+      opts.get("report", util::report_path("overlap_commit_report.json"));
 
   bench::print_header("Overlap", "async commit pipeline vs sync on the LU driver");
 

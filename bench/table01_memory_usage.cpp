@@ -8,6 +8,7 @@
 #include "ckpt/plan.hpp"
 #include "ckpt/session.hpp"
 #include "storage/device.hpp"
+#include "storage/snapshot_vault.hpp"
 
 using namespace skt;
 

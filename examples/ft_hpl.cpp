@@ -28,6 +28,7 @@
 #include "hpl/skt_hpl.hpp"
 #include "mpi/launcher.hpp"
 #include "storage/device.hpp"
+#include "storage/snapshot_vault.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"

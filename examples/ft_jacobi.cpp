@@ -30,9 +30,16 @@
 // mirror while the sweep loop keeps running, which the run validates via
 // the scrub.* counters (visible in the RunReport).
 //
+// With --shards N the faulty run's session becomes multi-level: every
+// other commit flushes to a ShardedVault spread over the job's first N
+// nodes, the injected kill takes a shard host with it, and the launcher
+// reshards (wipe dead shard, spare takes the slot, extents re-homed from
+// replicas) before relaunch — validated via the vault.* gauges and
+// ShardedVaultStats (visible in the RunReport).
+//
 //   ./ft_jacobi [--grid 128] [--ranks 4] [--iters 60] [--ckpt-every 10]
 //               [--telemetry out/jacobi] [--monitor out/jacobi]
-//               [--scrub 0.001] [--parity 2] [--bitflip]
+//               [--scrub 0.001] [--parity 2] [--bitflip] [--shards 4]
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -47,6 +54,8 @@
 
 #include "ckpt/session.hpp"
 #include "mpi/launcher.hpp"
+#include "storage/device.hpp"
+#include "storage/sharded_vault.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
@@ -107,21 +116,27 @@ void bitflip_drill(ckpt::Session& session) {
 /// One fault-tolerant Jacobi solve; returns the L2 norm of the final local
 /// block (for cross-run comparison) via out-param on rank 0.
 void jacobi(mpi::Comm& world, std::int64_t grid_n, std::int64_t iterations,
-            std::int64_t ckpt_every, const ScrubDemo& scrub, double* final_norm) {
+            std::int64_t ckpt_every, const ScrubDemo& scrub, storage::Vault* vault,
+            double* final_norm) {
   const int ranks = world.size();
   const int me = world.rank();
   if (grid_n % ranks != 0) throw std::invalid_argument("grid must divide ranks");
   const std::int64_t rows = grid_n / ranks;  // interior rows per rank
 
-  ckpt::Session session =
-      ckpt::SessionBuilder{}
-          .strategy(ckpt::Strategy::kSelf)
-          .key_prefix("jacobi")
-          .data_bytes(static_cast<std::size_t>(rows * grid_n) * sizeof(double))
-          .user_bytes(sizeof(JacobiState))
-          .parity_degree(scrub.parity)
-          .scrub_interval(scrub.interval_s)
-          .build(world);  // group_size 0: one encoding group spanning the job
+  ckpt::SessionBuilder builder;
+  builder.strategy(ckpt::Strategy::kSelf)
+      .key_prefix("jacobi")
+      .data_bytes(static_cast<std::size_t>(rows * grid_n) * sizeof(double))
+      .user_bytes(sizeof(JacobiState))
+      .parity_degree(scrub.parity)
+      .scrub_interval(scrub.interval_s);
+  if (vault != nullptr) {
+    // --shards: wrap in a multi-level session flushing every other commit
+    // to the sharded durable tier.
+    builder.vault(vault).device(storage::ssd_profile()).level2_flush_every(2);
+  }
+  // group_size 0: one encoding group spanning the job
+  ckpt::Session session = builder.build(world);
 
   const ckpt::OpenOutcome outcome = session.open();
   auto* state = reinterpret_cast<JacobiState*>(session.user_state().data());
@@ -311,6 +326,14 @@ int main(int argc, char** argv) {
   scrub.interval_s = opts.get_double("scrub", 0.0);
   scrub.parity = static_cast<int>(opts.get_int("parity", 1));
   scrub.bitflip = opts.has("bitflip");
+  // --shards N: back the faulty run's level-2 tier with a ShardedVault
+  // over the job's first N nodes; the launcher reshards it when the
+  // injected kill takes a shard host down.
+  const int shards = static_cast<int>(opts.get_int("shards", 0));
+  if (shards > ranks) {
+    std::printf("--shards %d exceeds the %d job nodes\n", shards, ranks);
+    return 1;
+  }
 
   // Reference: fault-free run.
   double clean_norm = 0.0;
@@ -318,7 +341,7 @@ int main(int argc, char** argv) {
     sim::Cluster cluster({.num_nodes = ranks, .spare_nodes = 0, .nodes_per_rack = 4});
     mpi::JobLauncher launcher(cluster, nullptr, {.max_restarts = 0});
     const auto result = launcher.run(ranks, [&](mpi::Comm& w) {
-      jacobi(w, grid_n, iterations, ckpt_every, scrub, &clean_norm);
+      jacobi(w, grid_n, iterations, ckpt_every, scrub, nullptr, &clean_norm);
     });
     if (!result.success) {
       std::printf("clean run failed: %s\n", result.failure.c_str());
@@ -340,6 +363,7 @@ int main(int argc, char** argv) {
   std::uint64_t monitor_ticks = 0;
   std::size_t postmortems = 0;
   double detect_latency_s = -1.0;
+  std::optional<storage::ShardedVault> vault;
   {
     sim::Cluster cluster({.num_nodes = ranks, .spare_nodes = 2, .nodes_per_rack = 4});
     sim::FailureInjector injector;
@@ -350,6 +374,12 @@ int main(int argc, char** argv) {
                        .hit = kill_commit,
                        .repeat = false});
     mpi::LauncherConfig launch_config{.max_restarts = 2};
+    if (shards > 0) {
+      storage::ShardedVaultConfig vc;
+      for (int n = 0; n < shards; ++n) vc.nodes.push_back(n);
+      vault.emplace(vc);
+      launch_config.sharded_vault = &*vault;
+    }
     std::optional<telemetry::Aggregator> monitor;
     if (!monitor_prefix.empty()) {
       launch_config.health.enabled = true;
@@ -362,7 +392,8 @@ int main(int argc, char** argv) {
     }
     mpi::JobLauncher launcher(cluster, &injector, launch_config);
     const auto result = launcher.run(ranks, [&](mpi::Comm& w) {
-      jacobi(w, grid_n, iterations, ckpt_every, scrub, &faulty_norm);
+      jacobi(w, grid_n, iterations, ckpt_every, scrub,
+             vault.has_value() ? &*vault : nullptr, &faulty_norm);
     });
     if (monitor) monitor->stop();
     if (!result.success) {
@@ -379,6 +410,25 @@ int main(int argc, char** argv) {
   }
 
   const bool identical = clean_norm == faulty_norm;
+
+  // Sharded-vault evidence: the injected kill took a shard host down, so
+  // the launcher must have resharded (unless the killed node hosted no
+  // shard), and no extent may have been lost — a single shard death always
+  // leaves the replica copy.
+  bool vault_ok = true;
+  storage::ShardedVaultStats vault_stats;
+  if (vault.has_value()) {
+    vault_stats = vault->stats();
+    if (restarts > 0 && ranks / 2 < shards && vault_stats.rebalances == 0) {
+      std::printf("vault: shard host %d died but no reshard ran\n", ranks / 2);
+      vault_ok = false;
+    }
+    if (vault_stats.extents_lost != 0) {
+      std::printf("vault: %llu extents lost during reshard\n",
+                  static_cast<unsigned long long>(vault_stats.extents_lost));
+      vault_ok = false;
+    }
+  }
 
   // Scrub evidence: every rank of both runs ran the scrubber; with
   // --bitflip each injected flip must have been detected AND repaired,
@@ -433,6 +483,13 @@ int main(int argc, char** argv) {
       report.set("postmortems", static_cast<std::uint64_t>(postmortems));
       report.set("detect_latency_s", detect_latency_s);
     }
+    if (vault.has_value()) {
+      report.set("vault_shards", static_cast<std::int64_t>(shards));
+      report.set("vault_rebalances", vault_stats.rebalances);
+      report.set("vault_extents_rehomed", vault_stats.extents_rehomed);
+      report.set("vault_extents_lost", vault_stats.extents_lost);
+      report.set("vault_degraded_reads", vault_stats.degraded_reads);
+    }
     if (scrub.interval_s > 0.0) {
       report.set("scrub_interval_s", scrub.interval_s);
       report.set("scrub_parity", static_cast<std::int64_t>(scrub.parity));
@@ -459,6 +516,13 @@ int main(int argc, char** argv) {
   if (!telemetry_prefix.empty()) {
     table.add_row({"telemetry artifacts", telemetry_ok ? "written + validated" : "INCOMPLETE"});
   }
+  if (vault.has_value()) {
+    table.add_row({"vault shards", std::to_string(shards)});
+    table.add_row({"vault reshards / extents re-homed",
+                   std::to_string(vault_stats.rebalances) + " / " +
+                       std::to_string(vault_stats.extents_rehomed)});
+    table.add_row({"vault evidence", vault_ok ? "validated" : "INCOMPLETE"});
+  }
   if (scrub.interval_s > 0.0) {
     table.add_row({"scrub passes", std::to_string(scrub_passes)});
     table.add_row({"scrub detected/repaired", std::to_string(scrub_detected) + "/" +
@@ -474,5 +538,5 @@ int main(int argc, char** argv) {
     table.add_row({"monitor evidence", monitor_ok ? "validated" : "INCOMPLETE"});
   }
   table.print();
-  return identical && telemetry_ok && monitor_ok && scrub_ok ? 0 : 1;
+  return identical && telemetry_ok && monitor_ok && scrub_ok && vault_ok ? 0 : 1;
 }

@@ -8,7 +8,9 @@
 # monitor lane that schema-validates the postmortem a real injected kill
 # produces and gates monitoring overhead, a multi-tenant lane running the
 # shared StoreService scenario under TSan and schema-checking its store.*
-# gauges, and finally a bench regression gate against the committed
+# gauges, a vault lane running the sharded durable tier under both
+# sanitizers plus a live reshard drill with its bandwidth-scaling gate,
+# and finally a bench regression gate against the committed
 # micro_encoding baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -143,6 +145,40 @@ jq -e '(.metrics.gauges."store.capacity_bytes" > 0)
   || { echo "[FAIL] $mt lacks the multi-tenant evidence"; exit 1; }
 
 echo
+echo "=== vault lane: sharded tier under sanitizers + live reshard drill ==="
+# The sharded vault moves extents between shards while rank threads flush
+# and the launcher reshards — pointer/lock discipline worth both
+# sanitizers. Then a real drill: ft_jacobi stripes its L2 images over 4
+# shards, an injected kill takes a shard-hosting node down, and the
+# replace phase must re-home the dead shard's extents onto the
+# substitute with nothing lost and the run still bit-identical. jq
+# checks the RunReport's vault.* gauges (including the replica
+# invariant: physical bytes == 2x logical) the way an external operator
+# would. vault_bandwidth holds the modeled flush scaling to >= 2x at 4
+# shards vs 1.
+cmake --build build-asan -j --target test_storage test_sharded_vault
+(cd build-asan && ctest --output-on-failure \
+  -R '^(test_storage|test_sharded_vault)$' -j)
+cmake --build build-tsan -j --target test_storage test_sharded_vault
+(cd build-tsan && ctest --output-on-failure \
+  -R '^(test_storage|test_sharded_vault)$' -j)
+cmake --build build -j --target ft_jacobi vault_bandwidth
+rm -rf build/vault-lane && mkdir -p build/vault-lane
+(cd build/vault-lane && ../examples/ft_jacobi --grid 128 --ranks 4 \
+  --iters 60 --ckpt-every 10 --shards 4 --telemetry lane >/dev/null)
+vr=build/vault-lane/lane_report.json
+jq -e '(.metrics.gauges."vault.shards" == 4)
+       and (.metrics.gauges."vault.rebalances" >= 1)
+       and (.metrics.gauges."vault.extents_rehomed" > 0)
+       and (.metrics.gauges."vault.bytes.physical"
+            == 2 * .metrics.gauges."vault.bytes.logical")
+       and (.values.vault_extents_lost == 0)
+       and .values.identical' "$vr" >/dev/null \
+  && echo "[PASS] $vr shows the reshard served the restore with nothing lost" \
+  || { echo "[FAIL] $vr lacks the sharded-vault evidence"; exit 1; }
+(cd build && ./bench/vault_bandwidth)
+
+echo
 echo "=== bench regression gate: micro_encoding vs committed baseline ==="
 # Two tiers of gate, matched to how reproducible each metric is. Wire and
 # mailbox-copy byte counts are exact functions of the algorithms — any
@@ -154,7 +190,7 @@ echo "=== bench regression gate: micro_encoding vs committed baseline ==="
 cmake --build build -j --target micro_encoding
 (cd build && ./bench/micro_encoding >/dev/null)
 baseline=bench/BENCH_micro_encoding.baseline.json
-current=build/BENCH_micro_encoding.json
+current=build/out/BENCH_micro_encoding.json
 jval() { awk -F: -v k="\"$2\"" '$1 ~ k {gsub(/[ ,]/, "", $2); print $2; exit}' "$1"; }
 for k in encode_g4_new_wire_bytes encode_g8_new_wire_bytes encode_g16_new_wire_bytes \
          encode_g4_new_copied_bytes encode_g8_new_copied_bytes encode_g16_new_copied_bytes; do

@@ -129,8 +129,10 @@ CommitStats BlcrCheckpoint::commit_impl(CommCtx ctx, bool async) {
   util::WallTimer timer;
   {
     SKT_SPAN("ckpt.flush");
-    params_.vault->put(image_key(stats.epoch), image);
-    stats.device_s = device_.write_seconds(image.size());
+    const std::string key = image_key(stats.epoch);
+    params_.vault->put(key, image);
+    stats.device_s = params_.vault->write_seconds(key, image.size())
+                         .value_or(device_.write_seconds(image.size()));
     ctx.group.charge_virtual(stats.device_s);
   }
   stats.flush_s = timer.seconds();
@@ -165,7 +167,8 @@ RestoreStats BlcrCheckpoint::restore(CommCtx ctx) {
   if (!image.has_value() || image->size() != app_.size() + user_.size()) {
     throw Unrecoverable("blcr: image for epoch " + std::to_string(target) + " missing/corrupt");
   }
-  const double read_s = device_.read_seconds(image->size());
+  const double read_s = params_.vault->read_seconds(image_key(target), image->size())
+                            .value_or(device_.read_seconds(image->size()));
   ctx.group.charge_virtual(read_s);
   std::memcpy(app_.data(), image->data(), app_.size());
   std::memcpy(user_.data(), image->data() + app_.size(), user_.size());

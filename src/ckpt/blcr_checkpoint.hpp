@@ -14,7 +14,7 @@
 
 #include "ckpt/protocol.hpp"
 #include "storage/device.hpp"
-#include "storage/snapshot_vault.hpp"
+#include "storage/vault.hpp"
 
 namespace skt::ckpt {
 
@@ -24,8 +24,11 @@ class BlcrCheckpoint final : public CheckpointProtocol {
     std::string key_prefix = "skt";
     std::size_t data_bytes = 0;
     std::size_t user_bytes = 64;
-    storage::SnapshotVault* vault = nullptr;  ///< required
-    storage::DeviceProfile device;            ///< e.g. hdd_profile(ranks_per_node)
+    /// Required. Any Vault implementation (SnapshotVault or ShardedVault).
+    storage::Vault* vault = nullptr;
+    /// Fallback device model for vaults without one of their own,
+    /// e.g. hdd_profile(ranks_per_node).
+    storage::DeviceProfile device;
     /// Heap staging buffer for stage()/commit_staged(); the vault keeps a
     /// complete previous image either way, so recovery is unchanged.
     bool async_staging = false;

@@ -231,6 +231,11 @@ CommitStats DoubleCheckpoint::commit_impl(CommCtx ctx, bool async) {
   return stats;
 }
 
+bool DoubleCheckpoint::restore_feasible(CommCtx ctx) {
+  return static_cast<int>(missing_members(ctx.group, survivor_).size()) <=
+         coder_->max_failures();
+}
+
 RestoreStats DoubleCheckpoint::restore(CommCtx ctx) {
   require_open();
   SKT_SPAN("ckpt.restore");

@@ -51,6 +51,7 @@ class DoubleCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::span<std::byte> data() override;
   [[nodiscard]] std::span<std::byte> user_state() override;
   CommitStats commit(CommCtx ctx) override;
+  [[nodiscard]] bool restore_feasible(CommCtx ctx) override;
   RestoreStats restore(CommCtx ctx) override;
   [[nodiscard]] bool supports_async() const override { return params_.async_staging; }
   double stage() override;

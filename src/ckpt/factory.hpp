@@ -13,7 +13,7 @@
 #include "ckpt/protocol.hpp"
 #include "encoding/codec.hpp"
 #include "storage/device.hpp"
-#include "storage/snapshot_vault.hpp"
+#include "storage/vault.hpp"
 
 namespace skt::ckpt {
 
@@ -28,7 +28,7 @@ struct FactoryParams {
   /// concurrent losses per group.
   int parity_degree = 1;
   /// BLCR only:
-  storage::SnapshotVault* vault = nullptr;
+  storage::Vault* vault = nullptr;
   storage::DeviceProfile device;
   /// Allocate the staging buffer for stage()/commit_staged(). Changes the
   /// persistent-store layout for the SHM strategies (self, incremental),

@@ -310,6 +310,21 @@ CommitStats IncrementalSelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
   return stats;
 }
 
+bool IncrementalSelfCheckpoint::restore_feasible(CommCtx ctx) {
+  return static_cast<int>(missing_members(ctx.group, survivor_).size()) <=
+         max_failures();
+}
+
+void IncrementalSelfCheckpoint::reseed_epoch(CommCtx ctx, std::uint64_t epoch) {
+  (void)ctx;
+  Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                          static_cast<std::uint32_t>(group_size_), codec_field());
+  h.bc_epoch = epoch;
+  h.d_epoch = epoch;
+  store_header(header_, h);
+  survivor_ = true;
+}
+
 RestoreStats IncrementalSelfCheckpoint::restore(CommCtx ctx) {
   require_open();
   SKT_SPAN("ckpt.restore");

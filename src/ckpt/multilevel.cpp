@@ -97,7 +97,9 @@ CommitStats MultiLevelCheckpoint::commit_impl(CommCtx ctx, CommitStats stats,
   if (params_.flush_every > 0 && ++commits_since_flush_ >= params_.flush_every) {
     commits_since_flush_ = 0;
     flush_to_disk(ctx, stats.epoch, from_staged);
-    stats.device_s = device_.write_seconds(params_.data_bytes + params_.user_bytes);
+    const std::size_t image_bytes = params_.data_bytes + params_.user_bytes;
+    stats.device_s = params_.vault->write_seconds(image_key(stats.epoch), image_bytes)
+                         .value_or(device_.write_seconds(image_bytes));
   }
   return stats;
 }
@@ -115,8 +117,12 @@ void MultiLevelCheckpoint::flush_to_disk(CommCtx ctx, std::uint64_t epoch,
     std::memcpy(image.data() + params_.data_bytes, inner_->user_state().data(),
                 params_.user_bytes);
   }
-  params_.vault->put(image_key(epoch), image);
-  ctx.group.charge_virtual(device_.write_seconds(image.size()));
+  const std::string key = image_key(epoch);
+  params_.vault->put(key, image);
+  // Sharded vaults model the parallel-extent transfer themselves; plain
+  // SnapshotVault has no opinion and we charge the configured device.
+  ctx.group.charge_virtual(params_.vault->write_seconds(key, image.size())
+                               .value_or(device_.write_seconds(image.size())));
 
   // Retain two generations so a torn flush always leaves one complete
   // generation on every rank; GC the grandparent only.
@@ -134,10 +140,28 @@ void MultiLevelCheckpoint::flush_to_disk(CommCtx ctx, std::uint64_t epoch,
 
 RestoreStats MultiLevelCheckpoint::restore(CommCtx ctx) {
   used_disk_ = false;
-  try {
-    return inner_->restore(ctx);
-  } catch (const Unrecoverable& e) {
-    SKT_LOG_WARN("multi-level: level 1 unrecoverable ({}); trying disk level", e.what());
+  // Level-1 recoverability is a PER-GROUP verdict (did THIS group lose
+  // more members than its code absorbs?), but a disk rollback changes the
+  // restored epoch — so whether to attempt level 1 at all must be decided
+  // unanimously, BEFORE anyone restores. A group that could rebuild
+  // locally still rolls back with everyone else: letting it keep its
+  // level-1 epoch while other groups reload an older disk generation
+  // would resume the job on two different epochs (and desynchronise the
+  // world collectives inside restore()).
+  const std::uint64_t all_feasible = ctx.world.allreduce_value<std::uint64_t>(
+      inner_->restore_feasible(ctx) ? 1u : 0u, mpi::Min{});
+  if (all_feasible != 0) {
+    try {
+      return inner_->restore(ctx);
+    } catch (const Unrecoverable& e) {
+      // Reachable only by world-uniform verdicts (epoch disagreement, no
+      // committed generation): every rank lands here together.
+      SKT_LOG_WARN("multi-level: level 1 unrecoverable ({}); trying disk level", e.what());
+    }
+  } else {
+    SKT_LOG_WARN(
+        "multi-level: a group lost more members than level 1 absorbs; "
+        "rolling every group back to the disk generation");
   }
   // Level 2: agree on the newest epoch present on every rank's disk.
   SKT_SPAN("ckpt.l2_restore");
@@ -155,11 +179,17 @@ RestoreStats MultiLevelCheckpoint::restore(CommCtx ctx) {
   std::memcpy(inner_->data().data(), image->data(), params_.data_bytes);
   std::memcpy(inner_->user_state().data(), image->data() + params_.data_bytes,
               params_.user_bytes);
-  const double read_s = device_.read_seconds(image->size());
+  const double read_s = params_.vault->read_seconds(image_key(target), image->size())
+                            .value_or(device_.read_seconds(image->size()));
   ctx.group.charge_virtual(read_s);
 
   // Re-establish level-1 redundancy immediately: the restored data gets a
-  // fresh in-memory checkpoint so the next failure is cheap again.
+  // fresh in-memory checkpoint so the next failure is cheap again. Reseed
+  // the epoch counters first so this commit re-mints exactly `target`
+  // (commits agree on Max(epoch)+1 world-wide, and survivors' headers
+  // still carry their pre-rollback epochs) — the epoch counter stays in
+  // lock-step with the application's progress counter across rollbacks.
+  inner_->reseed_epoch(ctx, target - 1);
   inner_->commit(ctx);
 
   RestoreStats stats;

@@ -19,7 +19,7 @@
 #include "ckpt/protocol.hpp"
 #include "encoding/codec.hpp"
 #include "storage/device.hpp"
-#include "storage/snapshot_vault.hpp"
+#include "storage/vault.hpp"
 
 namespace skt::ckpt {
 
@@ -38,8 +38,12 @@ class MultiLevelCheckpoint final : public CheckpointProtocol {
     Strategy level1 = Strategy::kSelf;
     /// Flush to disk every `flush_every` level-1 commits (0 = never).
     int flush_every = 4;
-    storage::SnapshotVault* vault = nullptr;  ///< required
-    storage::DeviceProfile device;            ///< e.g. pfs_profile(ranks)
+    /// Required. Any Vault implementation: a single SnapshotVault or a
+    /// ShardedVault spreading the flush across node-local shards.
+    storage::Vault* vault = nullptr;
+    /// Fallback device model for vaults without one of their own
+    /// (SnapshotVault), e.g. pfs_profile(ranks).
+    storage::DeviceProfile device;
     /// Forwarded to the level-1 protocol; the level-2 flush then reads the
     /// staged image instead of the live working buffer.
     bool async_staging = false;

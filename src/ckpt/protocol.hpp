@@ -187,6 +187,32 @@ class CheckpointProtocol {
   /// dirty stripes; an un-annotated tracker degrades to full-cost commits.
   [[nodiscard]] virtual DirtyTracker* dirty_tracker() { return nullptr; }
 
+  /// Collective over ctx.group: can THIS group's level-1 state be rebuilt
+  /// (did it lose no more members than its erasure code absorbs)? Member
+  /// loss is a per-group verdict, so a multi-level session agrees on this
+  /// world-wide BEFORE attempting restore(): when any group is infeasible,
+  /// every group must skip level 1 and roll back to the same disk
+  /// generation together — a locally successful level-1 restore would
+  /// resume on a different epoch than the groups forced onto disk. The
+  /// default claims feasibility; strategies that can be defeated by group
+  /// member loss override it.
+  [[nodiscard]] virtual bool restore_feasible(CommCtx ctx) {
+    (void)ctx;
+    return true;
+  }
+
+  /// Rewind this rank's stored epoch counters to `epoch`, so the next
+  /// commit mints `epoch + 1` (commits agree on Max(epoch)+1 world-wide).
+  /// A multi-level session calls this with the reloaded disk generation
+  /// before its redundancy-re-establishing commit: that commit then
+  /// re-mints exactly the restored epoch instead of a drifted one, keeping
+  /// the epoch counter in lock-step with the application's own progress
+  /// counter across disk rollbacks. Default: no-op.
+  virtual void reseed_epoch(CommCtx ctx, std::uint64_t epoch) {
+    (void)ctx;
+    (void)epoch;
+  }
+
   /// Collective: recover after a restart. Throws Unrecoverable when no
   /// consistent checkpoint exists.
   virtual RestoreStats restore(CommCtx ctx) = 0;

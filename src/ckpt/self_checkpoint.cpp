@@ -236,6 +236,22 @@ CommitStats SelfCheckpoint::commit_impl(CommCtx ctx, bool async) {
   return stats;
 }
 
+bool SelfCheckpoint::restore_feasible(CommCtx ctx) {
+  return static_cast<int>(missing_members(ctx.group, survivor_).size()) <=
+         coder_->max_failures();
+}
+
+void SelfCheckpoint::reseed_epoch(CommCtx ctx, std::uint64_t epoch) {
+  Header h = load_or_init(header_, params_.data_bytes, params_.user_bytes,
+                          static_cast<std::uint32_t>(ctx.group.size()), codec_field());
+  h.bc_epoch = epoch;
+  h.d_epoch = epoch;
+  store_header(header_, h);
+  // The caller just reloaded this rank's state; it is a survivor for every
+  // subsequent epoch summary.
+  survivor_ = true;
+}
+
 RestoreStats SelfCheckpoint::restore(CommCtx ctx) {
   require_open();
   SKT_SPAN("ckpt.restore");

@@ -61,6 +61,8 @@ class SelfCheckpoint final : public CheckpointProtocol {
   [[nodiscard]] std::span<std::byte> data() override;
   [[nodiscard]] std::span<std::byte> user_state() override;
   CommitStats commit(CommCtx ctx) override;
+  [[nodiscard]] bool restore_feasible(CommCtx ctx) override;
+  void reseed_epoch(CommCtx ctx, std::uint64_t epoch) override;
   RestoreStats restore(CommCtx ctx) override;
   [[nodiscard]] bool supports_async() const override { return params_.async_staging; }
   double stage() override;

@@ -50,7 +50,7 @@
 #include "ckpt/errors.hpp"
 
 namespace skt::storage {
-class SnapshotVault;
+class Vault;
 }
 
 namespace skt::ckpt {
@@ -72,8 +72,9 @@ struct StoreServiceConfig {
   /// A queued open gives up (AdmissionTimeout) after this long.
   double admission_timeout_s = 30.0;
   /// Shared durable tier handed to every tenant Session (level-2 flushes,
-  /// BLCR images) under its namespace prefix; may be nullptr.
-  storage::SnapshotVault* vault = nullptr;
+  /// BLCR images) under its namespace prefix; may be nullptr. Accepts any
+  /// Vault implementation — a SnapshotVault or a node-sharded ShardedVault.
+  storage::Vault* vault = nullptr;
 };
 
 /// Per-tenant service statistics (a snapshot; see tenant_stats()).
@@ -117,7 +118,7 @@ class StoreService {
   /// and used as the PersistentStore owner tag.
   [[nodiscard]] static std::string namespace_prefix(const std::string& tenant);
 
-  [[nodiscard]] storage::SnapshotVault* vault() const { return config_.vault; }
+  [[nodiscard]] storage::Vault* vault() const { return config_.vault; }
   [[nodiscard]] const StoreServiceConfig& config() const { return config_; }
 
   // -------------------------------------------------------- admission --

@@ -32,7 +32,7 @@ struct SktHplConfig {
   std::int64_t ckpt_every_panels = 8;
   std::string key_prefix = "skthpl";
   /// BLCR only:
-  storage::SnapshotVault* vault = nullptr;
+  storage::Vault* vault = nullptr;
   storage::DeviceProfile device;
   /// Asynchronous commit pipeline: the elimination loop pays only the
   /// stage copy; encode + flush overlap the following panels on a

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "storage/sharded_vault.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/clock.hpp"
@@ -268,6 +269,16 @@ LaunchResult JobLauncher::run(int nranks, const std::function<void(Comm&)>& fn) 
     bool replaced_ok = true;
     {
       SKT_SPAN("launcher.replace");
+      // A dead node's shard bytes are gone the moment the node is. Wipe
+      // EVERY dead shard before the first replace_node so a correlated
+      // multi-node loss can never re-home an extent out of another dead
+      // (but not yet replaced) shard — that would resurrect lost data and
+      // hide a genuine hole in the replica invariant.
+      if (config_.sharded_vault != nullptr) {
+        for (const int node_id : lost_nodes) {
+          config_.sharded_vault->wipe_shard(node_id);
+        }
+      }
       std::vector<int> replacement(static_cast<std::size_t>(cluster_.total_nodes()), -1);
       for (int& node_id : ranklist) {
         if (cluster_.node(node_id).alive()) continue;
@@ -282,6 +293,19 @@ LaunchResult JobLauncher::run(int nranks, const std::function<void(Comm&)>& fn) 
           }
           subst = *spare;
           SKT_LOG_INFO("launcher: replacing dead node {} with spare node {}", node_id, subst);
+          // Reshard the durable tier before relaunch: the spare inherits
+          // the dead node's placement slot and its extents are re-homed
+          // from surviving replica shards, so the restarted job's L2
+          // restore finds every extent where the placement map says.
+          if (config_.sharded_vault != nullptr &&
+              config_.sharded_vault->has_shard(node_id)) {
+            config_.sharded_vault->replace_node(node_id, subst);
+            const storage::ShardedVaultStats vs = config_.sharded_vault->stats();
+            SKT_LOG_INFO(
+                "launcher: resharded vault (shard {} -> {}, {} extents re-homed, "
+                "{} lost)",
+                node_id, subst, vs.extents_rehomed, vs.extents_lost);
+          }
         }
         node_id = subst;
       }

@@ -17,6 +17,10 @@
 #include "telemetry/forensics.hpp"
 #include "telemetry/health.hpp"
 
+namespace skt::storage {
+class ShardedVault;
+}
+
 namespace skt::mpi {
 
 /// Heartbeat-driven failure detection for the launcher's detect phase.
@@ -51,6 +55,12 @@ struct LauncherConfig {
   /// When set, every incident's postmortem is also written to
   /// `POSTMORTEM_<name>.json` (incident k > 0 appends `_<k>`).
   std::string postmortem_name;
+  /// When the job's durable tier is sharded across its own nodes, the
+  /// replace phase reshards it: each dead node that hosts a shard gets
+  /// ShardedVault::replace_node(dead, spare), which hands the spare the
+  /// dead node's placement slot and re-homes its extents from surviving
+  /// replicas before the relaunch reads anything back.
+  storage::ShardedVault* sharded_vault = nullptr;
   RuntimeConfig runtime;
 };
 

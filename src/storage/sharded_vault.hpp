@@ -1,0 +1,157 @@
+// ShardedVault — the durable tier spread across N node-local shards.
+//
+// Each shard is an owned SnapshotVault fronted by a per-shard
+// storage::Device model, standing in for the local disk / ramdisk of one
+// job node. Blobs are split into fixed-size EXTENTS; extent e of a blob
+// goes to the PlacementMap slot (anchor + e) % N with a replica on the
+// successor slot (anchor + e + 1) % N, so:
+//
+//   * one large L2 flush engages every shard concurrently — aggregate
+//     flush bandwidth scales with the shard count instead of funnelling
+//     through SnapshotVault's single mount point;
+//   * a single shard loss never loses durable data — every extent has a
+//     second copy on a different shard (replica invariant, N >= 2).
+//
+// replace_node(dead, replacement) is the reshard protocol the launcher
+// drives when it swaps a dead node for a spare: the dead shard's contents
+// are gone (they lived on that node), the replacement takes the dead
+// node's placement SLOT (striping arithmetic stays stable for every
+// surviving extent), and each extent the new layout requires on a shard
+// that lacks it is re-homed from a surviving replica.
+//
+// Virtual-time model: write_seconds()/read_seconds() report the modeled
+// cost of a transfer with the extents in flight on all shards at once —
+// primary copies move bytes/N through each shard's device while replica
+// propagation proceeds shard-to-shard off the synchronous path (the
+// caller's clock only waits for the primary copies, as in asynchronous
+// replication). Callers use these instead of their own single-device
+// model via Vault::write_seconds()'s value_or fallback.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/device.hpp"
+#include "storage/placement.hpp"
+#include "storage/snapshot_vault.hpp"
+#include "storage/vault.hpp"
+
+namespace skt::storage {
+
+struct ShardedVaultConfig {
+  /// Node ids hosting one shard each (non-empty, duplicate-free).
+  std::vector<int> nodes;
+  /// Device model of every node-local shard (bandwidth, latency, sharers).
+  DeviceProfile shard_profile = ssd_profile();
+  /// Blobs are split into extents of this size; the tail extent is short.
+  std::size_t extent_bytes = 256 * 1024;
+  /// Write each extent to primary + successor shard. Ignored (no distinct
+  /// replica exists) when only one shard is configured.
+  bool replicate = true;
+};
+
+/// Monotonic operation counters, readable at any time (e.g. RunReports).
+struct ShardedVaultStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  /// get() served an extent from the successor (or a scan) because the
+  /// primary shard lacked it — the degraded-read path after a shard loss.
+  std::uint64_t degraded_reads = 0;
+  /// replace_node() invocations (placement map rebuilds).
+  std::uint64_t rebalances = 0;
+  /// Extents copied onto a shard from a surviving replica during reshard.
+  std::uint64_t extents_rehomed = 0;
+  /// Extents for which no surviving copy existed during reshard — the
+  /// owning blob is unrecoverable. Stays 0 while the replica invariant
+  /// holds and at most one shard is lost between reshards.
+  std::uint64_t extents_lost = 0;
+};
+
+class ShardedVault final : public Vault {
+ public:
+  explicit ShardedVault(ShardedVaultConfig config);
+
+  // ---- Vault interface -------------------------------------------------
+  void put(const std::string& key, std::span<const std::byte> blob) override;
+  [[nodiscard]] std::optional<std::vector<std::byte>> get(
+      const std::string& key) const override;
+  [[nodiscard]] bool exists(const std::string& key) const override;
+  void remove(const std::string& key) override;
+  void clear() override;
+  [[nodiscard]] std::size_t bytes_in_use() const override;
+  [[nodiscard]] std::size_t bytes_under(const std::string& prefix) const override;
+  std::size_t remove_prefix(const std::string& prefix) override;
+  [[nodiscard]] std::optional<double> write_seconds(const std::string& key,
+                                                    std::size_t bytes) const override;
+  [[nodiscard]] std::optional<double> read_seconds(const std::string& key,
+                                                   std::size_t bytes) const override;
+
+  // ---- Sharding --------------------------------------------------------
+  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] bool has_shard(int node) const;
+  /// Physical bytes stored on `node`'s shard, replicas included.
+  /// 0 when the node hosts no shard.
+  [[nodiscard]] std::size_t shard_bytes(int node) const;
+  /// Node ids currently holding slots, in slot order.
+  [[nodiscard]] std::vector<int> shard_nodes() const;
+  [[nodiscard]] std::uint64_t placement_version() const;
+
+  /// Drop the contents of `node`'s shard without resharding — the moment a
+  /// shard node is known dead, its bytes are gone. The launcher wipes ALL
+  /// dead shards before the first replace_node of a recovery cycle so a
+  /// correlated multi-node loss can never re-home an extent out of another
+  /// dead (but not yet replaced) shard. No-op when `node` hosts no shard.
+  void wipe_shard(int node);
+
+  /// Reshard after the launcher swapped `dead` for `replacement`: drop the
+  /// dead shard (its node's contents are gone), give the replacement the
+  /// dead slot, and re-home every extent the new layout requires from
+  /// surviving replicas. No-op when `dead` hosts no shard.
+  void replace_node(int dead, int replacement);
+
+  [[nodiscard]] ShardedVaultStats stats() const;
+
+  /// The shard key under which extent `extent` of `key` is stored inside
+  /// a shard's SnapshotVault — exposed so forensics/tests can identify
+  /// extents when inspecting shards directly.
+  [[nodiscard]] static std::string extent_key(const std::string& key,
+                                              std::size_t extent);
+
+ private:
+  struct Shard {
+    SnapshotVault store;
+    Device device;
+    explicit Shard(const DeviceProfile& profile) : device(profile) {}
+  };
+
+  struct BlobInfo {
+    std::size_t total_bytes = 0;
+  };
+
+  [[nodiscard]] std::size_t extent_count(std::size_t total_bytes) const;
+  Shard& shard(int node);
+  [[nodiscard]] const Shard& shard(int node) const;
+  /// Fetch one extent honouring primary → successor → scan fallback;
+  /// bumps degraded_reads_ when the primary missed. nullopt = lost.
+  [[nodiscard]] std::optional<std::vector<std::byte>> fetch_extent_locked(
+      const std::string& key, std::size_t extent) const;
+  void remove_extents_locked(const std::string& key, std::size_t total_bytes);
+  /// Publish vault.* gauges into the process metrics registry.
+  void refresh_gauges_locked() const;
+
+  ShardedVaultConfig config_;
+  mutable std::mutex mutex_;
+  PlacementMap placement_;
+  std::map<int, std::unique_ptr<Shard>> shards_;  // by node id
+  std::map<std::string, BlobInfo> index_;         // logical blobs
+  mutable ShardedVaultStats stats_;
+};
+
+}  // namespace skt::storage

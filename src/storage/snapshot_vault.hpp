@@ -14,30 +14,33 @@
 #include <string>
 #include <vector>
 
+#include "storage/vault.hpp"
+
 namespace skt::storage {
 
-class SnapshotVault {
+class SnapshotVault final : public Vault {
  public:
   /// Atomically replace the blob stored under `key`.
-  void put(const std::string& key, std::span<const std::byte> blob);
+  void put(const std::string& key, std::span<const std::byte> blob) override;
 
   /// Copy of the blob, or nullopt if the key is unknown.
-  [[nodiscard]] std::optional<std::vector<std::byte>> get(const std::string& key) const;
+  [[nodiscard]] std::optional<std::vector<std::byte>> get(
+      const std::string& key) const override;
 
-  [[nodiscard]] bool exists(const std::string& key) const;
+  [[nodiscard]] bool exists(const std::string& key) const override;
 
-  void remove(const std::string& key);
-  void clear();
+  void remove(const std::string& key) override;
+  void clear() override;
 
-  [[nodiscard]] std::size_t bytes_in_use() const;
+  [[nodiscard]] std::size_t bytes_in_use() const override;
 
   /// Bytes across blobs whose key starts with `prefix` — per-tenant
   /// accounting for namespaced vaults ("ns/<tenant>/...").
-  [[nodiscard]] std::size_t bytes_under(const std::string& prefix) const;
+  [[nodiscard]] std::size_t bytes_under(const std::string& prefix) const override;
 
   /// Drop every blob whose key starts with `prefix` (tenant eviction).
   /// Returns the number of blobs removed.
-  std::size_t remove_prefix(const std::string& prefix);
+  std::size_t remove_prefix(const std::string& prefix) override;
 
  private:
   mutable std::mutex mutex_;

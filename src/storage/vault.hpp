@@ -1,0 +1,73 @@
+// The durable-tier interface every checkpoint consumer programs against.
+//
+// A Vault is a key→blob store whose contents survive node loss — the
+// simulation's "disk". Two implementations exist:
+//
+//   * SnapshotVault  — one mutex-guarded map: a single logical device
+//                      (one mount point, the pre-sharding behaviour).
+//   * ShardedVault   — N node-local shards behind a PlacementMap: level-2
+//                      flush bandwidth scales with the participating
+//                      nodes (sharded_vault.hpp).
+//
+// Writes are transactional per key on every implementation — a reader
+// never sees a torn blob. The optional write_seconds()/read_seconds()
+// hooks let an implementation model the VIRTUAL time a transfer costs
+// (e.g. parallel extents across shards); nullopt means "no opinion" and
+// the caller falls back to its own storage::Device model, which preserves
+// the exact pre-interface behaviour for SnapshotVault.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace skt::storage {
+
+class Vault {
+ public:
+  virtual ~Vault() = default;
+
+  /// Atomically replace the blob stored under `key`.
+  virtual void put(const std::string& key, std::span<const std::byte> blob) = 0;
+
+  /// Copy of the blob, or nullopt if the key is unknown (or, for sharded
+  /// implementations, an extent lost every replica).
+  [[nodiscard]] virtual std::optional<std::vector<std::byte>> get(
+      const std::string& key) const = 0;
+
+  [[nodiscard]] virtual bool exists(const std::string& key) const = 0;
+
+  virtual void remove(const std::string& key) = 0;
+  virtual void clear() = 0;
+
+  /// Logical bytes across all blobs (replication not counted).
+  [[nodiscard]] virtual std::size_t bytes_in_use() const = 0;
+
+  /// Bytes across blobs whose key starts with `prefix` — per-tenant
+  /// accounting for namespaced vaults ("ns/<tenant>/...").
+  [[nodiscard]] virtual std::size_t bytes_under(const std::string& prefix) const = 0;
+
+  /// Drop every blob whose key starts with `prefix` (tenant eviction).
+  /// Returns the number of blobs removed.
+  virtual std::size_t remove_prefix(const std::string& prefix) = 0;
+
+  /// Modeled virtual seconds a write/read of `bytes` under `key` costs,
+  /// or nullopt when this vault has no device model of its own (the
+  /// caller then charges its own storage::Device as before).
+  [[nodiscard]] virtual std::optional<double> write_seconds(const std::string& key,
+                                                            std::size_t bytes) const {
+    (void)key;
+    (void)bytes;
+    return std::nullopt;
+  }
+  [[nodiscard]] virtual std::optional<double> read_seconds(const std::string& key,
+                                                           std::size_t bytes) const {
+    (void)key;
+    (void)bytes;
+    return std::nullopt;
+  }
+};
+
+}  // namespace skt::storage

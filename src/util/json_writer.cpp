@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
+#include <system_error>
 
 namespace skt::util {
 
@@ -142,6 +145,22 @@ bool write_json_file(const std::string& path, std::string_view doc) {
 
 bool write_json_file(const std::string& path, const JsonWriter& w) {
   return write_json_file(path, std::string_view(w.str()));
+}
+
+std::string report_dir() {
+  const char* env = std::getenv("SKT_REPORT_DIR");
+  const std::string dir = (env != nullptr && *env != '\0') ? env : "out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create report dir %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+  }
+  return dir;
+}
+
+std::string report_path(const std::string& filename) {
+  return report_dir() + "/" + filename;
 }
 
 }  // namespace skt::util

@@ -70,4 +70,14 @@ class JsonWriter {
 bool write_json_file(const std::string& path, std::string_view doc);
 bool write_json_file(const std::string& path, const JsonWriter& w);
 
+/// Directory every generated report (BENCH_*.json, RunReports) lands in:
+/// $SKT_REPORT_DIR when set, else "out" under the current directory.
+/// Created on first use.
+std::string report_dir();
+
+/// report_dir() + "/" + filename — the canonical destination for a
+/// generated artifact. Benches pass a bare filename here instead of
+/// scattering outputs across the build tree and repo root.
+std::string report_path(const std::string& filename);
+
 }  // namespace skt::util

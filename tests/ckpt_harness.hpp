@@ -32,8 +32,8 @@ struct CkptAppConfig {
   int parity_degree = 1;       ///< self-checkpoint only
   int iterations = 5;
   std::uint64_t seed = 2017;
-  storage::SnapshotVault* vault = nullptr;  ///< BLCR / level 2 only
-  storage::DeviceProfile device;            ///< BLCR / level 2 only
+  storage::Vault* vault = nullptr;  ///< BLCR / level 2 only (any implementation)
+  storage::DeviceProfile device;    ///< BLCR / level 2 only
   ckpt::CommitMode mode = ckpt::CommitMode::kSync;
   /// > 0 wraps the strategy in a multi-level session (level-2 disk flush
   /// every N commits).

@@ -1,0 +1,18 @@
+// Compile-fail guard for the Session::protocol() -> unsafe_protocol()
+// rename: this translation unit calls the deprecated spelling and is built
+// with -Werror=deprecated-declarations, so it MUST fail to compile. ctest
+// runs the build of this target with WILL_FAIL — a future change that
+// silently un-deprecates (or removes the attribute from) protocol() turns
+// this into a passing compile and fails the suite.
+//
+// The file is NOT part of any normal build (EXCLUDE_FROM_ALL); it only
+// compiles when the guard test drives it.
+#include "ckpt/session.hpp"
+
+namespace skt::ckpt {
+
+CheckpointProtocol& touch_deprecated_accessor(Session& session) {
+  return session.protocol();  // deprecated: must trip -Werror
+}
+
+}  // namespace skt::ckpt

@@ -9,6 +9,7 @@
 #include "encoding/dual_parity.hpp"
 #include "mpi/launcher.hpp"
 #include "storage/device.hpp"
+#include "storage/snapshot_vault.hpp"
 #include "ckpt_harness.hpp"
 #include "testing.hpp"
 #include "util/rng.hpp"

@@ -18,6 +18,8 @@
 #include "ckpt_harness.hpp"
 #include "mpi/launcher.hpp"
 #include "storage/device.hpp"
+#include "storage/sharded_vault.hpp"
+#include "storage/snapshot_vault.hpp"
 #include "testing.hpp"
 
 namespace skt::ckpt {
@@ -695,6 +697,102 @@ TEST(FailureMatrixExtra, TwoFailuresInDifferentGroupsRecover) {
   EXPECT_TRUE(result.success) << result.failure;
   EXPECT_EQ(result.restarts, 2);
 }
+
+// The SHARDED durable tier under fire: the level-2 vault is spread across
+// the job's own nodes (one shard each), so a node loss takes a shard of
+// everyone's disk images with it. Two members of group 0 — both shard
+// hosts, on non-adjacent placement slots so every extent keeps a replica
+// on a surviving shard — die together mid-L2-flush. Parity 1 cannot
+// absorb two losses, so the restart MUST restore out of the vault, and
+// the dead shards' extents are only reachable because the launcher wiped
+// the dead shards, swapped in spares, and re-homed every extent from the
+// surviving replica copies before relaunch. A second correlated kill at
+// the end of the relaunched run then forces ANOTHER vault restore, this
+// time served entirely by the resharded tier — the harness's final
+// verification proves the restored state is bit-identical.
+struct ShardedVaultCase {
+  const char* failpoint;  // "ckpt.l2_flush" (sync) / "ckpt.async_l2_flush" (async)
+  CommitMode mode;
+};
+
+class ShardedVaultFailureMatrix : public ::testing::TestWithParam<ShardedVaultCase> {};
+
+TEST_P(ShardedVaultFailureMatrix, ShardNodeDiesDuringL2FlushThenReshardServesRestore) {
+  const ShardedVaultCase c = GetParam();
+  const int world = 8;
+  skt::testing::MiniCluster mc(world, 4);
+
+  storage::ShardedVault vault(
+      {.nodes = {0, 1, 2, 3, 4, 5, 6, 7}, .extent_bytes = 256});
+  CkptAppConfig config;
+  config.strategy = Strategy::kSelf;
+  config.group_size = 4;  // groups {0..3} and {4..7}
+  config.parity_degree = 1;
+  config.iterations = 6;
+  config.data_bytes = 2048;
+  config.vault = &vault;
+  config.device = storage::ssd_profile();
+  config.mode = c.mode;
+  config.level2_every = 2;  // L2 flushes after commits 2, 4, 6
+
+  sim::FailureInjector injector;
+  // Incident 1: ranks 1 and 3 (nodes 1 and 3 — shard slots 1 and 3, whose
+  // replica successors 2 and 4 both survive) die on the SECOND L2 flush,
+  // so epoch 2 is safely on the vault and the kill lands mid-epoch-4.
+  injector.add_rule({.point = c.failpoint,
+                     .world_rank = 1,
+                     .hit = 2,
+                     .repeat = false,
+                     .victim_world_rank = 1,
+                     .extra_victims = {3}});
+  // Incident 2: "app.done" is reached only by a COMPLETED run, so this
+  // fires exactly once the resharded job finished its loop. Two losses in
+  // group 1 again exceed parity 1, forcing the final restart to restore
+  // epoch 6 from the vault — every extent it reads lives where the
+  // post-reshard placement map says.
+  injector.add_rule({.point = "app.done",
+                     .world_rank = 5,
+                     .hit = 1,
+                     .repeat = false,
+                     .victim_world_rank = 5,
+                     .extra_victims = {7}});
+
+  mpi::JobLauncher launcher(
+      mc.cluster, &injector,
+      {.max_restarts = 3, .ranks_per_node = 1, .sharded_vault = &vault});
+  const auto result = launcher.run(world, [&](mpi::Comm& w) { checkpointed_app(w, config); });
+
+  EXPECT_EQ(injector.triggered_count(), 2u);
+  EXPECT_TRUE(result.success) << result.failure;
+  EXPECT_EQ(result.restarts, 2);
+  ASSERT_EQ(result.postmortems.size(), 2u);
+  EXPECT_EQ(result.postmortems[0].lost_ranks, (std::vector<int>{1, 3}));
+  EXPECT_EQ(result.postmortems[1].lost_ranks, (std::vector<int>{5, 7}));
+  EXPECT_TRUE(result.postmortems[0].recovered);
+  EXPECT_TRUE(result.postmortems[1].recovered);
+  // Every dead shard host was swapped for a spare that took its slot.
+  for (const int dead : {1, 3, 5, 7}) {
+    EXPECT_FALSE(vault.has_shard(dead)) << "node " << dead;
+    EXPECT_GE(result.final_ranklist[static_cast<std::size_t>(dead)], world);
+  }
+  EXPECT_EQ(vault.shard_count(), 8u);
+  const storage::ShardedVaultStats vs = vault.stats();
+  EXPECT_GE(vs.rebalances, 4u);  // one replace_node per dead shard host
+  EXPECT_GT(vs.extents_rehomed, 0u);
+  EXPECT_EQ(vs.extents_lost, 0u) << "replica invariant violated during reshard";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Points, ShardedVaultFailureMatrix,
+    ::testing::Values(ShardedVaultCase{"ckpt.l2_flush", CommitMode::kSync},
+                      ShardedVaultCase{"ckpt.async_l2_flush", CommitMode::kAsync}),
+    [](const auto& info) {
+      std::string name = info.param.failpoint;
+      for (char& ch : name) {
+        if (ch == '.') ch = '_';
+      }
+      return name;
+    });
 
 // Repeated failures across different epochs: the system survives as many
 // sequential single failures as there are spares.

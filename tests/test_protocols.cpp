@@ -9,6 +9,7 @@
 #include "ckpt/self_checkpoint.hpp"
 #include "ckpt/single_checkpoint.hpp"
 #include "storage/device.hpp"
+#include "storage/snapshot_vault.hpp"
 #include "testing.hpp"
 
 namespace skt::ckpt {

@@ -5,6 +5,7 @@
 #include "hpl/skt_hpl.hpp"
 #include "mpi/launcher.hpp"
 #include "storage/device.hpp"
+#include "storage/snapshot_vault.hpp"
 #include "testing.hpp"
 
 namespace skt::hpl {

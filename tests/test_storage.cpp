@@ -79,6 +79,87 @@ TEST(SnapshotVault, GetReturnsCopyNotView) {
   EXPECT_EQ((*vault.get("k"))[0], std::byte{7});
 }
 
+TEST(SnapshotVault, BytesUnderEmptyPrefixCountsEverything) {
+  SnapshotVault vault;
+  vault.put("a", std::vector<std::byte>(3, std::byte{1}));
+  vault.put("b/c", std::vector<std::byte>(5, std::byte{2}));
+  // The empty prefix matches every key: bytes_under("") == bytes_in_use().
+  EXPECT_EQ(vault.bytes_under(""), vault.bytes_in_use());
+  EXPECT_EQ(vault.bytes_under(""), 8u);
+}
+
+TEST(SnapshotVault, BytesUnderPrefixEqualToFullKey) {
+  SnapshotVault vault;
+  vault.put("ns/t/img", std::vector<std::byte>(7, std::byte{1}));
+  // A prefix equal to a complete key matches that key (closed interval).
+  EXPECT_EQ(vault.bytes_under("ns/t/img"), 7u);
+  // ...and longer prefixes match nothing.
+  EXPECT_EQ(vault.bytes_under("ns/t/img0"), 0u);
+}
+
+TEST(SnapshotVault, OverlappingPrefixesStayDistinct) {
+  SnapshotVault vault;
+  vault.put("ns/a", std::vector<std::byte>(1, std::byte{1}));
+  vault.put("ns/ab", std::vector<std::byte>(2, std::byte{2}));
+  vault.put("ns/ab/x", std::vector<std::byte>(4, std::byte{3}));
+  vault.put("ns/b", std::vector<std::byte>(8, std::byte{4}));
+  // "ns/a" is a string prefix of "ns/ab": both count under "ns/a"...
+  EXPECT_EQ(vault.bytes_under("ns/a"), 1u + 2 + 4);
+  // ...but "ns/ab" must not pull in the shorter sibling.
+  EXPECT_EQ(vault.bytes_under("ns/ab"), 2u + 4);
+  // remove_prefix has the same matching rule.
+  EXPECT_EQ(vault.remove_prefix("ns/ab"), 2u);
+  EXPECT_TRUE(vault.exists("ns/a"));
+  EXPECT_FALSE(vault.exists("ns/ab"));
+  EXPECT_FALSE(vault.exists("ns/ab/x"));
+  EXPECT_TRUE(vault.exists("ns/b"));
+  EXPECT_EQ(vault.bytes_in_use(), 1u + 8);
+}
+
+TEST(SnapshotVault, RemovePrefixEmptyPrefixClearsAll) {
+  SnapshotVault vault;
+  vault.put("a", std::vector<std::byte>(1, std::byte{1}));
+  vault.put("b", std::vector<std::byte>(1, std::byte{1}));
+  EXPECT_EQ(vault.remove_prefix(""), 2u);
+  EXPECT_EQ(vault.bytes_in_use(), 0u);
+  EXPECT_EQ(vault.remove_prefix(""), 0u);  // idempotent on empty vault
+}
+
+TEST(SnapshotVault, RemovePrefixWhileReading) {
+  // Thread-safety of prefix eviction against concurrent readers/writers —
+  // run under TSan in the check.sh vault lane. Readers must see each blob
+  // whole (never torn) even while remove_prefix sweeps the same namespace.
+  SnapshotVault vault;
+  constexpr int kBlobs = 16;
+  for (int i = 0; i < kBlobs; ++i) {
+    vault.put("ns/t/" + std::to_string(i), std::vector<std::byte>(256, std::byte{5}));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&vault] {
+      for (int pass = 0; pass < 50; ++pass) {
+        for (int i = 0; i < kBlobs; ++i) {
+          const auto blob = vault.get("ns/t/" + std::to_string(i));
+          if (!blob.has_value()) continue;  // evicted — fine
+          ASSERT_EQ(blob->size(), 256u);
+          for (const std::byte b : *blob) ASSERT_EQ(b, std::byte{5});
+        }
+        (void)vault.bytes_under("ns/t/");
+      }
+    });
+  }
+  threads.emplace_back([&vault] {
+    for (int pass = 0; pass < 25; ++pass) {
+      (void)vault.remove_prefix("ns/t/");
+      for (int i = 0; i < kBlobs; ++i) {
+        vault.put("ns/t/" + std::to_string(i), std::vector<std::byte>(256, std::byte{5}));
+      }
+    }
+  });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(vault.bytes_in_use(), kBlobs * 256u);
+}
+
 TEST(SnapshotVault, ConcurrentWritersAndReaders) {
   SnapshotVault vault;
   constexpr int kThreads = 8;
